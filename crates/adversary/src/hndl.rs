@@ -1,0 +1,187 @@
+//! Harvest Now, Decrypt Later.
+//!
+//! The HNDL adversary's defining property: it needs no break *today*. It
+//! records whatever it can reach — exfiltrated shards, tapped channel
+//! transcripts — and waits for the timeline to deliver the cryptanalysis.
+//! Re-encryption campaigns are useless against material already
+//! harvested; only encodings whose at-rest confidentiality is
+//! information-theoretic (or whose stolen material is below a sharing
+//! threshold) survive.
+//!
+//! The harvester is generic over what it stores. Recovery logic is
+//! supplied by the encoding layer (`aeon-core`) as a callback, keeping
+//! this crate independent of policy types.
+
+use crate::timeline::CryptanalyticTimeline;
+
+/// One harvested item: an object's stolen material at a point in time.
+#[derive(Debug, Clone)]
+pub struct HarvestRecord {
+    /// The object the material belongs to.
+    pub object: String,
+    /// Simulated year of the theft.
+    pub year_harvested: u32,
+    /// The stolen blobs (shards, ciphertexts, transcripts).
+    pub blobs: Vec<Vec<u8>>,
+    /// Free-form tag describing what was stolen (for reports).
+    pub kind: String,
+}
+
+/// The HNDL adversary's archive of stolen material.
+///
+/// # Examples
+///
+/// ```
+/// use aeon_adversary::{Harvester, CryptanalyticTimeline};
+///
+/// let mut harvester = Harvester::new();
+/// harvester.record("obj-1", 2026, vec![b"ciphertext".to_vec()], "aes-ctext");
+/// assert_eq!(harvester.records().len(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Harvester {
+    records: Vec<HarvestRecord>,
+}
+
+/// Result of replaying the harvest against a future year.
+#[derive(Debug, Clone)]
+pub struct ReplayOutcome {
+    /// Objects whose plaintext was recovered, with the recovered bytes.
+    pub recovered: Vec<(String, Vec<u8>)>,
+    /// Objects that stayed confidential.
+    pub safe: Vec<String>,
+}
+
+impl ReplayOutcome {
+    /// Fraction of harvested objects recovered.
+    pub fn recovery_rate(&self) -> f64 {
+        let total = self.recovered.len() + self.safe.len();
+        if total == 0 {
+            return 0.0;
+        }
+        self.recovered.len() as f64 / total as f64
+    }
+}
+
+impl Harvester {
+    /// Creates an empty harvester.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records stolen material.
+    pub fn record(
+        &mut self,
+        object: impl Into<String>,
+        year: u32,
+        blobs: Vec<Vec<u8>>,
+        kind: impl Into<String>,
+    ) {
+        self.records.push(HarvestRecord {
+            object: object.into(),
+            year_harvested: year,
+            blobs,
+            kind: kind.into(),
+        });
+    }
+
+    /// All records.
+    pub fn records(&self) -> &[HarvestRecord] {
+        &self.records
+    }
+
+    /// Total harvested bytes (the adversary's storage bill).
+    pub fn stored_bytes(&self) -> u64 {
+        self.records
+            .iter()
+            .flat_map(|r| r.blobs.iter())
+            .map(|b| b.len() as u64)
+            .sum()
+    }
+
+    /// Replays every record against `year` on `timeline`. The `recover`
+    /// callback embodies the encoding: given a record, the timeline, and
+    /// the year, it returns recovered plaintext or `None`.
+    pub fn replay<F>(
+        &self,
+        timeline: &CryptanalyticTimeline,
+        year: u32,
+        mut recover: F,
+    ) -> ReplayOutcome
+    where
+        F: FnMut(&HarvestRecord, &CryptanalyticTimeline, u32) -> Option<Vec<u8>>,
+    {
+        let mut recovered = Vec::new();
+        let mut safe = Vec::new();
+        for record in &self.records {
+            match recover(record, timeline, year) {
+                Some(pt) => recovered.push((record.object.clone(), pt)),
+                None => safe.push(record.object.clone()),
+            }
+        }
+        ReplayOutcome { recovered, safe }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aeon_crypto::SuiteId;
+
+    fn timeline() -> CryptanalyticTimeline {
+        CryptanalyticTimeline::pessimistic_2045()
+    }
+
+    #[test]
+    fn replay_respects_break_year() {
+        let mut h = Harvester::new();
+        h.record("aes-obj", 2026, vec![b"ct".to_vec()], "aes");
+        // Recovery callback: AES objects fall when AES falls.
+        let recover = |r: &HarvestRecord, t: &CryptanalyticTimeline, y: u32| {
+            if r.kind == "aes" && t.ciphers().is_broken(SuiteId::Aes256CtrHmac, y) {
+                Some(b"plaintext".to_vec())
+            } else {
+                None
+            }
+        };
+        let before = h.replay(&timeline(), 2040, recover);
+        assert_eq!(before.recovered.len(), 0);
+        assert_eq!(before.recovery_rate(), 0.0);
+        let after = h.replay(&timeline(), 2050, recover);
+        assert_eq!(after.recovered.len(), 1);
+        assert_eq!(after.recovery_rate(), 1.0);
+    }
+
+    #[test]
+    fn mixed_portfolio_partial_recovery() {
+        let mut h = Harvester::new();
+        h.record("a", 2026, vec![vec![0]], "aes");
+        h.record("b", 2026, vec![vec![1]], "otp");
+        h.record("c", 2026, vec![vec![2]], "aes");
+        let recover = |r: &HarvestRecord, t: &CryptanalyticTimeline, y: u32| {
+            (r.kind == "aes" && t.ciphers().is_broken(SuiteId::Aes256CtrHmac, y))
+                .then(|| r.blobs[0].clone())
+        };
+        let out = h.replay(&timeline(), 2050, recover);
+        assert_eq!(out.recovered.len(), 2);
+        assert_eq!(out.safe, vec!["b".to_string()]);
+        assert!((out.recovery_rate() - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn storage_accounting() {
+        let mut h = Harvester::new();
+        h.record("a", 2026, vec![vec![0u8; 100], vec![0u8; 50]], "x");
+        h.record("b", 2027, vec![vec![0u8; 25]], "y");
+        assert_eq!(h.stored_bytes(), 175);
+        assert_eq!(h.records().len(), 2);
+    }
+
+    #[test]
+    fn empty_replay() {
+        let h = Harvester::new();
+        let out = h.replay(&timeline(), 2100, |_, _, _| None);
+        assert_eq!(out.recovery_rate(), 0.0);
+        assert!(out.recovered.is_empty() && out.safe.is_empty());
+    }
+}

@@ -1,0 +1,32 @@
+//! Adversary simulations for long-term archival threat models.
+//!
+//! The paper's security story is driven by three adversaries, all
+//! implemented here as executable models:
+//!
+//! * [`mobile`] — the Ostrovsky–Yung **mobile adversary**: corrupts up to
+//!   `b` storage nodes per epoch, hopping between epochs, accumulating
+//!   stolen shares until it holds a reconstruction threshold — unless
+//!   proactive refresh gets there first.
+//! * [`hndl`] — the **harvest-now-decrypt-later** adversary: records
+//!   ciphertexts, shares, and channel transcripts *today* and replays
+//!   them against every cryptanalytic break the
+//!   [`timeline::CryptanalyticTimeline`] delivers.
+//! * [`leakage`] — the **local-leakage** adversary of the LRSS
+//!   literature: extracts a few bits from every share via side channels
+//!   and aggregates them.
+//!
+//! The actual *classification* of archive encodings against these
+//! adversaries (the paper's Table 1) lives in `aeon-core::evaluate`,
+//! which instantiates these models against real encodings.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod hndl;
+pub mod leakage;
+pub mod mobile;
+pub mod timeline;
+
+pub use hndl::{HarvestRecord, Harvester};
+pub use mobile::{MobileAdversary, MobileAttackOutcome};
+pub use timeline::CryptanalyticTimeline;

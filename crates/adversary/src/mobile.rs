@@ -1,0 +1,231 @@
+//! The Ostrovsky–Yung mobile adversary against secret-shared archives.
+//!
+//! The adversary corrupts at most `corrupt_per_epoch` nodes per epoch and
+//! can move between epochs; over enough epochs it touches every node.
+//! Against *static* Shamir shares it therefore always wins eventually.
+//! Against *proactively refreshed* shares it must collect a full
+//! threshold *within one refresh period* — stolen shares from different
+//! periods belong to different polynomials and do not combine. The
+//! experiment in [`run_attack`] measures exactly this phase transition
+//! (experiment E5).
+
+use aeon_crypto::{ChaChaDrbg, CryptoRng};
+use aeon_secretshare::proactive::ProactiveSecret;
+use aeon_secretshare::shamir::{self, Share};
+
+/// Configuration of a mobile-adversary campaign.
+#[derive(Debug, Clone, Copy)]
+pub struct MobileAdversary {
+    /// Nodes the adversary can corrupt per epoch.
+    pub corrupt_per_epoch: usize,
+    /// Total epochs the campaign runs.
+    pub epochs: u64,
+    /// Refresh period in epochs (`0` disables refresh — static shares).
+    pub refresh_every: u64,
+}
+
+/// Outcome of a mobile-adversary campaign.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MobileAttackOutcome {
+    /// Whether the adversary reconstructed the secret.
+    pub compromised: bool,
+    /// The epoch of first compromise, if any.
+    pub compromise_epoch: Option<u64>,
+    /// Total node-corruption events performed.
+    pub corruptions: u64,
+    /// Refresh rounds executed by the defenders.
+    pub refreshes: u64,
+}
+
+/// Runs a mobile-adversary campaign against a proactively shared secret.
+///
+/// Each epoch the adversary corrupts `corrupt_per_epoch` distinct random
+/// nodes and copies their *current* shares. Defenders refresh every
+/// `refresh_every` epochs (after the adversary's move that epoch — the
+/// adversary gets the pre-refresh share, the worst case for defenders
+/// within the period). The adversary wins the moment it holds
+/// `threshold` distinct-index shares stolen within the same refresh
+/// period.
+///
+/// # Panics
+///
+/// Panics if `corrupt_per_epoch` exceeds the number of shares.
+pub fn run_attack<R: CryptoRng + ?Sized>(
+    rng: &mut R,
+    secret: &[u8],
+    threshold: usize,
+    shares: usize,
+    adversary: MobileAdversary,
+) -> MobileAttackOutcome {
+    assert!(
+        adversary.corrupt_per_epoch <= shares,
+        "cannot corrupt more nodes than exist"
+    );
+    let mut ps = ProactiveSecret::share(rng, secret, threshold, shares)
+        .expect("valid sharing parameters");
+    // Stolen shares of the *current* period, keyed by share index.
+    let mut stolen_current: Vec<Option<Share>> = vec![None; shares + 1];
+    let mut corruptions = 0u64;
+    let mut refreshes = 0u64;
+
+    for epoch in 0..adversary.epochs {
+        // Adversary move: corrupt b distinct random nodes.
+        let victims = sample_distinct(rng, shares, adversary.corrupt_per_epoch);
+        for v in victims {
+            let share = ps.shares()[v].clone();
+            let idx = share.index as usize;
+            stolen_current[idx] = Some(share);
+            corruptions += 1;
+        }
+        // Compromise check: t distinct shares from the current period.
+        let haul: Vec<Share> = stolen_current.iter().flatten().cloned().collect();
+        if haul.len() >= threshold {
+            let rec = shamir::reconstruct(&haul, threshold).expect("distinct indices");
+            if rec == secret {
+                return MobileAttackOutcome {
+                    compromised: true,
+                    compromise_epoch: Some(epoch),
+                    corruptions,
+                    refreshes,
+                };
+            }
+        }
+        // Defender move: refresh on schedule, invalidating the haul.
+        if adversary.refresh_every > 0 && (epoch + 1) % adversary.refresh_every == 0 {
+            ps.refresh_epoch(rng).expect("refresh");
+            refreshes += 1;
+            stolen_current = vec![None; shares + 1];
+        }
+    }
+    MobileAttackOutcome {
+        compromised: false,
+        compromise_epoch: None,
+        corruptions,
+        refreshes,
+    }
+}
+
+/// Estimates compromise probability over `trials` independent campaigns
+/// with different RNG seeds.
+pub fn compromise_probability(
+    base_seed: u64,
+    secret: &[u8],
+    threshold: usize,
+    shares: usize,
+    adversary: MobileAdversary,
+    trials: u64,
+) -> f64 {
+    let mut wins = 0u64;
+    for t in 0..trials {
+        let mut rng = ChaChaDrbg::from_u64_seed(base_seed.wrapping_add(t));
+        if run_attack(&mut rng, secret, threshold, shares, adversary).compromised {
+            wins += 1;
+        }
+    }
+    wins as f64 / trials as f64
+}
+
+fn sample_distinct<R: CryptoRng + ?Sized>(rng: &mut R, n: usize, k: usize) -> Vec<usize> {
+    let mut chosen = std::collections::HashSet::with_capacity(k);
+    for j in n - k..n {
+        let t = rng.gen_range((j + 1) as u64) as usize;
+        if !chosen.insert(t) {
+            chosen.insert(j);
+        }
+    }
+    chosen.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SECRET: &[u8] = b"long-lived archive master secret";
+
+    #[test]
+    fn static_shares_always_fall_eventually() {
+        let mut rng = ChaChaDrbg::from_u64_seed(1);
+        let adv = MobileAdversary {
+            corrupt_per_epoch: 1,
+            epochs: 200,
+            refresh_every: 0,
+        };
+        let out = run_attack(&mut rng, SECRET, 3, 5, adv);
+        assert!(out.compromised, "static sharing must fall to a mobile adversary");
+        assert_eq!(out.refreshes, 0);
+    }
+
+    #[test]
+    fn per_epoch_refresh_with_low_rate_never_falls() {
+        // Adversary corrupts 1 node/epoch; threshold 3; refresh every
+        // epoch: it can never hold 3 same-period shares.
+        let mut rng = ChaChaDrbg::from_u64_seed(2);
+        let adv = MobileAdversary {
+            corrupt_per_epoch: 1,
+            epochs: 300,
+            refresh_every: 1,
+        };
+        let out = run_attack(&mut rng, SECRET, 3, 5, adv);
+        assert!(!out.compromised);
+        assert_eq!(out.refreshes, 300);
+    }
+
+    #[test]
+    fn above_threshold_corruption_rate_beats_refresh() {
+        // Corrupting t nodes per epoch wins in the very first epoch
+        // regardless of refresh.
+        let mut rng = ChaChaDrbg::from_u64_seed(3);
+        let adv = MobileAdversary {
+            corrupt_per_epoch: 3,
+            epochs: 5,
+            refresh_every: 1,
+        };
+        let out = run_attack(&mut rng, SECRET, 3, 5, adv);
+        assert!(out.compromised);
+        assert_eq!(out.compromise_epoch, Some(0));
+    }
+
+    #[test]
+    fn slower_refresh_raises_compromise_probability() {
+        let adv_fast = MobileAdversary {
+            corrupt_per_epoch: 1,
+            epochs: 40,
+            refresh_every: 2,
+        };
+        let adv_slow = MobileAdversary {
+            corrupt_per_epoch: 1,
+            epochs: 40,
+            refresh_every: 12,
+        };
+        let p_fast = compromise_probability(100, SECRET, 3, 5, adv_fast, 30);
+        let p_slow = compromise_probability(100, SECRET, 3, 5, adv_slow, 30);
+        assert!(
+            p_slow > p_fast,
+            "slower refresh must be riskier: fast {p_fast} vs slow {p_slow}"
+        );
+    }
+
+    #[test]
+    fn corruption_accounting() {
+        let mut rng = ChaChaDrbg::from_u64_seed(5);
+        let adv = MobileAdversary {
+            corrupt_per_epoch: 2,
+            epochs: 10,
+            refresh_every: 1,
+        };
+        let out = run_attack(&mut rng, SECRET, 4, 6, adv);
+        assert_eq!(out.corruptions, 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot corrupt more")]
+    fn over_corruption_panics() {
+        let mut rng = ChaChaDrbg::from_u64_seed(6);
+        let adv = MobileAdversary {
+            corrupt_per_epoch: 7,
+            epochs: 1,
+            refresh_every: 0,
+        };
+        let _ = run_attack(&mut rng, SECRET, 3, 5, adv);
+    }
+}

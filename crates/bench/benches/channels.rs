@@ -1,0 +1,77 @@
+//! Criterion benches: channel costs — DH handshakes (computational),
+//! OTP records (ITS), and BSM sessions.
+
+use aeon_bench::reference_payload;
+use aeon_channel::bsm::{run_session, BsmParams};
+use aeon_channel::dh;
+use aeon_channel::qkd::OtpChannel;
+use aeon_channel::transport::Link;
+use aeon_crypto::ChaChaDrbg;
+use aeon_num::ModpGroup;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn bench_dh(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dh-channel");
+    g.sample_size(10);
+    let group = ModpGroup::rfc3526_2048();
+    g.bench_function("handshake-modp2048", |b| {
+        let mut rng = ChaChaDrbg::from_u64_seed(1);
+        b.iter(|| {
+            let mut link = Link::lan();
+            dh::handshake(&mut rng, &group, &mut link).unwrap()
+        })
+    });
+    let payload = reference_payload(1 << 16, 2);
+    g.throughput(Throughput::Bytes(payload.len() as u64));
+    g.bench_function("record-send-recv-64k", |b| {
+        let mut rng = ChaChaDrbg::from_u64_seed(3);
+        let mut link = Link::lan();
+        let (mut a, mut bb) = dh::handshake(&mut rng, &group, &mut link).unwrap();
+        b.iter(|| {
+            a.send(&mut link, &payload);
+            bb.recv(&mut link).unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn bench_otp_channel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("otp-channel");
+    let payload = reference_payload(1 << 16, 4);
+    g.throughput(Throughput::Bytes(payload.len() as u64));
+    g.bench_function("seal-open-64k", |b| {
+        b.iter_batched(
+            || {
+                let pad = reference_payload((payload.len() + 32) * 2, 5);
+                (OtpChannel::new(pad.clone()), OtpChannel::new(pad))
+            },
+            |(mut tx, mut rx)| {
+                let record = tx.seal(&payload).unwrap();
+                rx.open(&record).unwrap()
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_bsm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bsm");
+    g.sample_size(10);
+    let params = BsmParams::lab();
+    g.throughput(Throughput::Bytes(
+        (params.stream_blocks * params.block_size) as u64,
+    ));
+    g.bench_function("session-4096x32", |b| {
+        let mut rng = ChaChaDrbg::from_u64_seed(6);
+        b.iter(|| run_session(&mut rng, params, 1024))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_dh, bench_otp_channel, bench_bsm
+}
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion benches: Reed–Solomon encode/decode throughput.
+
+use aeon_bench::reference_payload;
+use aeon_erasure::{ErasureCode, ReedSolomon, Replicator};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_rs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("reed-solomon");
+    let payload = reference_payload(1 << 20, 1);
+    g.throughput(Throughput::Bytes(payload.len() as u64));
+    for (k, m) in [(4usize, 2usize), (6, 3), (10, 4), (16, 4)] {
+        let rs = ReedSolomon::new(k, m).unwrap();
+        g.bench_with_input(
+            BenchmarkId::new("encode", format!("{k}+{m}")),
+            &payload,
+            |b, d| b.iter(|| rs.encode(d).unwrap()),
+        );
+        // Decode with the maximum number of data-shard losses (worst case:
+        // every missing shard must be rebuilt from parity).
+        let encoded = rs.encode(&payload).unwrap();
+        let mut shards: Vec<Option<Vec<u8>>> = encoded.into_iter().map(Some).collect();
+        for s in shards.iter_mut().take(m) {
+            *s = None;
+        }
+        g.bench_with_input(
+            BenchmarkId::new("decode-worst", format!("{k}+{m}")),
+            &shards,
+            |b, s| b.iter(|| rs.decode(s).unwrap()),
+        );
+    }
+    g.finish();
+}
+
+fn bench_replication(c: &mut Criterion) {
+    let mut g = c.benchmark_group("replication");
+    let payload = reference_payload(1 << 20, 2);
+    g.throughput(Throughput::Bytes(payload.len() as u64));
+    let rep = Replicator::new(3).unwrap();
+    g.bench_function("encode-3x", |b| b.iter(|| rep.encode(&payload).unwrap()));
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_rs, bench_replication
+}
+criterion_main!(benches);

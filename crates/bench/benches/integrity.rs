@@ -1,0 +1,75 @@
+//! Criterion benches: integrity machinery — Merkle trees, hash-based
+//! signatures, Pedersen commitments, timestamp issuance.
+
+use aeon_crypto::sig::{MerkleSigner, WotsSigner};
+use aeon_crypto::ChaChaDrbg;
+use aeon_integrity::merkle::MerkleTree;
+use aeon_num::pedersen::Committer;
+use aeon_num::ModpGroup;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_merkle(c: &mut Criterion) {
+    let mut g = c.benchmark_group("merkle");
+    for n in [64usize, 1024, 8192] {
+        let leaves: Vec<Vec<u8>> = (0..n).map(|i| format!("manifest-{i}").into_bytes()).collect();
+        g.bench_with_input(BenchmarkId::new("build", n), &leaves, |b, ls| {
+            b.iter(|| MerkleTree::build(ls.iter().map(|l| l.as_slice())).unwrap())
+        });
+        let tree = MerkleTree::build(leaves.iter().map(|l| l.as_slice())).unwrap();
+        g.bench_with_input(BenchmarkId::new("prove+verify", n), &tree, |b, t| {
+            b.iter(|| {
+                let p = t.prove(n / 2).unwrap();
+                assert!(p.verify(&t.root(), &leaves[n / 2]));
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_signatures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hash-signatures");
+    g.bench_function("wots-keygen", |b| {
+        let mut rng = ChaChaDrbg::from_u64_seed(1);
+        b.iter(|| WotsSigner::generate(&mut rng))
+    });
+    g.bench_function("wots-sign", |b| {
+        let mut rng = ChaChaDrbg::from_u64_seed(2);
+        b.iter_batched(
+            || WotsSigner::generate(&mut rng).0,
+            |mut sk| sk.sign(b"timestamp payload").unwrap(),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("wots-verify", |b| {
+        let mut rng = ChaChaDrbg::from_u64_seed(3);
+        let (mut sk, pk) = WotsSigner::generate(&mut rng);
+        let sig = sk.sign(b"timestamp payload").unwrap();
+        b.iter(|| assert!(pk.verify(b"timestamp payload", &sig)))
+    });
+    g.bench_function("merkle-signer-gen-h4", |b| {
+        let mut rng = ChaChaDrbg::from_u64_seed(4);
+        b.iter(|| MerkleSigner::generate(&mut rng, 4))
+    });
+    g.finish();
+}
+
+fn bench_pedersen(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pedersen");
+    g.sample_size(10);
+    let committer = Committer::new(ModpGroup::rfc3526_2048());
+    g.bench_function("commit", |b| {
+        b.iter(|| committer.commit(b"manifest digest", &[7u8; 32]))
+    });
+    let (com, open) = committer.commit(b"manifest digest", &[7u8; 32]);
+    g.bench_function("verify", |b| {
+        b.iter(|| assert!(committer.verify(&com, b"manifest digest", &open)))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_merkle, bench_signatures, bench_pedersen
+}
+criterion_main!(benches);

@@ -1,0 +1,109 @@
+//! Criterion benches: end-to-end archive ingest/retrieve per policy —
+//! the measured CPU side of the Figure 1 trade-off.
+
+use aeon_bench::reference_payload;
+use aeon_core::keys::KeyStore;
+use aeon_core::{Archive, ArchiveConfig, IntegrityMode, PolicyKind};
+use aeon_crypto::{ChaChaDrbg, SuiteId};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn policies() -> Vec<(&'static str, PolicyKind)> {
+    vec![
+        ("replication-3", PolicyKind::Replication { copies: 3 }),
+        ("erasure-4+2", PolicyKind::ErasureCoded { data: 4, parity: 2 }),
+        (
+            "aes-ec-4+2",
+            PolicyKind::Encrypted {
+                suite: SuiteId::Aes256CtrHmac,
+                data: 4,
+                parity: 2,
+            },
+        ),
+        (
+            "cascade2-4+2",
+            PolicyKind::Cascade {
+                suites: vec![SuiteId::Aes256CtrHmac, SuiteId::ChaCha20Poly1305],
+                data: 4,
+                parity: 2,
+            },
+        ),
+        ("aont-rs-4+2", PolicyKind::AontRs { data: 4, parity: 2 }),
+        (
+            "shamir-3of5",
+            PolicyKind::Shamir {
+                threshold: 3,
+                shares: 5,
+            },
+        ),
+        (
+            "packed-2/2/6",
+            PolicyKind::PackedShamir {
+                privacy: 2,
+                pack: 2,
+                shares: 6,
+            },
+        ),
+        ("entropic-4+2", PolicyKind::Entropic { data: 4, parity: 2 }),
+    ]
+}
+
+fn bench_encode_decode(c: &mut Criterion) {
+    let mut g = c.benchmark_group("policy-codec");
+    let payload = reference_payload(1 << 16, 1);
+    g.throughput(Throughput::Bytes(payload.len() as u64));
+    let keys = KeyStore::new([1u8; 32]);
+    for (name, policy) in policies() {
+        g.bench_with_input(BenchmarkId::new("encode", name), &payload, |b, d| {
+            let mut rng = ChaChaDrbg::from_u64_seed(1);
+            b.iter(|| policy.encode(&mut rng, &keys, "bench-object", d).unwrap())
+        });
+        let mut rng = ChaChaDrbg::from_u64_seed(2);
+        let enc = policy.encode(&mut rng, &keys, "bench-object", &payload).unwrap();
+        let shards: Vec<Option<Vec<u8>>> = enc.shards.iter().cloned().map(Some).collect();
+        g.bench_with_input(BenchmarkId::new("decode", name), &shards, |b, s| {
+            b.iter(|| policy.decode(&keys, "bench-object", s, &enc.meta).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_archive_roundtrip(c: &mut Criterion) {
+    let mut g = c.benchmark_group("archive");
+    let payload = reference_payload(1 << 16, 3);
+    g.throughput(Throughput::Bytes(payload.len() as u64));
+    g.bench_function("ingest-shamir-3of5", |b| {
+        let mut archive = Archive::in_memory(
+            ArchiveConfig::new(PolicyKind::Shamir {
+                threshold: 3,
+                shares: 5,
+            })
+            .with_integrity(IntegrityMode::DigestOnly),
+        )
+        .unwrap();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            archive.ingest(&payload, &format!("bench-{i}")).unwrap()
+        })
+    });
+    g.bench_function("retrieve-shamir-3of5", |b| {
+        let mut archive = Archive::in_memory(
+            ArchiveConfig::new(PolicyKind::Shamir {
+                threshold: 3,
+                shares: 5,
+            })
+            .with_integrity(IntegrityMode::DigestOnly),
+        )
+        .unwrap();
+        let id = archive.ingest(&payload, "bench").unwrap();
+        b.iter(|| archive.retrieve(&id).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_encode_decode, bench_archive_roundtrip
+}
+criterion_main!(benches);

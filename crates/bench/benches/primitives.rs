@@ -1,0 +1,100 @@
+//! Criterion benches: primitive throughput (hashing, AEADs, raw ciphers).
+//!
+//! These set the baseline for every cost argument in the experiments: the
+//! CPU side of re-encryption campaigns is `bytes × (decrypt + encrypt)`
+//! at these rates.
+
+use aeon_bench::reference_payload;
+use aeon_crypto::aead::{Aead, Aes256CtrHmac, ChaCha20Poly1305};
+use aeon_crypto::aes::Aes;
+use aeon_crypto::chacha::ChaCha20;
+use aeon_crypto::entropic::EntropicCipher;
+use aeon_crypto::poly1305::poly1305;
+use aeon_crypto::{ChaChaDrbg, Sha256, Sha512};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+const SIZES: [usize; 3] = [1 << 12, 1 << 16, 1 << 20];
+
+fn bench_hashes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hash");
+    for size in SIZES {
+        let data = reference_payload(size, 1);
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_with_input(BenchmarkId::new("sha256", size), &data, |b, d| {
+            b.iter(|| Sha256::digest(d))
+        });
+        g.bench_with_input(BenchmarkId::new("sha512", size), &data, |b, d| {
+            b.iter(|| Sha512::digest(d))
+        });
+    }
+    g.finish();
+}
+
+fn bench_stream_ciphers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("stream");
+    for size in SIZES {
+        let data = reference_payload(size, 2);
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_with_input(BenchmarkId::new("chacha20", size), &data, |b, d| {
+            let cipher = ChaCha20::new(&[7u8; 32], &[1u8; 12]);
+            b.iter(|| {
+                let mut buf = d.clone();
+                cipher.apply_keystream(1, &mut buf);
+                buf
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("aes256-ctr", size), &data, |b, d| {
+            let aes = Aes::new_256(&[7u8; 32]);
+            b.iter(|| {
+                let mut buf = d.clone();
+                aes.apply_ctr(&[0u8; 16], &mut buf);
+                buf
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("poly1305", size), &data, |b, d| {
+            b.iter(|| poly1305(&[9u8; 32], d))
+        });
+    }
+    g.finish();
+}
+
+fn bench_aeads(c: &mut Criterion) {
+    let mut g = c.benchmark_group("aead");
+    for size in SIZES {
+        let data = reference_payload(size, 3);
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_with_input(
+            BenchmarkId::new("chacha20poly1305-seal", size),
+            &data,
+            |b, d| {
+                let aead = ChaCha20Poly1305::new(&[5u8; 32]);
+                b.iter(|| aead.seal(&[0u8; 12], b"", d))
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("aes256ctrhmac-seal", size),
+            &data,
+            |b, d| {
+                let aead = Aes256CtrHmac::new(&[5u8; 32]);
+                b.iter(|| aead.seal(&[0u8; 12], b"", d))
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("entropic-encrypt", size),
+            &data,
+            |b, d| {
+                let cipher = EntropicCipher::new([5u8; 16]);
+                let mut rng = ChaChaDrbg::from_u64_seed(4);
+                b.iter(|| cipher.encrypt(&mut rng, d))
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_hashes, bench_stream_ciphers, bench_aeads
+}
+criterion_main!(benches);

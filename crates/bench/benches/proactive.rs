@@ -1,0 +1,44 @@
+//! Criterion benches: proactive refresh and redistribution rounds — the
+//! protocol cost the paper weighs against re-encryption (E6's CPU side).
+
+use aeon_bench::reference_payload;
+use aeon_crypto::ChaChaDrbg;
+use aeon_secretshare::{proactive, shamir};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_refresh(c: &mut Criterion) {
+    let mut g = c.benchmark_group("refresh");
+    let payload = reference_payload(1 << 16, 1);
+    g.throughput(Throughput::Bytes(payload.len() as u64));
+    for n in [3usize, 5, 9, 17] {
+        let t = n / 2 + 1;
+        g.bench_with_input(BenchmarkId::new("herzberg-round", n), &payload, |b, d| {
+            let mut rng = ChaChaDrbg::from_u64_seed(1);
+            let mut shares = shamir::split(&mut rng, d, t, n).unwrap();
+            b.iter(|| proactive::refresh(&mut rng, &mut shares, t).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_redistribute(c: &mut Criterion) {
+    let mut g = c.benchmark_group("redistribute");
+    let payload = reference_payload(1 << 16, 2);
+    g.throughput(Throughput::Bytes(payload.len() as u64));
+    for (from, to) in [((3usize, 5usize), (3usize, 5usize)), ((3, 5), (5, 9)), ((5, 9), (3, 5))] {
+        let label = format!("{}of{}->{}of{}", from.0, from.1, to.0, to.1);
+        g.bench_with_input(BenchmarkId::new("vsr", label), &payload, |b, d| {
+            let mut rng = ChaChaDrbg::from_u64_seed(3);
+            let shares = shamir::split(&mut rng, d, from.0, from.1).unwrap();
+            b.iter(|| proactive::redistribute(&mut rng, &shares, from.0, to.0, to.1).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_refresh, bench_redistribute
+}
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Criterion benches: secret-sharing split/reconstruct across the
+//! parameter space (the CPU cost of the paper's ITS encodings).
+
+use aeon_bench::reference_payload;
+use aeon_crypto::ChaChaDrbg;
+use aeon_secretshare::lrss::{self, LrssParams};
+use aeon_secretshare::packed::{self, PackedParams};
+use aeon_secretshare::{shamir, xor};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_shamir(c: &mut Criterion) {
+    let mut g = c.benchmark_group("shamir");
+    let payload = reference_payload(1 << 16, 1);
+    g.throughput(Throughput::Bytes(payload.len() as u64));
+    for (t, n) in [(2usize, 3usize), (3, 5), (5, 8), (10, 15)] {
+        g.bench_with_input(
+            BenchmarkId::new("split", format!("{t}-of-{n}")),
+            &payload,
+            |b, d| {
+                let mut rng = ChaChaDrbg::from_u64_seed(1);
+                b.iter(|| shamir::split(&mut rng, d, t, n).unwrap())
+            },
+        );
+        let mut rng = ChaChaDrbg::from_u64_seed(2);
+        let shares = shamir::split(&mut rng, &payload, t, n).unwrap();
+        g.bench_with_input(
+            BenchmarkId::new("reconstruct", format!("{t}-of-{n}")),
+            &shares,
+            |b, s| b.iter(|| shamir::reconstruct(&s[..t], t).unwrap()),
+        );
+    }
+    g.finish();
+}
+
+fn bench_packed(c: &mut Criterion) {
+    let mut g = c.benchmark_group("packed");
+    let payload = reference_payload(1 << 14, 3);
+    g.throughput(Throughput::Bytes(payload.len() as u64));
+    for (t, k, n) in [(2usize, 2usize, 6usize), (2, 4, 10), (3, 8, 16)] {
+        let params = PackedParams::new(t, k, n).unwrap();
+        g.bench_with_input(
+            BenchmarkId::new("split", format!("t{t}-k{k}-n{n}")),
+            &payload,
+            |b, d| {
+                let mut rng = ChaChaDrbg::from_u64_seed(4);
+                b.iter(|| packed::split(&mut rng, params, d).unwrap())
+            },
+        );
+        let mut rng = ChaChaDrbg::from_u64_seed(5);
+        let shares = packed::split(&mut rng, params, &payload).unwrap();
+        g.bench_with_input(
+            BenchmarkId::new("reconstruct", format!("t{t}-k{k}-n{n}")),
+            &shares,
+            |b, s| b.iter(|| packed::reconstruct(params, s).unwrap()),
+        );
+    }
+    g.finish();
+}
+
+fn bench_lrss_and_xor(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wrappers");
+    let payload = reference_payload(1 << 12, 6);
+    g.throughput(Throughput::Bytes(payload.len() as u64));
+    g.bench_function("lrss-wrap-3of5", |b| {
+        let mut rng = ChaChaDrbg::from_u64_seed(7);
+        let shares = shamir::split(&mut rng, &payload, 3, 5).unwrap();
+        b.iter(|| lrss::wrap(&mut rng, &shares, LrssParams::default()).unwrap())
+    });
+    g.bench_function("lrss-unwrap-3of5", |b| {
+        let mut rng = ChaChaDrbg::from_u64_seed(8);
+        let shares = shamir::split(&mut rng, &payload, 3, 5).unwrap();
+        let wrapped = lrss::wrap(&mut rng, &shares, LrssParams::default()).unwrap();
+        b.iter(|| lrss::unwrap(&wrapped))
+    });
+    g.bench_function("xor-split-5", |b| {
+        let mut rng = ChaChaDrbg::from_u64_seed(9);
+        b.iter(|| xor::split(&mut rng, &payload, 5).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_shamir, bench_packed, bench_lrss_and_xor
+}
+criterion_main!(benches);

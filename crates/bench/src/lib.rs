@@ -1,0 +1,136 @@
+//! Experiment harness utilities: table rendering and result recording.
+//!
+//! Every `exp_*` binary in this crate regenerates one table or figure
+//! from the paper (see `DESIGN.md`'s experiment index). The binaries
+//! print human-readable tables to stdout and, when `AEON_RESULTS_DIR` is
+//! set, also write machine-readable CSV.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::io::Write;
+use std::path::PathBuf;
+
+/// A simple aligned-text table for experiment output.
+#[derive(Debug, Default)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        Table {
+            title: title.to_string(),
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (displayable cells).
+    pub fn row<D: Display>(&mut self, cells: &[D]) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows
+            .push(cells.iter().map(|c| c.to_string()).collect());
+    }
+
+    /// Renders the table to a string.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (cell, w) in cells.iter().zip(widths) {
+                line.push_str(&format!("{cell:<w$}  ", w = w));
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the table to stdout and optionally records CSV under
+    /// `AEON_RESULTS_DIR`.
+    pub fn emit(&self, experiment_id: &str) {
+        println!("{}", self.render());
+        if let Ok(dir) = std::env::var("AEON_RESULTS_DIR") {
+            let path = PathBuf::from(dir).join(format!("{experiment_id}.csv"));
+            if let Ok(mut f) = std::fs::File::create(&path) {
+                let _ = writeln!(f, "{}", self.headers.join(","));
+                for row in &self.rows {
+                    let _ = writeln!(
+                        f,
+                        "{}",
+                        row.iter()
+                            .map(|c| c.replace(',', ";"))
+                            .collect::<Vec<_>>()
+                            .join(",")
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Formats a float with fixed precision for table cells.
+pub fn f2(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Formats a float with three decimals.
+pub fn f3(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Generates a high-entropy payload of `len` bytes (deterministic).
+pub fn reference_payload(len: usize, seed: u64) -> Vec<u8> {
+    use aeon_crypto::{ChaChaDrbg, CryptoRng};
+    let mut rng = ChaChaDrbg::from_u64_seed(seed);
+    let mut out = vec![0u8; len];
+    rng.fill_bytes(&mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_rendering() {
+        let mut t = Table::new("demo", &["a", "bb"]);
+        t.row(&["1", "2"]);
+        t.row(&["333", "4"]);
+        let r = t.render();
+        assert!(r.contains("== demo =="));
+        assert!(r.contains("333"));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_checked() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.row(&["only one"]);
+    }
+
+    #[test]
+    fn payload_deterministic() {
+        assert_eq!(reference_payload(64, 1), reference_payload(64, 1));
+        assert_ne!(reference_payload(64, 1), reference_payload(64, 2));
+    }
+}

@@ -1,0 +1,247 @@
+//! Bounded Storage Model key agreement (Maurer).
+//!
+//! In the BSM, a huge public stream of random bits (a "satellite
+//! broadcast") flows past everyone. Honest parties share a short initial
+//! key that tells them *which positions to sample*; they store only those
+//! few bits. An adversary may store any function of the stream up to a
+//! storage bound `B` — but if `B` is a fraction of the stream, most of the
+//! honest samples are information-theoretically unknown to it, and privacy
+//! amplification squeezes the adversary's residual knowledge out of the
+//! final key.
+//!
+//! The paper's §4 calls the BSM "overdue for a practical evaluation";
+//! [`run_session`] is that experiment's engine: it streams `stream_len`
+//! blocks, lets a bounded adversary store `adversary_storage` of them
+//! (the strongest *memoryless* strategy — storing raw blocks — modelling
+//! the classic analysis), and reports how much of the derived key the
+//! adversary knows before and after privacy amplification.
+
+use aeon_crypto::{CryptoRng, Sha256};
+
+/// Parameters of a BSM key-agreement session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BsmParams {
+    /// Number of blocks in the public stream.
+    pub stream_blocks: usize,
+    /// Bytes per stream block.
+    pub block_size: usize,
+    /// Number of positions the honest parties sample.
+    pub samples: usize,
+}
+
+impl BsmParams {
+    /// A small laboratory configuration.
+    pub fn lab() -> Self {
+        BsmParams {
+            stream_blocks: 4096,
+            block_size: 32,
+            samples: 64,
+        }
+    }
+}
+
+/// Outcome of a BSM session.
+#[derive(Debug, Clone)]
+pub struct BsmOutcome {
+    /// The honest parties' agreed raw key (concatenated sampled blocks).
+    pub raw_key: Vec<u8>,
+    /// The final key after privacy amplification (hashing the unknown-to-
+    /// adversary entropy down to a uniform key).
+    pub amplified_key: [u8; 32],
+    /// How many of the sampled blocks the adversary had stored.
+    pub adversary_known_samples: usize,
+    /// Fraction of raw key bytes known to the adversary.
+    pub adversary_raw_fraction: f64,
+    /// Whether the adversary can reconstruct the amplified key (true only
+    /// if it knew *every* sampled block).
+    pub adversary_knows_final: bool,
+    /// Bytes the honest parties had to store.
+    pub honest_storage: usize,
+    /// Bytes the adversary stored.
+    pub adversary_storage: usize,
+}
+
+/// Runs one BSM key-agreement session.
+///
+/// The adversary's strategy is to store `adversary_blocks` randomly chosen
+/// blocks of the stream (it does not know the honest sample positions,
+/// which are selected by the short shared key). This is the canonical
+/// storage-bounded eavesdropper of Maurer's analysis.
+///
+/// # Panics
+///
+/// Panics if `samples > stream_blocks`.
+pub fn run_session<R: CryptoRng + ?Sized>(
+    rng: &mut R,
+    params: BsmParams,
+    adversary_blocks: usize,
+) -> BsmOutcome {
+    assert!(
+        params.samples <= params.stream_blocks,
+        "cannot sample more positions than stream blocks"
+    );
+    let n = params.stream_blocks;
+
+    // Honest sample positions: a random subset selected by the shared
+    // short key (modelled by drawing from the RNG).
+    let honest_positions = sample_distinct(rng, n, params.samples);
+    // Adversary stored positions (independent random subset).
+    let adversary_positions = sample_distinct(rng, n, adversary_blocks.min(n));
+    let adversary_set: std::collections::HashSet<usize> =
+        adversary_positions.into_iter().collect();
+
+    // Stream the blocks; both parties (and the adversary, for its subset)
+    // sample on the fly — nobody stores the whole stream.
+    let mut raw_key = Vec::with_capacity(params.samples * params.block_size);
+    let mut known = 0usize;
+    let honest_set: std::collections::HashSet<usize> = honest_positions.iter().copied().collect();
+    let mut block = vec![0u8; params.block_size];
+    let mut sampled: Vec<(usize, Vec<u8>)> = Vec::with_capacity(params.samples);
+    for pos in 0..n {
+        rng.fill_bytes(&mut block);
+        if honest_set.contains(&pos) {
+            sampled.push((pos, block.clone()));
+            if adversary_set.contains(&pos) {
+                known += 1;
+            }
+        }
+    }
+    // Deterministic order: by position.
+    sampled.sort_by_key(|(p, _)| *p);
+    for (_, b) in &sampled {
+        raw_key.extend_from_slice(b);
+    }
+
+    // Privacy amplification: hash the raw key down to 32 bytes. If the
+    // adversary misses even one sampled block, the hash output is (in the
+    // random-oracle modelling of amplification) unknown to it.
+    let amplified_key = Sha256::digest(&raw_key);
+
+    BsmOutcome {
+        adversary_raw_fraction: known as f64 / params.samples.max(1) as f64,
+        adversary_knows_final: known == params.samples,
+        adversary_known_samples: known,
+        honest_storage: params.samples * params.block_size,
+        adversary_storage: adversary_blocks.min(n) * params.block_size,
+        raw_key,
+        amplified_key,
+    }
+}
+
+fn sample_distinct<R: CryptoRng + ?Sized>(rng: &mut R, n: usize, k: usize) -> Vec<usize> {
+    // Floyd's algorithm for a uniform k-subset of [0, n).
+    let mut chosen = std::collections::HashSet::with_capacity(k);
+    for j in n - k..n {
+        let t = rng.gen_range((j + 1) as u64) as usize;
+        if !chosen.insert(t) {
+            chosen.insert(j);
+        }
+    }
+    chosen.into_iter().collect()
+}
+
+/// Analytic expectation of the adversary's known fraction: storing `b` of
+/// `n` blocks catches each honest sample independently with probability
+/// `b/n`.
+pub fn expected_known_fraction(params: BsmParams, adversary_blocks: usize) -> f64 {
+    (adversary_blocks.min(params.stream_blocks) as f64) / params.stream_blocks as f64
+}
+
+/// Probability the adversary learns the *final* key: it must know all
+/// `samples` blocks, i.e. `(b/n)^samples` — exponentially small until its
+/// storage approaches the entire stream.
+pub fn final_key_compromise_probability(params: BsmParams, adversary_blocks: usize) -> f64 {
+    expected_known_fraction(params, adversary_blocks).powi(params.samples as i32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aeon_crypto::ChaChaDrbg;
+
+    #[test]
+    fn honest_parties_store_little() {
+        let mut rng = ChaChaDrbg::from_u64_seed(8);
+        let params = BsmParams::lab();
+        let out = run_session(&mut rng, params, 1024);
+        assert_eq!(out.honest_storage, 64 * 32);
+        assert_eq!(out.raw_key.len(), 64 * 32);
+        // Honest storage is a tiny fraction of the stream (4096 × 32).
+        assert!(out.honest_storage * 32 <= params.stream_blocks * params.block_size);
+    }
+
+    #[test]
+    fn weak_adversary_misses_key() {
+        let mut rng = ChaChaDrbg::from_u64_seed(9);
+        let params = BsmParams::lab();
+        // Adversary stores 25% of the stream.
+        let out = run_session(&mut rng, params, 1024);
+        assert!(!out.adversary_knows_final);
+        // Known fraction should be near 25%.
+        assert!(out.adversary_raw_fraction < 0.45, "{}", out.adversary_raw_fraction);
+    }
+
+    #[test]
+    fn total_storage_adversary_wins() {
+        let mut rng = ChaChaDrbg::from_u64_seed(10);
+        let params = BsmParams {
+            stream_blocks: 256,
+            block_size: 8,
+            samples: 16,
+        };
+        let out = run_session(&mut rng, params, 256); // stores everything
+        assert!(out.adversary_knows_final);
+        assert_eq!(out.adversary_known_samples, 16);
+        assert!((out.adversary_raw_fraction - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn amplified_key_is_deterministic_function_of_raw() {
+        let mut r1 = ChaChaDrbg::from_u64_seed(11);
+        let mut r2 = ChaChaDrbg::from_u64_seed(11);
+        let params = BsmParams::lab();
+        let o1 = run_session(&mut r1, params, 100);
+        let o2 = run_session(&mut r2, params, 100);
+        assert_eq!(o1.raw_key, o2.raw_key);
+        assert_eq!(o1.amplified_key, o2.amplified_key);
+    }
+
+    #[test]
+    fn analytic_model_matches_simulation_roughly() {
+        let params = BsmParams {
+            stream_blocks: 1000,
+            block_size: 4,
+            samples: 50,
+        };
+        let mut total = 0.0;
+        let runs = 20;
+        for seed in 0..runs {
+            let mut rng = ChaChaDrbg::from_u64_seed(seed);
+            total += run_session(&mut rng, params, 300).adversary_raw_fraction;
+        }
+        let mean = total / runs as f64;
+        let expect = expected_known_fraction(params, 300);
+        assert!((mean - expect).abs() < 0.08, "mean {mean} vs expected {expect}");
+    }
+
+    #[test]
+    fn compromise_probability_shape() {
+        let params = BsmParams::lab();
+        let p_half = final_key_compromise_probability(params, 2048);
+        let p_all = final_key_compromise_probability(params, 4096);
+        assert!(p_half < 1e-15, "half-storage adversary ~never wins: {p_half}");
+        assert!((p_all - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sample_distinct_properties() {
+        let mut rng = ChaChaDrbg::from_u64_seed(12);
+        for (n, k) in [(10usize, 10usize), (100, 5), (5, 0), (1, 1)] {
+            let s = sample_distinct(&mut rng, n, k);
+            assert_eq!(s.len(), k);
+            assert!(s.iter().all(|&x| x < n));
+            let set: std::collections::HashSet<_> = s.iter().collect();
+            assert_eq!(set.len(), k, "distinct");
+        }
+    }
+}

@@ -1,0 +1,257 @@
+//! A TLS-like computational channel: ephemeral Diffie–Hellman key
+//! exchange over MODP-2048 plus an AEAD record layer.
+//!
+//! The channel is secure today, but its transcript is exactly what a
+//! harvest-now-decrypt-later adversary stores: once discrete logs in the
+//! group fall (the break schedule's call), the recorded handshake yields
+//! the session key and every recorded record decrypts. The
+//! [`simulate_retro_break`] function implements that future adversary.
+
+use crate::transport::{End, Link, Tap};
+use aeon_crypto::aead::{Aead, AuthError, ChaCha20Poly1305};
+use aeon_crypto::{hkdf, CryptoRng};
+use aeon_num::ModpGroup;
+
+/// Errors from channel operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChannelError {
+    /// The handshake did not complete.
+    HandshakeIncomplete,
+    /// A record failed authentication.
+    RecordAuth,
+    /// No record was available to receive.
+    Empty,
+}
+
+impl core::fmt::Display for ChannelError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ChannelError::HandshakeIncomplete => write!(f, "handshake incomplete"),
+            ChannelError::RecordAuth => write!(f, "record failed authentication"),
+            ChannelError::Empty => write!(f, "no record available"),
+        }
+    }
+}
+
+impl std::error::Error for ChannelError {}
+
+impl From<AuthError> for ChannelError {
+    fn from(_: AuthError) -> Self {
+        ChannelError::RecordAuth
+    }
+}
+
+/// An established DH+AEAD session (one per endpoint).
+#[derive(Debug)]
+pub struct DhSession {
+    aead: ChaCha20Poly1305,
+    side: End,
+    send_seq: u64,
+    recv_seq: u64,
+}
+
+/// Runs the two-message ephemeral DH handshake over `link`, returning the
+/// two endpoint sessions. The exchanged public values cross the (possibly
+/// tapped) link; the private exponents never do.
+pub fn handshake<R: CryptoRng + ?Sized>(
+    rng: &mut R,
+    group: &ModpGroup,
+    link: &mut Link,
+) -> Result<(DhSession, DhSession), ChannelError> {
+    // Ephemeral exponents (256-bit scalars are ample for the simulation).
+    let a = rng.gen_array::<32>();
+    let b = rng.gen_array::<32>();
+    let ga = group.exp_generator(&a);
+    let gb = group.exp_generator(&b);
+
+    // A -> B: g^a ; B -> A: g^b.
+    link.send(End::A, ga.to_be_bytes());
+    link.send(End::B, gb.to_be_bytes());
+    let ga_rx = link.recv(End::B).ok_or(ChannelError::HandshakeIncomplete)?;
+    let gb_rx = link.recv(End::A).ok_or(ChannelError::HandshakeIncomplete)?;
+
+    let shared_a = group.exp(&aeon_num::GroupElement::from_be_bytes(&gb_rx), &a);
+    let shared_b = group.exp(&aeon_num::GroupElement::from_be_bytes(&ga_rx), &b);
+    debug_assert_eq!(shared_a, shared_b);
+
+    let make = |shared: &[u8], side: End| {
+        let okm = hkdf::derive(b"aeon-dh-channel", shared, b"session-key", 32);
+        let mut key = [0u8; 32];
+        key.copy_from_slice(&okm);
+        DhSession {
+            aead: ChaCha20Poly1305::new(&key),
+            side,
+            send_seq: 0,
+            recv_seq: 0,
+        }
+    };
+    Ok((
+        make(&shared_a.to_be_bytes(), End::A),
+        make(&shared_b.to_be_bytes(), End::B),
+    ))
+}
+
+impl DhSession {
+    fn nonce(dir: End, seq: u64) -> [u8; 12] {
+        let mut n = [0u8; 12];
+        n[0] = match dir {
+            End::A => 0xA0,
+            End::B => 0xB0,
+        };
+        n[4..12].copy_from_slice(&seq.to_be_bytes());
+        n
+    }
+
+    /// Encrypts and sends a record over the link.
+    pub fn send(&mut self, link: &mut Link, plaintext: &[u8]) {
+        let nonce = Self::nonce(self.side, self.send_seq);
+        self.send_seq += 1;
+        let record = self.aead.seal(&nonce, b"aeon-record", plaintext);
+        link.send(self.side, record);
+    }
+
+    /// Receives and decrypts the next record.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChannelError::Empty`] with no pending record or
+    /// [`ChannelError::RecordAuth`] on tampering.
+    pub fn recv(&mut self, link: &mut Link) -> Result<Vec<u8>, ChannelError> {
+        let record = link.recv(self.side).ok_or(ChannelError::Empty)?;
+        let peer = match self.side {
+            End::A => End::B,
+            End::B => End::A,
+        };
+        let nonce = Self::nonce(peer, self.recv_seq);
+        self.recv_seq += 1;
+        Ok(self.aead.open(&nonce, b"aeon-record", &record)?)
+    }
+}
+
+/// The retro-break adversary: given a tapped transcript of a session
+/// (handshake + records) and the power to compute discrete logs (i.e. the
+/// break schedule says the group fell), recover the plaintext records.
+///
+/// The discrete log itself is simulated: the function receives the private
+/// exponent that a real cryptanalytic adversary would compute from `g^a`.
+/// What it demonstrates is the *pipeline*: transcript + broken assumption
+/// = full plaintext recovery, years after the fact.
+pub fn simulate_retro_break(
+    group: &ModpGroup,
+    tap: &Tap,
+    cracked_exponent: &[u8; 32],
+) -> Vec<Vec<u8>> {
+    let transcript = tap.capture();
+    if transcript.len() < 2 {
+        return Vec::new();
+    }
+    // Frames 0 and 1 are g^a and g^b; the cracked exponent is a.
+    let gb = aeon_num::GroupElement::from_be_bytes(&transcript[1]);
+    let shared = group.exp(&gb, cracked_exponent);
+    let okm = hkdf::derive(b"aeon-dh-channel", &shared.to_be_bytes(), b"session-key", 32);
+    let mut key = [0u8; 32];
+    key.copy_from_slice(&okm);
+    let aead = ChaCha20Poly1305::new(&key);
+
+    let mut recovered = Vec::new();
+    let mut seq_a = 0u64;
+    let mut seq_b = 0u64;
+    for record in &transcript[2..] {
+        // Try both directions' nonce schedules.
+        let na = DhSession::nonce(End::A, seq_a);
+        if let Ok(pt) = aead.open(&na, b"aeon-record", record) {
+            recovered.push(pt);
+            seq_a += 1;
+            continue;
+        }
+        let nb = DhSession::nonce(End::B, seq_b);
+        if let Ok(pt) = aead.open(&nb, b"aeon-record", record) {
+            recovered.push(pt);
+            seq_b += 1;
+        }
+    }
+    recovered
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aeon_crypto::ChaChaDrbg;
+
+    fn setup() -> (ChaChaDrbg, ModpGroup, Link) {
+        (
+            ChaChaDrbg::from_u64_seed(404),
+            ModpGroup::rfc3526_2048(),
+            Link::wan(),
+        )
+    }
+
+    #[test]
+    fn handshake_and_records_roundtrip() {
+        let (mut rng, group, mut link) = setup();
+        let (mut a, mut b) = handshake(&mut rng, &group, &mut link).unwrap();
+        a.send(&mut link, b"hello from A");
+        assert_eq!(b.recv(&mut link).unwrap(), b"hello from A");
+        b.send(&mut link, b"hello from B");
+        a.send(&mut link, b"second from A");
+        assert_eq!(a.recv(&mut link).unwrap(), b"hello from B");
+        assert_eq!(b.recv(&mut link).unwrap(), b"second from A");
+    }
+
+    #[test]
+    fn empty_recv_errors() {
+        let (mut rng, group, mut link) = setup();
+        let (mut a, _b) = handshake(&mut rng, &group, &mut link).unwrap();
+        assert_eq!(a.recv(&mut link).unwrap_err(), ChannelError::Empty);
+    }
+
+    #[test]
+    fn tampered_record_rejected() {
+        let (mut rng, group, mut link) = setup();
+        let (mut a, mut b) = handshake(&mut rng, &group, &mut link).unwrap();
+        a.send(&mut link, b"sensitive");
+        // Corrupt in flight.
+        let mut frame = link.recv(End::B).unwrap();
+        frame[0] ^= 1;
+        link.send(End::A, frame);
+        assert_eq!(b.recv(&mut link).unwrap_err(), ChannelError::RecordAuth);
+    }
+
+    #[test]
+    fn eavesdropper_sees_only_ciphertext_today() {
+        let (mut rng, group, mut link) = setup();
+        let tap = Tap::new();
+        link.attach_tap(tap.clone());
+        let (mut a, _b) = handshake(&mut rng, &group, &mut link).unwrap();
+        a.send(&mut link, b"the archive share");
+        let captured = tap.capture();
+        // No captured frame contains the plaintext.
+        assert!(captured
+            .iter()
+            .all(|f| f.windows(17).all(|w| w != b"the archive share")));
+    }
+
+    #[test]
+    fn retro_break_recovers_everything() {
+        // Re-run the handshake with a known RNG so we know the exponent a.
+        let mut rng = ChaChaDrbg::from_u64_seed(404);
+        let group = ModpGroup::rfc3526_2048();
+        let mut link = Link::wan();
+        let tap = Tap::new();
+        link.attach_tap(tap.clone());
+        // Mirror the RNG draws of handshake().
+        let mut shadow = ChaChaDrbg::from_u64_seed(404);
+        let a_exp = shadow.gen_array::<32>();
+        let (mut a, mut b) = handshake(&mut rng, &group, &mut link).unwrap();
+        a.send(&mut link, b"harvested secret one");
+        b.recv(&mut link).unwrap();
+        b.send(&mut link, b"harvested secret two");
+        a.recv(&mut link).unwrap();
+
+        // Decades later: the group falls, the adversary "computes" a.
+        let recovered = simulate_retro_break(&group, &tap, &a_exp);
+        assert_eq!(recovered.len(), 2);
+        assert_eq!(recovered[0], b"harvested secret one");
+        assert_eq!(recovered[1], b"harvested secret two");
+    }
+}

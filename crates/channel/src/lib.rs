@@ -1,0 +1,33 @@
+//! Secure channels for data in transit, simulated end to end.
+//!
+//! Shares and re-encrypted objects must *move* between geographically
+//! dispersed nodes, and the paper notes that an adversary facing an
+//! information-theoretically secure datastore will simply attack the
+//! channel instead: TLS is only computationally secure, so captured
+//! traffic is harvest-now-decrypt-later fodder. This crate provides the
+//! three channel families the paper discusses, all over a deterministic
+//! in-process [`transport`]:
+//!
+//! * [`dh`] — a TLS-like computational channel: ephemeral Diffie–Hellman
+//!   over the MODP-2048 group plus an AEAD session. An eavesdropper's tap
+//!   records everything; the [`dh::simulate_retro_break`] hook models the
+//!   future cryptanalysis of the key exchange.
+//! * [`qkd`] — a simulated Quantum Key Distribution link: delivers
+//!   one-time-pad key material at a configurable key rate with
+//!   eavesdropper detection, feeding an information-theoretically secure
+//!   [`qkd::OtpChannel`] (encryption *and* Wegman–Carter-style
+//!   authentication consume pad bytes).
+//! * [`bsm`] — Maurer's Bounded Storage Model: honest parties derive a
+//!   shared pad from a huge public random stream that a storage-bounded
+//!   adversary cannot capture in full. Includes the experiment harness for
+//!   the paper's §4 "BSM is overdue for practical evaluation" direction.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod bsm;
+pub mod dh;
+pub mod qkd;
+pub mod transport;
+
+pub use aeon_crypto::SecurityLevel;

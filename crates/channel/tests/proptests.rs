@@ -1,0 +1,76 @@
+//! Property tests: channel roundtrips, OTP accounting, BSM bounds.
+
+use aeon_channel::bsm::{expected_known_fraction, run_session, BsmParams};
+use aeon_channel::qkd::OtpChannel;
+use aeon_channel::transport::{End, Link};
+use aeon_crypto::{ChaChaDrbg, CryptoRng};
+use proptest::prelude::*;
+
+proptest! {
+    /// Any sequence of frames crosses the link in order, both directions.
+    #[test]
+    fn link_is_fifo(frames in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..64), 0..20)) {
+        let mut link = Link::lan();
+        for f in &frames {
+            link.send(End::A, f.clone());
+        }
+        for f in &frames {
+            prop_assert_eq!(link.recv(End::B).unwrap(), f.clone());
+        }
+        prop_assert!(link.recv(End::B).is_none());
+    }
+
+    /// OTP channel: any message sequence roundtrips while pad lasts, and
+    /// pad consumption is exact (len + 32 per record).
+    #[test]
+    fn otp_channel_accounting(msgs in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..64), 1..8),
+                              seed in any::<u64>()) {
+        let total_need: usize = msgs.iter().map(|m| m.len() + 32).sum();
+        let mut rng = ChaChaDrbg::from_u64_seed(seed);
+        let mut pad = vec![0u8; total_need];
+        rng.fill_bytes(&mut pad);
+        let mut tx = OtpChannel::new(pad.clone());
+        let mut rx = OtpChannel::new(pad);
+        for m in &msgs {
+            let before = tx.remaining();
+            let record = tx.seal(m).unwrap();
+            prop_assert_eq!(before - tx.remaining(), m.len() + 32);
+            prop_assert_eq!(&rx.open(&record).unwrap(), m);
+        }
+        prop_assert_eq!(tx.remaining(), 0);
+    }
+
+    /// OTP records never contain the plaintext verbatim (for messages of
+    /// ≥ 8 bytes; shorter windows collide by chance).
+    #[test]
+    fn otp_record_hides_plaintext(m in prop::collection::vec(any::<u8>(), 8..64), seed in any::<u64>()) {
+        let mut rng = ChaChaDrbg::from_u64_seed(seed);
+        let mut pad = vec![0u8; m.len() + 32];
+        rng.fill_bytes(&mut pad);
+        let mut tx = OtpChannel::new(pad);
+        let record = tx.seal(&m).unwrap();
+        prop_assert!(record.windows(m.len()).all(|w| w != &m[..]));
+    }
+
+    /// BSM: adversary's known fraction is bounded near B/N, and the
+    /// honest storage stays samples × block_size.
+    #[test]
+    fn bsm_known_fraction_bounded(adv_pct in 0u32..=100, seed in any::<u64>()) {
+        let params = BsmParams {
+            stream_blocks: 512,
+            block_size: 8,
+            samples: 32,
+        };
+        let adv_blocks = (params.stream_blocks as u64 * adv_pct as u64 / 100) as usize;
+        let mut rng = ChaChaDrbg::from_u64_seed(seed);
+        let out = run_session(&mut rng, params, adv_blocks);
+        prop_assert_eq!(out.honest_storage, 32 * 8);
+        let expect = expected_known_fraction(params, adv_blocks);
+        // 4-sigma binomial bound on 32 samples.
+        let sigma = (expect * (1.0 - expect) / 32.0).sqrt();
+        prop_assert!((out.adversary_raw_fraction - expect).abs() <= 4.0 * sigma + 1e-9,
+            "fraction {} vs expected {}", out.adversary_raw_fraction, expect);
+        // Knows the final key iff it knew every sample.
+        prop_assert_eq!(out.adversary_knows_final, out.adversary_known_samples == 32);
+    }
+}

@@ -1,0 +1,331 @@
+//! AONT-RS (Resch–Plank): all-or-nothing transform + Reed–Solomon
+//! dispersal.
+//!
+//! The Cleversafe scheme the paper singles out as the *practical*
+//! computational design point. Encoding:
+//!
+//! 1. Draw a random key `k`; compute ciphertext blocks
+//!    `c_i = m_i ⊕ E_k(i)` (AES-256-CTR here).
+//! 2. Append a "difference block" `c_{s+1} = k ⊕ H(c_1 ‖ … ‖ c_s)`.
+//! 3. Erasure-code the package `c_1 … c_{s+1}` systematically `[n, t]`
+//!    and disperse one codeword per node.
+//!
+//! Anyone holding `t` codewords rebuilds the package, recomputes the
+//! hash, unmasks `k`, and decrypts — **no key management at all**. An
+//! adversary with fewer than `t` codewords provably (while `E` and `H`
+//! stand) learns nothing. The catch the paper highlights: if `E`/`H`
+//! fall, a *single* share leaks plaintext — AONT-RS confidentiality is
+//! computational, and harvest-now-decrypt-later defeats it.
+
+use aeon_crypto::aes::Aes;
+use aeon_crypto::{CryptoRng, Sha256};
+use aeon_erasure::{CodeError, ErasureCode, ReedSolomon};
+
+/// Errors from AONT-RS operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AontError {
+    /// The erasure-coding layer failed.
+    Code(CodeError),
+    /// The rebuilt package is malformed.
+    CorruptPackage,
+}
+
+impl core::fmt::Display for AontError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            AontError::Code(e) => write!(f, "erasure layer: {e}"),
+            AontError::CorruptPackage => write!(f, "corrupt AONT package"),
+        }
+    }
+}
+
+impl std::error::Error for AontError {}
+
+impl From<CodeError> for AontError {
+    fn from(e: CodeError) -> Self {
+        AontError::Code(e)
+    }
+}
+
+/// AONT-RS codec with threshold `t` (data shards) and `n - t` parity.
+#[derive(Debug, Clone)]
+pub struct AontRs {
+    rs: ReedSolomon,
+}
+
+impl AontRs {
+    /// Creates a codec dispersing to `data + parity` nodes, any `data` of
+    /// which suffice to rebuild.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CodeError::InvalidParameters`].
+    pub fn new(data: usize, parity: usize) -> Result<Self, AontError> {
+        Ok(AontRs {
+            rs: ReedSolomon::new(data, parity)?,
+        })
+    }
+
+    /// Data (threshold) shard count.
+    pub fn data_shards(&self) -> usize {
+        self.rs.data_shards()
+    }
+
+    /// Total shard count.
+    pub fn total_shards(&self) -> usize {
+        self.rs.total_shards()
+    }
+
+    /// Storage expansion `n / t` (the package adds only 40 bytes).
+    pub fn expansion(&self) -> f64 {
+        self.rs.expansion()
+    }
+
+    /// Builds the AONT package: `ciphertext ‖ (k ⊕ H(ciphertext))`.
+    fn package<R: CryptoRng + ?Sized>(rng: &mut R, payload: &[u8]) -> Vec<u8> {
+        let key = rng.gen_array::<32>();
+        let mut ct = payload.to_vec();
+        Aes::new_256(&key).apply_ctr(&[0u8; 16], &mut ct);
+        let digest = Sha256::digest(&ct);
+        let mut package = ct;
+        for (k, d) in key.iter().zip(digest.iter()) {
+            package.push(k ^ d);
+        }
+        package
+    }
+
+    /// Opens a rebuilt package back into the payload.
+    fn unpackage(package: &[u8]) -> Result<Vec<u8>, AontError> {
+        if package.len() < 32 {
+            return Err(AontError::CorruptPackage);
+        }
+        let (ct, masked_key) = package.split_at(package.len() - 32);
+        let digest = Sha256::digest(ct);
+        let mut key = [0u8; 32];
+        for (out, (m, d)) in key.iter_mut().zip(masked_key.iter().zip(digest.iter())) {
+            *out = m ^ d;
+        }
+        let mut pt = ct.to_vec();
+        Aes::new_256(&key).apply_ctr(&[0u8; 16], &mut pt);
+        Ok(pt)
+    }
+
+    /// Encodes a payload into `n` dispersible shards.
+    ///
+    /// # Errors
+    ///
+    /// Propagates erasure-layer errors.
+    pub fn encode<R: CryptoRng + ?Sized>(
+        &self,
+        rng: &mut R,
+        payload: &[u8],
+    ) -> Result<Vec<Vec<u8>>, AontError> {
+        let package = Self::package(rng, payload);
+        Ok(self.rs.encode(&package)?)
+    }
+
+    /// Decodes from any `t` surviving shards.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AontError::Code`] when too few shards survive or
+    /// [`AontError::CorruptPackage`] on malformed data.
+    pub fn decode(&self, shards: &[Option<Vec<u8>>]) -> Result<Vec<u8>, AontError> {
+        let package = self.rs.decode(shards)?;
+        Self::unpackage(&package)
+    }
+
+    /// The HNDL attack on AONT-RS: what a future adversary recovers from
+    /// `stolen` shards once the underlying cipher/hash are broken.
+    ///
+    /// * With ≥ `t` shards: full plaintext **today**, no break needed —
+    ///   AONT-RS has no key to steal; possession is decryption.
+    /// * With < `t` shards and the cipher broken: each stolen *data*
+    ///   shard's span of ciphertext decrypts (the break recovers `k`
+    ///   without the difference block). We model this as recovering the
+    ///   bytes covered by stolen systematic shards.
+    /// * With < `t` shards and the cipher standing: nothing.
+    pub fn simulate_hndl(
+        &self,
+        stolen: &[Option<Vec<u8>>],
+        cipher_broken: bool,
+    ) -> AontHndlOutcome {
+        let have = stolen.iter().flatten().count();
+        if have >= self.rs.data_shards() {
+            if let Ok(pt) = self.decode(stolen) {
+                return AontHndlOutcome::FullPlaintext(pt);
+            }
+        }
+        if have == 0 {
+            return AontHndlOutcome::Nothing;
+        }
+        if cipher_broken {
+            // Partial: fraction of payload spanned by stolen data shards.
+            let data_stolen = stolen
+                .iter()
+                .take(self.rs.data_shards())
+                .flatten()
+                .count();
+            AontHndlOutcome::PartialPlaintext {
+                fraction: data_stolen as f64 / self.rs.data_shards() as f64,
+            }
+        } else {
+            AontHndlOutcome::Nothing
+        }
+    }
+}
+
+/// Outcome of the AONT-RS HNDL simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AontHndlOutcome {
+    /// The adversary recovered the full plaintext.
+    FullPlaintext(Vec<u8>),
+    /// The adversary recovered a fraction of the plaintext (broken cipher,
+    /// sub-threshold shards).
+    PartialPlaintext {
+        /// Fraction of payload bytes exposed.
+        fraction: f64,
+    },
+    /// The adversary learned nothing.
+    Nothing,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aeon_crypto::ChaChaDrbg;
+
+    fn rng() -> ChaChaDrbg {
+        ChaChaDrbg::from_u64_seed(77)
+    }
+
+    #[test]
+    fn roundtrip() {
+        let codec = AontRs::new(4, 2).unwrap();
+        let mut r = rng();
+        let payload = b"dispersed archival object payload";
+        let shards: Vec<Option<Vec<u8>>> = codec
+            .encode(&mut r, payload)
+            .unwrap()
+            .into_iter()
+            .map(Some)
+            .collect();
+        assert_eq!(codec.decode(&shards).unwrap(), payload);
+    }
+
+    #[test]
+    fn threshold_reconstruction() {
+        let codec = AontRs::new(3, 2).unwrap();
+        let mut r = rng();
+        let payload: Vec<u8> = (0..200u8).collect();
+        let encoded = codec.encode(&mut r, &payload).unwrap();
+        // Any 3 of 5 shards suffice.
+        let mut shards: Vec<Option<Vec<u8>>> = encoded.into_iter().map(Some).collect();
+        shards[0] = None;
+        shards[3] = None;
+        assert_eq!(codec.decode(&shards).unwrap(), payload);
+    }
+
+    #[test]
+    fn below_threshold_fails() {
+        let codec = AontRs::new(3, 2).unwrap();
+        let mut r = rng();
+        let encoded = codec.encode(&mut r, b"secret").unwrap();
+        let mut shards: Vec<Option<Vec<u8>>> = encoded.into_iter().map(Some).collect();
+        shards[0] = None;
+        shards[1] = None;
+        shards[2] = None;
+        assert!(matches!(codec.decode(&shards), Err(AontError::Code(_))));
+    }
+
+    #[test]
+    fn no_key_needed_with_threshold() {
+        // Decoding uses no external key material — key is inside the
+        // package. (This test is the "eliminates key management" claim.)
+        let codec = AontRs::new(2, 1).unwrap();
+        let mut r = rng();
+        let shards: Vec<Option<Vec<u8>>> = codec
+            .encode(&mut r, b"keyless")
+            .unwrap()
+            .into_iter()
+            .map(Some)
+            .collect();
+        let fresh_codec = AontRs::new(2, 1).unwrap(); // no shared state
+        assert_eq!(fresh_codec.decode(&shards).unwrap(), b"keyless");
+    }
+
+    #[test]
+    fn randomized_encodings_differ() {
+        let codec = AontRs::new(2, 1).unwrap();
+        let mut r = rng();
+        let e1 = codec.encode(&mut r, b"same payload").unwrap();
+        let e2 = codec.encode(&mut r, b"same payload").unwrap();
+        assert_ne!(e1, e2, "fresh key per encoding");
+    }
+
+    #[test]
+    fn tampered_package_decrypts_to_garbage() {
+        // AONT gives all-or-nothing *confidentiality*, not integrity: a
+        // flipped ciphertext bit changes the digest, hence the key, hence
+        // everything. Integrity must come from a separate layer.
+        let codec = AontRs::new(2, 1).unwrap();
+        let mut r = rng();
+        let mut encoded = codec.encode(&mut r, b"integrity elsewhere").unwrap();
+        encoded[0][9] ^= 1;
+        let shards: Vec<Option<Vec<u8>>> = encoded.into_iter().map(Some).collect();
+        let out = codec.decode(&shards).unwrap();
+        assert_ne!(out, b"integrity elsewhere");
+    }
+
+    #[test]
+    fn hndl_full_with_threshold_no_break() {
+        let codec = AontRs::new(2, 1).unwrap();
+        let mut r = rng();
+        let encoded = codec.encode(&mut r, b"stolen at threshold").unwrap();
+        let stolen = vec![Some(encoded[0].clone()), Some(encoded[1].clone()), None];
+        match codec.simulate_hndl(&stolen, false) {
+            AontHndlOutcome::FullPlaintext(pt) => assert_eq!(pt, b"stolen at threshold"),
+            other => panic!("expected full plaintext, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hndl_subthreshold_safe_until_break() {
+        let codec = AontRs::new(3, 2).unwrap();
+        let mut r = rng();
+        let encoded = codec.encode(&mut r, b"harvest me").unwrap();
+        let stolen = vec![Some(encoded[0].clone()), None, None, None, None];
+        assert_eq!(codec.simulate_hndl(&stolen, false), AontHndlOutcome::Nothing);
+        match codec.simulate_hndl(&stolen, true) {
+            AontHndlOutcome::PartialPlaintext { fraction } => {
+                assert!((fraction - 1.0 / 3.0).abs() < 1e-9);
+            }
+            other => panic!("expected partial, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn expansion_is_near_rs_rate() {
+        let codec = AontRs::new(4, 2).unwrap();
+        assert!((codec.expansion() - 1.5).abs() < 1e-9);
+        let mut r = rng();
+        let payload = vec![0u8; 1 << 16];
+        let encoded = codec.encode(&mut r, &payload).unwrap();
+        let stored: usize = encoded.iter().map(|s| s.len()).sum();
+        // 1.5x plus the 40-byte package overhead, amortized away.
+        assert!((stored as f64 / payload.len() as f64 - 1.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn empty_payload() {
+        let codec = AontRs::new(2, 2).unwrap();
+        let mut r = rng();
+        let shards: Vec<Option<Vec<u8>>> = codec
+            .encode(&mut r, b"")
+            .unwrap()
+            .into_iter()
+            .map(Some)
+            .collect();
+        assert_eq!(codec.decode(&shards).unwrap(), b"");
+    }
+}

@@ -1,0 +1,1039 @@
+//! The archive: policy-driven ingest, retrieval, verification,
+//! maintenance.
+
+use crate::keys::KeyStore;
+use crate::policy::{EncodingMeta, PolicyError, PolicyKind};
+use aeon_crypto::{ChaChaDrbg, Sha256};
+use aeon_integrity::ledger::Ledger;
+use aeon_integrity::timestamp::{
+    AnchorMode, DocumentChain, SigBreakSchedule, TimestampAuthority,
+};
+use aeon_num::pedersen::Committer;
+use aeon_num::ModpGroup;
+use aeon_secretshare::proactive::{self, ProtocolCost};
+use aeon_secretshare::shamir::Share;
+use aeon_store::cluster::ClusterError;
+use aeon_store::node::NodeId;
+use aeon_store::Cluster;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Identifies an archived object.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ObjectId(String);
+
+impl ObjectId {
+    /// The identifier as a string (hex digest).
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// How ingests are anchored for long-term integrity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IntegrityMode {
+    /// No timestamping (digest check only).
+    DigestOnly,
+    /// Hash-anchored renewable timestamp chain.
+    HashChain,
+    /// Pedersen-anchored (information-theoretically hiding) chain —
+    /// the LINCOS construction.
+    PedersenChain,
+}
+
+/// Archive configuration.
+#[derive(Debug, Clone)]
+pub struct ArchiveConfig {
+    /// Default encoding policy for ingested objects.
+    pub policy: PolicyKind,
+    /// Site names for the simulated cluster.
+    pub sites: Vec<String>,
+    /// Nodes per site.
+    pub nodes_per_site: usize,
+    /// Simulated calendar year at creation.
+    pub year: u32,
+    /// Master key (version 0).
+    pub master_key: [u8; 32],
+    /// Seed for the archive's deterministic RNG.
+    pub rng_seed: u64,
+    /// Integrity anchoring mode.
+    pub integrity: IntegrityMode,
+}
+
+impl ArchiveConfig {
+    /// Creates a configuration with enough sites for the policy's shard
+    /// count (one node per site — full dispersal) and sensible defaults.
+    pub fn new(policy: PolicyKind) -> Self {
+        let shard_count = policy.shard_count().max(1);
+        ArchiveConfig {
+            policy,
+            sites: (0..shard_count).map(|i| format!("site-{i}")).collect(),
+            nodes_per_site: 1,
+            year: 2026,
+            master_key: [0x42; 32],
+            rng_seed: 0xAE0_0AE0,
+            integrity: IntegrityMode::HashChain,
+        }
+    }
+
+    /// Overrides the integrity mode.
+    pub fn with_integrity(mut self, mode: IntegrityMode) -> Self {
+        self.integrity = mode;
+        self
+    }
+
+    /// Overrides the simulated year.
+    pub fn with_year(mut self, year: u32) -> Self {
+        self.year = year;
+        self
+    }
+}
+
+/// Errors from archive operations.
+#[derive(Debug)]
+pub enum ArchiveError {
+    /// Policy-layer failure.
+    Policy(PolicyError),
+    /// Cluster-layer failure.
+    Cluster(ClusterError),
+    /// The object does not exist.
+    UnknownObject(ObjectId),
+    /// Retrieved data failed its digest check.
+    IntegrityViolation(ObjectId),
+    /// The operation does not apply to the object's policy.
+    UnsupportedOperation(&'static str),
+    /// An Entropic-policy ingest with insufficient payload entropy.
+    LowEntropy {
+        /// Estimated bits of entropy per byte.
+        bits_per_byte: f64,
+    },
+    /// Timestamping failure.
+    Timestamp(String),
+    /// Channel-layer failure during a shard shipment.
+    Channel(String),
+    /// Secret-sharing protocol failure.
+    Share(aeon_secretshare::ShareError),
+}
+
+impl fmt::Display for ArchiveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArchiveError::Policy(e) => write!(f, "policy: {e}"),
+            ArchiveError::Cluster(e) => write!(f, "cluster: {e}"),
+            ArchiveError::UnknownObject(id) => write!(f, "unknown object {id}"),
+            ArchiveError::IntegrityViolation(id) => write!(f, "integrity violation on {id}"),
+            ArchiveError::UnsupportedOperation(why) => write!(f, "unsupported operation: {why}"),
+            ArchiveError::LowEntropy { bits_per_byte } => write!(
+                f,
+                "entropic policy requires high-entropy payloads (got {bits_per_byte:.2} bits/byte)"
+            ),
+            ArchiveError::Timestamp(why) => write!(f, "timestamping: {why}"),
+            ArchiveError::Channel(why) => write!(f, "channel: {why}"),
+            ArchiveError::Share(e) => write!(f, "secret sharing: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ArchiveError {}
+
+impl From<PolicyError> for ArchiveError {
+    fn from(e: PolicyError) -> Self {
+        ArchiveError::Policy(e)
+    }
+}
+
+impl From<ClusterError> for ArchiveError {
+    fn from(e: ClusterError) -> Self {
+        ArchiveError::Cluster(e)
+    }
+}
+
+impl From<aeon_secretshare::ShareError> for ArchiveError {
+    fn from(e: aeon_secretshare::ShareError) -> Self {
+        ArchiveError::Share(e)
+    }
+}
+
+/// Per-object record kept by the archive.
+#[derive(Debug, Clone)]
+pub struct Manifest {
+    /// Object identifier.
+    pub id: ObjectId,
+    /// User-supplied name.
+    pub name: String,
+    /// The policy the object is encoded under.
+    pub policy: PolicyKind,
+    /// Encode-time metadata.
+    pub meta: EncodingMeta,
+    /// Node placement, one entry per shard.
+    pub placement: Vec<NodeId>,
+    /// Payload length in bytes.
+    pub logical_len: usize,
+    /// SHA-256 of the payload.
+    pub digest: [u8; 32],
+    /// Year of ingest.
+    pub created_year: u32,
+    /// Refresh epochs completed (proactive policies).
+    pub refresh_epochs: u64,
+}
+
+/// Health report from [`Archive::verify`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HealthReport {
+    /// Shards currently readable.
+    pub shards_available: usize,
+    /// Shards the policy needs.
+    pub shards_required: usize,
+    /// Whether a decode + digest check succeeded.
+    pub intact: bool,
+    /// Whether the timestamp chain (if any) verifies.
+    pub chain_valid: Option<bool>,
+}
+
+/// Aggregate statistics from [`Archive::stats`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArchiveStats {
+    /// Number of live objects.
+    pub objects: usize,
+    /// Sum of payload sizes.
+    pub logical_bytes: u64,
+    /// Bytes physically stored across the cluster.
+    pub stored_bytes: u64,
+    /// Measured expansion (stored / logical).
+    pub expansion: f64,
+}
+
+/// A secure long-term archive over a simulated geo-dispersed cluster.
+///
+/// # Examples
+///
+/// ```
+/// use aeon_core::{Archive, ArchiveConfig, PolicyKind};
+///
+/// let mut archive = Archive::in_memory(ArchiveConfig::new(PolicyKind::Shamir {
+///     threshold: 3,
+///     shares: 5,
+/// }))?;
+/// let id = archive.ingest(b"the long-term secret", "doc-1")?;
+/// assert_eq!(archive.retrieve(&id)?, b"the long-term secret");
+/// # Ok::<(), aeon_core::ArchiveError>(())
+/// ```
+pub struct Archive {
+    config: ArchiveConfig,
+    cluster: Cluster,
+    keys: KeyStore,
+    rng: ChaChaDrbg,
+    manifests: BTreeMap<ObjectId, Manifest>,
+    chains: BTreeMap<ObjectId, DocumentChain>,
+    ledger: Ledger,
+    tsa: TimestampAuthority,
+    committer: Committer,
+    year: u32,
+    counter: u64,
+}
+
+impl fmt::Debug for Archive {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Archive")
+            .field("policy", &self.config.policy)
+            .field("objects", &self.manifests.len())
+            .field("year", &self.year)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Archive {
+    /// Creates an archive over an in-memory cluster.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchiveError::Policy`] for invalid default policies.
+    pub fn in_memory(config: ArchiveConfig) -> Result<Self, ArchiveError> {
+        config.policy.validate()?;
+        let sites: Vec<&str> = config.sites.iter().map(|s| s.as_str()).collect();
+        let cluster = Cluster::in_memory(&sites, config.nodes_per_site);
+        let mut rng = ChaChaDrbg::from_u64_seed(config.rng_seed);
+        let tsa = TimestampAuthority::new(&mut rng, "wots-v1", config.year, 6);
+        Ok(Archive {
+            keys: KeyStore::new(config.master_key),
+            rng,
+            cluster,
+            manifests: BTreeMap::new(),
+            chains: BTreeMap::new(),
+            ledger: Ledger::new(1),
+            tsa,
+            committer: Committer::new(ModpGroup::rfc3526_2048()),
+            year: config.year,
+            counter: 0,
+            config,
+        })
+    }
+
+    /// Creates an archive over a caller-supplied cluster (e.g. file-backed
+    /// nodes or nodes shared with an adversary simulation).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchiveError::Policy`] for invalid default policies.
+    pub fn with_cluster(config: ArchiveConfig, cluster: Cluster) -> Result<Self, ArchiveError> {
+        config.policy.validate()?;
+        let mut rng = ChaChaDrbg::from_u64_seed(config.rng_seed);
+        let tsa = TimestampAuthority::new(&mut rng, "wots-v1", config.year, 6);
+        Ok(Archive {
+            keys: KeyStore::new(config.master_key),
+            rng,
+            cluster,
+            manifests: BTreeMap::new(),
+            chains: BTreeMap::new(),
+            ledger: Ledger::new(1),
+            tsa,
+            committer: Committer::new(ModpGroup::rfc3526_2048()),
+            year: config.year,
+            counter: 0,
+            config,
+        })
+    }
+
+    /// The current simulated year.
+    pub fn year(&self) -> u32 {
+        self.year
+    }
+
+    /// Advances the simulated clock.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `year` is in the past.
+    pub fn advance_year(&mut self, year: u32) {
+        assert!(year >= self.year, "time does not run backwards");
+        self.year = year;
+        self.tsa.advance_to(year);
+    }
+
+    /// The archive's cluster (for adversary simulations).
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    /// The archive's key store (for key-compromise simulations).
+    pub fn keys(&self) -> &KeyStore {
+        &self.keys
+    }
+
+    /// The public ledger of manifest digests.
+    pub fn ledger(&self) -> &Ledger {
+        &self.ledger
+    }
+
+    /// The default policy.
+    pub fn policy(&self) -> &PolicyKind {
+        &self.config.policy
+    }
+
+    /// Ingests a payload under the default policy.
+    ///
+    /// # Errors
+    ///
+    /// See [`Archive::ingest_with_policy`].
+    pub fn ingest(&mut self, payload: &[u8], name: &str) -> Result<ObjectId, ArchiveError> {
+        self.ingest_with_policy(payload, name, self.config.policy.clone())
+    }
+
+    /// Ingests a payload under an explicit policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchiveError::LowEntropy`] for entropic policies on
+    /// compressible payloads, or policy/cluster errors.
+    pub fn ingest_with_policy(
+        &mut self,
+        payload: &[u8],
+        name: &str,
+        policy: PolicyKind,
+    ) -> Result<ObjectId, ArchiveError> {
+        policy.validate()?;
+        if matches!(policy, PolicyKind::Entropic { .. }) && payload.len() >= 64 {
+            let bits = estimate_entropy_bits_per_byte(payload);
+            if bits < 6.0 {
+                return Err(ArchiveError::LowEntropy {
+                    bits_per_byte: bits,
+                });
+            }
+        }
+        let id = self.next_id(name);
+        let encoded = policy.encode(&mut self.rng, &self.keys, id.as_str(), payload)?;
+        let placement = self.cluster.place(id.as_str(), encoded.shards.len())?;
+        self.cluster
+            .put_shards(id.as_str(), &placement, &encoded.shards)?;
+
+        let digest = Sha256::digest(payload);
+        // Integrity anchoring.
+        match self.config.integrity {
+            IntegrityMode::DigestOnly => {}
+            IntegrityMode::HashChain | IntegrityMode::PedersenChain => {
+                let mode = if self.config.integrity == IntegrityMode::PedersenChain {
+                    AnchorMode::PedersenHiding
+                } else {
+                    AnchorMode::HashDigest
+                };
+                self.ensure_tsa_capacity();
+                let chain =
+                    DocumentChain::create(&mut self.rng, &mut self.tsa, &self.committer, mode, payload)
+                        .map_err(|e| ArchiveError::Timestamp(e.to_string()))?;
+                self.ledger
+                    .append(self.year, chain.anchor().to_vec());
+                self.chains.insert(id.clone(), chain);
+            }
+        }
+
+        let manifest = Manifest {
+            id: id.clone(),
+            name: name.to_string(),
+            policy,
+            meta: encoded.meta,
+            placement,
+            logical_len: payload.len(),
+            digest,
+            created_year: self.year,
+            refresh_epochs: 0,
+        };
+        self.manifests.insert(id.clone(), manifest);
+        Ok(id)
+    }
+
+    fn ensure_tsa_capacity(&mut self) {
+        if self.tsa.remaining() == 0 {
+            // Rotate to a fresh key under the same scheme family with a
+            // bumped generation tag.
+            let scheme = format!("{}+", self.tsa.scheme());
+            self.tsa.rotate(&mut self.rng, &scheme, 6);
+        }
+    }
+
+    /// Retrieves and verifies an object.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchiveError::UnknownObject`],
+    /// [`ArchiveError::IntegrityViolation`], or decode errors.
+    pub fn retrieve(&self, id: &ObjectId) -> Result<Vec<u8>, ArchiveError> {
+        let manifest = self
+            .manifests
+            .get(id)
+            .ok_or_else(|| ArchiveError::UnknownObject(id.clone()))?;
+        let shards = self.cluster.get_shards(id.as_str(), &manifest.placement);
+        let payload = manifest
+            .policy
+            .decode(&self.keys, id.as_str(), &shards, &manifest.meta)?;
+        if Sha256::digest(&payload) != manifest.digest {
+            return Err(ArchiveError::IntegrityViolation(id.clone()));
+        }
+        Ok(payload)
+    }
+
+    /// Deletes an object and its shards.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchiveError::UnknownObject`].
+    pub fn delete(&mut self, id: &ObjectId) -> Result<(), ArchiveError> {
+        let manifest = self
+            .manifests
+            .remove(id)
+            .ok_or_else(|| ArchiveError::UnknownObject(id.clone()))?;
+        self.cluster.delete_shards(id.as_str(), &manifest.placement);
+        self.chains.remove(id);
+        Ok(())
+    }
+
+    /// Checks an object's health without mutating anything.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchiveError::UnknownObject`].
+    pub fn verify(
+        &self,
+        id: &ObjectId,
+        sig_schedule: &SigBreakSchedule,
+    ) -> Result<HealthReport, ArchiveError> {
+        let manifest = self
+            .manifests
+            .get(id)
+            .ok_or_else(|| ArchiveError::UnknownObject(id.clone()))?;
+        let shards = self.cluster.get_shards(id.as_str(), &manifest.placement);
+        let available = shards.iter().flatten().count();
+        let intact = manifest
+            .policy
+            .decode(&self.keys, id.as_str(), &shards, &manifest.meta)
+            .map(|p| Sha256::digest(&p) == manifest.digest)
+            .unwrap_or(false);
+        let chain_valid = self
+            .chains
+            .get(id)
+            .map(|c| c.verify(sig_schedule, self.year).is_ok());
+        Ok(HealthReport {
+            shards_available: available,
+            shards_required: manifest.policy.read_threshold(),
+            intact,
+            chain_valid,
+        })
+    }
+
+    /// Renews an object's timestamp chain with the authority's current
+    /// scheme (call after rotating the TSA to a stronger scheme).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchiveError::UnsupportedOperation`] if the object has no
+    /// chain.
+    pub fn renew_timestamp(&mut self, id: &ObjectId) -> Result<(), ArchiveError> {
+        self.ensure_tsa_capacity();
+        let chain = self
+            .chains
+            .get_mut(id)
+            .ok_or(ArchiveError::UnsupportedOperation(
+                "object has no timestamp chain",
+            ))?;
+        chain
+            .renew(&mut self.tsa)
+            .map_err(|e| ArchiveError::Timestamp(e.to_string()))
+    }
+
+    /// Rotates the timestamp authority to a new scheme (e.g. when the
+    /// current signature scheme nears its break).
+    pub fn rotate_timestamp_scheme(&mut self, scheme: &str) {
+        self.tsa.rotate(&mut self.rng, scheme, 6);
+    }
+
+    /// Runs one proactive-refresh epoch on a Shamir-encoded object:
+    /// reads every share, applies a Herzberg refresh round, writes the
+    /// re-randomized shares back. Returns the protocol communication
+    /// cost.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchiveError::UnsupportedOperation`] for non-Shamir
+    /// policies and cluster/share errors otherwise.
+    pub fn refresh_object(&mut self, id: &ObjectId) -> Result<ProtocolCost, ArchiveError> {
+        let manifest = self
+            .manifests
+            .get_mut(id)
+            .ok_or_else(|| ArchiveError::UnknownObject(id.clone()))?;
+        let PolicyKind::Shamir { threshold, .. } = manifest.policy else {
+            return Err(ArchiveError::UnsupportedOperation(
+                "proactive refresh requires the Shamir policy",
+            ));
+        };
+        let raw = self.cluster.get_shards(id.as_str(), &manifest.placement);
+        let mut shares: Vec<Share> = Vec::with_capacity(raw.len());
+        for (i, s) in raw.iter().enumerate() {
+            let Some(bytes) = s else {
+                return Err(ArchiveError::UnsupportedOperation(
+                    "refresh requires all shareholders online",
+                ));
+            };
+            shares.push(Share {
+                index: (i + 1) as u8,
+                data: bytes.clone(),
+            });
+        }
+        let cost = proactive::refresh(&mut self.rng, &mut shares, threshold)?;
+        let blobs: Vec<Vec<u8>> = shares.into_iter().map(|s| s.data).collect();
+        self.cluster
+            .put_shards(id.as_str(), &manifest.placement, &blobs)?;
+        manifest.refresh_epochs += 1;
+        Ok(cost)
+    }
+
+    /// Re-encodes an object under a new policy (the unit of a
+    /// re-encryption campaign). Returns bytes read + written.
+    ///
+    /// # Errors
+    ///
+    /// Propagates retrieval and ingest errors.
+    pub fn reencode_object(
+        &mut self,
+        id: &ObjectId,
+        new_policy: PolicyKind,
+    ) -> Result<(u64, u64), ArchiveError> {
+        new_policy.validate()?;
+        let payload = self.retrieve(id)?;
+        let manifest = self
+            .manifests
+            .get(id)
+            .expect("manifest exists after retrieve");
+        let old_stored: u64 = self
+            .cluster
+            .get_shards(id.as_str(), &manifest.placement)
+            .iter()
+            .flatten()
+            .map(|s| s.len() as u64)
+            .sum();
+        let placement_old = manifest.placement.clone();
+        // Encode fresh under the new policy.
+        let encoded = new_policy.encode(&mut self.rng, &self.keys, id.as_str(), &payload)?;
+        let written: u64 = encoded.shards.iter().map(|s| s.len() as u64).sum();
+        let placement = self.cluster.place(id.as_str(), encoded.shards.len())?;
+        self.cluster.delete_shards(id.as_str(), &placement_old);
+        self.cluster
+            .put_shards(id.as_str(), &placement, &encoded.shards)?;
+        let manifest = self.manifests.get_mut(id).expect("manifest exists");
+        manifest.policy = new_policy;
+        manifest.meta = encoded.meta;
+        manifest.placement = placement;
+        Ok((old_stored, written))
+    }
+
+    /// Re-encodes every object under `new_policy`, returning total
+    /// objects migrated and bytes (read, written) — the campaign the
+    /// paper prices in §3.2.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first per-object failure.
+    pub fn reencode_all(
+        &mut self,
+        new_policy: PolicyKind,
+    ) -> Result<(usize, u64, u64), ArchiveError> {
+        let ids: Vec<ObjectId> = self.manifests.keys().cloned().collect();
+        let mut read = 0u64;
+        let mut written = 0u64;
+        for id in &ids {
+            let (r, w) = self.reencode_object(id, new_policy.clone())?;
+            read += r;
+            written += w;
+        }
+        Ok((ids.len(), read, written))
+    }
+
+    /// Adds an outer cascade layer to a Cascade-encoded object *without
+    /// decrypting the inner layers* — ArchiveSafeLT's emergency re-wrap.
+    /// The shards are read, the layered ciphertext is rebuilt from the
+    /// erasure code, one more AEAD layer is applied, and the result is
+    /// re-dispersed. Unlike [`Archive::reencode_object`], no plaintext and
+    /// no inner-layer keys are touched.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchiveError::UnsupportedOperation`] for non-Cascade
+    /// objects, and shard/crypto errors otherwise.
+    pub fn add_cascade_layer(
+        &mut self,
+        id: &ObjectId,
+        new_suite: aeon_crypto::SuiteId,
+    ) -> Result<(), ArchiveError> {
+        let manifest = self
+            .manifests
+            .get(id)
+            .ok_or_else(|| ArchiveError::UnknownObject(id.clone()))?;
+        let PolicyKind::Cascade {
+            suites,
+            data,
+            parity,
+        } = manifest.policy.clone()
+        else {
+            return Err(ArchiveError::UnsupportedOperation(
+                "re-wrap requires the Cascade policy",
+            ));
+        };
+        // Rebuild the layered ciphertext from the erasure code.
+        let rs = aeon_erasure::ReedSolomon::new(data, parity)
+            .map_err(|e| ArchiveError::Policy(PolicyError::Malformed(e.to_string())))?;
+        let shards = self.cluster.get_shards(id.as_str(), &manifest.placement);
+        let ct = aeon_erasure::ErasureCode::decode(&rs, &shards)
+            .map_err(|e| ArchiveError::Policy(PolicyError::Malformed(e.to_string())))?;
+
+        // Extend the cascade and wrap ONLY the new outer layer.
+        let master = self
+            .keys
+            .object_key_for_version(manifest.meta.key_version, id.as_str(), 0);
+        let mut cascade = aeon_crypto::cascade::Cascade::new(&suites, &master)
+            .map_err(|e| ArchiveError::Policy(PolicyError::CryptoFailure(e.to_string())))?;
+        let old_depth = cascade.depth();
+        cascade
+            .add_layer(new_suite, &master)
+            .map_err(|e| ArchiveError::Policy(PolicyError::CryptoFailure(e.to_string())))?;
+        let rewrapped = cascade.rewrap(id.as_str().as_bytes(), &ct, old_depth);
+
+        // Re-disperse and update the manifest's policy.
+        let new_shards = aeon_erasure::ErasureCode::encode(&rs, &rewrapped)
+            .map_err(|e| ArchiveError::Policy(PolicyError::Malformed(e.to_string())))?;
+        let placement = manifest.placement.clone();
+        self.cluster
+            .put_shards(id.as_str(), &placement, &new_shards)?;
+        let mut new_suites = suites;
+        new_suites.push(new_suite);
+        let manifest = self.manifests.get_mut(id).expect("manifest exists");
+        manifest.policy = PolicyKind::Cascade {
+            suites: new_suites,
+            data,
+            parity,
+        };
+        Ok(())
+    }
+
+    /// Rotates the master key.
+    pub fn rotate_master_key(&mut self, master: [u8; 32]) -> u32 {
+        self.keys.rotate(master)
+    }
+
+    /// Looks up a manifest.
+    pub fn manifest(&self, id: &ObjectId) -> Option<&Manifest> {
+        self.manifests.get(id)
+    }
+
+    /// Iterates over all manifests.
+    pub fn manifests(&self) -> impl Iterator<Item = &Manifest> {
+        self.manifests.values()
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> ArchiveStats {
+        let logical: u64 = self.manifests.values().map(|m| m.logical_len as u64).sum();
+        let stored = self.cluster.total_stored_bytes();
+        ArchiveStats {
+            objects: self.manifests.len(),
+            logical_bytes: logical,
+            stored_bytes: stored,
+            expansion: if logical == 0 {
+                0.0
+            } else {
+                stored as f64 / logical as f64
+            },
+        }
+    }
+
+    fn next_id(&mut self, name: &str) -> ObjectId {
+        self.counter += 1;
+        let mut h = Sha256::new();
+        h.update(name.as_bytes());
+        h.update(&self.counter.to_be_bytes());
+        h.update(&self.config.rng_seed.to_be_bytes());
+        let d = h.finalize();
+        ObjectId(d.iter().take(16).map(|b| format!("{b:02x}")).collect())
+    }
+}
+
+/// Crude Shannon-entropy estimate over byte frequencies.
+pub fn estimate_entropy_bits_per_byte(data: &[u8]) -> f64 {
+    if data.is_empty() {
+        return 0.0;
+    }
+    let mut counts = [0u64; 256];
+    for &b in data {
+        counts[b as usize] += 1;
+    }
+    let n = data.len() as f64;
+    counts
+        .iter()
+        .filter(|&&c| c > 0)
+        .map(|&c| {
+            let p = c as f64 / n;
+            -p * p.log2()
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aeon_crypto::{CryptoRng, SuiteId};
+
+    fn shamir_archive() -> Archive {
+        Archive::in_memory(ArchiveConfig::new(PolicyKind::Shamir {
+            threshold: 3,
+            shares: 5,
+        }))
+        .unwrap()
+    }
+
+    #[test]
+    fn ingest_retrieve_roundtrip() {
+        let mut a = shamir_archive();
+        let id = a.ingest(b"payload one", "doc").unwrap();
+        assert_eq!(a.retrieve(&id).unwrap(), b"payload one");
+    }
+
+    #[test]
+    fn unknown_object() {
+        let a = shamir_archive();
+        let bogus = ObjectId("feedfacefeedface".into());
+        assert!(matches!(
+            a.retrieve(&bogus),
+            Err(ArchiveError::UnknownObject(_))
+        ));
+    }
+
+    #[test]
+    fn distinct_ids_for_same_name() {
+        let mut a = shamir_archive();
+        let id1 = a.ingest(b"v1", "same-name").unwrap();
+        let id2 = a.ingest(b"v2", "same-name").unwrap();
+        assert_ne!(id1, id2);
+        assert_eq!(a.retrieve(&id1).unwrap(), b"v1");
+        assert_eq!(a.retrieve(&id2).unwrap(), b"v2");
+    }
+
+    #[test]
+    fn delete_removes_data() {
+        let mut a = shamir_archive();
+        let id = a.ingest(b"gone soon", "d").unwrap();
+        a.delete(&id).unwrap();
+        assert!(matches!(
+            a.retrieve(&id),
+            Err(ArchiveError::UnknownObject(_))
+        ));
+        assert_eq!(a.cluster().total_stored_bytes(), 0);
+        assert!(matches!(
+            a.delete(&id),
+            Err(ArchiveError::UnknownObject(_))
+        ));
+    }
+
+    #[test]
+    fn verify_reports_health() {
+        let mut a = shamir_archive();
+        let id = a.ingest(b"healthy", "d").unwrap();
+        let report = a.verify(&id, &SigBreakSchedule::new()).unwrap();
+        assert_eq!(report.shards_available, 5);
+        assert_eq!(report.shards_required, 3);
+        assert!(report.intact);
+        assert_eq!(report.chain_valid, Some(true));
+    }
+
+    #[test]
+    fn refresh_preserves_object_and_counts_epochs() {
+        let mut a = shamir_archive();
+        let id = a.ingest(b"refresh me", "d").unwrap();
+        let cost = a.refresh_object(&id).unwrap();
+        assert!(cost.messages > 0);
+        assert_eq!(a.manifest(&id).unwrap().refresh_epochs, 1);
+        assert_eq!(a.retrieve(&id).unwrap(), b"refresh me");
+    }
+
+    #[test]
+    fn refresh_rejected_for_non_shamir() {
+        let mut a = Archive::in_memory(ArchiveConfig::new(PolicyKind::ErasureCoded {
+            data: 2,
+            parity: 1,
+        }))
+        .unwrap();
+        let id = a.ingest(b"x", "d").unwrap();
+        assert!(matches!(
+            a.refresh_object(&id),
+            Err(ArchiveError::UnsupportedOperation(_))
+        ));
+    }
+
+    #[test]
+    fn reencode_object_migrates_policy() {
+        let mut a = Archive::in_memory(ArchiveConfig::new(PolicyKind::Encrypted {
+            suite: SuiteId::Aes256CtrHmac,
+            data: 3,
+            parity: 2,
+        }))
+        .unwrap();
+        let id = a.ingest(b"migrate me to a cascade", "d").unwrap();
+        let new_policy = PolicyKind::Cascade {
+            suites: vec![SuiteId::Aes256CtrHmac, SuiteId::ChaCha20Poly1305],
+            data: 3,
+            parity: 2,
+        };
+        let (read, written) = a.reencode_object(&id, new_policy.clone()).unwrap();
+        assert!(read > 0 && written > 0);
+        assert_eq!(a.manifest(&id).unwrap().policy, new_policy);
+        assert_eq!(a.retrieve(&id).unwrap(), b"migrate me to a cascade");
+    }
+
+    #[test]
+    fn reencode_all_counts() {
+        let mut a = shamir_archive();
+        for i in 0..4 {
+            a.ingest(format!("obj {i}").as_bytes(), &format!("d{i}"))
+                .unwrap();
+        }
+        let (count, read, written) = a
+            .reencode_all(PolicyKind::Shamir {
+                threshold: 2,
+                shares: 4,
+            })
+            .unwrap();
+        assert_eq!(count, 4);
+        assert!(read > 0 && written > 0);
+        for m in a.manifests() {
+            assert_eq!(
+                m.policy,
+                PolicyKind::Shamir {
+                    threshold: 2,
+                    shares: 4
+                }
+            );
+        }
+    }
+
+    #[test]
+    fn entropy_gate_for_entropic_policy() {
+        let mut a = Archive::in_memory(ArchiveConfig::new(PolicyKind::Entropic {
+            data: 2,
+            parity: 1,
+        }))
+        .unwrap();
+        // Low-entropy payload rejected.
+        let low = vec![0u8; 256];
+        assert!(matches!(
+            a.ingest(&low, "zeros"),
+            Err(ArchiveError::LowEntropy { .. })
+        ));
+        // High-entropy payload accepted.
+        let mut rng = ChaChaDrbg::from_u64_seed(5);
+        let mut high = vec![0u8; 256];
+        rng.fill_bytes(&mut high);
+        let id = a.ingest(&high, "random").unwrap();
+        assert_eq!(a.retrieve(&id).unwrap(), high);
+    }
+
+    #[test]
+    fn stats_track_expansion() {
+        let mut a = shamir_archive();
+        a.ingest(&[0u8; 1000], "big").unwrap();
+        let stats = a.stats();
+        assert_eq!(stats.objects, 1);
+        assert_eq!(stats.logical_bytes, 1000);
+        // Shamir 5 shares: 5x.
+        assert!((stats.expansion - 5.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn corruption_detected_on_retrieve() {
+        // Use a cluster we keep handles to.
+        use aeon_store::node::{MemoryNode, ShardKey, StorageNode};
+        use std::sync::Arc;
+        let handles: Vec<MemoryNode> =
+            (0..3).map(|i| MemoryNode::new(i, format!("s{i}"))).collect();
+        let cluster = Cluster::new(
+            handles
+                .iter()
+                .map(|h| Arc::new(h.clone()) as Arc<dyn StorageNode>)
+                .collect(),
+        );
+        let mut a = Archive::with_cluster(
+            ArchiveConfig::new(PolicyKind::Replication { copies: 3 }),
+            cluster,
+        )
+        .unwrap();
+        let id = a.ingest(b"truth", "d").unwrap();
+        // Corrupt every replica (replication picks the first available).
+        for h in &handles {
+            for key in h.keys() {
+                h.corrupt(&ShardKey::new(key.object.clone(), key.shard), b"lies!".to_vec());
+            }
+        }
+        assert!(matches!(
+            a.retrieve(&id),
+            Err(ArchiveError::IntegrityViolation(_))
+        ));
+    }
+
+    #[test]
+    fn tsa_auto_rotates_when_exhausted() {
+        // Height-6 TSA = 64 signatures; ingest 70 objects with chains.
+        let mut a = Archive::in_memory(ArchiveConfig::new(PolicyKind::Replication {
+            copies: 2,
+        }))
+        .unwrap();
+        for i in 0..70 {
+            a.ingest(b"obj", &format!("d{i}")).unwrap();
+        }
+        assert_eq!(a.stats().objects, 70);
+    }
+
+    #[test]
+    fn year_advances_and_is_monotonic() {
+        let mut a = shamir_archive();
+        a.advance_year(2050);
+        assert_eq!(a.year(), 2050);
+        let id = a.ingest(b"late", "d").unwrap();
+        assert_eq!(a.manifest(&id).unwrap().created_year, 2050);
+    }
+
+    #[test]
+    fn entropy_estimator_sane() {
+        assert_eq!(estimate_entropy_bits_per_byte(&[]), 0.0);
+        assert_eq!(estimate_entropy_bits_per_byte(&[7u8; 100]), 0.0);
+        let uniform: Vec<u8> = (0..=255u8).collect();
+        assert!((estimate_entropy_bits_per_byte(&uniform) - 8.0).abs() < 1e-9);
+    }
+}
+
+#[cfg(test)]
+mod rewrap_tests {
+    use super::*;
+    use crate::policy::PolicyKind;
+    use aeon_crypto::SuiteId;
+
+    #[test]
+    fn cascade_rewrap_adds_layer_without_plaintext_access() {
+        let mut a = Archive::in_memory(ArchiveConfig::new(PolicyKind::Cascade {
+            suites: vec![SuiteId::Aes256CtrHmac],
+            data: 3,
+            parity: 2,
+        }))
+        .unwrap();
+        let id = a.ingest(b"wrap me deeper", "d").unwrap();
+        a.add_cascade_layer(&id, SuiteId::ChaCha20Poly1305).unwrap();
+        // Policy now carries both layers and the object still reads.
+        match &a.manifest(&id).unwrap().policy {
+            PolicyKind::Cascade { suites, .. } => {
+                assert_eq!(
+                    suites,
+                    &vec![SuiteId::Aes256CtrHmac, SuiteId::ChaCha20Poly1305]
+                );
+            }
+            other => panic!("unexpected policy {other:?}"),
+        }
+        assert_eq!(a.retrieve(&id).unwrap(), b"wrap me deeper");
+        // A second re-wrap stacks again.
+        a.add_cascade_layer(&id, SuiteId::Aes256CtrHmac).unwrap();
+        assert_eq!(a.retrieve(&id).unwrap(), b"wrap me deeper");
+    }
+
+    #[test]
+    fn rewrap_rejected_for_non_cascade() {
+        let mut a = Archive::in_memory(ArchiveConfig::new(PolicyKind::Shamir {
+            threshold: 2,
+            shares: 3,
+        }))
+        .unwrap();
+        let id = a.ingest(b"x", "d").unwrap();
+        assert!(matches!(
+            a.add_cascade_layer(&id, SuiteId::ChaCha20Poly1305),
+            Err(ArchiveError::UnsupportedOperation(_))
+        ));
+    }
+
+    #[test]
+    fn pedersen_chain_integrity_mode() {
+        let mut a = Archive::in_memory(
+            ArchiveConfig::new(PolicyKind::Replication { copies: 2 })
+                .with_integrity(IntegrityMode::PedersenChain),
+        )
+        .unwrap();
+        let id = a.ingest(b"hidden anchored doc", "d").unwrap();
+        let health = a.verify(&id, &SigBreakSchedule::new()).unwrap();
+        assert!(health.intact);
+        assert_eq!(health.chain_valid, Some(true));
+        // The ledger entry is a group element, not the document digest.
+        let anchor = a.ledger().entry(0).unwrap().payload.clone();
+        assert_eq!(anchor.len(), 256);
+        assert_ne!(
+            &anchor[..32],
+            aeon_crypto::Sha256::digest(b"hidden anchored doc").as_ref()
+        );
+    }
+}

@@ -1,0 +1,64 @@
+//! The `aeon` archive core: policy-driven secure long-term archival
+//! storage.
+//!
+//! This crate assembles the substrates — finite fields, from-scratch
+//! crypto, erasure coding, secret sharing, integrity chains, channel and
+//! storage simulation, adversary models — into the system the paper
+//! (*Secure Archival is Hard... Really Hard*, HotStorage '24) argues the
+//! community needs: an archive in which the **data encoding is a policy
+//! decision** spanning the whole cost/security trade-off, and in which
+//! every maintenance operation the paper prices (re-encryption campaigns,
+//! proactive refresh, timestamp renewal) is a first-class API.
+//!
+//! * [`Archive`] — ingest / retrieve / verify / delete over a simulated
+//!   geo-dispersed cluster, with renewable timestamp chains.
+//! * [`PolicyKind`] — the nine at-rest encodings of the paper's design
+//!   space, from replication to leakage-resilient secret sharing.
+//! * [`aont`] — the AONT-RS dispersal codec (Resch–Plank).
+//! * [`keys`] — versioned master keys and per-object derivation.
+//! * [`evaluate`] — regenerates the paper's Table 1 and Figure 1 from
+//!   measured behaviour.
+//! * [`trustees`] — HasDPSS-style distributed custody of the master key:
+//!   Pedersen-VSS shares among a trustee board, verifiable proactive
+//!   refresh, and resharing to new boards.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use aeon_core::{Archive, ArchiveConfig, PolicyKind};
+//!
+//! let mut archive = Archive::in_memory(ArchiveConfig::new(PolicyKind::Shamir {
+//!     threshold: 3,
+//!     shares: 5,
+//! }))?;
+//! let id = archive.ingest(b"keep this for a century", "deed-1892")?;
+//! assert_eq!(archive.retrieve(&id)?, b"keep this for a century");
+//!
+//! // Proactive refresh re-randomizes every share; the object is intact.
+//! archive.refresh_object(&id)?;
+//! assert_eq!(archive.retrieve(&id)?, b"keep this for a century");
+//! # Ok::<(), aeon_core::ArchiveError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod aont;
+mod archive;
+pub mod evaluate;
+pub mod keys;
+pub mod planner;
+mod policy;
+mod repair;
+pub mod transfer;
+pub mod trustees;
+
+pub use archive::{
+    estimate_entropy_bits_per_byte, Archive, ArchiveConfig, ArchiveError, ArchiveStats,
+    HealthReport, IntegrityMode, Manifest, ObjectId,
+};
+pub use evaluate::{
+    figure1_points, table1, ChannelKind, CostBucket, Figure1Point, SystemProfile, Table1Row,
+};
+pub use policy::{Encoded, EncodingMeta, PolicyError, PolicyKind, Recovery};
+pub use repair::{RepairMethod, RepairReport};

@@ -1,0 +1,378 @@
+//! Maintenance planning: turning a cryptanalytic forecast into a
+//! schedule of archive operations.
+//!
+//! The paper's implicit operational question — *given* that ciphers and
+//! signature schemes will fall, when must the archive act? The planner
+//! walks a [`CryptanalyticTimeline`] against the archive's current
+//! policies and emits a year-ordered action list:
+//!
+//! * **re-encode** before the year a policy's last standing suite falls
+//!   (with a lead time covering the §3.2 campaign duration);
+//! * **rotate + renew timestamps** before each signature-scheme break;
+//! * **periodic refresh** for secret-shared policies (the mobile-
+//!   adversary defense), at a cadence the caller chooses.
+//!
+//! The plan is advisory data — callers execute it against the archive —
+//! so it is easy to test, print, and compare across scenarios.
+
+use crate::archive::Archive;
+use crate::policy::PolicyKind;
+use aeon_adversary::CryptanalyticTimeline;
+use aeon_crypto::SuiteId;
+use aeon_store::campaign::ReencryptionModel;
+use aeon_store::media::ArchiveSite;
+use std::collections::BTreeSet;
+
+/// One scheduled maintenance action.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Action {
+    /// Begin a re-encryption campaign migrating objects off `doomed`
+    /// (which breaks at `break_year`) so it completes before the break.
+    StartReencodeCampaign {
+        /// The suite that is about to fall.
+        doomed: SuiteId,
+        /// The year it falls.
+        break_year: u32,
+        /// Estimated campaign duration in months.
+        campaign_months: f64,
+    },
+    /// Rotate the timestamp authority off `scheme` and renew every chain
+    /// before `break_year`.
+    RotateSignatureScheme {
+        /// The scheme about to fall.
+        scheme: String,
+        /// The year it falls.
+        break_year: u32,
+    },
+    /// Run a proactive refresh epoch over all secret-shared objects.
+    RefreshShares,
+}
+
+/// A year-stamped plan entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanEntry {
+    /// Year the action must start.
+    pub year: u32,
+    /// What to do.
+    pub action: Action,
+}
+
+/// Planner configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct PlannerConfig {
+    /// Planning horizon (inclusive), e.g. 100 years out.
+    pub horizon_year: u32,
+    /// Refresh cadence for secret-shared objects, in years (0 = never).
+    pub refresh_every_years: u32,
+    /// Safety margin added on top of the estimated campaign duration,
+    /// in years.
+    pub campaign_margin_years: u32,
+    /// Signature schemes currently in use, with their names.
+    pub active_sig_scheme: &'static str,
+}
+
+impl Default for PlannerConfig {
+    fn default() -> Self {
+        PlannerConfig {
+            horizon_year: 2126,
+            refresh_every_years: 1,
+            campaign_margin_years: 1,
+            active_sig_scheme: "wots-v1",
+        }
+    }
+}
+
+/// Computes the maintenance plan for `archive` under `timeline`,
+/// modelling campaign durations against `site` (size/bandwidth).
+pub fn plan(
+    archive: &Archive,
+    timeline: &CryptanalyticTimeline,
+    site: &ArchiveSite,
+    config: PlannerConfig,
+) -> Vec<PlanEntry> {
+    let now = archive.year();
+    let mut entries: Vec<PlanEntry> = Vec::new();
+
+    // Which suites protect at-rest data right now?
+    let mut suites_in_use: BTreeSet<SuiteId> = BTreeSet::new();
+    let mut any_secret_shared = false;
+    for m in archive.manifests() {
+        match &m.policy {
+            PolicyKind::Encrypted { suite, .. } => {
+                suites_in_use.insert(*suite);
+            }
+            PolicyKind::Cascade { suites, .. } => {
+                // A cascade is only doomed when its LAST-falling layer
+                // falls; track that layer.
+                if let Some(last) = suites
+                    .iter()
+                    .filter_map(|s| timeline.ciphers().break_year(*s).map(|y| (y, *s)))
+                    .max_by_key(|(y, _)| *y)
+                {
+                    if suites.len()
+                        == suites
+                            .iter()
+                            .filter(|s| timeline.ciphers().break_year(**s).is_some())
+                            .count()
+                    {
+                        suites_in_use.insert(last.1);
+                    }
+                }
+            }
+            PolicyKind::AontRs { .. } => {
+                suites_in_use.insert(SuiteId::Aes256CtrHmac);
+            }
+            PolicyKind::Shamir { .. }
+            | PolicyKind::PackedShamir { .. }
+            | PolicyKind::LeakageResilientShamir { .. } => {
+                any_secret_shared = true;
+            }
+            PolicyKind::Replication { .. }
+            | PolicyKind::ErasureCoded { .. }
+            | PolicyKind::Entropic { .. } => {}
+        }
+    }
+
+    // Re-encode campaigns ahead of each relevant cipher break.
+    let campaign_months = ReencryptionModel::paper_assumptions(site.clone())
+        .estimate()
+        .realistic_months;
+    let lead_years = (campaign_months / 12.0).ceil() as u32 + config.campaign_margin_years;
+    for suite in suites_in_use {
+        if let Some(break_year) = timeline.ciphers().break_year(suite) {
+            if break_year > now && break_year <= config.horizon_year {
+                entries.push(PlanEntry {
+                    year: break_year.saturating_sub(lead_years).max(now),
+                    action: Action::StartReencodeCampaign {
+                        doomed: suite,
+                        break_year,
+                        campaign_months,
+                    },
+                });
+            }
+        }
+    }
+
+    // Signature rotation before the active scheme's break.
+    if timeline
+        .signatures()
+        .is_broken(config.active_sig_scheme, config.horizon_year)
+    {
+        // Find the break year by scanning (schedule has no iterator; probe).
+        let mut break_year = now;
+        for y in now..=config.horizon_year {
+            if timeline.signatures().is_broken(config.active_sig_scheme, y) {
+                break_year = y;
+                break;
+            }
+        }
+        if break_year > now {
+            entries.push(PlanEntry {
+                year: break_year - 1,
+                action: Action::RotateSignatureScheme {
+                    scheme: config.active_sig_scheme.to_string(),
+                    break_year,
+                },
+            });
+        }
+    }
+
+    // Periodic refresh for secret-shared data.
+    if any_secret_shared && config.refresh_every_years > 0 {
+        let mut y = now + config.refresh_every_years;
+        while y <= config.horizon_year {
+            entries.push(PlanEntry {
+                year: y,
+                action: Action::RefreshShares,
+            });
+            y += config.refresh_every_years;
+        }
+    }
+
+    entries.sort_by_key(|e| e.year);
+    entries
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Archive, ArchiveConfig, PolicyKind};
+
+    fn site() -> ArchiveSite {
+        ArchiveSite::hpss()
+    }
+
+    #[test]
+    fn encrypted_archive_gets_campaign_before_break() {
+        let mut archive = Archive::in_memory(
+            ArchiveConfig::new(PolicyKind::Encrypted {
+                suite: SuiteId::Aes256CtrHmac,
+                data: 4,
+                parity: 2,
+            })
+            .with_year(2026),
+        )
+        .unwrap();
+        archive.ingest(b"x", "o").unwrap();
+        let timeline = CryptanalyticTimeline::pessimistic_2045();
+        let plan = plan(
+            &archive,
+            &timeline,
+            &site(),
+            PlannerConfig {
+                refresh_every_years: 0,
+                ..Default::default()
+            },
+        );
+        let campaign = plan
+            .iter()
+            .find(|e| matches!(e.action, Action::StartReencodeCampaign { .. }))
+            .expect("campaign scheduled");
+        // Must start before 2045 with lead time for a ~26-month campaign.
+        assert!(campaign.year < 2045);
+        assert!(campaign.year >= 2040, "start {} too early", campaign.year);
+        if let Action::StartReencodeCampaign {
+            doomed, break_year, ..
+        } = &campaign.action
+        {
+            assert_eq!(*doomed, SuiteId::Aes256CtrHmac);
+            assert_eq!(*break_year, 2045);
+        }
+    }
+
+    #[test]
+    fn cascade_keyed_to_last_layer() {
+        let mut archive = Archive::in_memory(
+            ArchiveConfig::new(PolicyKind::Cascade {
+                suites: vec![SuiteId::Aes256CtrHmac, SuiteId::ChaCha20Poly1305],
+                data: 4,
+                parity: 2,
+            })
+            .with_year(2026),
+        )
+        .unwrap();
+        archive.ingest(b"x", "o").unwrap();
+        let timeline = CryptanalyticTimeline::pessimistic_2045(); // AES 2045, ChaCha 2060
+        let plan = plan(
+            &archive,
+            &timeline,
+            &site(),
+            PlannerConfig {
+                refresh_every_years: 0,
+                ..Default::default()
+            },
+        );
+        let campaign = plan
+            .iter()
+            .find(|e| matches!(e.action, Action::StartReencodeCampaign { .. }))
+            .expect("campaign scheduled");
+        if let Action::StartReencodeCampaign { break_year, .. } = &campaign.action {
+            assert_eq!(*break_year, 2060, "cascade dies with its LAST layer");
+        }
+    }
+
+    #[test]
+    fn shamir_archive_needs_no_campaign_only_refresh() {
+        let mut archive = Archive::in_memory(
+            ArchiveConfig::new(PolicyKind::Shamir {
+                threshold: 3,
+                shares: 5,
+            })
+            .with_year(2026),
+        )
+        .unwrap();
+        archive.ingest(b"x", "o").unwrap();
+        let timeline = CryptanalyticTimeline::pessimistic_2045();
+        let plan = plan(
+            &archive,
+            &timeline,
+            &site(),
+            PlannerConfig {
+                horizon_year: 2036,
+                refresh_every_years: 2,
+                ..Default::default()
+            },
+        );
+        assert!(plan
+            .iter()
+            .all(|e| !matches!(e.action, Action::StartReencodeCampaign { .. })));
+        let refreshes = plan
+            .iter()
+            .filter(|e| e.action == Action::RefreshShares)
+            .count();
+        assert_eq!(refreshes, 5); // 2028, 2030, 2032, 2034, 2036
+    }
+
+    #[test]
+    fn signature_rotation_scheduled_before_break() {
+        let mut archive = Archive::in_memory(
+            ArchiveConfig::new(PolicyKind::Replication { copies: 2 }).with_year(2026),
+        )
+        .unwrap();
+        archive.ingest(b"x", "o").unwrap();
+        let timeline = CryptanalyticTimeline::pessimistic_2045(); // wots-v1 breaks 2045
+        let plan = plan(
+            &archive,
+            &timeline,
+            &site(),
+            PlannerConfig {
+                refresh_every_years: 0,
+                ..Default::default()
+            },
+        );
+        let rot = plan
+            .iter()
+            .find(|e| matches!(e.action, Action::RotateSignatureScheme { .. }))
+            .expect("rotation scheduled");
+        assert_eq!(rot.year, 2044);
+    }
+
+    #[test]
+    fn optimistic_timeline_plans_nothing_but_refresh() {
+        let mut archive = Archive::in_memory(
+            ArchiveConfig::new(PolicyKind::Encrypted {
+                suite: SuiteId::Aes256CtrHmac,
+                data: 2,
+                parity: 1,
+            })
+            .with_year(2026),
+        )
+        .unwrap();
+        archive.ingest(b"x", "o").unwrap();
+        let plan = plan(
+            &archive,
+            &CryptanalyticTimeline::optimistic(),
+            &site(),
+            PlannerConfig::default(),
+        );
+        assert!(plan.is_empty(), "{plan:?}");
+    }
+
+    #[test]
+    fn plan_is_year_ordered() {
+        let mut archive = Archive::in_memory(
+            ArchiveConfig::new(PolicyKind::Shamir {
+                threshold: 2,
+                shares: 3,
+            })
+            .with_year(2026),
+        )
+        .unwrap();
+        archive.ingest(b"x", "o").unwrap();
+        archive
+            .ingest_with_policy(
+                b"y",
+                "o2",
+                PolicyKind::Encrypted {
+                    suite: SuiteId::Aes256CtrHmac,
+                    data: 2,
+                    parity: 1,
+                },
+            )
+            .unwrap();
+        let timeline = CryptanalyticTimeline::pessimistic_2045();
+        let entries = plan(&archive, &timeline, &site(), PlannerConfig::default());
+        assert!(entries.windows(2).all(|w| w[0].year <= w[1].year));
+        assert!(!entries.is_empty());
+    }
+}

@@ -1,0 +1,1081 @@
+//! Encoding policies: every data-at-rest design point from the paper's
+//! Figure 1 and Table 1, behind one interface.
+
+use crate::aont::{AontHndlOutcome, AontRs};
+use crate::keys::KeyStore;
+use aeon_adversary::CryptanalyticTimeline;
+use aeon_crypto::cascade::Cascade;
+use aeon_crypto::entropic::{EntropicCiphertext, EntropicCipher};
+use aeon_crypto::{aead, CryptoRng, SecurityLevel, SuiteId, SuiteRegistry};
+use aeon_erasure::{ErasureCode, ReedSolomon, Replicator};
+use aeon_secretshare::lrss::{self, LrssParams, LrssShare};
+use aeon_secretshare::packed::{self, PackedParams, PackedShare};
+use aeon_secretshare::shamir::{self, Share};
+
+/// Errors from policy encoding and decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PolicyError {
+    /// Policy parameters are invalid.
+    InvalidPolicy(String),
+    /// Not enough shards survive to decode.
+    TooFewShards {
+        /// Shards available.
+        available: usize,
+        /// Shards required.
+        required: usize,
+    },
+    /// Decryption or authentication failed.
+    CryptoFailure(String),
+    /// Shards or metadata are malformed.
+    Malformed(String),
+}
+
+impl core::fmt::Display for PolicyError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            PolicyError::InvalidPolicy(why) => write!(f, "invalid policy: {why}"),
+            PolicyError::TooFewShards { available, required } => {
+                write!(f, "too few shards: {available} of {required}")
+            }
+            PolicyError::CryptoFailure(why) => write!(f, "crypto failure: {why}"),
+            PolicyError::Malformed(why) => write!(f, "malformed data: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for PolicyError {}
+
+/// A data-at-rest encoding policy.
+///
+/// Each variant is one of the design points the paper surveys; see the
+/// per-variant docs for where it sits on the Figure 1 cost/security map.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PolicyKind {
+    /// Plain `n`-way replication: no confidentiality, maximal simplicity.
+    Replication {
+        /// Number of copies.
+        copies: usize,
+    },
+    /// Systematic Reed–Solomon `[data + parity, data]`: availability at
+    /// `n/k` cost, still no confidentiality.
+    ErasureCoded {
+        /// Data shards.
+        data: usize,
+        /// Parity shards.
+        parity: usize,
+    },
+    /// Encrypt-then-erasure-code under a single suite (the commercial
+    /// cloud default: AES + EC).
+    Encrypted {
+        /// The AEAD suite.
+        suite: SuiteId,
+        /// Data shards.
+        data: usize,
+        /// Parity shards.
+        parity: usize,
+    },
+    /// Cascade (robust combiner) of several suites, then erasure code —
+    /// the ArchiveSafeLT design.
+    Cascade {
+        /// Suites in application order.
+        suites: Vec<SuiteId>,
+        /// Data shards.
+        data: usize,
+        /// Parity shards.
+        parity: usize,
+    },
+    /// AONT-RS dispersal (Cleversafe): keyless, computational.
+    AontRs {
+        /// Threshold shards.
+        data: usize,
+        /// Parity shards.
+        parity: usize,
+    },
+    /// Shamir `t`-of-`n`: information-theoretic at `n×` cost (POTSHARDS).
+    Shamir {
+        /// Reconstruction threshold.
+        threshold: usize,
+        /// Share count.
+        shares: usize,
+    },
+    /// Packed secret sharing: ITS below `privacy` shares at `n/k` cost.
+    PackedShamir {
+        /// Privacy threshold.
+        privacy: usize,
+        /// Secrets per polynomial.
+        pack: usize,
+        /// Share count.
+        shares: usize,
+    },
+    /// Shamir wrapped by the leakage-resilient compiler.
+    LeakageResilientShamir {
+        /// Reconstruction threshold.
+        threshold: usize,
+        /// Share count.
+        shares: usize,
+        /// Extractor source length per share, bytes.
+        source_len: usize,
+    },
+    /// Entropically secure encryption then erasure coding: ITS for
+    /// high-entropy payloads at erasure-coding cost.
+    Entropic {
+        /// Data shards.
+        data: usize,
+        /// Parity shards.
+        parity: usize,
+    },
+}
+
+/// Per-object metadata produced at encode time and needed at decode time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EncodingMeta {
+    /// Master-key version used for key derivation (encrypted policies).
+    pub key_version: u32,
+    /// Packed-sharing parameters and true payload length.
+    pub packed: Option<(PackedParams, usize)>,
+    /// Entropic cipher public nonce.
+    pub entropic_nonce: Option<[u8; 16]>,
+}
+
+impl EncodingMeta {
+    fn plain(key_version: u32) -> Self {
+        EncodingMeta {
+            key_version,
+            packed: None,
+            entropic_nonce: None,
+        }
+    }
+}
+
+/// The product of encoding an object.
+#[derive(Debug, Clone)]
+pub struct Encoded {
+    /// One blob per storage node.
+    pub shards: Vec<Vec<u8>>,
+    /// Metadata required for decode.
+    pub meta: EncodingMeta,
+}
+
+/// What an adversary recovered from harvested material.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Recovery {
+    /// Full plaintext.
+    Full(Vec<u8>),
+    /// An estimated fraction of the plaintext.
+    Partial(f64),
+    /// Nothing.
+    Nothing,
+}
+
+impl PolicyKind {
+    /// Validates the policy's parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PolicyError::InvalidPolicy`] describing the violation.
+    pub fn validate(&self) -> Result<(), PolicyError> {
+        let bad = |why: &str| Err(PolicyError::InvalidPolicy(why.to_string()));
+        match self {
+            PolicyKind::Replication { copies } => {
+                if *copies == 0 {
+                    return bad("replication needs at least one copy");
+                }
+            }
+            PolicyKind::ErasureCoded { data, parity }
+            | PolicyKind::Encrypted { data, parity, .. }
+            | PolicyKind::Cascade { data, parity, .. }
+            | PolicyKind::AontRs { data, parity }
+            | PolicyKind::Entropic { data, parity } => {
+                if *data == 0 || *parity == 0 || data + parity > 255 {
+                    return bad("erasure parameters must satisfy 1 <= data, parity and n <= 255");
+                }
+                if let PolicyKind::Cascade { suites, .. } = self {
+                    if suites.is_empty() {
+                        return bad("cascade needs at least one suite");
+                    }
+                    if suites.iter().any(|s| s.is_information_theoretic()) {
+                        return bad("cascade layers must be AEAD suites");
+                    }
+                }
+            }
+            PolicyKind::Shamir { threshold, shares }
+            | PolicyKind::LeakageResilientShamir {
+                threshold, shares, ..
+            } => {
+                if *threshold == 0 || threshold > shares || *shares > 255 {
+                    return bad("Shamir parameters must satisfy 1 <= t <= n <= 255");
+                }
+                if let PolicyKind::LeakageResilientShamir { source_len, .. } = self {
+                    if *source_len == 0 {
+                        return bad("LRSS source length must be positive");
+                    }
+                }
+            }
+            PolicyKind::PackedShamir {
+                privacy,
+                pack,
+                shares,
+            } => {
+                PackedParams::new(*privacy, *pack, *shares)
+                    .map_err(|e| PolicyError::InvalidPolicy(e.to_string()))?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of shards this policy produces per object.
+    pub fn shard_count(&self) -> usize {
+        match self {
+            PolicyKind::Replication { copies } => *copies,
+            PolicyKind::ErasureCoded { data, parity }
+            | PolicyKind::Encrypted { data, parity, .. }
+            | PolicyKind::Cascade { data, parity, .. }
+            | PolicyKind::AontRs { data, parity }
+            | PolicyKind::Entropic { data, parity } => data + parity,
+            PolicyKind::Shamir { shares, .. }
+            | PolicyKind::PackedShamir { shares, .. }
+            | PolicyKind::LeakageResilientShamir { shares, .. } => *shares,
+        }
+    }
+
+    /// Minimum shards needed to read an object back.
+    pub fn read_threshold(&self) -> usize {
+        match self {
+            PolicyKind::Replication { .. } => 1,
+            PolicyKind::ErasureCoded { data, .. }
+            | PolicyKind::Encrypted { data, .. }
+            | PolicyKind::Cascade { data, .. }
+            | PolicyKind::AontRs { data, .. }
+            | PolicyKind::Entropic { data, .. } => *data,
+            PolicyKind::Shamir { threshold, .. }
+            | PolicyKind::LeakageResilientShamir { threshold, .. } => *threshold,
+            PolicyKind::PackedShamir { privacy, pack, .. } => privacy + pack,
+        }
+    }
+
+    /// Analytic storage expansion (stored bytes / payload bytes, ignoring
+    /// constant overheads).
+    pub fn expansion(&self) -> f64 {
+        match self {
+            PolicyKind::Replication { copies } => *copies as f64,
+            PolicyKind::ErasureCoded { data, parity }
+            | PolicyKind::Encrypted { data, parity, .. }
+            | PolicyKind::Cascade { data, parity, .. }
+            | PolicyKind::AontRs { data, parity }
+            | PolicyKind::Entropic { data, parity } => (data + parity) as f64 / *data as f64,
+            PolicyKind::Shamir { shares, .. } => *shares as f64,
+            PolicyKind::PackedShamir { pack, shares, .. } => *shares as f64 / *pack as f64,
+            PolicyKind::LeakageResilientShamir {
+                threshold: _,
+                shares,
+                source_len,
+            } => {
+                // Each share of length L stores source + seed + masked =
+                // source_len + (source_len + L) + L; expansion depends on
+                // L, so report the large-object limit plus the n factor.
+                let per_share = 2.0; // masked + seed ≈ 2L for L >> source
+                *shares as f64 * per_share + (*source_len as f64 * 0.0)
+            }
+        }
+    }
+
+    /// The at-rest confidentiality classification against a
+    /// *sub-threshold* adversary (fewer shards than the read threshold) —
+    /// the sense in which the paper's Table 1 grades "Confidentiality: At
+    /// Rest".
+    pub fn at_rest_level(&self) -> SecurityLevel {
+        match self {
+            PolicyKind::Replication { .. } | PolicyKind::ErasureCoded { .. } => {
+                SecurityLevel::None
+            }
+            PolicyKind::Encrypted { .. }
+            | PolicyKind::Cascade { .. }
+            | PolicyKind::AontRs { .. } => SecurityLevel::Computational,
+            PolicyKind::Shamir { .. }
+            | PolicyKind::PackedShamir { .. }
+            | PolicyKind::LeakageResilientShamir { .. } => SecurityLevel::InformationTheoretic,
+            PolicyKind::Entropic { .. } => SecurityLevel::EntropicIts,
+        }
+    }
+
+    /// Encodes a payload into shards.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PolicyError`] variants on invalid parameters or internal
+    /// failures.
+    pub fn encode<R: CryptoRng + ?Sized>(
+        &self,
+        rng: &mut R,
+        keys: &KeyStore,
+        object_id: &str,
+        payload: &[u8],
+    ) -> Result<Encoded, PolicyError> {
+        self.validate()?;
+        let version = keys.current_version();
+        let wrap_code = |e: aeon_erasure::CodeError| PolicyError::Malformed(e.to_string());
+        match self {
+            PolicyKind::Replication { copies } => {
+                let rep = Replicator::new(*copies).map_err(wrap_code)?;
+                Ok(Encoded {
+                    shards: rep.encode(payload).map_err(wrap_code)?,
+                    meta: EncodingMeta::plain(version),
+                })
+            }
+            PolicyKind::ErasureCoded { data, parity } => {
+                let rs = ReedSolomon::new(*data, *parity).map_err(wrap_code)?;
+                Ok(Encoded {
+                    shards: rs.encode(payload).map_err(wrap_code)?,
+                    meta: EncodingMeta::plain(version),
+                })
+            }
+            PolicyKind::Encrypted {
+                suite,
+                data,
+                parity,
+            } => {
+                let key = keys.object_key(object_id, 0);
+                let cipher = SuiteRegistry::new()
+                    .instantiate(*suite, &key)
+                    .ok_or_else(|| PolicyError::InvalidPolicy(format!("{suite} is not an AEAD")))?;
+                let nonce = aead::derive_nonce(object_id.as_bytes());
+                let ct = cipher.seal(&nonce, object_id.as_bytes(), payload);
+                let rs = ReedSolomon::new(*data, *parity).map_err(wrap_code)?;
+                Ok(Encoded {
+                    shards: rs.encode(&ct).map_err(wrap_code)?,
+                    meta: EncodingMeta::plain(version),
+                })
+            }
+            PolicyKind::Cascade {
+                suites,
+                data,
+                parity,
+            } => {
+                let master = keys.object_key(object_id, 0);
+                let cascade = Cascade::new(suites, &master)
+                    .map_err(|e| PolicyError::CryptoFailure(e.to_string()))?;
+                let ct = cascade.encrypt(object_id.as_bytes(), payload);
+                let rs = ReedSolomon::new(*data, *parity).map_err(wrap_code)?;
+                Ok(Encoded {
+                    shards: rs.encode(&ct).map_err(wrap_code)?,
+                    meta: EncodingMeta::plain(version),
+                })
+            }
+            PolicyKind::AontRs { data, parity } => {
+                let codec = AontRs::new(*data, *parity)
+                    .map_err(|e| PolicyError::Malformed(e.to_string()))?;
+                Ok(Encoded {
+                    shards: codec
+                        .encode(rng, payload)
+                        .map_err(|e| PolicyError::Malformed(e.to_string()))?,
+                    meta: EncodingMeta::plain(version),
+                })
+            }
+            PolicyKind::Shamir { threshold, shares } => {
+                let out = shamir::split(rng, payload, *threshold, *shares)
+                    .map_err(|e| PolicyError::Malformed(e.to_string()))?;
+                Ok(Encoded {
+                    shards: out.into_iter().map(|s| s.data).collect(),
+                    meta: EncodingMeta::plain(version),
+                })
+            }
+            PolicyKind::PackedShamir {
+                privacy,
+                pack,
+                shares,
+            } => {
+                let params = PackedParams::new(*privacy, *pack, *shares)
+                    .map_err(|e| PolicyError::InvalidPolicy(e.to_string()))?;
+                let out = packed::split(rng, params, payload)
+                    .map_err(|e| PolicyError::Malformed(e.to_string()))?;
+                let shards = out
+                    .into_iter()
+                    .map(|s| s.data.iter().flat_map(|v| v.to_be_bytes()).collect())
+                    .collect();
+                Ok(Encoded {
+                    shards,
+                    meta: EncodingMeta {
+                        key_version: version,
+                        packed: Some((params, payload.len())),
+                        entropic_nonce: None,
+                    },
+                })
+            }
+            PolicyKind::LeakageResilientShamir {
+                threshold,
+                shares,
+                source_len,
+            } => {
+                let base = shamir::split(rng, payload, *threshold, *shares)
+                    .map_err(|e| PolicyError::Malformed(e.to_string()))?;
+                let wrapped = lrss::wrap(
+                    rng,
+                    &base,
+                    LrssParams {
+                        source_len: *source_len,
+                    },
+                )
+                .map_err(|e| PolicyError::Malformed(e.to_string()))?;
+                Ok(Encoded {
+                    shards: wrapped.iter().map(serialize_lrss).collect(),
+                    meta: EncodingMeta::plain(version),
+                })
+            }
+            PolicyKind::Entropic { data, parity } => {
+                let cipher = EntropicCipher::new(keys.entropic_key(object_id));
+                let ct = cipher.encrypt(rng, payload);
+                let rs = ReedSolomon::new(*data, *parity).map_err(wrap_code)?;
+                Ok(Encoded {
+                    shards: rs.encode(&ct.body).map_err(wrap_code)?,
+                    meta: EncodingMeta {
+                        key_version: version,
+                        packed: None,
+                        entropic_nonce: Some(ct.nonce),
+                    },
+                })
+            }
+        }
+    }
+
+    /// Decodes an object from surviving shards.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PolicyError::TooFewShards`] or decode failures.
+    pub fn decode(
+        &self,
+        keys: &KeyStore,
+        object_id: &str,
+        shards: &[Option<Vec<u8>>],
+        meta: &EncodingMeta,
+    ) -> Result<Vec<u8>, PolicyError> {
+        let wrap_code = |e: aeon_erasure::CodeError| match e {
+            aeon_erasure::CodeError::TooFewShards {
+                available,
+                required,
+            } => PolicyError::TooFewShards {
+                available,
+                required,
+            },
+            other => PolicyError::Malformed(other.to_string()),
+        };
+        match self {
+            PolicyKind::Replication { copies } => {
+                let rep = Replicator::new(*copies)
+                    .map_err(|e| PolicyError::Malformed(e.to_string()))?;
+                rep.decode(shards).map_err(wrap_code)
+            }
+            PolicyKind::ErasureCoded { data, parity } => {
+                let rs = ReedSolomon::new(*data, *parity)
+                    .map_err(|e| PolicyError::Malformed(e.to_string()))?;
+                rs.decode(shards).map_err(wrap_code)
+            }
+            PolicyKind::Encrypted {
+                suite,
+                data,
+                parity,
+            } => {
+                let rs = ReedSolomon::new(*data, *parity)
+                    .map_err(|e| PolicyError::Malformed(e.to_string()))?;
+                let ct = rs.decode(shards).map_err(wrap_code)?;
+                let key = keys.object_key_for_version(meta.key_version, object_id, 0);
+                let cipher = SuiteRegistry::new()
+                    .instantiate(*suite, &key)
+                    .ok_or_else(|| PolicyError::InvalidPolicy(format!("{suite} is not an AEAD")))?;
+                let nonce = aead::derive_nonce(object_id.as_bytes());
+                cipher
+                    .open(&nonce, object_id.as_bytes(), &ct)
+                    .map_err(|_| PolicyError::CryptoFailure("AEAD open failed".into()))
+            }
+            PolicyKind::Cascade {
+                suites,
+                data,
+                parity,
+            } => {
+                let rs = ReedSolomon::new(*data, *parity)
+                    .map_err(|e| PolicyError::Malformed(e.to_string()))?;
+                let ct = rs.decode(shards).map_err(wrap_code)?;
+                let master = keys.object_key_for_version(meta.key_version, object_id, 0);
+                let cascade = Cascade::new(suites, &master)
+                    .map_err(|e| PolicyError::CryptoFailure(e.to_string()))?;
+                cascade
+                    .decrypt(object_id.as_bytes(), &ct)
+                    .map_err(|e| PolicyError::CryptoFailure(e.to_string()))
+            }
+            PolicyKind::AontRs { data, parity } => {
+                let codec = AontRs::new(*data, *parity)
+                    .map_err(|e| PolicyError::Malformed(e.to_string()))?;
+                codec.decode(shards).map_err(|e| match e {
+                    crate::aont::AontError::Code(c) => wrap_code(c),
+                    other => PolicyError::Malformed(other.to_string()),
+                })
+            }
+            PolicyKind::Shamir { threshold, .. } => {
+                let collected = collect_shamir(shards);
+                shamir::reconstruct(&collected, *threshold).map_err(share_err(*threshold))
+            }
+            PolicyKind::PackedShamir { .. } => {
+                let Some((params, plain_len)) = meta.packed else {
+                    return Err(PolicyError::Malformed("missing packed metadata".into()));
+                };
+                let collected: Vec<PackedShare> = shards
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, s)| {
+                        s.as_ref().map(|bytes| PackedShare {
+                            index: (i + 1) as u16,
+                            data: bytes
+                                .chunks_exact(2)
+                                .map(|c| u16::from_be_bytes([c[0], c[1]]))
+                                .collect(),
+                        })
+                    })
+                    .collect();
+                let mut out = packed::reconstruct(params, &collected)
+                    .map_err(share_err(params.reconstruct_threshold()))?;
+                out.truncate(plain_len);
+                Ok(out)
+            }
+            PolicyKind::LeakageResilientShamir { threshold, .. } => {
+                let wrapped: Vec<LrssShare> = shards
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, s)| {
+                        s.as_ref()
+                            .and_then(|bytes| deserialize_lrss((i + 1) as u8, bytes))
+                    })
+                    .collect();
+                let base = lrss::unwrap(&wrapped);
+                shamir::reconstruct(&base, *threshold).map_err(share_err(*threshold))
+            }
+            PolicyKind::Entropic { data, parity } => {
+                let rs = ReedSolomon::new(*data, *parity)
+                    .map_err(|e| PolicyError::Malformed(e.to_string()))?;
+                let body = rs.decode(shards).map_err(wrap_code)?;
+                let Some(nonce) = meta.entropic_nonce else {
+                    return Err(PolicyError::Malformed("missing entropic nonce".into()));
+                };
+                let cipher = EntropicCipher::new(keys.entropic_key(object_id));
+                Ok(cipher.decrypt(&EntropicCiphertext { nonce, body }))
+            }
+        }
+    }
+
+    /// Models what a harvest-now-decrypt-later adversary recovers at
+    /// `year`, given it stole the shards marked `Some` (plus all public
+    /// metadata) and the timeline's cryptanalytic progress. Key material
+    /// is assumed *not* stolen — pure HNDL. The `keys` store stands in
+    /// for the cryptanalysis itself: when the timeline says a suite is
+    /// broken, the model decrypts with the true key, which is exactly
+    /// what a real break would permit.
+    pub fn hndl_recover(
+        &self,
+        keys: &KeyStore,
+        object_id: &str,
+        stolen: &[Option<Vec<u8>>],
+        meta: &EncodingMeta,
+        timeline: &CryptanalyticTimeline,
+        year: u32,
+    ) -> Recovery {
+        let have = stolen.iter().flatten().count();
+        if have == 0 {
+            return Recovery::Nothing;
+        }
+        match self {
+            PolicyKind::Replication { .. } | PolicyKind::ErasureCoded { .. } => {
+                // Plaintext encodings: anything stolen is recovered. For
+                // systematic EC, sub-threshold hauls expose the stolen
+                // data shards directly.
+                match self.decode(keys, object_id, stolen, meta) {
+                    Ok(pt) => Recovery::Full(pt),
+                    Err(_) => {
+                        let data = self.read_threshold();
+                        let data_stolen =
+                            stolen.iter().take(data).flatten().count();
+                        if data_stolen > 0 {
+                            Recovery::Partial(data_stolen as f64 / data as f64)
+                        } else {
+                            Recovery::Nothing
+                        }
+                    }
+                }
+            }
+            PolicyKind::Encrypted { suite, data, .. } => {
+                if !timeline.ciphers().is_broken(*suite, year) {
+                    return Recovery::Nothing;
+                }
+                match self.decode(keys, object_id, stolen, meta) {
+                    Ok(pt) => Recovery::Full(pt),
+                    Err(_) => {
+                        let data_stolen = stolen.iter().take(*data).flatten().count();
+                        if data_stolen > 0 {
+                            Recovery::Partial(data_stolen as f64 / *data as f64)
+                        } else {
+                            Recovery::Nothing
+                        }
+                    }
+                }
+            }
+            PolicyKind::Cascade { suites, data, .. } => {
+                let all_broken = suites
+                    .iter()
+                    .all(|s| timeline.ciphers().is_broken(*s, year));
+                if !all_broken {
+                    return Recovery::Nothing;
+                }
+                match self.decode(keys, object_id, stolen, meta) {
+                    Ok(pt) => Recovery::Full(pt),
+                    Err(_) => {
+                        let data_stolen = stolen.iter().take(*data).flatten().count();
+                        if data_stolen > 0 {
+                            Recovery::Partial(data_stolen as f64 / *data as f64)
+                        } else {
+                            Recovery::Nothing
+                        }
+                    }
+                }
+            }
+            PolicyKind::AontRs { data, parity } => {
+                let codec = match AontRs::new(*data, *parity) {
+                    Ok(c) => c,
+                    Err(_) => return Recovery::Nothing,
+                };
+                let broken = timeline
+                    .ciphers()
+                    .is_broken(SuiteId::Aes256CtrHmac, year);
+                match codec.simulate_hndl(stolen, broken) {
+                    AontHndlOutcome::FullPlaintext(pt) => Recovery::Full(pt),
+                    AontHndlOutcome::PartialPlaintext { fraction } => Recovery::Partial(fraction),
+                    AontHndlOutcome::Nothing => Recovery::Nothing,
+                }
+            }
+            PolicyKind::Shamir { threshold, .. } => {
+                if have >= *threshold {
+                    match self.decode(keys, object_id, stolen, meta) {
+                        Ok(pt) => Recovery::Full(pt),
+                        Err(_) => Recovery::Nothing,
+                    }
+                } else {
+                    Recovery::Nothing
+                }
+            }
+            PolicyKind::LeakageResilientShamir { threshold, .. } => {
+                if have >= *threshold {
+                    match self.decode(keys, object_id, stolen, meta) {
+                        Ok(pt) => Recovery::Full(pt),
+                        Err(_) => Recovery::Nothing,
+                    }
+                } else {
+                    Recovery::Nothing
+                }
+            }
+            PolicyKind::PackedShamir {
+                privacy,
+                pack,
+                ..
+            } => {
+                if have >= privacy + pack {
+                    match self.decode(keys, object_id, stolen, meta) {
+                        Ok(pt) => Recovery::Full(pt),
+                        Err(_) => Recovery::Nothing,
+                    }
+                } else if have > *privacy {
+                    // Between t and t+k shares: the adversary pins the
+                    // secrets to a shrinking affine subspace — model as a
+                    // proportional partial leak.
+                    Recovery::Partial((have - privacy) as f64 / *pack as f64)
+                } else {
+                    Recovery::Nothing
+                }
+            }
+            PolicyKind::Entropic { .. } => {
+                // ITS for high-entropy payloads: the δ-biased pad never
+                // "breaks"; the archive enforces the entropy precondition
+                // at ingest.
+                Recovery::Nothing
+            }
+        }
+    }
+}
+
+fn share_err(required: usize) -> impl Fn(aeon_secretshare::ShareError) -> PolicyError {
+    move |e| match e {
+        aeon_secretshare::ShareError::TooFewShares { provided, .. } => PolicyError::TooFewShards {
+            available: provided,
+            required,
+        },
+        other => PolicyError::Malformed(other.to_string()),
+    }
+}
+
+fn collect_shamir(shards: &[Option<Vec<u8>>]) -> Vec<Share> {
+    shards
+        .iter()
+        .enumerate()
+        .filter_map(|(i, s)| {
+            s.as_ref().map(|bytes| Share {
+                index: (i + 1) as u8,
+                data: bytes.clone(),
+            })
+        })
+        .collect()
+}
+
+fn serialize_lrss(share: &LrssShare) -> Vec<u8> {
+    let mut out = Vec::with_capacity(12 + share.stored_len());
+    out.extend_from_slice(&(share.source.len() as u32).to_be_bytes());
+    out.extend_from_slice(&share.source);
+    out.extend_from_slice(&(share.seed.len() as u32).to_be_bytes());
+    out.extend_from_slice(&share.seed);
+    out.extend_from_slice(&(share.masked.len() as u32).to_be_bytes());
+    out.extend_from_slice(&share.masked);
+    out
+}
+
+fn deserialize_lrss(index: u8, bytes: &[u8]) -> Option<LrssShare> {
+    let mut pos = 0usize;
+    let mut take = |bytes: &[u8]| -> Option<Vec<u8>> {
+        if pos + 4 > bytes.len() {
+            return None;
+        }
+        let len = u32::from_be_bytes(bytes[pos..pos + 4].try_into().ok()?) as usize;
+        pos += 4;
+        if pos + len > bytes.len() {
+            return None;
+        }
+        let out = bytes[pos..pos + len].to_vec();
+        pos += len;
+        Some(out)
+    };
+    let source = take(bytes)?;
+    let seed = take(bytes)?;
+    let masked = take(bytes)?;
+    Some(LrssShare {
+        index,
+        source,
+        seed,
+        masked,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aeon_crypto::ChaChaDrbg;
+
+    fn fixtures() -> (ChaChaDrbg, KeyStore) {
+        (ChaChaDrbg::from_u64_seed(2024), KeyStore::new([5u8; 32]))
+    }
+
+    fn all_policies() -> Vec<PolicyKind> {
+        vec![
+            PolicyKind::Replication { copies: 3 },
+            PolicyKind::ErasureCoded { data: 4, parity: 2 },
+            PolicyKind::Encrypted {
+                suite: SuiteId::Aes256CtrHmac,
+                data: 4,
+                parity: 2,
+            },
+            PolicyKind::Cascade {
+                suites: vec![SuiteId::Aes256CtrHmac, SuiteId::ChaCha20Poly1305],
+                data: 4,
+                parity: 2,
+            },
+            PolicyKind::AontRs { data: 4, parity: 2 },
+            PolicyKind::Shamir {
+                threshold: 3,
+                shares: 5,
+            },
+            PolicyKind::PackedShamir {
+                privacy: 2,
+                pack: 2,
+                shares: 6,
+            },
+            PolicyKind::LeakageResilientShamir {
+                threshold: 3,
+                shares: 5,
+                source_len: 32,
+            },
+            PolicyKind::Entropic { data: 4, parity: 2 },
+        ]
+    }
+
+    #[test]
+    fn every_policy_roundtrips() {
+        let (mut rng, keys) = fixtures();
+        let payload = b"the archived object payload, long enough to stripe";
+        for policy in all_policies() {
+            let enc = policy.encode(&mut rng, &keys, "obj-1", payload).unwrap();
+            assert_eq!(enc.shards.len(), policy.shard_count(), "{policy:?}");
+            let shards: Vec<Option<Vec<u8>>> = enc.shards.iter().cloned().map(Some).collect();
+            let dec = policy.decode(&keys, "obj-1", &shards, &enc.meta).unwrap();
+            assert_eq!(dec, payload, "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn every_policy_survives_maximum_loss() {
+        let (mut rng, keys) = fixtures();
+        let payload: Vec<u8> = (0..300u16).map(|i| (i % 251) as u8).collect();
+        for policy in all_policies() {
+            let enc = policy.encode(&mut rng, &keys, "obj-2", &payload).unwrap();
+            let n = policy.shard_count();
+            let t = policy.read_threshold();
+            let mut shards: Vec<Option<Vec<u8>>> = enc.shards.iter().cloned().map(Some).collect();
+            // Drop the first n - t shards.
+            for s in shards.iter_mut().take(n - t) {
+                *s = None;
+            }
+            let dec = policy.decode(&keys, "obj-2", &shards, &enc.meta).unwrap();
+            assert_eq!(dec, payload, "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn every_policy_fails_below_threshold() {
+        let (mut rng, keys) = fixtures();
+        let payload = b"below threshold";
+        for policy in all_policies() {
+            if policy.read_threshold() == 1 {
+                continue; // replication can't go below threshold non-trivially
+            }
+            let enc = policy.encode(&mut rng, &keys, "obj-3", payload).unwrap();
+            let t = policy.read_threshold();
+            let mut shards: Vec<Option<Vec<u8>>> = enc.shards.iter().cloned().map(Some).collect();
+            // Keep only t - 1 shards.
+            let mut kept = 0;
+            for s in shards.iter_mut() {
+                if s.is_some() {
+                    if kept >= t - 1 {
+                        *s = None;
+                    } else {
+                        kept += 1;
+                    }
+                }
+            }
+            assert!(
+                policy.decode(&keys, "obj-3", &shards, &enc.meta).is_err(),
+                "{policy:?} decoded below threshold"
+            );
+        }
+    }
+
+    #[test]
+    fn wrong_object_id_fails_for_authenticated_policies() {
+        let (mut rng, keys) = fixtures();
+        let policy = PolicyKind::Encrypted {
+            suite: SuiteId::ChaCha20Poly1305,
+            data: 2,
+            parity: 1,
+        };
+        let enc = policy.encode(&mut rng, &keys, "obj-A", b"bound").unwrap();
+        let shards: Vec<Option<Vec<u8>>> = enc.shards.iter().cloned().map(Some).collect();
+        assert!(policy.decode(&keys, "obj-B", &shards, &enc.meta).is_err());
+    }
+
+    #[test]
+    fn key_rotation_keeps_old_objects_readable() {
+        let (mut rng, mut keys) = fixtures();
+        let policy = PolicyKind::Encrypted {
+            suite: SuiteId::Aes256CtrHmac,
+            data: 2,
+            parity: 1,
+        };
+        let enc = policy.encode(&mut rng, &keys, "obj", b"pre-rotation").unwrap();
+        keys.rotate([99u8; 32]);
+        let shards: Vec<Option<Vec<u8>>> = enc.shards.iter().cloned().map(Some).collect();
+        // meta.key_version pins the old master.
+        assert_eq!(
+            policy.decode(&keys, "obj", &shards, &enc.meta).unwrap(),
+            b"pre-rotation"
+        );
+    }
+
+    #[test]
+    fn at_rest_levels_match_table1() {
+        use SecurityLevel::*;
+        let expect = [
+            (PolicyKind::Replication { copies: 3 }, None),
+            (PolicyKind::ErasureCoded { data: 4, parity: 2 }, None),
+            (
+                PolicyKind::Encrypted {
+                    suite: SuiteId::Aes256CtrHmac,
+                    data: 4,
+                    parity: 2,
+                },
+                Computational,
+            ),
+            (PolicyKind::AontRs { data: 4, parity: 2 }, Computational),
+            (
+                PolicyKind::Shamir {
+                    threshold: 3,
+                    shares: 5,
+                },
+                InformationTheoretic,
+            ),
+            (PolicyKind::Entropic { data: 4, parity: 2 }, EntropicIts),
+        ];
+        for (policy, level) in expect {
+            assert_eq!(policy.at_rest_level(), level, "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn expansions() {
+        assert!((PolicyKind::Replication { copies: 3 }.expansion() - 3.0).abs() < 1e-9);
+        assert!(
+            (PolicyKind::ErasureCoded { data: 4, parity: 2 }.expansion() - 1.5).abs() < 1e-9
+        );
+        assert!(
+            (PolicyKind::Shamir {
+                threshold: 3,
+                shares: 5
+            }
+            .expansion()
+                - 5.0)
+                .abs()
+                < 1e-9
+        );
+        assert!(
+            (PolicyKind::PackedShamir {
+                privacy: 2,
+                pack: 4,
+                shares: 12
+            }
+            .expansion()
+                - 3.0)
+                .abs()
+                < 1e-9
+        );
+    }
+
+    #[test]
+    fn validation_rejects_bad_parameters() {
+        assert!(PolicyKind::Replication { copies: 0 }.validate().is_err());
+        assert!(PolicyKind::ErasureCoded { data: 0, parity: 1 }.validate().is_err());
+        assert!(PolicyKind::Cascade {
+            suites: vec![],
+            data: 2,
+            parity: 1
+        }
+        .validate()
+        .is_err());
+        assert!(PolicyKind::Cascade {
+            suites: vec![SuiteId::OneTimePad],
+            data: 2,
+            parity: 1
+        }
+        .validate()
+        .is_err());
+        assert!(PolicyKind::Shamir {
+            threshold: 6,
+            shares: 5
+        }
+        .validate()
+        .is_err());
+        assert!(PolicyKind::LeakageResilientShamir {
+            threshold: 2,
+            shares: 3,
+            source_len: 0
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn hndl_encrypted_falls_with_its_suite() {
+        let (mut rng, keys) = fixtures();
+        let policy = PolicyKind::Encrypted {
+            suite: SuiteId::Aes256CtrHmac,
+            data: 2,
+            parity: 1,
+        };
+        let enc = policy.encode(&mut rng, &keys, "hndl", b"harvested!").unwrap();
+        let stolen: Vec<Option<Vec<u8>>> = enc.shards.iter().cloned().map(Some).collect();
+        let timeline = CryptanalyticTimeline::pessimistic_2045();
+        assert_eq!(
+            policy.hndl_recover(&keys, "hndl", &stolen, &enc.meta, &timeline, 2040),
+            Recovery::Nothing
+        );
+        assert_eq!(
+            policy.hndl_recover(&keys, "hndl", &stolen, &enc.meta, &timeline, 2050),
+            Recovery::Full(b"harvested!".to_vec())
+        );
+    }
+
+    #[test]
+    fn hndl_cascade_needs_all_layers_broken() {
+        let (mut rng, keys) = fixtures();
+        let policy = PolicyKind::Cascade {
+            suites: vec![SuiteId::Aes256CtrHmac, SuiteId::ChaCha20Poly1305],
+            data: 2,
+            parity: 1,
+        };
+        let enc = policy.encode(&mut rng, &keys, "casc", b"layered").unwrap();
+        let stolen: Vec<Option<Vec<u8>>> = enc.shards.iter().cloned().map(Some).collect();
+        let timeline = CryptanalyticTimeline::pessimistic_2045(); // AES 2045, ChaCha 2060
+        assert_eq!(
+            policy.hndl_recover(&keys, "casc", &stolen, &enc.meta, &timeline, 2050),
+            Recovery::Nothing,
+            "one unbroken layer must protect the cascade"
+        );
+        assert_eq!(
+            policy.hndl_recover(&keys, "casc", &stolen, &enc.meta, &timeline, 2060),
+            Recovery::Full(b"layered".to_vec())
+        );
+    }
+
+    #[test]
+    fn hndl_shamir_immune_below_threshold_forever() {
+        let (mut rng, keys) = fixtures();
+        let policy = PolicyKind::Shamir {
+            threshold: 3,
+            shares: 5,
+        };
+        let enc = policy.encode(&mut rng, &keys, "its", b"eternal").unwrap();
+        let mut stolen: Vec<Option<Vec<u8>>> = enc.shards.iter().cloned().map(Some).collect();
+        stolen[0] = None;
+        stolen[1] = None;
+        stolen[2] = None; // only 2 of 5 stolen
+        let timeline = CryptanalyticTimeline::pessimistic_2045();
+        assert_eq!(
+            policy.hndl_recover(&keys, "its", &stolen, &enc.meta, &timeline, 99_999),
+            Recovery::Nothing
+        );
+        // But a threshold haul needs no break at all.
+        let full: Vec<Option<Vec<u8>>> = enc.shards.iter().cloned().map(Some).collect();
+        assert_eq!(
+            policy.hndl_recover(&keys, "its", &full, &enc.meta, &timeline, 2026),
+            Recovery::Full(b"eternal".to_vec())
+        );
+    }
+
+    #[test]
+    fn hndl_erasure_leaks_immediately() {
+        let (mut rng, keys) = fixtures();
+        let policy = PolicyKind::ErasureCoded { data: 4, parity: 2 };
+        let enc = policy.encode(&mut rng, &keys, "plain", b"no confidentiality here").unwrap();
+        let mut stolen: Vec<Option<Vec<u8>>> = vec![None; 6];
+        stolen[0] = Some(enc.shards[0].clone()); // one data shard
+        let timeline = CryptanalyticTimeline::optimistic();
+        match policy.hndl_recover(&keys, "plain", &stolen, &enc.meta, &timeline, 2026) {
+            Recovery::Partial(f) => assert!((f - 0.25).abs() < 1e-9),
+            other => panic!("expected partial leak, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hndl_entropic_never_recovered() {
+        let (mut rng, keys) = fixtures();
+        let policy = PolicyKind::Entropic { data: 2, parity: 1 };
+        let enc = policy
+            .encode(&mut rng, &keys, "ent", b"high entropy assumed")
+            .unwrap();
+        let stolen: Vec<Option<Vec<u8>>> = enc.shards.iter().cloned().map(Some).collect();
+        let timeline = CryptanalyticTimeline::pessimistic_2045();
+        assert_eq!(
+            policy.hndl_recover(&keys, "ent", &stolen, &enc.meta, &timeline, 99_999),
+            Recovery::Nothing
+        );
+    }
+}

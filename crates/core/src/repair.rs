@@ -1,0 +1,356 @@
+//! Shard repair: rebuilding lost shards from survivors.
+//!
+//! Archives lose media continuously; what keeps them alive is the repair
+//! loop. For MDS-coded policies a lost shard is recomputed from any `k`
+//! survivors without touching the plaintext; for Shamir policies the
+//! missing share is *re-derived at its evaluation point* from `t`
+//! survivors (Lagrange at `x = missing index`) — the secret never leaves
+//! the math. Policies without partial-repair structure (AONT packages,
+//! LRSS wrappers, packed rows with per-row randomness) fall back to a
+//! full re-encode, which costs a whole-object read+write and fresh
+//! randomness.
+
+use crate::archive::{Archive, ArchiveError, ObjectId};
+use crate::policy::PolicyKind;
+use aeon_erasure::ReedSolomon;
+use aeon_gf::Gf256;
+use aeon_secretshare::shamir::{self, Share};
+
+/// How a repair was performed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RepairMethod {
+    /// Nothing was missing.
+    NotNeeded,
+    /// Lost shards recomputed in place from survivors (MDS property).
+    PartialErasure,
+    /// Lost shares re-derived at their evaluation points (Shamir).
+    PartialShamir,
+    /// Whole object decoded and re-encoded (policies without partial
+    /// repair structure).
+    FullReencode,
+}
+
+/// Report from a repair pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RepairReport {
+    /// Shards that were missing before the repair.
+    pub missing_before: usize,
+    /// Shards missing after (0 unless nodes are offline).
+    pub missing_after: usize,
+    /// The strategy used.
+    pub method: RepairMethod,
+}
+
+impl Archive {
+    /// Repairs an object's missing shards. Requires at least the policy's
+    /// read threshold of shards to survive.
+    ///
+    /// # Errors
+    ///
+    /// Returns decode errors if too few shards survive, and cluster
+    /// errors if the rebuilt shards cannot be written back.
+    pub fn repair_object(&mut self, id: &ObjectId) -> Result<RepairReport, ArchiveError> {
+        let manifest = self
+            .manifest(id)
+            .ok_or_else(|| ArchiveError::UnknownObject(id.clone()))?
+            .clone();
+        let shards = self.cluster().get_shards(id.as_str(), &manifest.placement);
+        let missing: Vec<usize> = (0..shards.len())
+            .filter(|&i| shards[i].is_none())
+            .collect();
+        if missing.is_empty() {
+            return Ok(RepairReport {
+                missing_before: 0,
+                missing_after: 0,
+                method: RepairMethod::NotNeeded,
+            });
+        }
+
+        let method = match &manifest.policy {
+            PolicyKind::ErasureCoded { data, parity }
+            | PolicyKind::Encrypted { data, parity, .. }
+            | PolicyKind::Cascade { data, parity, .. }
+            | PolicyKind::AontRs { data, parity }
+            | PolicyKind::Entropic { data, parity } => {
+                // The stored shards ARE an RS codeword set: rebuild the
+                // missing rows directly, ciphertext untouched.
+                let rs = ReedSolomon::new(*data, *parity)
+                    .map_err(|e| ArchiveError::Policy(crate::policy::PolicyError::Malformed(e.to_string())))?;
+                let all = rs.reconstruct_shards(&shards).map_err(|e| {
+                    ArchiveError::Policy(crate::policy::PolicyError::Malformed(e.to_string()))
+                })?;
+                self.write_missing(id, &manifest.placement, &missing, &all)?;
+                RepairMethod::PartialErasure
+            }
+            PolicyKind::Replication { .. } => {
+                // Any surviving replica is the object.
+                let replica = shards
+                    .iter()
+                    .flatten()
+                    .next()
+                    .cloned()
+                    .ok_or(ArchiveError::Policy(crate::policy::PolicyError::TooFewShards {
+                        available: 0,
+                        required: 1,
+                    }))?;
+                let all = vec![replica; shards.len()];
+                self.write_missing(id, &manifest.placement, &missing, &all)?;
+                RepairMethod::PartialErasure
+            }
+            PolicyKind::Shamir { threshold, .. } => {
+                // Re-derive each missing share at its own x from t
+                // survivors — the secret is never reconstructed at x = 0.
+                let survivors: Vec<Share> = shards
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, s)| {
+                        s.as_ref().map(|bytes| Share {
+                            index: (i + 1) as u8,
+                            data: bytes.clone(),
+                        })
+                    })
+                    .collect();
+                let mut rebuilt: Vec<(usize, Vec<u8>)> = Vec::with_capacity(missing.len());
+                for &m in &missing {
+                    let x = Gf256::new((m + 1) as u8);
+                    let share = shamir::reconstruct_at(&survivors, *threshold, x)
+                        .map_err(ArchiveError::Share)?;
+                    rebuilt.push((m, share));
+                }
+                for (m, data) in rebuilt {
+                    let node = self
+                        .cluster()
+                        .node(manifest.placement[m])
+                        .cloned()
+                        .ok_or(ArchiveError::Policy(crate::policy::PolicyError::Malformed(
+                            "placement references unknown node".into(),
+                        )))?;
+                    node.put(
+                        &aeon_store::node::ShardKey::new(id.as_str(), m as u32),
+                        &data,
+                    )
+                    .map_err(|e| {
+                        ArchiveError::Cluster(aeon_store::cluster::ClusterError::Node(e))
+                    })?;
+                }
+                RepairMethod::PartialShamir
+            }
+            PolicyKind::PackedShamir { .. } | PolicyKind::LeakageResilientShamir { .. } => {
+                // No per-shard repair structure: decode and re-encode.
+                let policy = manifest.policy.clone();
+                self.reencode_object(id, policy)?;
+                RepairMethod::FullReencode
+            }
+        };
+
+        let manifest = self.manifest(id).expect("manifest survives repair");
+        let after = self
+            .cluster()
+            .get_shards(id.as_str(), &manifest.placement)
+            .iter()
+            .filter(|s| s.is_none())
+            .count();
+        Ok(RepairReport {
+            missing_before: missing.len(),
+            missing_after: after,
+            method,
+        })
+    }
+
+    fn write_missing(
+        &mut self,
+        id: &ObjectId,
+        placement: &[aeon_store::node::NodeId],
+        missing: &[usize],
+        all: &[Vec<u8>],
+    ) -> Result<(), ArchiveError> {
+        for &m in missing {
+            let node = self
+                .cluster()
+                .node(placement[m])
+                .cloned()
+                .ok_or(ArchiveError::Policy(crate::policy::PolicyError::Malformed(
+                    "placement references unknown node".into(),
+                )))?;
+            node.put(&aeon_store::node::ShardKey::new(id.as_str(), m as u32), &all[m])
+                .map_err(|e| ArchiveError::Cluster(aeon_store::cluster::ClusterError::Node(e)))?;
+        }
+        Ok(())
+    }
+
+    /// Repairs every object that is missing shards; returns
+    /// `(objects_repaired, reports)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first unrecoverable per-object failure.
+    pub fn repair_all(&mut self) -> Result<Vec<(ObjectId, RepairReport)>, ArchiveError> {
+        let ids: Vec<ObjectId> = self.manifests().map(|m| m.id.clone()).collect();
+        let mut out = Vec::new();
+        for id in ids {
+            let report = self.repair_object(&id)?;
+            if report.method != RepairMethod::NotNeeded {
+                out.push((id, report));
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ArchiveConfig, PolicyKind};
+    use aeon_crypto::SuiteId;
+    use aeon_store::node::{MemoryNode, ShardKey, StorageNode};
+    use aeon_store::Cluster;
+    use std::sync::Arc;
+
+    fn archive_with_handles(policy: PolicyKind, n: usize) -> (Archive, Vec<MemoryNode>) {
+        let handles: Vec<MemoryNode> = (0..n as u32)
+            .map(|i| MemoryNode::new(i, format!("site-{i}")))
+            .collect();
+        let cluster = Cluster::new(
+            handles
+                .iter()
+                .map(|h| Arc::new(h.clone()) as Arc<dyn StorageNode>)
+                .collect(),
+        );
+        (
+            Archive::with_cluster(ArchiveConfig::new(policy), cluster).unwrap(),
+            handles,
+        )
+    }
+
+    fn delete_shard(handles: &[MemoryNode], archive: &Archive, id: &ObjectId, shard: usize) {
+        let manifest = archive.manifest(id).unwrap();
+        let node_id = manifest.placement[shard];
+        let node = handles.iter().find(|h| h.id() == node_id).unwrap();
+        node.delete(&ShardKey::new(id.as_str(), shard as u32)).unwrap();
+    }
+
+    #[test]
+    fn erasure_partial_repair() {
+        let (mut archive, handles) =
+            archive_with_handles(PolicyKind::ErasureCoded { data: 3, parity: 2 }, 5);
+        let id = archive.ingest(b"repairable payload", "r").unwrap();
+        delete_shard(&handles, &archive, &id, 1);
+        delete_shard(&handles, &archive, &id, 4);
+        let report = archive.repair_object(&id).unwrap();
+        assert_eq!(report.missing_before, 2);
+        assert_eq!(report.missing_after, 0);
+        assert_eq!(report.method, RepairMethod::PartialErasure);
+        assert_eq!(archive.retrieve(&id).unwrap(), b"repairable payload");
+    }
+
+    #[test]
+    fn shamir_partial_repair_restores_same_polynomial() {
+        let (mut archive, handles) = archive_with_handles(
+            PolicyKind::Shamir {
+                threshold: 3,
+                shares: 5,
+            },
+            5,
+        );
+        let id = archive.ingest(b"derive my shares back", "r").unwrap();
+        let manifest = archive.manifest(&id).unwrap();
+        let before = archive.cluster().get_shards(id.as_str(), &manifest.placement);
+        delete_shard(&handles, &archive, &id, 2);
+        let report = archive.repair_object(&id).unwrap();
+        assert_eq!(report.method, RepairMethod::PartialShamir);
+        assert_eq!(report.missing_after, 0);
+        let manifest = archive.manifest(&id).unwrap();
+        let after = archive.cluster().get_shards(id.as_str(), &manifest.placement);
+        // The rebuilt share equals the original (same polynomial).
+        assert_eq!(before[2], after[2]);
+        assert_eq!(archive.retrieve(&id).unwrap(), b"derive my shares back");
+    }
+
+    #[test]
+    fn encrypted_repair_does_not_touch_plaintext_keys() {
+        let (mut archive, handles) = archive_with_handles(
+            PolicyKind::Encrypted {
+                suite: SuiteId::ChaCha20Poly1305,
+                data: 2,
+                parity: 2,
+            },
+            4,
+        );
+        let id = archive.ingest(b"ciphertext-level repair", "r").unwrap();
+        delete_shard(&handles, &archive, &id, 0);
+        let report = archive.repair_object(&id).unwrap();
+        assert_eq!(report.method, RepairMethod::PartialErasure);
+        assert_eq!(archive.retrieve(&id).unwrap(), b"ciphertext-level repair");
+    }
+
+    #[test]
+    fn lrss_falls_back_to_reencode() {
+        let (mut archive, handles) = archive_with_handles(
+            PolicyKind::LeakageResilientShamir {
+                threshold: 2,
+                shares: 4,
+                source_len: 32,
+            },
+            4,
+        );
+        let id = archive.ingest(b"rewrap me", "r").unwrap();
+        delete_shard(&handles, &archive, &id, 3);
+        let report = archive.repair_object(&id).unwrap();
+        assert_eq!(report.method, RepairMethod::FullReencode);
+        assert_eq!(report.missing_after, 0);
+        assert_eq!(archive.retrieve(&id).unwrap(), b"rewrap me");
+    }
+
+    #[test]
+    fn replication_repair() {
+        let (mut archive, handles) =
+            archive_with_handles(PolicyKind::Replication { copies: 3 }, 3);
+        let id = archive.ingest(b"copy repair", "r").unwrap();
+        delete_shard(&handles, &archive, &id, 0);
+        delete_shard(&handles, &archive, &id, 2);
+        let report = archive.repair_object(&id).unwrap();
+        assert_eq!(report.missing_before, 2);
+        assert_eq!(report.missing_after, 0);
+        assert_eq!(archive.retrieve(&id).unwrap(), b"copy repair");
+    }
+
+    #[test]
+    fn repair_beyond_threshold_fails() {
+        let (mut archive, handles) = archive_with_handles(
+            PolicyKind::ErasureCoded { data: 3, parity: 1 },
+            4,
+        );
+        let id = archive.ingest(b"gone", "r").unwrap();
+        delete_shard(&handles, &archive, &id, 0);
+        delete_shard(&handles, &archive, &id, 1);
+        assert!(archive.repair_object(&id).is_err());
+    }
+
+    #[test]
+    fn repair_noop_when_healthy() {
+        let (mut archive, _handles) =
+            archive_with_handles(PolicyKind::Replication { copies: 2 }, 2);
+        let id = archive.ingest(b"fine", "r").unwrap();
+        let report = archive.repair_object(&id).unwrap();
+        assert_eq!(report.method, RepairMethod::NotNeeded);
+        assert!(archive.repair_all().unwrap().is_empty());
+    }
+
+    #[test]
+    fn repair_all_sweeps_fleet() {
+        let (mut archive, handles) = archive_with_handles(
+            PolicyKind::ErasureCoded { data: 2, parity: 2 },
+            4,
+        );
+        let ids: Vec<_> = (0..3)
+            .map(|i| archive.ingest(b"sweep", &format!("o{i}")).unwrap())
+            .collect();
+        delete_shard(&handles, &archive, &ids[0], 1);
+        delete_shard(&handles, &archive, &ids[2], 0);
+        let repaired = archive.repair_all().unwrap();
+        assert_eq!(repaired.len(), 2);
+        for id in &ids {
+            assert_eq!(archive.retrieve(id).unwrap(), b"sweep");
+        }
+    }
+}

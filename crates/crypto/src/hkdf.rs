@@ -1,0 +1,115 @@
+//! HKDF (RFC 5869) keyed off HMAC-SHA-256.
+//!
+//! Used throughout the workspace to derive independent per-layer keys for
+//! cascade ciphers and per-object keys from archive master keys.
+
+use crate::hmac::hmac_sha256;
+
+/// HKDF-Extract: condenses input keying material into a pseudorandom key.
+pub fn extract(salt: &[u8], ikm: &[u8]) -> [u8; 32] {
+    hmac_sha256(salt, ikm)
+}
+
+/// HKDF-Expand: stretches a pseudorandom key into `len` output bytes bound
+/// to `info`.
+///
+/// # Panics
+///
+/// Panics if `len > 255 * 32` (the RFC 5869 limit).
+pub fn expand(prk: &[u8; 32], info: &[u8], len: usize) -> Vec<u8> {
+    assert!(len <= 255 * 32, "HKDF-Expand output too long");
+    let mut out = Vec::with_capacity(len);
+    let mut t: Vec<u8> = Vec::new();
+    for counter in 1..=255u8 {
+        if out.len() >= len {
+            break;
+        }
+        let mut input = Vec::with_capacity(t.len() + info.len() + 1);
+        input.extend_from_slice(&t);
+        input.extend_from_slice(info);
+        input.push(counter);
+        let block = hmac_sha256(prk, &input);
+        t = block.to_vec();
+        let take = (len - out.len()).min(32);
+        out.extend_from_slice(&block[..take]);
+    }
+    out
+}
+
+/// One-shot HKDF: extract-then-expand.
+///
+/// # Examples
+///
+/// ```
+/// use aeon_crypto::hkdf::derive;
+///
+/// let k1 = derive(b"salt", b"master", b"layer-0", 32);
+/// let k2 = derive(b"salt", b"master", b"layer-1", 32);
+/// assert_ne!(k1, k2);
+/// ```
+pub fn derive(salt: &[u8], ikm: &[u8], info: &[u8], len: usize) -> Vec<u8> {
+    let prk = extract(salt, ikm);
+    expand(&prk, info, len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sha2::to_hex;
+
+    #[test]
+    fn rfc5869_test_case_1() {
+        let ikm = [0x0bu8; 22];
+        let salt: Vec<u8> = (0x00..=0x0c).collect();
+        let info: Vec<u8> = (0xf0..=0xf9).collect();
+        let prk = extract(&salt, &ikm);
+        assert_eq!(
+            to_hex(&prk),
+            "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5"
+        );
+        let okm = expand(&prk, &info, 42);
+        assert_eq!(
+            to_hex(&okm),
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf\
+             34007208d5b887185865"
+        );
+    }
+
+    #[test]
+    fn rfc5869_test_case_3_empty_salt_info() {
+        let ikm = [0x0bu8; 22];
+        let okm = derive(&[], &ikm, &[], 42);
+        assert_eq!(
+            to_hex(&okm),
+            "8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d2d\
+             9d201395faa4b61a96c8"
+        );
+    }
+
+    #[test]
+    fn length_edge_cases() {
+        let prk = extract(b"s", b"ikm");
+        assert!(expand(&prk, b"i", 0).is_empty());
+        assert_eq!(expand(&prk, b"i", 1).len(), 1);
+        assert_eq!(expand(&prk, b"i", 32).len(), 32);
+        assert_eq!(expand(&prk, b"i", 33).len(), 33);
+        assert_eq!(expand(&prk, b"i", 255 * 32).len(), 255 * 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "too long")]
+    fn over_limit_panics() {
+        let prk = extract(b"s", b"ikm");
+        let _ = expand(&prk, b"i", 255 * 32 + 1);
+    }
+
+    #[test]
+    fn info_separates_keys() {
+        let a = derive(b"salt", b"ikm", b"a", 32);
+        let b = derive(b"salt", b"ikm", b"b", 32);
+        assert_ne!(a, b);
+        // Prefix consistency: longer output starts with shorter output.
+        let long = derive(b"salt", b"ikm", b"a", 64);
+        assert_eq!(&long[..32], &a[..]);
+    }
+}

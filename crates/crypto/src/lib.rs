@@ -1,0 +1,67 @@
+//! From-scratch cryptographic primitives and the cipher-agility layer.
+//!
+//! Long-term archives cannot bind themselves to a single cipher: the paper's
+//! central observation is that *every* computationally secure primitive may
+//! be broken within an archival lifetime. This crate therefore provides
+//! both the primitives themselves and the machinery to treat them as
+//! replaceable, breakable components:
+//!
+//! * Hashing: [`sha2::Sha256`], [`sha2::Sha512`], [`hmac`], [`hkdf`].
+//! * Symmetric encryption: [`chacha::ChaCha20`], [`aes::Aes256`] (+ CTR),
+//!   AEADs ([`aead::ChaCha20Poly1305`], [`aead::Aes256CtrHmac`]), and the
+//!   information-theoretic [`otp::OneTimePad`].
+//! * Entropically secure encryption ([`entropic`]) — shorter-than-message
+//!   keys for high-entropy plaintexts (the "entropically secure encryption"
+//!   point in the paper's Figure 1).
+//! * Hash-based signatures ([`sig`]): Lamport and WOTS one-time signatures
+//!   plus a Merkle many-time scheme — the natural signature family for
+//!   timestamp chains because their security reduces to preimage
+//!   resistance alone.
+//! * Randomness: a seedable ChaCha-based [`drbg::ChaChaDrbg`] behind the
+//!   small [`drbg::CryptoRng`] trait, keeping every higher-level protocol
+//!   deterministic under test.
+//! * Agility: a [`suite`] registry that names every suite, tracks a
+//!   simulated cryptanalytic [`suite::BreakSchedule`], and a
+//!   [`cascade`] robust combiner that layers independent suites so the
+//!   stack stays secure while *any* layer survives.
+//!
+//! # Security disclaimer
+//!
+//! These are clean-room educational implementations: correct against
+//! standard test vectors, but not constant-time and not audited. They exist
+//! so the archival-system layers above have a real, breakable,
+//! swappable crypto substrate — not to protect production keys.
+//!
+//! # Examples
+//!
+//! ```
+//! use aeon_crypto::aead::{Aead, ChaCha20Poly1305};
+//!
+//! let key = [7u8; 32];
+//! let aead = ChaCha20Poly1305::new(&key);
+//! let ct = aead.seal(&[0u8; 12], b"associated", b"plaintext");
+//! let pt = aead.open(&[0u8; 12], b"associated", &ct).unwrap();
+//! assert_eq!(pt, b"plaintext");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod aead;
+pub mod aes;
+pub mod cascade;
+pub mod chacha;
+pub mod drbg;
+pub mod entropic;
+pub mod hkdf;
+pub mod hmac;
+pub mod otp;
+pub mod poly1305;
+pub mod sha2;
+pub mod sig;
+pub mod suite;
+
+pub use aead::Aead;
+pub use drbg::{ChaChaDrbg, CryptoRng};
+pub use sha2::{Sha256, Sha512};
+pub use suite::{BreakSchedule, SecurityLevel, SuiteId, SuiteRegistry};

@@ -1,0 +1,298 @@
+//! Cipher-suite registry and the simulated cryptanalytic timeline.
+//!
+//! The paper's core threat is *cryptographic obsolescence*: any
+//! computationally secure scheme may be broken within an archive's
+//! lifetime. To let the rest of the stack reason about that, every cipher
+//! is named by a [`SuiteId`], and a [`BreakSchedule`] records the simulated
+//! year at which each suite falls to cryptanalysis. Adversary simulations
+//! consult the schedule; maintenance schedulers react to it by triggering
+//! re-encryption or re-wrapping campaigns.
+
+use crate::aead::{Aead, Aes256CtrHmac, AuthError, ChaCha20Poly1305};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A coarse confidentiality classification used across the workspace
+/// (channels, encodings, whole-system evaluation — the rows of the
+/// paper's Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SecurityLevel {
+    /// No confidentiality at all (plaintext, replication, erasure coding).
+    None,
+    /// Secure only against computationally bounded adversaries; falls to
+    /// future cryptanalysis and harvest-now-decrypt-later.
+    Computational,
+    /// Information-theoretic for high-entropy messages only (entropically
+    /// secure encryption).
+    EntropicIts,
+    /// Unconditional information-theoretic security.
+    InformationTheoretic,
+}
+
+impl core::fmt::Display for SecurityLevel {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let s = match self {
+            SecurityLevel::None => "None",
+            SecurityLevel::Computational => "Computational",
+            SecurityLevel::EntropicIts => "Entropic-ITS",
+            SecurityLevel::InformationTheoretic => "ITS",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Identifies an encryption suite known to the archive stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SuiteId {
+    /// AES-256 in CTR mode with HMAC-SHA-256 (encrypt-then-MAC).
+    Aes256CtrHmac,
+    /// ChaCha20-Poly1305 (RFC 8439).
+    ChaCha20Poly1305,
+    /// One-time pad (information-theoretically secure; never breakable).
+    OneTimePad,
+    /// Entropically secure encryption (information-theoretic for
+    /// high-entropy messages).
+    Entropic,
+}
+
+impl SuiteId {
+    /// All registered computational suites (excludes the OTP).
+    pub const COMPUTATIONAL: [SuiteId; 2] = [SuiteId::Aes256CtrHmac, SuiteId::ChaCha20Poly1305];
+
+    /// Returns `true` if the suite's security is information-theoretic
+    /// (no cryptanalytic advance can break it).
+    pub fn is_information_theoretic(self) -> bool {
+        matches!(self, SuiteId::OneTimePad | SuiteId::Entropic)
+    }
+
+    /// Stable wire identifier used in headers and manifests.
+    pub fn wire_id(self) -> u8 {
+        match self {
+            SuiteId::Aes256CtrHmac => 1,
+            SuiteId::ChaCha20Poly1305 => 2,
+            SuiteId::OneTimePad => 3,
+            SuiteId::Entropic => 4,
+        }
+    }
+
+    /// Parses a wire identifier.
+    pub fn from_wire_id(id: u8) -> Option<Self> {
+        match id {
+            1 => Some(SuiteId::Aes256CtrHmac),
+            2 => Some(SuiteId::ChaCha20Poly1305),
+            3 => Some(SuiteId::OneTimePad),
+            4 => Some(SuiteId::Entropic),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for SuiteId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            SuiteId::Aes256CtrHmac => "AES-256-CTR-HMAC",
+            SuiteId::ChaCha20Poly1305 => "ChaCha20-Poly1305",
+            SuiteId::OneTimePad => "OTP",
+            SuiteId::Entropic => "Entropic",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A simulated year on the archival timeline (e.g. 2026).
+pub type SimYear = u32;
+
+/// Maps cipher suites to the simulated year cryptanalysis breaks them.
+///
+/// A suite absent from the schedule is never broken within the simulation
+/// horizon. Information-theoretic suites ignore the schedule entirely.
+///
+/// # Examples
+///
+/// ```
+/// use aeon_crypto::{BreakSchedule, SuiteId};
+///
+/// let mut schedule = BreakSchedule::new();
+/// schedule.set_break(SuiteId::Aes256CtrHmac, 2045);
+/// assert!(!schedule.is_broken(SuiteId::Aes256CtrHmac, 2044));
+/// assert!(schedule.is_broken(SuiteId::Aes256CtrHmac, 2045));
+/// assert!(!schedule.is_broken(SuiteId::OneTimePad, 9999));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BreakSchedule {
+    breaks: BTreeMap<SuiteId, SimYear>,
+}
+
+impl BreakSchedule {
+    /// Creates an empty schedule (nothing ever breaks).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A pessimistic default used in experiments: AES falls in 2045
+    /// (quantum-assisted cryptanalysis), ChaCha in 2060.
+    pub fn pessimistic() -> Self {
+        let mut s = Self::new();
+        s.set_break(SuiteId::Aes256CtrHmac, 2045);
+        s.set_break(SuiteId::ChaCha20Poly1305, 2060);
+        s
+    }
+
+    /// Schedules `suite` to be broken at `year`.
+    pub fn set_break(&mut self, suite: SuiteId, year: SimYear) {
+        self.breaks.insert(suite, year);
+    }
+
+    /// Returns the break year, if scheduled.
+    pub fn break_year(&self, suite: SuiteId) -> Option<SimYear> {
+        if suite.is_information_theoretic() {
+            return None;
+        }
+        self.breaks.get(&suite).copied()
+    }
+
+    /// Returns `true` if `suite` is broken at (or before) `year`.
+    pub fn is_broken(&self, suite: SuiteId, year: SimYear) -> bool {
+        match self.break_year(suite) {
+            Some(by) => year >= by,
+            None => false,
+        }
+    }
+
+    /// Returns the suites broken at `year` among the given set.
+    pub fn broken_subset(&self, suites: &[SuiteId], year: SimYear) -> Vec<SuiteId> {
+        suites
+            .iter()
+            .copied()
+            .filter(|&s| self.is_broken(s, year))
+            .collect()
+    }
+}
+
+/// An instantiated AEAD suite (enum dispatch keeps the set closed and
+/// serializable).
+#[derive(Debug, Clone)]
+pub enum SuiteCipher {
+    /// AES-256-CTR + HMAC.
+    Aes(Aes256CtrHmac),
+    /// ChaCha20-Poly1305.
+    ChaCha(ChaCha20Poly1305),
+}
+
+impl SuiteCipher {
+    /// Seals plaintext under this suite.
+    pub fn seal(&self, nonce: &[u8], aad: &[u8], pt: &[u8]) -> Vec<u8> {
+        match self {
+            SuiteCipher::Aes(a) => a.seal(nonce, aad, pt),
+            SuiteCipher::ChaCha(c) => c.seal(nonce, aad, pt),
+        }
+    }
+
+    /// Opens ciphertext under this suite.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AuthError`] on authentication failure.
+    pub fn open(&self, nonce: &[u8], aad: &[u8], ct: &[u8]) -> Result<Vec<u8>, AuthError> {
+        match self {
+            SuiteCipher::Aes(a) => a.open(nonce, aad, ct),
+            SuiteCipher::ChaCha(c) => c.open(nonce, aad, ct),
+        }
+    }
+
+    /// The suite's identifier.
+    pub fn id(&self) -> SuiteId {
+        match self {
+            SuiteCipher::Aes(_) => SuiteId::Aes256CtrHmac,
+            SuiteCipher::ChaCha(_) => SuiteId::ChaCha20Poly1305,
+        }
+    }
+}
+
+/// Instantiates AEAD suites from 32-byte keys by suite id.
+#[derive(Debug, Clone, Default)]
+pub struct SuiteRegistry;
+
+impl SuiteRegistry {
+    /// Creates the registry.
+    pub fn new() -> Self {
+        SuiteRegistry
+    }
+
+    /// Instantiates the AEAD for `id` with `key`.
+    ///
+    /// Returns `None` for suites that are not plain AEADs (OTP, entropic),
+    /// which have their own key-material lifecycles.
+    pub fn instantiate(&self, id: SuiteId, key: &[u8; 32]) -> Option<SuiteCipher> {
+        match id {
+            SuiteId::Aes256CtrHmac => Some(SuiteCipher::Aes(Aes256CtrHmac::new(key))),
+            SuiteId::ChaCha20Poly1305 => Some(SuiteCipher::ChaCha(ChaCha20Poly1305::new(key))),
+            SuiteId::OneTimePad | SuiteId::Entropic => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_id_roundtrip() {
+        for id in [
+            SuiteId::Aes256CtrHmac,
+            SuiteId::ChaCha20Poly1305,
+            SuiteId::OneTimePad,
+            SuiteId::Entropic,
+        ] {
+            assert_eq!(SuiteId::from_wire_id(id.wire_id()), Some(id));
+        }
+        assert_eq!(SuiteId::from_wire_id(0), None);
+        assert_eq!(SuiteId::from_wire_id(200), None);
+    }
+
+    #[test]
+    fn schedule_semantics() {
+        let mut s = BreakSchedule::new();
+        assert!(!s.is_broken(SuiteId::Aes256CtrHmac, 3000));
+        s.set_break(SuiteId::Aes256CtrHmac, 2045);
+        assert!(!s.is_broken(SuiteId::Aes256CtrHmac, 2044));
+        assert!(s.is_broken(SuiteId::Aes256CtrHmac, 2045));
+        assert!(s.is_broken(SuiteId::Aes256CtrHmac, 2100));
+    }
+
+    #[test]
+    fn its_suites_never_break() {
+        let mut s = BreakSchedule::new();
+        s.set_break(SuiteId::OneTimePad, 2000); // ignored
+        assert!(!s.is_broken(SuiteId::OneTimePad, 9999));
+        assert_eq!(s.break_year(SuiteId::OneTimePad), None);
+    }
+
+    #[test]
+    fn broken_subset() {
+        let s = BreakSchedule::pessimistic();
+        let all = [
+            SuiteId::Aes256CtrHmac,
+            SuiteId::ChaCha20Poly1305,
+            SuiteId::OneTimePad,
+        ];
+        assert_eq!(s.broken_subset(&all, 2040), vec![]);
+        assert_eq!(s.broken_subset(&all, 2050), vec![SuiteId::Aes256CtrHmac]);
+        assert_eq!(
+            s.broken_subset(&all, 2070),
+            vec![SuiteId::Aes256CtrHmac, SuiteId::ChaCha20Poly1305]
+        );
+    }
+
+    #[test]
+    fn registry_instantiates_and_roundtrips() {
+        let reg = SuiteRegistry::new();
+        for id in SuiteId::COMPUTATIONAL {
+            let cipher = reg.instantiate(id, &[7u8; 32]).unwrap();
+            assert_eq!(cipher.id(), id);
+            let sealed = cipher.seal(&[0u8; 12], b"a", b"data");
+            assert_eq!(cipher.open(&[0u8; 12], b"a", &sealed).unwrap(), b"data");
+        }
+        assert!(reg.instantiate(SuiteId::OneTimePad, &[0u8; 32]).is_none());
+    }
+}

@@ -1,0 +1,127 @@
+//! Striping helpers: splitting byte payloads into fixed-count shards and
+//! rejoining them.
+
+/// Splits `payload` into exactly `count` shards of equal length, zero-
+/// padding the tail. Returns the shards and the original length (needed to
+/// strip padding on rejoin).
+///
+/// # Panics
+///
+/// Panics if `count == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use aeon_erasure::striping::{split, join};
+///
+/// let (shards, len) = split(b"hello world", 3);
+/// assert_eq!(shards.len(), 3);
+/// assert_eq!(join(&shards, len), b"hello world");
+/// ```
+pub fn split(payload: &[u8], count: usize) -> (Vec<Vec<u8>>, usize) {
+    assert!(count > 0, "shard count must be positive");
+    let shard_len = payload.len().div_ceil(count).max(1);
+    let mut shards = Vec::with_capacity(count);
+    for i in 0..count {
+        let start = (i * shard_len).min(payload.len());
+        let end = ((i + 1) * shard_len).min(payload.len());
+        let mut shard = payload[start..end].to_vec();
+        shard.resize(shard_len, 0);
+        shards.push(shard);
+    }
+    (shards, payload.len())
+}
+
+/// Rejoins shards produced by [`split`], truncating padding to
+/// `original_len`.
+///
+/// # Panics
+///
+/// Panics if the shards hold fewer than `original_len` bytes in total.
+pub fn join(shards: &[Vec<u8>], original_len: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(original_len);
+    for shard in shards {
+        out.extend_from_slice(shard);
+    }
+    assert!(
+        out.len() >= original_len,
+        "shards shorter than original length"
+    );
+    out.truncate(original_len);
+    out
+}
+
+/// Interleaves a payload byte-by-byte across `count` shards (byte `i` goes
+/// to shard `i % count`). Interleaving spreads any localized corruption
+/// across all shards, which matters when shards map to physical media with
+/// correlated failure regions.
+pub fn interleave(payload: &[u8], count: usize) -> (Vec<Vec<u8>>, usize) {
+    assert!(count > 0, "shard count must be positive");
+    let shard_len = payload.len().div_ceil(count).max(1);
+    let mut shards = vec![vec![0u8; shard_len]; count];
+    for (i, &b) in payload.iter().enumerate() {
+        shards[i % count][i / count] = b;
+    }
+    (shards, payload.len())
+}
+
+/// Reverses [`interleave`].
+///
+/// # Panics
+///
+/// Panics if the shards hold fewer than `original_len` bytes in total.
+pub fn deinterleave(shards: &[Vec<u8>], original_len: usize) -> Vec<u8> {
+    let count = shards.len();
+    let total: usize = shards.iter().map(|s| s.len()).sum();
+    assert!(total >= original_len, "shards shorter than original length");
+    let mut out = Vec::with_capacity(original_len);
+    for i in 0..original_len {
+        out.push(shards[i % count][i / count]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_join_roundtrip() {
+        for len in [0usize, 1, 2, 3, 10, 11, 12, 100] {
+            for count in [1usize, 2, 3, 7] {
+                let payload: Vec<u8> = (0..len as u32).map(|i| i as u8).collect();
+                let (shards, n) = split(&payload, count);
+                assert_eq!(shards.len(), count);
+                let lens: Vec<usize> = shards.iter().map(|s| s.len()).collect();
+                assert!(lens.windows(2).all(|w| w[0] == w[1]), "equal lengths");
+                assert_eq!(join(&shards, n), payload, "len={len} count={count}");
+            }
+        }
+    }
+
+    #[test]
+    fn interleave_roundtrip() {
+        for len in [0usize, 1, 5, 9, 10, 11, 64] {
+            for count in [1usize, 2, 3, 5] {
+                let payload: Vec<u8> = (0..len as u32).map(|i| (i * 3) as u8).collect();
+                let (shards, n) = interleave(&payload, count);
+                assert_eq!(deinterleave(&shards, n), payload, "len={len} count={count}");
+            }
+        }
+    }
+
+    #[test]
+    fn interleave_spreads_adjacent_bytes() {
+        let payload: Vec<u8> = (0..12u8).collect();
+        let (shards, _) = interleave(&payload, 3);
+        assert_eq!(shards[0], vec![0, 3, 6, 9]);
+        assert_eq!(shards[1], vec![1, 4, 7, 10]);
+        assert_eq!(shards[2], vec![2, 5, 8, 11]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_count_panics() {
+        let _ = split(b"x", 0);
+    }
+}

@@ -1,0 +1,95 @@
+//! The [`Field`] trait abstracting over the concrete finite fields.
+
+use core::fmt::Debug;
+use core::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A finite field element.
+///
+/// Implementors are small `Copy` types (one or two bytes) supporting the
+/// usual field operations through operator overloading. All `aeon`
+/// polynomial and matrix code is generic over this trait, so secret-sharing
+/// and erasure-coding algorithms are written once and instantiated for both
+/// [`Gf256`](crate::Gf256) and [`Gf16`](crate::Gf16).
+///
+/// # Contract
+///
+/// * `ZERO` and `ONE` are the additive and multiplicative identities.
+/// * `Add`/`Sub` form an abelian group over all elements; `Mul`/`Div` form
+///   one over the non-zero elements.
+/// * [`Field::inverse`] returns `None` exactly for `ZERO`.
+/// * `from_u64`/`to_u64` round-trip for values below the field order.
+///
+/// # Examples
+///
+/// ```
+/// use aeon_gf::{Field, Gf16};
+///
+/// fn sum_of_inverses<F: Field>(elems: &[F]) -> Option<F> {
+///     elems
+///         .iter()
+///         .map(|e| e.inverse())
+///         .try_fold(F::ZERO, |acc, inv| Some(acc + inv?))
+/// }
+///
+/// let elems = [Gf16::new(3), Gf16::new(9)];
+/// assert!(sum_of_inverses(&elems).is_some());
+/// ```
+pub trait Field:
+    Copy
+    + Clone
+    + Debug
+    + Default
+    + Eq
+    + PartialEq
+    + core::hash::Hash
+    + Add<Output = Self>
+    + AddAssign
+    + Sub<Output = Self>
+    + SubAssign
+    + Mul<Output = Self>
+    + MulAssign
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + Send
+    + Sync
+    + 'static
+{
+    /// The additive identity.
+    const ZERO: Self;
+    /// The multiplicative identity.
+    const ONE: Self;
+    /// Number of elements in the field.
+    const ORDER: u64;
+    /// Number of bytes in the canonical serialized form of one element.
+    const BYTES: usize;
+
+    /// Returns the multiplicative inverse, or `None` for zero.
+    fn inverse(self) -> Option<Self>;
+
+    /// Raises the element to an integer power (with `pow(0) == ONE`,
+    /// including for zero, following the usual convention).
+    fn pow(self, mut exp: u64) -> Self {
+        let mut base = self;
+        let mut acc = Self::ONE;
+        while exp > 0 {
+            if exp & 1 == 1 {
+                acc *= base;
+            }
+            base *= base;
+            exp >>= 1;
+        }
+        acc
+    }
+
+    /// Constructs an element from an integer, reducing modulo the field
+    /// order.
+    fn from_u64(v: u64) -> Self;
+
+    /// Returns the canonical integer representation of the element.
+    fn to_u64(self) -> u64;
+
+    /// Returns `true` if this is the additive identity.
+    fn is_zero(self) -> bool {
+        self == Self::ZERO
+    }
+}

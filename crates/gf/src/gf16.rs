@@ -1,0 +1,283 @@
+//! GF(2^16) arithmetic with compile-time log/exp tables.
+
+// Characteristic-2 field arithmetic legitimately implements `Add` with XOR
+// and `Div` with multiply-by-inverse; silence clippy's suspicion once here.
+#![allow(clippy::suspicious_arithmetic_impl, clippy::suspicious_op_assign_impl)]
+
+use crate::Field;
+use core::fmt;
+use core::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// Reducing polynomial x^16 + x^12 + x^3 + x + 1 (0x1100B), a standard
+/// primitive polynomial for GF(2^16).
+const POLY: u32 = 0x1100B;
+/// 0x3 (= x + 1) is a generator for this polynomial.
+const GENERATOR: u16 = 0x3;
+
+const ORDER_MINUS_1: usize = 65_535;
+
+const fn build_exp() -> [u16; 2 * ORDER_MINUS_1] {
+    let mut exp = [0u16; 2 * ORDER_MINUS_1];
+    let mut x: u32 = 1;
+    let mut i = 0usize;
+    while i < ORDER_MINUS_1 {
+        exp[i] = x as u16;
+        exp[i + ORDER_MINUS_1] = x as u16;
+        let mut nx = (x << 1) ^ x;
+        if nx & 0x10000 != 0 {
+            nx ^= POLY;
+        }
+        x = nx;
+        i += 1;
+    }
+    exp
+}
+
+const fn build_log(exp: &[u16; 2 * ORDER_MINUS_1]) -> [u16; 65_536] {
+    let mut log = [0u16; 65_536];
+    let mut i = 0usize;
+    while i < ORDER_MINUS_1 {
+        log[exp[i] as usize] = i as u16;
+        i += 1;
+    }
+    log
+}
+
+static EXP: [u16; 2 * ORDER_MINUS_1] = build_exp();
+static LOG: [u16; 65_536] = build_log(&EXP);
+
+/// An element of GF(2^16) under the polynomial `x^16 + x^12 + x^3 + x + 1`.
+///
+/// The 65 536-element field provides enough distinct evaluation points for
+/// *packed* secret sharing with realistic pack widths and share counts,
+/// which GF(2^8) (255 usable points) cannot.
+///
+/// # Examples
+///
+/// ```
+/// use aeon_gf::{Field, Gf16};
+///
+/// let a = Gf16::new(0x1234);
+/// let inv = a.inverse().unwrap();
+/// assert_eq!(a * inv, Gf16::ONE);
+/// ```
+#[derive(Copy, Clone, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Gf16(pub u16);
+
+impl Gf16 {
+    /// The additive identity.
+    pub const ZERO: Self = Gf16(0);
+    /// The multiplicative identity.
+    pub const ONE: Self = Gf16(1);
+
+    /// Creates an element from its 16-bit representation.
+    #[inline]
+    pub const fn new(v: u16) -> Self {
+        Gf16(v)
+    }
+
+    /// Returns the 16-bit representation of the element.
+    #[inline]
+    pub const fn value(self) -> u16 {
+        self.0
+    }
+
+    /// Returns the canonical generator of the multiplicative group.
+    pub const fn generator() -> Self {
+        Gf16(GENERATOR)
+    }
+}
+
+impl fmt::Debug for Gf16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Gf16(0x{:04X})", self.0)
+    }
+}
+
+impl fmt::Display for Gf16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:04X}", self.0)
+    }
+}
+
+impl From<u16> for Gf16 {
+    fn from(v: u16) -> Self {
+        Gf16(v)
+    }
+}
+
+impl From<Gf16> for u16 {
+    fn from(v: Gf16) -> Self {
+        v.0
+    }
+}
+
+impl Add for Gf16 {
+    type Output = Self;
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        Gf16(self.0 ^ rhs.0)
+    }
+}
+
+impl AddAssign for Gf16 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Self) {
+        self.0 ^= rhs.0;
+    }
+}
+
+impl Sub for Gf16 {
+    type Output = Self;
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        Gf16(self.0 ^ rhs.0)
+    }
+}
+
+impl SubAssign for Gf16 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Self) {
+        self.0 ^= rhs.0;
+    }
+}
+
+impl Mul for Gf16 {
+    type Output = Self;
+    #[inline]
+    fn mul(self, rhs: Self) -> Self {
+        if self.0 == 0 || rhs.0 == 0 {
+            return Gf16::ZERO;
+        }
+        let li = LOG[self.0 as usize] as usize;
+        let lr = LOG[rhs.0 as usize] as usize;
+        Gf16(EXP[li + lr])
+    }
+}
+
+impl MulAssign for Gf16 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Self) {
+        *self = *self * rhs;
+    }
+}
+
+impl Div for Gf16 {
+    type Output = Self;
+    /// # Panics
+    ///
+    /// Panics on division by zero.
+    fn div(self, rhs: Self) -> Self {
+        let inv = rhs.inverse().expect("division by zero in GF(2^16)");
+        self * inv
+    }
+}
+
+impl DivAssign for Gf16 {
+    fn div_assign(&mut self, rhs: Self) {
+        *self = *self / rhs;
+    }
+}
+
+impl Neg for Gf16 {
+    type Output = Self;
+    #[inline]
+    fn neg(self) -> Self {
+        self
+    }
+}
+
+impl Field for Gf16 {
+    const ZERO: Self = Gf16(0);
+    const ONE: Self = Gf16(1);
+    const ORDER: u64 = 65_536;
+    const BYTES: usize = 2;
+
+    fn inverse(self) -> Option<Self> {
+        if self.0 == 0 {
+            return None;
+        }
+        let l = LOG[self.0 as usize] as usize;
+        Some(Gf16(EXP[ORDER_MINUS_1 - l]))
+    }
+
+    fn from_u64(v: u64) -> Self {
+        Gf16((v % 65_536) as u16)
+    }
+
+    fn to_u64(self) -> u64 {
+        self.0 as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exp_log_roundtrip_samples() {
+        for v in (1..=65_535u16).step_by(97) {
+            let l = LOG[v as usize] as usize;
+            assert_eq!(EXP[l], v);
+        }
+        // And the extremes.
+        for v in [1u16, 2, 3, 0xFFFF, 0x8000, 0x1001] {
+            assert_eq!(EXP[LOG[v as usize] as usize], v);
+        }
+    }
+
+    #[test]
+    fn inverse_samples() {
+        assert!(Gf16::ZERO.inverse().is_none());
+        for v in (1..=65_535u16).step_by(101) {
+            let a = Gf16(v);
+            assert_eq!(a * a.inverse().unwrap(), Gf16::ONE);
+        }
+    }
+
+    #[test]
+    fn mul_associative_samples() {
+        let vals = [0x0001u16, 0x0003, 0x00FF, 0x0100, 0x1234, 0xFFFF, 0x8000];
+        for &a in &vals {
+            for &b in &vals {
+                for &c in &vals {
+                    let (a, b, c) = (Gf16(a), Gf16(b), Gf16(c));
+                    assert_eq!((a * b) * c, a * (b * c));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn distributive_samples() {
+        let vals = [0x0002u16, 0x0071, 0x0456, 0xABCD, 0xFFFE];
+        for &a in &vals {
+            for &b in &vals {
+                for &c in &vals {
+                    let (a, b, c) = (Gf16(a), Gf16(b), Gf16(c));
+                    assert_eq!(a * (b + c), a * b + a * c);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pow_and_fermat() {
+        // a^(2^16 - 1) == 1 for all nonzero a (Fermat's little theorem
+        // analogue for finite fields).
+        for v in (1..=65_535u16).step_by(1009) {
+            assert_eq!(Gf16(v).pow(65_535), Gf16::ONE);
+        }
+    }
+
+    #[test]
+    fn generator_reaches_distinct_early_powers() {
+        let g = Gf16::generator();
+        let mut seen = std::collections::HashSet::new();
+        let mut x = Gf16::ONE;
+        for _ in 0..10_000 {
+            assert!(seen.insert(x.0), "cycle shorter than expected");
+            x *= g;
+        }
+    }
+}

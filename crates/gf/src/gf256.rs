@@ -1,0 +1,361 @@
+//! GF(2^8) arithmetic with compile-time log/exp tables.
+
+// Characteristic-2 field arithmetic legitimately implements `Add` with XOR
+// and `Div` with multiply-by-inverse; silence clippy's suspicion once here.
+#![allow(clippy::suspicious_arithmetic_impl, clippy::suspicious_op_assign_impl)]
+
+use crate::Field;
+use core::fmt;
+use core::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// The AES/Rijndael reducing polynomial x^8 + x^4 + x^3 + x + 1.
+const POLY: u16 = 0x11B;
+/// Generator of the multiplicative group GF(2^8)* for this polynomial.
+/// 0x03 = x + 1 is the canonical Rijndael generator.
+const GENERATOR: u8 = 0x03;
+
+const fn build_tables() -> ([u8; 512], [u8; 256]) {
+    // exp is doubled so that `exp[log[a] + log[b]]` needs no mod-255
+    // reduction.
+    let mut exp = [0u8; 512];
+    let mut log = [0u8; 256];
+    let mut x: u16 = 1;
+    let mut i = 0usize;
+    while i < 255 {
+        exp[i] = x as u8;
+        exp[i + 255] = x as u8;
+        log[x as usize] = i as u8;
+        // Multiply x by the generator (x * 3 = (x << 1) ^ x in GF(2^8)),
+        // then reduce modulo the field polynomial if bit 8 is set.
+        let mut nx = (x << 1) ^ x;
+        if nx & 0x100 != 0 {
+            nx ^= POLY;
+        }
+        x = nx;
+        i += 1;
+    }
+    exp[510] = exp[0];
+    exp[511] = exp[1];
+    (exp, log)
+}
+
+const TABLES: ([u8; 512], [u8; 256]) = build_tables();
+const EXP: [u8; 512] = TABLES.0;
+const LOG: [u8; 256] = TABLES.1;
+
+/// An element of GF(2^8) under the polynomial `x^8 + x^4 + x^3 + x + 1`.
+///
+/// Addition is XOR; multiplication uses log/exp tables generated at compile
+/// time from the generator `0x03`. One element occupies exactly one byte,
+/// which makes `&[Gf256]` layout-compatible with byte buffers for
+/// erasure-coding hot paths.
+///
+/// # Examples
+///
+/// ```
+/// use aeon_gf::{Field, Gf256};
+///
+/// let a = Gf256::new(0x57);
+/// let b = Gf256::new(0x83);
+/// assert_eq!(a * b, Gf256::new(0xC1)); // classic AES-field example
+/// assert_eq!(a + b, Gf256::new(0xD4)); // addition is XOR
+/// ```
+#[derive(Copy, Clone, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Gf256(pub u8);
+
+impl Gf256 {
+    /// The additive identity.
+    pub const ZERO: Self = Gf256(0);
+    /// The multiplicative identity.
+    pub const ONE: Self = Gf256(1);
+
+    /// Creates an element from its byte representation.
+    #[inline]
+    pub const fn new(v: u8) -> Self {
+        Gf256(v)
+    }
+
+    /// Returns the byte representation of the element.
+    #[inline]
+    pub const fn value(self) -> u8 {
+        self.0
+    }
+
+    /// Multiplies two elements using the log/exp tables.
+    #[allow(clippy::should_implement_trait)] // `Mul` is implemented and delegates here
+    #[inline]
+    pub fn mul(self, rhs: Self) -> Self {
+        if self.0 == 0 || rhs.0 == 0 {
+            return Gf256::ZERO;
+        }
+        let li = LOG[self.0 as usize] as usize;
+        let lr = LOG[rhs.0 as usize] as usize;
+        Gf256(EXP[li + lr])
+    }
+
+    /// Multiplies a buffer of field elements (viewed as bytes) by the scalar
+    /// `self`, accumulating (XOR) into `dst`. This is the inner loop of
+    /// Reed–Solomon encoding: `dst ^= self * src`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` and `dst` have different lengths.
+    pub fn mul_acc_slice(self, src: &[u8], dst: &mut [u8]) {
+        assert_eq!(src.len(), dst.len(), "mul_acc_slice length mismatch");
+        if self.0 == 0 {
+            return;
+        }
+        if self.0 == 1 {
+            for (d, s) in dst.iter_mut().zip(src) {
+                *d ^= *s;
+            }
+            return;
+        }
+        let ls = LOG[self.0 as usize] as usize;
+        for (d, s) in dst.iter_mut().zip(src) {
+            if *s != 0 {
+                *d ^= EXP[ls + LOG[*s as usize] as usize];
+            }
+        }
+    }
+}
+
+impl fmt::Debug for Gf256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Gf256(0x{:02X})", self.0)
+    }
+}
+
+impl fmt::Display for Gf256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:02X}", self.0)
+    }
+}
+
+impl From<u8> for Gf256 {
+    fn from(v: u8) -> Self {
+        Gf256(v)
+    }
+}
+
+impl From<Gf256> for u8 {
+    fn from(v: Gf256) -> Self {
+        v.0
+    }
+}
+
+impl Add for Gf256 {
+    type Output = Self;
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        Gf256(self.0 ^ rhs.0)
+    }
+}
+
+impl AddAssign for Gf256 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Self) {
+        self.0 ^= rhs.0;
+    }
+}
+
+impl Sub for Gf256 {
+    type Output = Self;
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        // Characteristic 2: subtraction is addition.
+        Gf256(self.0 ^ rhs.0)
+    }
+}
+
+impl SubAssign for Gf256 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Self) {
+        self.0 ^= rhs.0;
+    }
+}
+
+impl Mul for Gf256 {
+    type Output = Self;
+    #[inline]
+    fn mul(self, rhs: Self) -> Self {
+        Gf256::mul(self, rhs)
+    }
+}
+
+impl MulAssign for Gf256 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Self) {
+        *self = Gf256::mul(*self, rhs);
+    }
+}
+
+impl Div for Gf256 {
+    type Output = Self;
+    /// # Panics
+    ///
+    /// Panics on division by zero.
+    fn div(self, rhs: Self) -> Self {
+        let inv = rhs.inverse().expect("division by zero in GF(2^8)");
+        self * inv
+    }
+}
+
+impl DivAssign for Gf256 {
+    fn div_assign(&mut self, rhs: Self) {
+        *self = *self / rhs;
+    }
+}
+
+impl Neg for Gf256 {
+    type Output = Self;
+    #[inline]
+    fn neg(self) -> Self {
+        // Characteristic 2: every element is its own additive inverse.
+        self
+    }
+}
+
+impl Field for Gf256 {
+    const ZERO: Self = Gf256(0);
+    const ONE: Self = Gf256(1);
+    const ORDER: u64 = 256;
+    const BYTES: usize = 1;
+
+    fn inverse(self) -> Option<Self> {
+        if self.0 == 0 {
+            return None;
+        }
+        let l = LOG[self.0 as usize] as usize;
+        Some(Gf256(EXP[255 - l]))
+    }
+
+    fn from_u64(v: u64) -> Self {
+        Gf256((v % 256) as u8)
+    }
+
+    fn to_u64(self) -> u64 {
+        self.0 as u64
+    }
+}
+
+/// Returns the generator of the multiplicative group used for the tables.
+pub const fn generator() -> Gf256 {
+    Gf256(GENERATOR)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exp_log_roundtrip() {
+        for v in 1..=255u8 {
+            let l = LOG[v as usize] as usize;
+            assert_eq!(EXP[l], v, "exp(log({v})) != {v}");
+        }
+    }
+
+    #[test]
+    fn aes_known_product() {
+        // {57} . {83} = {C1} in the AES field.
+        assert_eq!(Gf256::new(0x57) * Gf256::new(0x83), Gf256::new(0xC1));
+        // {57} . {13} = {FE}
+        assert_eq!(Gf256::new(0x57) * Gf256::new(0x13), Gf256::new(0xFE));
+    }
+
+    #[test]
+    fn mul_commutative_exhaustive() {
+        for a in 0..=255u8 {
+            for b in 0..=255u8 {
+                let x = Gf256(a) * Gf256(b);
+                let y = Gf256(b) * Gf256(a);
+                assert_eq!(x, y);
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_exhaustive() {
+        assert!(Gf256::ZERO.inverse().is_none());
+        for a in 1..=255u8 {
+            let inv = Gf256(a).inverse().unwrap();
+            assert_eq!(Gf256(a) * inv, Gf256::ONE, "a = {a}");
+        }
+    }
+
+    #[test]
+    fn distributive_samples() {
+        for a in (0..=255u8).step_by(7) {
+            for b in (0..=255u8).step_by(11) {
+                for c in (0..=255u8).step_by(13) {
+                    let (a, b, c) = (Gf256(a), Gf256(b), Gf256(c));
+                    assert_eq!(a * (b + c), a * b + a * c);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pow_matches_repeated_mul() {
+        let g = generator();
+        let mut acc = Gf256::ONE;
+        for e in 0..260u64 {
+            assert_eq!(g.pow(e), acc, "e = {e}");
+            acc *= g;
+        }
+    }
+
+    #[test]
+    fn generator_has_full_order() {
+        let g = generator();
+        let mut seen = [false; 256];
+        let mut x = Gf256::ONE;
+        for _ in 0..255 {
+            assert!(!seen[x.0 as usize], "generator order < 255");
+            seen[x.0 as usize] = true;
+            x *= g;
+        }
+        assert_eq!(x, Gf256::ONE);
+    }
+
+    #[test]
+    fn mul_acc_slice_matches_scalar() {
+        let src: Vec<u8> = (0..=255).collect();
+        let scalar = Gf256(0x8E);
+        let mut dst = vec![0xAAu8; 256];
+        let expect: Vec<u8> = dst
+            .iter()
+            .zip(&src)
+            .map(|(d, s)| (Gf256(*d) + scalar * Gf256(*s)).value())
+            .collect();
+        scalar.mul_acc_slice(&src, &mut dst);
+        assert_eq!(dst, expect);
+    }
+
+    #[test]
+    fn mul_acc_slice_identity_and_zero() {
+        let src = [1u8, 2, 3, 4];
+        let mut dst = [9u8, 9, 9, 9];
+        Gf256::ZERO.mul_acc_slice(&src, &mut dst);
+        assert_eq!(dst, [9, 9, 9, 9]);
+        Gf256::ONE.mul_acc_slice(&src, &mut dst);
+        assert_eq!(dst, [8, 11, 10, 13]);
+    }
+
+    #[test]
+    fn division_roundtrip() {
+        for a in 1..=255u8 {
+            for b in 1..=255u8 {
+                let q = Gf256(a) / Gf256(b);
+                assert_eq!(q * Gf256(b), Gf256(a));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn division_by_zero_panics() {
+        let _ = Gf256::ONE / Gf256::ZERO;
+    }
+}

@@ -1,0 +1,52 @@
+//! Finite-field arithmetic for erasure coding and secret sharing.
+//!
+//! This crate provides the algebraic substrate used throughout the `aeon`
+//! workspace:
+//!
+//! * [`Gf256`] — the field GF(2^8) with the AES/Rijndael-compatible reducing
+//!   polynomial `x^8 + x^4 + x^3 + x + 1` (0x11B). Element-per-byte makes it
+//!   the natural field for byte-oriented Reed–Solomon codes and Shamir
+//!   secret sharing.
+//! * [`Gf16`] — the field GF(2^16) with reducing polynomial
+//!   `x^16 + x^12 + x^3 + x + 1` (0x1100B). Its 65 536 evaluation points
+//!   make it the field of choice for *packed* secret sharing, where a single
+//!   polynomial hides many secrets and therefore needs many distinct
+//!   evaluation points.
+//! * [`poly`] — polynomial evaluation and Lagrange interpolation over any
+//!   [`Field`].
+//! * [`matrix`] — dense matrices over a field: Vandermonde and Cauchy
+//!   constructions, Gaussian elimination, inversion. These drive systematic
+//!   Reed–Solomon encoding and decoding.
+//!
+//! # Design notes
+//!
+//! Both concrete fields use log/exp table arithmetic. The tables are built
+//! at compile time by `const` evaluation, so there is no runtime
+//! initialization and lookups are branch-free except for the zero check in
+//! multiplication.
+//!
+//! # Examples
+//!
+//! ```
+//! use aeon_gf::{Field, Gf256};
+//!
+//! let a = Gf256::new(0x53);
+//! let b = Gf256::new(0xCA);
+//! // Multiplication in GF(2^8) with the AES polynomial.
+//! assert_eq!(a * b, Gf256::ONE);
+//! assert_eq!(a.inverse().unwrap(), b);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod field;
+mod gf16;
+mod gf256;
+pub mod matrix;
+pub mod poly;
+
+pub use field::Field;
+pub use gf16::Gf16;
+pub use gf256::{generator as gf256_generator, Gf256};
+pub use matrix::Matrix;

@@ -1,0 +1,466 @@
+//! Dense matrices over a finite [`Field`].
+//!
+//! Reed–Solomon erasure coding is matrix arithmetic: a systematic code is a
+//! `(k + m) × k` encoding matrix whose top `k × k` block is the identity;
+//! decoding inverts the `k × k` submatrix of surviving rows. This module
+//! provides the matrix constructions ([`Matrix::vandermonde`],
+//! [`Matrix::cauchy`], [`Matrix::rs_systematic`]) and the Gaussian
+//! elimination machinery behind that.
+
+use crate::Field;
+
+/// A dense row-major matrix over a finite field.
+///
+/// # Examples
+///
+/// ```
+/// use aeon_gf::{Field, Gf256, Matrix};
+///
+/// let id = Matrix::<Gf256>::identity(3);
+/// let inv = id.inverse().unwrap();
+/// assert_eq!(id, inv);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Matrix<F: Field> {
+    rows: usize,
+    cols: usize,
+    data: Vec<F>,
+}
+
+/// Errors from matrix operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MatrixError {
+    /// The matrix is singular and cannot be inverted.
+    Singular,
+    /// Operand dimensions are incompatible.
+    DimensionMismatch {
+        /// Dimensions of the left operand.
+        left: (usize, usize),
+        /// Dimensions of the right operand.
+        right: (usize, usize),
+    },
+    /// A non-square matrix was passed where a square one is required.
+    NotSquare,
+}
+
+impl core::fmt::Display for MatrixError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            MatrixError::Singular => write!(f, "matrix is singular"),
+            MatrixError::DimensionMismatch { left, right } => write!(
+                f,
+                "dimension mismatch: {}x{} vs {}x{}",
+                left.0, left.1, right.0, right.1
+            ),
+            MatrixError::NotSquare => write!(f, "matrix is not square"),
+        }
+    }
+}
+
+impl std::error::Error for MatrixError {}
+
+impl<F: Field> Matrix<F> {
+    /// Creates a matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![F::ZERO; rows * cols],
+        }
+    }
+
+    /// Creates a matrix from row-major data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_rows(rows: usize, cols: usize, data: Vec<F>) -> Self {
+        assert_eq!(data.len(), rows * cols, "row-major data length mismatch");
+        Matrix { rows, cols, data }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = F::ONE;
+        }
+        m
+    }
+
+    /// Creates an `rows × cols` Vandermonde matrix with row `i` equal to
+    /// `[1, x_i, x_i², …]` for `x_i = from_u64(i)`. Any `cols` rows with
+    /// distinct `x_i` are linearly independent, the property that makes
+    /// Vandermonde matrices suitable for MDS erasure codes.
+    pub fn vandermonde(rows: usize, cols: usize) -> Self {
+        let mut m = Matrix::zeros(rows, cols);
+        for r in 0..rows {
+            let x = F::from_u64(r as u64);
+            let mut p = F::ONE;
+            for c in 0..cols {
+                m[(r, c)] = p;
+                p *= x;
+            }
+        }
+        m
+    }
+
+    /// Creates an `rows × cols` Cauchy matrix `a[i][j] = 1/(x_i + y_j)`
+    /// with `x_i = from_u64(i + cols)` and `y_j = from_u64(j)`. Every
+    /// square submatrix of a Cauchy matrix is invertible.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows + cols` exceeds the field order (the x's and y's
+    /// must be disjoint).
+    pub fn cauchy(rows: usize, cols: usize) -> Self {
+        assert!(
+            (rows + cols) as u64 <= F::ORDER,
+            "field too small for Cauchy matrix of {rows}+{cols} points"
+        );
+        let mut m = Matrix::zeros(rows, cols);
+        for r in 0..rows {
+            let x = F::from_u64((r + cols) as u64);
+            for c in 0..cols {
+                let y = F::from_u64(c as u64);
+                m[(r, c)] = (x - y)
+                    .inverse()
+                    .expect("x_i and y_j are distinct by construction");
+            }
+        }
+        m
+    }
+
+    /// Builds the `(k + m) × k` systematic Reed–Solomon encoding matrix:
+    /// identity on top, Cauchy parity rows below. Multiplying by a
+    /// `k`-vector of data yields `k` unchanged data symbols plus `m` parity
+    /// symbols; any `k` of the `k + m` rows are invertible.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k + m` exceeds the field order.
+    pub fn rs_systematic(k: usize, m: usize) -> Self {
+        let mut out = Matrix::zeros(k + m, k);
+        for i in 0..k {
+            out[(i, i)] = F::ONE;
+        }
+        let parity = Matrix::cauchy(m, k);
+        for r in 0..m {
+            for c in 0..k {
+                out[(k + r, c)] = parity[(r, c)];
+            }
+        }
+        out
+    }
+
+    /// Returns the number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Returns the number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Returns row `r` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows`.
+    pub fn row(&self, r: usize) -> &[F] {
+        assert!(r < self.rows);
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Returns a new matrix containing only the selected rows, in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn select_rows(&self, indices: &[usize]) -> Self {
+        let mut data = Vec::with_capacity(indices.len() * self.cols);
+        for &r in indices {
+            data.extend_from_slice(self.row(r));
+        }
+        Matrix::from_rows(indices.len(), self.cols, data)
+    }
+
+    /// Matrix × matrix multiplication.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::DimensionMismatch`] if `self.cols != rhs.rows`.
+    pub fn mul(&self, rhs: &Self) -> Result<Self, MatrixError> {
+        if self.cols != rhs.rows {
+            return Err(MatrixError::DimensionMismatch {
+                left: (self.rows, self.cols),
+                right: (rhs.rows, rhs.cols),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a.is_zero() {
+                    continue;
+                }
+                for j in 0..rhs.cols {
+                    let v = a * rhs[(k, j)];
+                    out[(i, j)] += v;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix × vector multiplication.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::DimensionMismatch`] if `vec.len() != cols`.
+    pub fn mul_vec(&self, vec: &[F]) -> Result<Vec<F>, MatrixError> {
+        if vec.len() != self.cols {
+            return Err(MatrixError::DimensionMismatch {
+                left: (self.rows, self.cols),
+                right: (vec.len(), 1),
+            });
+        }
+        let mut out = vec![F::ZERO; self.rows];
+        for i in 0..self.rows {
+            let mut acc = F::ZERO;
+            for (j, &v) in vec.iter().enumerate() {
+                acc += self[(i, j)] * v;
+            }
+            out[i] = acc;
+        }
+        Ok(out)
+    }
+
+    /// Inverts the matrix by Gauss–Jordan elimination.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::NotSquare`] for non-square input and
+    /// [`MatrixError::Singular`] if no inverse exists.
+    pub fn inverse(&self) -> Result<Self, MatrixError> {
+        if self.rows != self.cols {
+            return Err(MatrixError::NotSquare);
+        }
+        let n = self.rows;
+        let mut a = self.clone();
+        let mut inv = Matrix::identity(n);
+        for col in 0..n {
+            // Find a pivot.
+            let pivot = (col..n)
+                .find(|&r| !a[(r, col)].is_zero())
+                .ok_or(MatrixError::Singular)?;
+            if pivot != col {
+                a.swap_rows(pivot, col);
+                inv.swap_rows(pivot, col);
+            }
+            // Normalize the pivot row.
+            let scale = a[(col, col)]
+                .inverse()
+                .expect("pivot is nonzero by construction");
+            a.scale_row(col, scale);
+            inv.scale_row(col, scale);
+            // Eliminate the column everywhere else.
+            for r in 0..n {
+                if r == col {
+                    continue;
+                }
+                let factor = a[(r, col)];
+                if factor.is_zero() {
+                    continue;
+                }
+                a.sub_scaled_row(r, col, factor);
+                inv.sub_scaled_row(r, col, factor);
+            }
+        }
+        Ok(inv)
+    }
+
+    /// Returns the rank of the matrix (Gaussian elimination over a copy).
+    pub fn rank(&self) -> usize {
+        let mut a = self.clone();
+        let mut rank = 0;
+        let mut row = 0;
+        for col in 0..a.cols {
+            if row >= a.rows {
+                break;
+            }
+            let pivot = (row..a.rows).find(|&r| !a[(r, col)].is_zero());
+            let Some(pivot) = pivot else { continue };
+            a.swap_rows(pivot, row);
+            let scale = a[(row, col)].inverse().expect("nonzero pivot");
+            a.scale_row(row, scale);
+            for r in 0..a.rows {
+                if r != row && !a[(r, col)].is_zero() {
+                    let factor = a[(r, col)];
+                    a.sub_scaled_row(r, row, factor);
+                }
+            }
+            row += 1;
+            rank += 1;
+        }
+        rank
+    }
+
+    fn swap_rows(&mut self, a: usize, b: usize) {
+        if a == b {
+            return;
+        }
+        for c in 0..self.cols {
+            self.data.swap(a * self.cols + c, b * self.cols + c);
+        }
+    }
+
+    fn scale_row(&mut self, r: usize, s: F) {
+        for c in 0..self.cols {
+            self[(r, c)] *= s;
+        }
+    }
+
+    /// row_r -= factor * row_src
+    fn sub_scaled_row(&mut self, r: usize, src: usize, factor: F) {
+        for c in 0..self.cols {
+            let v = self[(src, c)] * factor;
+            self[(r, c)] -= v;
+        }
+    }
+}
+
+impl<F: Field> core::ops::Index<(usize, usize)> for Matrix<F> {
+    type Output = F;
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &F {
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl<F: Field> core::ops::IndexMut<(usize, usize)> for Matrix<F> {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut F {
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Gf16, Gf256};
+
+    #[test]
+    fn identity_inverse() {
+        let id = Matrix::<Gf256>::identity(5);
+        assert_eq!(id.inverse().unwrap(), id);
+    }
+
+    #[test]
+    fn vandermonde_square_invertible() {
+        for n in 1..=8 {
+            let v = Matrix::<Gf256>::vandermonde(n, n);
+            // Row 0 uses x=0 making first column all-ones; distinct x keeps
+            // it invertible.
+            let inv = v.inverse().unwrap();
+            let prod = v.mul(&inv).unwrap();
+            assert_eq!(prod, Matrix::identity(n), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn cauchy_every_square_submatrix_invertible() {
+        let c = Matrix::<Gf256>::cauchy(4, 4);
+        // All single-row/col selections and a few multi-selections.
+        for rows in [&[0usize][..], &[1, 3], &[0, 1, 2], &[0, 1, 2, 3]] {
+            let sub = c.select_rows(rows);
+            // Select matching number of columns by transposing selection via
+            // full-rank check.
+            assert_eq!(sub.rank(), rows.len());
+        }
+    }
+
+    #[test]
+    fn rs_systematic_any_k_rows_invertible() {
+        let k = 4;
+        let m = 3;
+        let enc = Matrix::<Gf256>::rs_systematic(k, m);
+        assert_eq!(enc.rows(), k + m);
+        // A few representative surviving-row subsets.
+        let subsets: &[&[usize]] = &[
+            &[0, 1, 2, 3],
+            &[3, 4, 5, 6],
+            &[0, 2, 4, 6],
+            &[1, 3, 5, 6],
+            &[0, 1, 5, 6],
+        ];
+        for rows in subsets {
+            let sub = enc.select_rows(rows);
+            assert!(sub.inverse().is_ok(), "rows {rows:?} not invertible");
+        }
+    }
+
+    #[test]
+    fn mul_vec_systematic_prefix_is_identity() {
+        let enc = Matrix::<Gf256>::rs_systematic(3, 2);
+        let data = vec![Gf256::new(10), Gf256::new(20), Gf256::new(30)];
+        let encoded = enc.mul_vec(&data).unwrap();
+        assert_eq!(&encoded[..3], &data[..]);
+        assert_eq!(encoded.len(), 5);
+    }
+
+    #[test]
+    fn decode_roundtrip_via_inverse() {
+        let k = 5;
+        let m = 3;
+        let enc = Matrix::<Gf16>::rs_systematic(k, m);
+        let data: Vec<Gf16> = (0..k as u16).map(|i| Gf16::new(i * 7 + 1)).collect();
+        let encoded = enc.mul_vec(&data).unwrap();
+        // Lose rows 0, 2, 4 — decode from rows [1,3,5,6,7].
+        let survivors = [1usize, 3, 5, 6, 7];
+        let sub = enc.select_rows(&survivors);
+        let dec = sub.inverse().unwrap();
+        let surviving: Vec<Gf16> = survivors.iter().map(|&r| encoded[r]).collect();
+        let recovered = dec.mul_vec(&surviving).unwrap();
+        assert_eq!(recovered, data);
+    }
+
+    #[test]
+    fn singular_detected() {
+        let mut m = Matrix::<Gf256>::zeros(2, 2);
+        m[(0, 0)] = Gf256::new(1);
+        m[(0, 1)] = Gf256::new(2);
+        m[(1, 0)] = Gf256::new(1);
+        m[(1, 1)] = Gf256::new(2);
+        assert_eq!(m.inverse(), Err(MatrixError::Singular));
+        assert_eq!(m.rank(), 1);
+    }
+
+    #[test]
+    fn not_square_rejected() {
+        let m = Matrix::<Gf256>::zeros(2, 3);
+        assert_eq!(m.inverse(), Err(MatrixError::NotSquare));
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let a = Matrix::<Gf256>::zeros(2, 3);
+        let b = Matrix::<Gf256>::zeros(2, 3);
+        assert!(matches!(
+            a.mul(&b),
+            Err(MatrixError::DimensionMismatch { .. })
+        ));
+        assert!(a.mul_vec(&[Gf256::ZERO; 2]).is_err());
+    }
+
+    #[test]
+    fn mul_associative() {
+        let a = Matrix::<Gf256>::vandermonde(3, 3);
+        let b = Matrix::<Gf256>::cauchy(3, 3);
+        let c = Matrix::<Gf256>::identity(3);
+        let ab_c = a.mul(&b).unwrap().mul(&c).unwrap();
+        let a_bc = a.mul(&b.mul(&c).unwrap()).unwrap();
+        assert_eq!(ab_c, a_bc);
+    }
+}

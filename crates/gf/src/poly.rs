@@ -1,0 +1,327 @@
+//! Polynomial evaluation and Lagrange interpolation over a [`Field`].
+//!
+//! These routines are the mathematical heart of Shamir secret sharing
+//! ("evaluate a random polynomial at n points, interpolate the constant
+//! term from any t of them") and of non-systematic Reed–Solomon coding.
+
+use crate::Field;
+
+/// A dense polynomial over a field, stored coefficient-first
+/// (`coeffs[i]` is the coefficient of `x^i`).
+///
+/// # Examples
+///
+/// ```
+/// use aeon_gf::{poly::Polynomial, Field, Gf256};
+///
+/// // p(x) = 5 + 3x
+/// let p = Polynomial::new(vec![Gf256::new(5), Gf256::new(3)]);
+/// assert_eq!(p.eval(Gf256::ZERO), Gf256::new(5));
+/// assert_eq!(p.degree(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Polynomial<F: Field> {
+    coeffs: Vec<F>,
+}
+
+impl<F: Field> Polynomial<F> {
+    /// Creates a polynomial from coefficients (`coeffs[i]` multiplies `x^i`).
+    /// Trailing zero coefficients are retained; use [`Polynomial::degree`]
+    /// for the effective degree.
+    pub fn new(coeffs: Vec<F>) -> Self {
+        Polynomial { coeffs }
+    }
+
+    /// Creates the zero polynomial.
+    pub fn zero() -> Self {
+        Polynomial { coeffs: Vec::new() }
+    }
+
+    /// Returns the coefficients, constant term first.
+    pub fn coeffs(&self) -> &[F] {
+        &self.coeffs
+    }
+
+    /// Returns the effective degree (ignoring trailing zeros); the zero
+    /// polynomial reports degree 0.
+    pub fn degree(&self) -> usize {
+        self.coeffs
+            .iter()
+            .rposition(|c| !c.is_zero())
+            .unwrap_or(0)
+    }
+
+    /// Evaluates the polynomial at `x` using Horner's rule.
+    pub fn eval(&self, x: F) -> F {
+        let mut acc = F::ZERO;
+        for &c in self.coeffs.iter().rev() {
+            acc = acc * x + c;
+        }
+        acc
+    }
+
+    /// Adds two polynomials.
+    pub fn add(&self, other: &Self) -> Self {
+        let n = self.coeffs.len().max(other.coeffs.len());
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            let a = self.coeffs.get(i).copied().unwrap_or(F::ZERO);
+            let b = other.coeffs.get(i).copied().unwrap_or(F::ZERO);
+            out.push(a + b);
+        }
+        Polynomial::new(out)
+    }
+
+    /// Multiplies two polynomials (schoolbook).
+    pub fn mul(&self, other: &Self) -> Self {
+        if self.coeffs.is_empty() || other.coeffs.is_empty() {
+            return Polynomial::zero();
+        }
+        let mut out = vec![F::ZERO; self.coeffs.len() + other.coeffs.len() - 1];
+        for (i, &a) in self.coeffs.iter().enumerate() {
+            if a.is_zero() {
+                continue;
+            }
+            for (j, &b) in other.coeffs.iter().enumerate() {
+                out[i + j] += a * b;
+            }
+        }
+        Polynomial::new(out)
+    }
+
+    /// Multiplies by a scalar.
+    pub fn scale(&self, s: F) -> Self {
+        Polynomial::new(self.coeffs.iter().map(|&c| c * s).collect())
+    }
+}
+
+/// Errors from interpolation routines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InterpolateError {
+    /// Two interpolation points shared the same x-coordinate.
+    DuplicateX,
+    /// No points were supplied.
+    Empty,
+}
+
+impl core::fmt::Display for InterpolateError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            InterpolateError::DuplicateX => write!(f, "duplicate x-coordinate in interpolation"),
+            InterpolateError::Empty => write!(f, "no interpolation points supplied"),
+        }
+    }
+}
+
+impl std::error::Error for InterpolateError {}
+
+/// Evaluates, at `x0`, the unique polynomial of degree `< points.len()`
+/// passing through `points`, without materializing the polynomial.
+///
+/// This is the O(t²) Lagrange evaluation used to reconstruct a Shamir
+/// secret (`x0 = 0`) or to re-share at a new evaluation point.
+///
+/// # Errors
+///
+/// Returns [`InterpolateError::Empty`] for an empty slice and
+/// [`InterpolateError::DuplicateX`] if two points share an x-coordinate.
+///
+/// # Examples
+///
+/// ```
+/// use aeon_gf::{poly::lagrange_eval, Field, Gf256};
+///
+/// // p(x) = 7 + 2x through points x = 1, 2.
+/// let pts = [
+///     (Gf256::new(1), Gf256::new(7) + Gf256::new(2)),
+///     (Gf256::new(2), Gf256::new(7) + Gf256::new(2) * Gf256::new(2)),
+/// ];
+/// let secret = lagrange_eval(&pts, Gf256::ZERO)?;
+/// assert_eq!(secret, Gf256::new(7));
+/// # Ok::<(), aeon_gf::poly::InterpolateError>(())
+/// ```
+pub fn lagrange_eval<F: Field>(points: &[(F, F)], x0: F) -> Result<F, InterpolateError> {
+    if points.is_empty() {
+        return Err(InterpolateError::Empty);
+    }
+    let mut acc = F::ZERO;
+    for (i, &(xi, yi)) in points.iter().enumerate() {
+        let mut num = F::ONE;
+        let mut den = F::ONE;
+        for (j, &(xj, _)) in points.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            if xi == xj {
+                return Err(InterpolateError::DuplicateX);
+            }
+            num *= x0 - xj;
+            den *= xi - xj;
+        }
+        let li = num * den.inverse().expect("distinct x-coordinates imply nonzero denominator");
+        acc += yi * li;
+    }
+    Ok(acc)
+}
+
+/// Computes the Lagrange basis coefficients λ_i such that
+/// `p(x0) = Σ λ_i · y_i` for any polynomial of degree `< xs.len()`
+/// through the given x-coordinates.
+///
+/// Precomputing the λ's amortizes interpolation across many byte positions
+/// sharing the same share indices — the common case when reconstructing a
+/// multi-byte Shamir secret.
+///
+/// # Errors
+///
+/// Same conditions as [`lagrange_eval`].
+pub fn lagrange_coefficients<F: Field>(xs: &[F], x0: F) -> Result<Vec<F>, InterpolateError> {
+    if xs.is_empty() {
+        return Err(InterpolateError::Empty);
+    }
+    let mut out = Vec::with_capacity(xs.len());
+    for (i, &xi) in xs.iter().enumerate() {
+        let mut num = F::ONE;
+        let mut den = F::ONE;
+        for (j, &xj) in xs.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            if xi == xj {
+                return Err(InterpolateError::DuplicateX);
+            }
+            num *= x0 - xj;
+            den *= xi - xj;
+        }
+        out.push(num * den.inverse().expect("nonzero denominator"));
+    }
+    Ok(out)
+}
+
+/// Interpolates the full polynomial through the given points
+/// (coefficient form). O(t²) via incremental Newton-to-monomial conversion.
+///
+/// # Errors
+///
+/// Same conditions as [`lagrange_eval`].
+pub fn interpolate<F: Field>(points: &[(F, F)]) -> Result<Polynomial<F>, InterpolateError> {
+    if points.is_empty() {
+        return Err(InterpolateError::Empty);
+    }
+    // Lagrange construction: sum of y_i * Π_{j≠i} (x - x_j)/(x_i - x_j).
+    let mut acc = Polynomial::zero();
+    for (i, &(xi, yi)) in points.iter().enumerate() {
+        let mut basis = Polynomial::new(vec![F::ONE]);
+        let mut den = F::ONE;
+        for (j, &(xj, _)) in points.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            if xi == xj {
+                return Err(InterpolateError::DuplicateX);
+            }
+            // basis *= (x - xj)
+            basis = basis.mul(&Polynomial::new(vec![-xj, F::ONE]));
+            den *= xi - xj;
+        }
+        let scale = yi * den.inverse().expect("nonzero denominator");
+        acc = acc.add(&basis.scale(scale));
+    }
+    Ok(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Gf16, Gf256};
+
+    #[test]
+    fn eval_constant_and_linear() {
+        let p = Polynomial::new(vec![Gf256::new(42)]);
+        assert_eq!(p.eval(Gf256::new(17)), Gf256::new(42));
+        let q = Polynomial::new(vec![Gf256::new(1), Gf256::new(1)]); // 1 + x
+        assert_eq!(q.eval(Gf256::new(5)), Gf256::new(4)); // 1 ^ 5
+    }
+
+    #[test]
+    fn degree_ignores_trailing_zeros() {
+        let p = Polynomial::new(vec![Gf256::new(1), Gf256::new(2), Gf256::ZERO]);
+        assert_eq!(p.degree(), 1);
+        assert_eq!(Polynomial::<Gf256>::zero().degree(), 0);
+    }
+
+    #[test]
+    fn lagrange_recovers_constant_term() {
+        // p(x) = 9 + 3x + 7x^2 over GF(256)
+        let p = Polynomial::new(vec![Gf256::new(9), Gf256::new(3), Gf256::new(7)]);
+        let pts: Vec<(Gf256, Gf256)> = (1..=3u8)
+            .map(|i| (Gf256::new(i), p.eval(Gf256::new(i))))
+            .collect();
+        assert_eq!(lagrange_eval(&pts, Gf256::ZERO).unwrap(), Gf256::new(9));
+    }
+
+    #[test]
+    fn lagrange_any_subset_agrees() {
+        let p = Polynomial::new(vec![Gf16::new(999), Gf16::new(3), Gf16::new(7), Gf16::new(1)]);
+        let all: Vec<(Gf16, Gf16)> = (1..=8u16)
+            .map(|i| (Gf16::new(i), p.eval(Gf16::new(i))))
+            .collect();
+        // Any 4 of the 8 points recover the same constant term.
+        for w in all.windows(4) {
+            assert_eq!(lagrange_eval(w, Gf16::ZERO).unwrap(), Gf16::new(999));
+        }
+    }
+
+    #[test]
+    fn lagrange_coefficients_match_eval() {
+        let p = Polynomial::new(vec![Gf256::new(50), Gf256::new(60), Gf256::new(70)]);
+        let xs = [Gf256::new(2), Gf256::new(5), Gf256::new(9)];
+        let ys: Vec<Gf256> = xs.iter().map(|&x| p.eval(x)).collect();
+        let lambda = lagrange_coefficients(&xs, Gf256::ZERO).unwrap();
+        let recovered = lambda
+            .iter()
+            .zip(&ys)
+            .fold(Gf256::ZERO, |acc, (&l, &y)| acc + l * y);
+        assert_eq!(recovered, Gf256::new(50));
+    }
+
+    #[test]
+    fn interpolate_full_polynomial() {
+        let orig = Polynomial::new(vec![Gf256::new(11), Gf256::new(22), Gf256::new(33)]);
+        let pts: Vec<(Gf256, Gf256)> = (1..=3u8)
+            .map(|i| (Gf256::new(i), orig.eval(Gf256::new(i))))
+            .collect();
+        let rec = interpolate(&pts).unwrap();
+        for x in 0..=255u8 {
+            assert_eq!(rec.eval(Gf256::new(x)), orig.eval(Gf256::new(x)));
+        }
+    }
+
+    #[test]
+    fn duplicate_x_rejected() {
+        let pts = [(Gf256::new(1), Gf256::new(2)), (Gf256::new(1), Gf256::new(3))];
+        assert_eq!(
+            lagrange_eval(&pts, Gf256::ZERO),
+            Err(InterpolateError::DuplicateX)
+        );
+        assert!(interpolate(&pts).is_err());
+    }
+
+    #[test]
+    fn empty_rejected() {
+        let pts: [(Gf256, Gf256); 0] = [];
+        assert_eq!(lagrange_eval(&pts, Gf256::ZERO), Err(InterpolateError::Empty));
+    }
+
+    #[test]
+    fn poly_mul_degree_and_values() {
+        let a = Polynomial::new(vec![Gf256::new(1), Gf256::new(1)]); // 1 + x
+        let b = Polynomial::new(vec![Gf256::new(2), Gf256::new(3)]); // 2 + 3x
+        let c = a.mul(&b);
+        assert_eq!(c.degree(), 2);
+        for x in [0u8, 1, 2, 7, 200] {
+            let x = Gf256::new(x);
+            assert_eq!(c.eval(x), a.eval(x) * b.eval(x));
+        }
+    }
+}

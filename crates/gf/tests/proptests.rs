@@ -1,0 +1,129 @@
+//! Property-based tests for field axioms, interpolation, and matrices.
+
+use aeon_gf::poly::{lagrange_eval, Polynomial};
+use aeon_gf::{Field, Gf16, Gf256, Matrix};
+use proptest::prelude::*;
+
+fn gf256() -> impl Strategy<Value = Gf256> {
+    any::<u8>().prop_map(Gf256::new)
+}
+
+fn gf16() -> impl Strategy<Value = Gf16> {
+    any::<u16>().prop_map(Gf16::new)
+}
+
+proptest! {
+    #[test]
+    fn gf256_add_commutes(a in gf256(), b in gf256()) {
+        prop_assert_eq!(a + b, b + a);
+    }
+
+    #[test]
+    fn gf256_mul_associates(a in gf256(), b in gf256(), c in gf256()) {
+        prop_assert_eq!((a * b) * c, a * (b * c));
+    }
+
+    #[test]
+    fn gf256_distributes(a in gf256(), b in gf256(), c in gf256()) {
+        prop_assert_eq!(a * (b + c), a * b + a * c);
+    }
+
+    #[test]
+    fn gf256_self_inverse_addition(a in gf256()) {
+        prop_assert_eq!(a + a, Gf256::ZERO);
+        prop_assert_eq!(-a, a);
+    }
+
+    #[test]
+    fn gf256_inverse_law(a in gf256()) {
+        if let Some(inv) = a.inverse() {
+            prop_assert_eq!(a * inv, Gf256::ONE);
+        } else {
+            prop_assert_eq!(a, Gf256::ZERO);
+        }
+    }
+
+    #[test]
+    fn gf16_mul_commutes(a in gf16(), b in gf16()) {
+        prop_assert_eq!(a * b, b * a);
+    }
+
+    #[test]
+    fn gf16_distributes(a in gf16(), b in gf16(), c in gf16()) {
+        prop_assert_eq!(a * (b + c), a * b + a * c);
+    }
+
+    #[test]
+    fn gf16_inverse_law(a in gf16()) {
+        if let Some(inv) = a.inverse() {
+            prop_assert_eq!(a * inv, Gf16::ONE);
+        } else {
+            prop_assert_eq!(a, Gf16::ZERO);
+        }
+    }
+
+    #[test]
+    fn gf16_pow_homomorphism(a in gf16(), e1 in 0u64..1000, e2 in 0u64..1000) {
+        prop_assert_eq!(a.pow(e1) * a.pow(e2), a.pow(e1 + e2));
+    }
+
+    /// Interpolating a random polynomial through deg+1 distinct points
+    /// recovers its evaluation anywhere.
+    #[test]
+    fn interpolation_recovers_polynomial(
+        coeffs in prop::collection::vec(gf16(), 1..8),
+        probe in gf16(),
+    ) {
+        let p = Polynomial::new(coeffs.clone());
+        let pts: Vec<(Gf16, Gf16)> = (1..=coeffs.len() as u16)
+            .map(|i| (Gf16::new(i), p.eval(Gf16::new(i))))
+            .collect();
+        let at_probe = lagrange_eval(&pts, probe).unwrap();
+        prop_assert_eq!(at_probe, p.eval(probe));
+    }
+
+    /// Every k-subset of a systematic RS encoding decodes back to the data.
+    #[test]
+    fn rs_any_k_rows_decode(
+        data in prop::collection::vec(gf256(), 2..6),
+        extra in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        let k = data.len();
+        let m = extra;
+        let enc = Matrix::<Gf256>::rs_systematic(k, m);
+        let encoded = enc.mul_vec(&data).unwrap();
+        // Pseudo-random k-subset of rows from the seed.
+        let mut rows: Vec<usize> = (0..k + m).collect();
+        let mut s = seed;
+        for i in (1..rows.len()).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (s >> 33) as usize % (i + 1);
+            rows.swap(i, j);
+        }
+        rows.truncate(k);
+        rows.sort_unstable();
+        let sub = enc.select_rows(&rows);
+        let inv = sub.inverse().unwrap();
+        let surviving: Vec<Gf256> = rows.iter().map(|&r| encoded[r]).collect();
+        let rec = inv.mul_vec(&surviving).unwrap();
+        prop_assert_eq!(rec, data);
+    }
+
+    /// Matrix inverse is a two-sided inverse.
+    #[test]
+    fn inverse_two_sided(n in 1usize..6, seed in any::<u64>()) {
+        // Build a random matrix; skip singular draws.
+        let mut s = seed;
+        let mut next = || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            Gf256::new((s >> 56) as u8)
+        };
+        let data: Vec<Gf256> = (0..n * n).map(|_| next()).collect();
+        let m = Matrix::from_rows(n, n, data);
+        if let Ok(inv) = m.inverse() {
+            prop_assert_eq!(m.mul(&inv).unwrap(), Matrix::identity(n));
+            prop_assert_eq!(inv.mul(&m).unwrap(), Matrix::identity(n));
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! Fixed-width big-integer arithmetic and a discrete-log group for
+//! information-theoretically *hiding* commitments.
+//!
+//! Long-term integrity protocols (LINCOS-style timestamping, Pedersen
+//! verifiable secret sharing) need commitments that remain hiding even
+//! against a computationally unbounded future adversary. Pedersen
+//! commitments over a prime-order group have exactly that property: the
+//! commitment `g^m · h^r` is a uniformly random group element for uniform
+//! `r`, so confidentiality never expires; only the *binding* property is
+//! computational.
+//!
+//! This crate supplies the arithmetic substrate from scratch:
+//!
+//! * [`Uint`] — const-generic fixed-width unsigned integers (little-endian
+//!   64-bit limbs) with carry-exact addition/subtraction, comparison,
+//!   shifting, and wide multiplication.
+//! * [`MontCtx`] — Montgomery-domain modular multiplication and
+//!   exponentiation (CIOS), the workhorse for 2048-bit modexp.
+//! * [`ModpGroup`] — the RFC 3526 2048-bit MODP group (a safe-prime group);
+//!   exponentiations land in the prime-order-`q` subgroup of quadratic
+//!   residues.
+//! * [`pedersen`] — Pedersen commitments `g^m h^r mod p` with
+//!   information-theoretic hiding.
+//! * [`prime`] — Miller–Rabin primality testing used to validate the group
+//!   constants and to test candidate moduli.
+//!
+//! # Examples
+//!
+//! ```
+//! use aeon_num::{ModpGroup, pedersen::Committer};
+//!
+//! let group = ModpGroup::rfc3526_2048();
+//! let committer = Committer::new(group);
+//! let (commitment, opening) = committer.commit(b"message digest", &[7u8; 32]);
+//! assert!(committer.verify(&commitment, b"message digest", &opening));
+//! assert!(!committer.verify(&commitment, b"another digest", &opening));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod modp;
+mod mont;
+pub mod pedersen;
+pub mod prime;
+mod uint;
+
+pub use modp::{GroupElement, ModpGroup};
+pub use mont::MontCtx;
+pub use uint::{reduce_wide, Uint, U2048, U256};

@@ -1,0 +1,272 @@
+//! Montgomery-domain modular multiplication and exponentiation.
+
+use crate::uint::{reduce_wide, Uint};
+
+/// A Montgomery multiplication context for an odd modulus `n`.
+///
+/// Montgomery's trick replaces the expensive division in modular
+/// multiplication with shifts by the word size: numbers are kept in the
+/// "Montgomery domain" `aR mod n` (with `R = 2^(64·L)`), where the CIOS
+/// (Coarsely Integrated Operand Scanning) product interleaves reduction
+/// with multiplication. One 2048-bit modexp then costs ~2·4096 limb-level
+/// multiplications instead of thousands of long divisions.
+///
+/// # Examples
+///
+/// ```
+/// use aeon_num::{MontCtx, U256};
+///
+/// let modulus = U256::from_u64(1_000_003); // odd
+/// let ctx = MontCtx::new(modulus);
+/// let base = U256::from_u64(12345);
+/// // 12345^1000002 mod 1000003 == 1 (Fermat; 1000003 is prime)
+/// let exp = U256::from_u64(1_000_002);
+/// assert_eq!(ctx.pow(&base, &exp), U256::one());
+/// ```
+#[derive(Debug, Clone)]
+pub struct MontCtx<const L: usize> {
+    n: Uint<L>,
+    /// -n^{-1} mod 2^64
+    n0: u64,
+    /// R mod n — the Montgomery representation of 1.
+    one_mont: Uint<L>,
+    /// R² mod n — used to convert into the Montgomery domain.
+    r2: Uint<L>,
+}
+
+impl<const L: usize> MontCtx<L> {
+    /// Creates a context for the given odd modulus.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the modulus is even or zero.
+    pub fn new(n: Uint<L>) -> Self {
+        assert!(n.is_odd(), "Montgomery modulus must be odd");
+        // n0 = -n^{-1} mod 2^64 by Newton–Hensel lifting.
+        let n_low = n.limbs()[0];
+        let mut inv = 1u64;
+        for _ in 0..6 {
+            inv = inv.wrapping_mul(2u64.wrapping_sub(n_low.wrapping_mul(inv)));
+        }
+        let n0 = inv.wrapping_neg();
+
+        // R mod n: start from 1 and double 64·L times modulo n.
+        let mut one_mont = Uint::<L>::one().rem(&n);
+        for _ in 0..Uint::<L>::BITS {
+            one_mont = one_mont.add_mod(&one_mont, &n);
+        }
+        // R² mod n: double R mod n another 64·L times.
+        let mut r2 = one_mont;
+        for _ in 0..Uint::<L>::BITS {
+            r2 = r2.add_mod(&r2, &n);
+        }
+        MontCtx { n, n0, one_mont, r2 }
+    }
+
+    /// Returns the modulus.
+    pub fn modulus(&self) -> &Uint<L> {
+        &self.n
+    }
+
+    /// CIOS Montgomery product: returns `a · b · R^{-1} mod n` for inputs
+    /// in the Montgomery domain.
+    pub fn mont_mul(&self, a: &Uint<L>, b: &Uint<L>) -> Uint<L> {
+        let al = a.limbs();
+        let bl = b.limbs();
+        let nl = self.n.limbs();
+        // t has L + 2 limbs.
+        let mut t = vec![0u64; L + 2];
+        for &a_limb in al.iter() {
+            // t += a_limb * b
+            let ai = a_limb as u128;
+            let mut carry = 0u128;
+            for j in 0..L {
+                let s = (t[j] as u128) + ai * (bl[j] as u128) + carry;
+                t[j] = s as u64;
+                carry = s >> 64;
+            }
+            let s = (t[L] as u128) + carry;
+            t[L] = s as u64;
+            t[L + 1] = (s >> 64) as u64;
+
+            // m = t[0] * n0 mod 2^64; t += m * n; t >>= 64
+            let m = t[0].wrapping_mul(self.n0) as u128;
+            let s = (t[0] as u128) + m * (nl[0] as u128);
+            let mut carry = s >> 64;
+            for j in 1..L {
+                let s = (t[j] as u128) + m * (nl[j] as u128) + carry;
+                t[j - 1] = s as u64;
+                carry = s >> 64;
+            }
+            let s = (t[L] as u128) + carry;
+            t[L - 1] = s as u64;
+            t[L] = t[L + 1].wrapping_add((s >> 64) as u64);
+            t[L + 1] = 0;
+        }
+        let mut out = [0u64; L];
+        out.copy_from_slice(&t[..L]);
+        let mut result = Uint::from_limbs(out);
+        if t[L] != 0 || result >= self.n {
+            result = result.wrapping_sub(&self.n);
+        }
+        result
+    }
+
+    /// Converts a value (`< n`) into the Montgomery domain.
+    pub fn to_mont(&self, a: &Uint<L>) -> Uint<L> {
+        self.mont_mul(a, &self.r2)
+    }
+
+    /// Converts a value out of the Montgomery domain.
+    pub fn from_mont(&self, a: &Uint<L>) -> Uint<L> {
+        self.mont_mul(a, &Uint::one())
+    }
+
+    /// Modular multiplication of plain (non-Montgomery) values.
+    pub fn mul(&self, a: &Uint<L>, b: &Uint<L>) -> Uint<L> {
+        let am = self.to_mont(a);
+        let bm = self.to_mont(b);
+        self.from_mont(&self.mont_mul(&am, &bm))
+    }
+
+    /// Modular exponentiation `base^exp mod n` by square-and-multiply over
+    /// the Montgomery domain.
+    pub fn pow(&self, base: &Uint<L>, exp: &Uint<L>) -> Uint<L> {
+        self.pow_bytes(base, &exp.to_be_bytes())
+    }
+
+    /// Modular exponentiation with a big-endian byte exponent, allowing
+    /// exponents wider or narrower than the modulus width.
+    pub fn pow_bytes(&self, base: &Uint<L>, exp_be: &[u8]) -> Uint<L> {
+        let base = base.rem(&self.n);
+        let base_m = self.to_mont(&base);
+        let mut acc = self.one_mont;
+        let mut started = false;
+        for &byte in exp_be {
+            if !started && byte == 0 {
+                continue;
+            }
+            for bit in (0..8).rev() {
+                if started {
+                    acc = self.mont_mul(&acc, &acc);
+                }
+                if (byte >> bit) & 1 == 1 {
+                    if started {
+                        acc = self.mont_mul(&acc, &base_m);
+                    } else {
+                        acc = base_m;
+                        started = true;
+                    }
+                }
+            }
+        }
+        if !started {
+            // exp == 0
+            return Uint::one().rem(&self.n);
+        }
+        self.from_mont(&acc)
+    }
+
+    /// Reduces an arbitrary wide little-endian limb slice modulo `n`.
+    pub fn reduce(&self, wide: &[u64]) -> Uint<L> {
+        reduce_wide(wide, &self.n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::uint::U256;
+
+    fn ctx_small() -> MontCtx<4> {
+        MontCtx::new(U256::from_u64(1_000_003))
+    }
+
+    #[test]
+    fn mont_roundtrip() {
+        let ctx = ctx_small();
+        for v in [0u64, 1, 2, 999_999, 1_000_002] {
+            let x = U256::from_u64(v);
+            assert_eq!(ctx.from_mont(&ctx.to_mont(&x)), x, "v = {v}");
+        }
+    }
+
+    #[test]
+    fn mul_matches_u128() {
+        let ctx = ctx_small();
+        let m = 1_000_003u128;
+        for a in [2u64, 3, 65_537, 999_999] {
+            for b in [5u64, 7, 123_456, 1_000_000] {
+                let expect = ((a as u128 * b as u128) % m) as u64;
+                let got = ctx.mul(&U256::from_u64(a), &U256::from_u64(b));
+                assert_eq!(got, U256::from_u64(expect), "{a} * {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn pow_matches_naive() {
+        let ctx = ctx_small();
+        let m = 1_000_003u64;
+        let naive = |b: u64, e: u64| -> u64 {
+            let mut acc = 1u128;
+            for _ in 0..e {
+                acc = acc * b as u128 % m as u128;
+            }
+            acc as u64
+        };
+        for b in [2u64, 3, 10, 999] {
+            for e in [0u64, 1, 2, 17, 100] {
+                assert_eq!(
+                    ctx.pow(&U256::from_u64(b), &U256::from_u64(e)),
+                    U256::from_u64(naive(b, e)),
+                    "{b}^{e}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pow_zero_exponent_is_one() {
+        let ctx = ctx_small();
+        assert_eq!(ctx.pow(&U256::from_u64(12345), &U256::ZERO), U256::one());
+    }
+
+    #[test]
+    fn fermat_little_theorem() {
+        // 1_000_003 is prime: a^(p-1) = 1 mod p.
+        let ctx = ctx_small();
+        for a in [2u64, 3, 42, 999_999] {
+            assert_eq!(
+                ctx.pow(&U256::from_u64(a), &U256::from_u64(1_000_002)),
+                U256::one()
+            );
+        }
+    }
+
+    #[test]
+    fn pow_bytes_wide_exponent() {
+        let ctx = ctx_small();
+        // a^(p-1)^2... just check leading zeros in exponent bytes are
+        // handled: 0x00 00 05 == 5.
+        let got = ctx.pow_bytes(&U256::from_u64(2), &[0, 0, 5]);
+        assert_eq!(got, U256::from_u64(32));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be odd")]
+    fn even_modulus_rejected() {
+        let _ = MontCtx::new(U256::from_u64(100));
+    }
+
+    #[test]
+    fn larger_modulus_consistency() {
+        // 2^127 - 1 is a Mersenne prime; verify Fermat again at 128 bits.
+        let p = U256::from_hex("7fffffffffffffffffffffffffffffff");
+        let ctx = MontCtx::new(p);
+        let pm1 = p.wrapping_sub(&U256::one());
+        for a in [2u64, 3, 7, 1234567] {
+            assert_eq!(ctx.pow(&U256::from_u64(a), &pm1), U256::one());
+        }
+    }
+}

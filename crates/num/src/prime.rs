@@ -1,0 +1,145 @@
+//! Miller–Rabin probabilistic primality testing.
+
+use crate::mont::MontCtx;
+use crate::uint::Uint;
+
+/// Outcome of a Miller–Rabin test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Primality {
+    /// Definitely composite (a witness was found).
+    Composite,
+    /// Probably prime: no witness among the tested bases; error probability
+    /// at most 4^-rounds for random bases.
+    ProbablyPrime,
+}
+
+/// Runs Miller–Rabin with the supplied bases.
+///
+/// The caller chooses bases: fixed small bases give a deterministic test
+/// for moduli below well-known bounds (2, 3, 5, 7, 11, 13, 17, 19, 23, 29,
+/// 31, 37 covers everything below 3.3 · 10²⁴); random bases give the usual
+/// probabilistic guarantee for big numbers.
+///
+/// # Examples
+///
+/// ```
+/// use aeon_num::{prime::{miller_rabin, Primality}, U256};
+///
+/// let p = U256::from_u64(1_000_003);
+/// assert_eq!(miller_rabin(&p, &[2, 3, 5, 7]), Primality::ProbablyPrime);
+/// let c = U256::from_u64(1_000_001); // 101 × 9901
+/// assert_eq!(miller_rabin(&c, &[2, 3]), Primality::Composite);
+/// ```
+pub fn miller_rabin<const L: usize>(n: &Uint<L>, bases: &[u64]) -> Primality {
+    // Small cases.
+    if n.bit_length() <= 6 {
+        let v = n.limbs()[0];
+        if v < 2 {
+            return Primality::Composite;
+        }
+        for d in 2..v {
+            if d * d > v {
+                break;
+            }
+            if v.is_multiple_of(d) {
+                return Primality::Composite;
+            }
+        }
+        return Primality::ProbablyPrime;
+    }
+    if !n.is_odd() {
+        return Primality::Composite;
+    }
+
+    // n - 1 = 2^s · d with d odd.
+    let n_minus_1 = n.wrapping_sub(&Uint::one());
+    let mut d = n_minus_1;
+    let mut s = 0u32;
+    while !d.is_odd() {
+        d = d.shr1();
+        s += 1;
+    }
+
+    let ctx = MontCtx::new(*n);
+    'bases: for &b in bases {
+        let base = Uint::<L>::from_u64(b).rem(n);
+        if base.is_zero() || base == Uint::one() {
+            continue;
+        }
+        let mut x = ctx.pow(&base, &d);
+        if x == Uint::one() || x == n_minus_1 {
+            continue;
+        }
+        for _ in 1..s {
+            x = ctx.mul(&x, &x);
+            if x == n_minus_1 {
+                continue 'bases;
+            }
+            if x == Uint::one() {
+                return Primality::Composite;
+            }
+        }
+        return Primality::Composite;
+    }
+    Primality::ProbablyPrime
+}
+
+/// Standard deterministic base set for 64-bit-range inputs and a strong
+/// probabilistic set for larger ones.
+pub const STANDARD_BASES: [u64; 12] = [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::uint::{U2048, U256};
+
+    #[test]
+    fn small_primes_and_composites() {
+        let primes = [2u64, 3, 5, 7, 11, 13, 31, 61];
+        for p in primes {
+            assert_eq!(
+                miller_rabin(&U256::from_u64(p), &STANDARD_BASES),
+                Primality::ProbablyPrime,
+                "{p}"
+            );
+        }
+        let composites = [1u64, 4, 6, 9, 15, 21, 25, 33, 49];
+        for c in composites {
+            assert_eq!(
+                miller_rabin(&U256::from_u64(c), &STANDARD_BASES),
+                Primality::Composite,
+                "{c}"
+            );
+        }
+    }
+
+    #[test]
+    fn carmichael_numbers_detected() {
+        // 561, 1105, 1729 fool the Fermat test but not Miller–Rabin.
+        for c in [561u64, 1105, 1729, 2465, 2821, 6601] {
+            assert_eq!(
+                miller_rabin(&U256::from_u64(c), &STANDARD_BASES),
+                Primality::Composite,
+                "{c}"
+            );
+        }
+    }
+
+    #[test]
+    fn mersenne_127() {
+        let p = U256::from_hex("7fffffffffffffffffffffffffffffff"); // 2^127-1
+        assert_eq!(miller_rabin(&p, &[2, 3, 5, 7, 11]), Primality::ProbablyPrime);
+        let c = p.wrapping_sub(&U256::from_u64(2));
+        assert_eq!(miller_rabin(&c, &[2, 3, 5, 7, 11]), Primality::Composite);
+    }
+
+    #[test]
+    #[ignore = "slow in debug builds: two 2048-bit Miller-Rabin runs"]
+    fn rfc3526_prime_and_subgroup_order_are_prime() {
+        let g = crate::ModpGroup::rfc3526_2048();
+        let p: U2048 = *g.modulus();
+        assert_eq!(miller_rabin(&p, &[2, 3]), Primality::ProbablyPrime);
+        let q = *g.subgroup_order();
+        assert_eq!(miller_rabin(&q, &[2, 3]), Primality::ProbablyPrime);
+    }
+}

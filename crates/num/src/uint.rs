@@ -1,0 +1,481 @@
+//! Const-generic fixed-width unsigned integers.
+
+use core::cmp::Ordering;
+use core::fmt;
+
+/// A fixed-width unsigned integer with `L` little-endian 64-bit limbs.
+///
+/// `Uint<4>` is 256 bits, `Uint<32>` is 2048 bits. Arithmetic is
+/// carry-exact and allocation-free; the wide operations needed by modular
+/// reduction work on limb slices (see [`Uint::mul_wide_into`] and
+/// [`reduce_wide`]).
+///
+/// # Examples
+///
+/// ```
+/// use aeon_num::U256;
+///
+/// let a = U256::from_u64(7);
+/// let b = U256::from_u64(9);
+/// let (sum, carry) = a.overflowing_add(&b);
+/// assert_eq!(sum, U256::from_u64(16));
+/// assert!(!carry);
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, Hash)]
+pub struct Uint<const L: usize> {
+    limbs: [u64; L],
+}
+
+/// 256-bit unsigned integer.
+pub type U256 = Uint<4>;
+/// 2048-bit unsigned integer.
+pub type U2048 = Uint<32>;
+
+impl<const L: usize> Uint<L> {
+    /// The value zero.
+    pub const ZERO: Self = Uint { limbs: [0; L] };
+
+    /// The number of bits in the representation.
+    pub const BITS: usize = 64 * L;
+
+    /// Creates a value from a single `u64`.
+    pub const fn from_u64(v: u64) -> Self {
+        let mut limbs = [0u64; L];
+        limbs[0] = v;
+        Uint { limbs }
+    }
+
+    /// The value one.
+    pub const fn one() -> Self {
+        Self::from_u64(1)
+    }
+
+    /// Creates a value from little-endian limbs.
+    pub const fn from_limbs(limbs: [u64; L]) -> Self {
+        Uint { limbs }
+    }
+
+    /// Returns the little-endian limbs.
+    pub const fn limbs(&self) -> &[u64; L] {
+        &self.limbs
+    }
+
+    /// Parses a big-endian byte slice. Bytes beyond the capacity are
+    /// rejected only if they are nonzero; shorter inputs are zero-extended.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value does not fit in `L` limbs.
+    pub fn from_be_bytes(bytes: &[u8]) -> Self {
+        let mut limbs = [0u64; L];
+        let mut limb = 0usize;
+        let mut shift = 0u32;
+        for &b in bytes.iter().rev() {
+            if limb >= L {
+                assert_eq!(b, 0, "value does not fit in Uint<{L}>");
+                continue;
+            }
+            limbs[limb] |= (b as u64) << shift;
+            shift += 8;
+            if shift == 64 {
+                shift = 0;
+                limb += 1;
+            }
+        }
+        Uint { limbs }
+    }
+
+    /// Parses a big-endian hex string (whitespace and `_` ignored).
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-hex characters or overflow.
+    pub fn from_hex(s: &str) -> Self {
+        let clean: Vec<u8> = s
+            .bytes()
+            .filter(|b| !b.is_ascii_whitespace() && *b != b'_')
+            .map(|b| match b {
+                b'0'..=b'9' => b - b'0',
+                b'a'..=b'f' => b - b'a' + 10,
+                b'A'..=b'F' => b - b'A' + 10,
+                _ => panic!("invalid hex character {:?}", b as char),
+            })
+            .collect();
+        let mut bytes = Vec::with_capacity(clean.len().div_ceil(2));
+        let mut iter = clean.iter();
+        if clean.len() % 2 == 1 {
+            bytes.push(*iter.next().unwrap());
+        }
+        while let (Some(hi), Some(lo)) = (iter.next(), iter.next()) {
+            bytes.push(hi << 4 | lo);
+        }
+        Self::from_be_bytes(&bytes)
+    }
+
+    /// Serializes to big-endian bytes (`8 * L` bytes, zero-padded).
+    pub fn to_be_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(8 * L);
+        for limb in self.limbs.iter().rev() {
+            out.extend_from_slice(&limb.to_be_bytes());
+        }
+        out
+    }
+
+    /// Returns `true` if the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.iter().all(|&l| l == 0)
+    }
+
+    /// Returns `true` if the value is odd.
+    pub fn is_odd(&self) -> bool {
+        self.limbs[0] & 1 == 1
+    }
+
+    /// Returns bit `i` (0 = least significant).
+    pub fn bit(&self, i: usize) -> bool {
+        if i >= Self::BITS {
+            return false;
+        }
+        (self.limbs[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Returns the position of the highest set bit plus one (0 for zero).
+    pub fn bit_length(&self) -> usize {
+        for (i, &limb) in self.limbs.iter().enumerate().rev() {
+            if limb != 0 {
+                return i * 64 + (64 - limb.leading_zeros() as usize);
+            }
+        }
+        0
+    }
+
+    /// Adds with carry-out.
+    pub fn overflowing_add(&self, rhs: &Self) -> (Self, bool) {
+        let mut out = [0u64; L];
+        let mut carry = 0u64;
+        for (o, (a, b)) in out.iter_mut().zip(self.limbs.iter().zip(&rhs.limbs)) {
+            let (s1, c1) = a.overflowing_add(*b);
+            let (s2, c2) = s1.overflowing_add(carry);
+            *o = s2;
+            carry = (c1 as u64) + (c2 as u64);
+        }
+        (Uint { limbs: out }, carry != 0)
+    }
+
+    /// Subtracts with borrow-out.
+    pub fn overflowing_sub(&self, rhs: &Self) -> (Self, bool) {
+        let mut out = [0u64; L];
+        let mut borrow = 0u64;
+        for (o, (a, b)) in out.iter_mut().zip(self.limbs.iter().zip(&rhs.limbs)) {
+            let (d1, b1) = a.overflowing_sub(*b);
+            let (d2, b2) = d1.overflowing_sub(borrow);
+            *o = d2;
+            borrow = (b1 as u64) + (b2 as u64);
+        }
+        (Uint { limbs: out }, borrow != 0)
+    }
+
+    /// Wrapping addition (discards carry).
+    pub fn wrapping_add(&self, rhs: &Self) -> Self {
+        self.overflowing_add(rhs).0
+    }
+
+    /// Wrapping subtraction (discards borrow).
+    pub fn wrapping_sub(&self, rhs: &Self) -> Self {
+        self.overflowing_sub(rhs).0
+    }
+
+    /// Modular addition; `self` and `rhs` must already be `< modulus`.
+    pub fn add_mod(&self, rhs: &Self, modulus: &Self) -> Self {
+        let (sum, carry) = self.overflowing_add(rhs);
+        if carry || sum >= *modulus {
+            sum.wrapping_sub(modulus)
+        } else {
+            sum
+        }
+    }
+
+    /// Modular subtraction; `self` and `rhs` must already be `< modulus`.
+    pub fn sub_mod(&self, rhs: &Self, modulus: &Self) -> Self {
+        let (diff, borrow) = self.overflowing_sub(rhs);
+        if borrow {
+            diff.wrapping_add(modulus)
+        } else {
+            diff
+        }
+    }
+
+    /// Shifts left by one bit, returning the shifted-out bit.
+    pub fn shl1(&self) -> (Self, bool) {
+        let mut out = [0u64; L];
+        let mut carry = 0u64;
+        for (o, limb) in out.iter_mut().zip(&self.limbs) {
+            *o = (limb << 1) | carry;
+            carry = limb >> 63;
+        }
+        (Uint { limbs: out }, carry != 0)
+    }
+
+    /// Shifts right by one bit.
+    pub fn shr1(&self) -> Self {
+        let mut out = [0u64; L];
+        let mut carry = 0u64;
+        for i in (0..L).rev() {
+            out[i] = (self.limbs[i] >> 1) | (carry << 63);
+            carry = self.limbs[i] & 1;
+        }
+        Uint { limbs: out }
+    }
+
+    /// Schoolbook multiplication into a `2 * L`-limb little-endian output
+    /// slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != 2 * L`.
+    pub fn mul_wide_into(&self, rhs: &Self, out: &mut [u64]) {
+        assert_eq!(out.len(), 2 * L, "wide product needs 2L limbs");
+        out.fill(0);
+        for (i, &a) in self.limbs.iter().enumerate() {
+            if a == 0 {
+                continue;
+            }
+            let mut carry = 0u128;
+            for (j, &b) in rhs.limbs.iter().enumerate() {
+                let t = (a as u128) * (b as u128) + (out[i + j] as u128) + carry;
+                out[i + j] = t as u64;
+                carry = t >> 64;
+            }
+            let mut k = i + L;
+            while carry != 0 {
+                let t = (out[k] as u128) + carry;
+                out[k] = t as u64;
+                carry = t >> 64;
+                k += 1;
+            }
+        }
+    }
+
+    /// Reduces `self` modulo `modulus` (binary method).
+    pub fn rem(&self, modulus: &Self) -> Self {
+        assert!(!modulus.is_zero(), "division by zero");
+        if self < modulus {
+            return *self;
+        }
+        let mut r = Self::ZERO;
+        for i in (0..self.bit_length()).rev() {
+            let (shifted, overflow) = r.shl1();
+            r = shifted;
+            if self.bit(i) {
+                r.limbs[0] |= 1;
+            }
+            if overflow || r >= *modulus {
+                r = r.wrapping_sub(modulus);
+            }
+        }
+        r
+    }
+}
+
+/// Reduces a little-endian wide limb slice modulo `modulus`, returning the
+/// remainder as a `Uint<L>`. Binary long division: O(bits · L) but only
+/// used on cold paths (hash-to-group, Montgomery context setup).
+pub fn reduce_wide<const L: usize>(wide: &[u64], modulus: &Uint<L>) -> Uint<L> {
+    assert!(!modulus.is_zero(), "division by zero");
+    // Find highest set bit of the wide value.
+    let mut top = 0usize;
+    for (i, &limb) in wide.iter().enumerate().rev() {
+        if limb != 0 {
+            top = i * 64 + (64 - limb.leading_zeros() as usize);
+            break;
+        }
+    }
+    let mut r = Uint::<L>::ZERO;
+    for i in (0..top).rev() {
+        let (shifted, overflow) = r.shl1();
+        r = shifted;
+        if (wide[i / 64] >> (i % 64)) & 1 == 1 {
+            r = Uint::from_limbs({
+                let mut l = *r.limbs();
+                l[0] |= 1;
+                l
+            });
+        }
+        if overflow || r >= *modulus {
+            r = r.wrapping_sub(modulus);
+        }
+    }
+    r
+}
+
+impl<const L: usize> Default for Uint<L> {
+    fn default() -> Self {
+        Self::ZERO
+    }
+}
+
+impl<const L: usize> PartialOrd for Uint<L> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<const L: usize> Ord for Uint<L> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        for i in (0..L).rev() {
+            match self.limbs[i].cmp(&other.limbs[i]) {
+                Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        Ordering::Equal
+    }
+}
+
+impl<const L: usize> fmt::Debug for Uint<L> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Uint<{L}>(0x")?;
+        let mut started = false;
+        for limb in self.limbs.iter().rev() {
+            if started {
+                write!(f, "{limb:016x}")?;
+            } else if *limb != 0 {
+                write!(f, "{limb:x}")?;
+                started = true;
+            }
+        }
+        if !started {
+            write!(f, "0")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl<const L: usize> fmt::Display for Uint<L> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl<const L: usize> From<u64> for Uint<L> {
+    fn from(v: u64) -> Self {
+        Self::from_u64(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = U256::from_hex("ffffffffffffffffffffffffffffffff");
+        let b = U256::from_u64(1);
+        let (sum, carry) = a.overflowing_add(&b);
+        assert!(!carry);
+        assert_eq!(sum, U256::from_hex("0100000000000000000000000000000000"));
+        assert_eq!(sum.wrapping_sub(&b), a);
+    }
+
+    #[test]
+    fn overflow_detection() {
+        let max = U256::from_be_bytes(&[0xFF; 32]);
+        let (_, carry) = max.overflowing_add(&U256::one());
+        assert!(carry);
+        let (_, borrow) = U256::ZERO.overflowing_sub(&U256::one());
+        assert!(borrow);
+    }
+
+    #[test]
+    fn ordering() {
+        let a = U256::from_u64(5);
+        let b = U256::from_hex("10000000000000000"); // 2^64
+        assert!(a < b);
+        assert!(b > a);
+        assert_eq!(a.cmp(&a), Ordering::Equal);
+    }
+
+    #[test]
+    fn hex_and_bytes_roundtrip() {
+        let v = U256::from_hex("00ff_ee01  23456789 abcdefAB");
+        let bytes = v.to_be_bytes();
+        assert_eq!(U256::from_be_bytes(&bytes), v);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn oversized_bytes_panic() {
+        let mut bytes = vec![1u8];
+        bytes.extend_from_slice(&[0u8; 32]);
+        let _ = U256::from_be_bytes(&bytes);
+    }
+
+    #[test]
+    fn bit_length_and_bits() {
+        assert_eq!(U256::ZERO.bit_length(), 0);
+        assert_eq!(U256::one().bit_length(), 1);
+        assert_eq!(U256::from_u64(0x8000).bit_length(), 16);
+        let v = U256::from_hex("80000000000000000000000000000000");
+        assert_eq!(v.bit_length(), 128);
+        assert!(v.bit(127));
+        assert!(!v.bit(126));
+    }
+
+    #[test]
+    fn mul_wide_known() {
+        let a = U256::from_u64(u64::MAX);
+        let mut wide = [0u64; 8];
+        a.mul_wide_into(&a, &mut wide);
+        // (2^64-1)^2 = 2^128 - 2^65 + 1
+        assert_eq!(wide[0], 1);
+        assert_eq!(wide[1], u64::MAX - 1);
+        assert!(wide[2..].iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn rem_small_values() {
+        let a = U256::from_u64(100);
+        let m = U256::from_u64(7);
+        assert_eq!(a.rem(&m), U256::from_u64(2));
+        assert_eq!(U256::from_u64(6).rem(&m), U256::from_u64(6));
+        assert_eq!(U256::from_u64(7).rem(&m), U256::ZERO);
+    }
+
+    #[test]
+    fn reduce_wide_matches_rem() {
+        let a = U256::from_hex("123456789abcdef0fedcba9876543210");
+        let m = U256::from_u64(1_000_003);
+        let mut wide = [0u64; 8];
+        a.mul_wide_into(&a, &mut wide);
+        // Compare against iterated rem computed differently: reduce a first,
+        // then square via mul_wide of the reduced value.
+        let ar = a.rem(&m);
+        let mut wide2 = [0u64; 8];
+        ar.mul_wide_into(&ar, &mut wide2);
+        assert_eq!(reduce_wide(&wide, &m), reduce_wide(&wide2, &m));
+    }
+
+    #[test]
+    fn add_mod_sub_mod() {
+        let m = U256::from_u64(101);
+        let a = U256::from_u64(100);
+        let b = U256::from_u64(5);
+        assert_eq!(a.add_mod(&b, &m), U256::from_u64(4));
+        assert_eq!(b.sub_mod(&a, &m), U256::from_u64(6));
+    }
+
+    #[test]
+    fn shl_shr() {
+        let v = U256::from_u64(0b1011);
+        let (s, c) = v.shl1();
+        assert!(!c);
+        assert_eq!(s, U256::from_u64(0b10110));
+        assert_eq!(s.shr1(), v);
+    }
+
+    #[test]
+    fn debug_format() {
+        assert_eq!(format!("{:?}", U256::ZERO), "Uint<4>(0x0)");
+        assert_eq!(format!("{:?}", U256::from_u64(255)), "Uint<4>(0xff)");
+    }
+}

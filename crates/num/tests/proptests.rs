@@ -1,0 +1,84 @@
+//! Property-based tests for big-integer and modular arithmetic.
+
+use aeon_num::{MontCtx, U256};
+use proptest::prelude::*;
+
+fn u256() -> impl Strategy<Value = U256> {
+    prop::array::uniform32(any::<u8>()).prop_map(|b| U256::from_be_bytes(&b))
+}
+
+proptest! {
+    #[test]
+    fn add_commutes(a in u256(), b in u256()) {
+        prop_assert_eq!(a.wrapping_add(&b), b.wrapping_add(&a));
+    }
+
+    #[test]
+    fn add_sub_inverse(a in u256(), b in u256()) {
+        prop_assert_eq!(a.wrapping_add(&b).wrapping_sub(&b), a);
+    }
+
+    #[test]
+    fn cmp_consistent_with_sub(a in u256(), b in u256()) {
+        let (_, borrow) = a.overflowing_sub(&b);
+        prop_assert_eq!(borrow, a < b);
+    }
+
+    #[test]
+    fn shl_shr_roundtrip(a in u256()) {
+        let (s, carry) = a.shl1();
+        if !carry {
+            prop_assert_eq!(s.shr1(), a);
+        }
+    }
+
+    #[test]
+    fn bytes_roundtrip(a in u256()) {
+        prop_assert_eq!(U256::from_be_bytes(&a.to_be_bytes()), a);
+    }
+
+    #[test]
+    fn rem_bounded(a in u256(), m in 1u64..u64::MAX) {
+        let m = U256::from_u64(m);
+        let r = a.rem(&m);
+        prop_assert!(r < m);
+    }
+
+    #[test]
+    fn rem_is_congruent_small(a in any::<u64>(), m in 2u64..1_000_000) {
+        let r = U256::from_u64(a).rem(&U256::from_u64(m));
+        prop_assert_eq!(r, U256::from_u64(a % m));
+    }
+
+    /// Montgomery mul agrees with u128 arithmetic for word-size moduli.
+    #[test]
+    fn mont_mul_matches_u128(a in any::<u64>(), b in any::<u64>(), m in (1u64 << 32..u64::MAX / 2).prop_map(|v| v | 1)) {
+        let ctx = MontCtx::new(U256::from_u64(m));
+        let got = ctx.mul(&U256::from_u64(a % m), &U256::from_u64(b % m));
+        let expect = ((a % m) as u128 * (b % m) as u128 % m as u128) as u64;
+        prop_assert_eq!(got, U256::from_u64(expect));
+    }
+
+    /// pow is a homomorphism: x^(e1+e2) = x^e1 · x^e2 (mod m).
+    #[test]
+    fn pow_homomorphism(x in any::<u64>(), e1 in 0u64..500, e2 in 0u64..500) {
+        let m = 1_000_003u64; // prime
+        let ctx = MontCtx::new(U256::from_u64(m));
+        let x = U256::from_u64(x % m);
+        let lhs = ctx.pow(&x, &U256::from_u64(e1 + e2));
+        let rhs = ctx.mul(&ctx.pow(&x, &U256::from_u64(e1)), &ctx.pow(&x, &U256::from_u64(e2)));
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    /// Wide multiplication then reduction agrees with modular multiplication.
+    #[test]
+    fn wide_mul_reduce_consistent(a in u256(), b in u256(), m in (1u64 << 20..u64::MAX).prop_map(|v| v | 1)) {
+        let modulus = U256::from_u64(m);
+        let ctx = MontCtx::new(modulus);
+        let mut wide = [0u64; 8];
+        a.mul_wide_into(&b, &mut wide);
+        let via_wide = aeon_num::reduce_wide(&wide, &modulus);
+        let via_mont = ctx.mul(&a.rem(&modulus), &b.rem(&modulus));
+        prop_assert_eq!(via_wide, via_mont);
+    }
+}

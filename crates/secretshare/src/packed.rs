@@ -1,0 +1,320 @@
+//! Packed secret sharing over GF(2^16) (Franklin–Yung).
+//!
+//! Standard Shamir sharing pays `n×` storage because one polynomial hides
+//! one secret. Packed sharing hides `k` secrets in a single polynomial of
+//! degree `t + k - 1`: the secrets sit at `k` dedicated evaluation points
+//! and `t` random values provide the privacy slack. Any `t` shares still
+//! reveal nothing, but reconstruction now needs `t + k` shares, and the
+//! amortized storage drops from `n×` to `n / k ×` — the middle point of
+//! the paper's Figure 1 trade-off, between erasure coding and full secret
+//! sharing.
+//!
+//! GF(2^16) supplies the 65 536 evaluation points needed to keep the
+//! secret slots disjoint from up to ~65 000 share indices.
+
+use crate::ShareError;
+use aeon_crypto::CryptoRng;
+use aeon_gf::poly::{interpolate, lagrange_eval};
+use aeon_gf::Gf16;
+
+/// A packed share: one evaluation of the packed polynomial per symbol
+/// column.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PackedShare {
+    /// 1-based share index; the evaluation point is `x = index`.
+    pub index: u16,
+    /// Evaluations, one GF(2^16) symbol per column.
+    pub data: Vec<u16>,
+}
+
+/// Parameters of a packed sharing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PackedParams {
+    /// Privacy threshold: any `t` shares are independent of the secrets.
+    pub privacy: usize,
+    /// Number of secrets packed per polynomial.
+    pub pack: usize,
+    /// Number of shares issued.
+    pub shares: usize,
+}
+
+impl PackedParams {
+    /// Creates parameters, validating the algebraic constraints.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShareError::InvalidParameters`] unless
+    /// `privacy ≥ 1`, `pack ≥ 1`, and `privacy + pack ≤ shares` (needed to
+    /// reconstruct), with secret points and share points fitting in
+    /// GF(2^16).
+    pub fn new(privacy: usize, pack: usize, shares: usize) -> Result<Self, ShareError> {
+        if privacy == 0 || pack == 0 {
+            return Err(ShareError::InvalidParameters {
+                threshold: privacy,
+                shares,
+                reason: "privacy threshold and pack width must be at least 1",
+            });
+        }
+        if privacy + pack > shares {
+            return Err(ShareError::InvalidParameters {
+                threshold: privacy,
+                shares,
+                reason: "need at least privacy + pack shares to reconstruct",
+            });
+        }
+        if shares + pack >= 65_536 {
+            return Err(ShareError::InvalidParameters {
+                threshold: privacy,
+                shares,
+                reason: "share and secret points exceed GF(2^16)",
+            });
+        }
+        Ok(PackedParams {
+            privacy,
+            pack,
+            shares,
+        })
+    }
+
+    /// Shares required for reconstruction.
+    pub fn reconstruct_threshold(&self) -> usize {
+        self.privacy + self.pack
+    }
+
+    /// Amortized storage expansion per secret: `shares / pack`.
+    pub fn expansion(&self) -> f64 {
+        self.shares as f64 / self.pack as f64
+    }
+
+    /// The evaluation point hiding secret slot `j` (0-based): points are
+    /// taken from the top of the field, disjoint from share indices.
+    fn secret_point(&self, j: usize) -> Gf16 {
+        Gf16::new((65_535 - j) as u16)
+    }
+}
+
+/// Splits `secrets` (exactly `params.pack` symbol columns wide per
+/// polynomial batch) into packed shares. The secret slice is interpreted
+/// as big-endian u16 symbols; odd-length inputs are zero-padded.
+///
+/// # Errors
+///
+/// Returns [`ShareError::InvalidParameters`] via [`PackedParams::new`]
+/// validation failures (already checked) — this function itself only
+/// errors if `secrets` is empty when `pack > 0` is required; empty input
+/// produces empty shares.
+pub fn split<R: CryptoRng + ?Sized>(
+    rng: &mut R,
+    params: PackedParams,
+    secrets: &[u8],
+) -> Result<Vec<PackedShare>, ShareError> {
+    // Convert bytes to GF(2^16) symbols (big-endian pairs, zero-padded).
+    let symbols: Vec<Gf16> = secrets
+        .chunks(2)
+        .map(|c| {
+            let hi = c[0] as u16;
+            let lo = *c.get(1).unwrap_or(&0) as u16;
+            Gf16::new(hi << 8 | lo)
+        })
+        .collect();
+    // Group symbols into rows of `pack` (zero-padded tail).
+    let rows = symbols.len().div_ceil(params.pack).max(1);
+    let mut shares: Vec<PackedShare> = (1..=params.shares as u16)
+        .map(|i| PackedShare {
+            index: i,
+            data: Vec::with_capacity(rows),
+        })
+        .collect();
+
+    for row in 0..rows {
+        // Interpolation constraints: k secret slots + t random anchors.
+        let mut points: Vec<(Gf16, Gf16)> = Vec::with_capacity(params.pack + params.privacy);
+        for j in 0..params.pack {
+            let s = symbols
+                .get(row * params.pack + j)
+                .copied()
+                .unwrap_or(Gf16::ZERO);
+            points.push((params.secret_point(j), s));
+        }
+        // Random anchors at dedicated points below the secret block.
+        for j in 0..params.privacy {
+            let x = Gf16::new((65_535 - params.pack - j) as u16);
+            let y = Gf16::new((rng.next_u64() & 0xFFFF) as u16);
+            points.push((x, y));
+        }
+        let poly = interpolate(&points)
+            .map_err(|_| ShareError::ProtocolViolation("interpolation failed"))?;
+        for share in shares.iter_mut() {
+            share.data.push(poly.eval(Gf16::new(share.index)).value());
+        }
+    }
+    Ok(shares)
+}
+
+/// Reconstructs the packed secrets from at least `privacy + pack` shares.
+/// Returns the secrets as bytes (length `2 * pack * rows`, including any
+/// zero padding introduced at split; the caller tracks true length).
+///
+/// # Errors
+///
+/// Returns [`ShareError::TooFewShares`] or
+/// [`ShareError::InconsistentShares`].
+pub fn reconstruct(params: PackedParams, shares: &[PackedShare]) -> Result<Vec<u8>, ShareError> {
+    let need = params.reconstruct_threshold();
+    if shares.len() < need {
+        return Err(ShareError::TooFewShares {
+            provided: shares.len(),
+            required: need,
+        });
+    }
+    let subset = &shares[..need];
+    let rows = subset[0].data.len();
+    if subset.iter().any(|s| s.data.len() != rows) {
+        return Err(ShareError::InconsistentShares("ragged share lengths"));
+    }
+    let mut seen = std::collections::HashSet::new();
+    for s in subset {
+        if s.index == 0 || !seen.insert(s.index) {
+            return Err(ShareError::InconsistentShares(
+                "duplicate or reserved share index",
+            ));
+        }
+    }
+    let mut out = Vec::with_capacity(rows * params.pack * 2);
+    for row in 0..rows {
+        let pts: Vec<(Gf16, Gf16)> = subset
+            .iter()
+            .map(|s| (Gf16::new(s.index), Gf16::new(s.data[row])))
+            .collect();
+        for j in 0..params.pack {
+            let v = lagrange_eval(&pts, params.secret_point(j))
+                .map_err(|_| ShareError::InconsistentShares("duplicate share index"))?;
+            out.extend_from_slice(&v.value().to_be_bytes());
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aeon_crypto::ChaChaDrbg;
+
+    fn rng() -> ChaChaDrbg {
+        ChaChaDrbg::from_u64_seed(11)
+    }
+
+    #[test]
+    fn roundtrip_exact() {
+        let params = PackedParams::new(2, 4, 10).unwrap();
+        let mut r = rng();
+        let secret = b"0123456789abcdef"; // 8 symbols = 2 rows of 4
+        let shares = split(&mut r, params, secret).unwrap();
+        assert_eq!(shares.len(), 10);
+        let rec = reconstruct(params, &shares[..6]).unwrap();
+        assert_eq!(&rec[..16], secret);
+    }
+
+    #[test]
+    fn any_reconstruction_subset_works() {
+        let params = PackedParams::new(2, 2, 8).unwrap();
+        let mut r = rng();
+        let secret = b"pack";
+        let shares = split(&mut r, params, secret).unwrap();
+        for start in 0..4 {
+            let subset: Vec<PackedShare> = shares[start..start + 4].to_vec();
+            let rec = reconstruct(params, &subset).unwrap();
+            assert_eq!(&rec[..4], secret, "subset start {start}");
+        }
+    }
+
+    #[test]
+    fn below_reconstruct_threshold_fails() {
+        let params = PackedParams::new(3, 2, 8).unwrap();
+        let mut r = rng();
+        let shares = split(&mut r, params, b"hi").unwrap();
+        assert!(matches!(
+            reconstruct(params, &shares[..4]),
+            Err(ShareError::TooFewShares { .. })
+        ));
+    }
+
+    #[test]
+    fn privacy_statistical_check() {
+        // t shares of the SAME secrets over fresh randomness should vary:
+        // a single share symbol takes many values.
+        let params = PackedParams::new(2, 2, 6).unwrap();
+        let mut values = std::collections::HashSet::new();
+        for seed in 0..64u64 {
+            let mut r = ChaChaDrbg::from_u64_seed(seed);
+            let shares = split(&mut r, params, b"same secret data").unwrap();
+            values.insert(shares[0].data[0]);
+        }
+        assert!(values.len() > 48, "share values too deterministic");
+    }
+
+    #[test]
+    fn expansion_is_n_over_k() {
+        let params = PackedParams::new(2, 4, 12).unwrap();
+        assert!((params.expansion() - 3.0).abs() < 1e-9);
+        // Compare: plain Shamir with same n would be 12x.
+    }
+
+    #[test]
+    fn parameter_validation() {
+        assert!(PackedParams::new(0, 2, 5).is_err());
+        assert!(PackedParams::new(2, 0, 5).is_err());
+        assert!(PackedParams::new(3, 3, 5).is_err()); // 3+3 > 5
+        assert!(PackedParams::new(3, 2, 5).is_ok());
+        assert!(PackedParams::new(2, 40_000, 40_000).is_err());
+    }
+
+    #[test]
+    fn odd_length_secret_padded() {
+        let params = PackedParams::new(1, 2, 4).unwrap();
+        let mut r = rng();
+        let shares = split(&mut r, params, b"abc").unwrap();
+        let rec = reconstruct(params, &shares[..3]).unwrap();
+        assert_eq!(&rec[..3], b"abc");
+        assert_eq!(rec[3], 0); // padding
+    }
+
+    #[test]
+    fn empty_secret() {
+        let params = PackedParams::new(1, 2, 4).unwrap();
+        let mut r = rng();
+        let shares = split(&mut r, params, b"").unwrap();
+        let rec = reconstruct(params, &shares[..3]).unwrap();
+        // One zero row of padding.
+        assert!(rec.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn duplicate_index_rejected() {
+        let params = PackedParams::new(1, 1, 3).unwrap();
+        let mut r = rng();
+        let shares = split(&mut r, params, b"xy").unwrap();
+        let dup = vec![shares[0].clone(), shares[0].clone()];
+        assert!(matches!(
+            reconstruct(params, &dup),
+            Err(ShareError::InconsistentShares(_))
+        ));
+    }
+
+    #[test]
+    fn large_pack_width_efficiency() {
+        // 8 secrets per polynomial, 3 privacy, 16 shares: 2x expansion for
+        // ITS privacy against 3 colluders.
+        let params = PackedParams::new(3, 8, 16).unwrap();
+        let mut r = rng();
+        let secret: Vec<u8> = (0..64u8).collect();
+        let shares = split(&mut r, params, &secret).unwrap();
+        let stored: usize = shares.iter().map(|s| s.data.len() * 2).sum();
+        let rows = (64usize / 2).div_ceil(8); // 32 symbols in rows of 8
+        assert_eq!(stored, 16 * rows * 2);
+        // Amortized expansion: 128 stored bytes / 64 secret bytes = 2x.
+        assert_eq!(stored / 64, 2);
+        let rec = reconstruct(params, &shares[..11]).unwrap();
+        assert_eq!(&rec[..64], &secret[..]);
+    }
+}

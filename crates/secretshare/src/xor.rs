@@ -1,0 +1,142 @@
+//! `n`-of-`n` additive (XOR) secret sharing.
+//!
+//! The degenerate but useful corner of the sharing design space: `n - 1`
+//! shares are uniformly random pads and the last share XORs them with the
+//! secret. All `n` shares are required to reconstruct; any `n - 1` reveal
+//! nothing. It is the cheapest information-theoretic split (no field
+//! arithmetic) and the building block of the AONT difference layer and of
+//! proactive zero-sharings.
+
+use crate::ShareError;
+use aeon_crypto::CryptoRng;
+
+/// Splits `secret` into `n` XOR shares, all required for reconstruction.
+///
+/// # Errors
+///
+/// Returns [`ShareError::InvalidParameters`] if `n == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use aeon_secretshare::xor;
+/// use aeon_crypto::ChaChaDrbg;
+///
+/// let mut rng = ChaChaDrbg::from_u64_seed(3);
+/// let shares = xor::split(&mut rng, b"pad me", 4)?;
+/// assert_eq!(xor::reconstruct(&shares)?, b"pad me");
+/// # Ok::<(), aeon_secretshare::ShareError>(())
+/// ```
+pub fn split<R: CryptoRng + ?Sized>(
+    rng: &mut R,
+    secret: &[u8],
+    n: usize,
+) -> Result<Vec<Vec<u8>>, ShareError> {
+    if n == 0 {
+        return Err(ShareError::InvalidParameters {
+            threshold: n,
+            shares: n,
+            reason: "need at least one share",
+        });
+    }
+    let mut shares = Vec::with_capacity(n);
+    let mut acc = secret.to_vec();
+    for _ in 0..n - 1 {
+        let mut pad = vec![0u8; secret.len()];
+        rng.fill_bytes(&mut pad);
+        for (a, p) in acc.iter_mut().zip(&pad) {
+            *a ^= p;
+        }
+        shares.push(pad);
+    }
+    shares.push(acc);
+    Ok(shares)
+}
+
+/// Reconstructs the secret by XOR-ing all shares.
+///
+/// # Errors
+///
+/// Returns [`ShareError::TooFewShares`] for an empty list and
+/// [`ShareError::InconsistentShares`] for ragged lengths.
+pub fn reconstruct(shares: &[Vec<u8>]) -> Result<Vec<u8>, ShareError> {
+    let Some(first) = shares.first() else {
+        return Err(ShareError::TooFewShares {
+            provided: 0,
+            required: 1,
+        });
+    };
+    if shares.iter().any(|s| s.len() != first.len()) {
+        return Err(ShareError::InconsistentShares("ragged share lengths"));
+    }
+    let mut out = first.clone();
+    for share in &shares[1..] {
+        for (o, s) in out.iter_mut().zip(share) {
+            *o ^= s;
+        }
+    }
+    Ok(out)
+}
+
+/// Generates an `n`-way sharing of all-zeros — the refresh deltas used by
+/// proactive protocols (adding a zero-sharing re-randomizes shares without
+/// changing the secret).
+pub fn zero_sharing<R: CryptoRng + ?Sized>(
+    rng: &mut R,
+    len: usize,
+    n: usize,
+) -> Result<Vec<Vec<u8>>, ShareError> {
+    split(rng, &vec![0u8; len], n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aeon_crypto::ChaChaDrbg;
+
+    #[test]
+    fn roundtrip() {
+        let mut rng = ChaChaDrbg::from_u64_seed(1);
+        for n in 1..6 {
+            let shares = split(&mut rng, b"the secret", n).unwrap();
+            assert_eq!(shares.len(), n);
+            assert_eq!(reconstruct(&shares).unwrap(), b"the secret");
+        }
+    }
+
+    #[test]
+    fn missing_share_garbles() {
+        let mut rng = ChaChaDrbg::from_u64_seed(2);
+        let shares = split(&mut rng, b"the secret", 3).unwrap();
+        let partial = &shares[..2];
+        assert_ne!(reconstruct(partial).unwrap(), b"the secret");
+    }
+
+    #[test]
+    fn zero_sharing_sums_to_zero() {
+        let mut rng = ChaChaDrbg::from_u64_seed(3);
+        let z = zero_sharing(&mut rng, 16, 4).unwrap();
+        assert_eq!(reconstruct(&z).unwrap(), vec![0u8; 16]);
+        // And the individual shares are not zero themselves.
+        assert!(z[0].iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn errors() {
+        let mut rng = ChaChaDrbg::from_u64_seed(4);
+        assert!(split(&mut rng, b"s", 0).is_err());
+        assert!(reconstruct(&[]).is_err());
+        let ragged = vec![vec![1, 2], vec![1]];
+        assert!(matches!(
+            reconstruct(&ragged),
+            Err(ShareError::InconsistentShares(_))
+        ));
+    }
+
+    #[test]
+    fn n_equals_one_is_identity() {
+        let mut rng = ChaChaDrbg::from_u64_seed(5);
+        let shares = split(&mut rng, b"plain", 1).unwrap();
+        assert_eq!(shares[0], b"plain");
+    }
+}

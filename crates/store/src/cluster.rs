@@ -1,0 +1,321 @@
+//! Geo-dispersed clusters with anti-affinity placement.
+
+use crate::node::{MemoryNode, NodeError, NodeId, ShardKey, StorageNode};
+use std::sync::Arc;
+
+/// Errors from cluster operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClusterError {
+    /// Not enough distinct nodes/sites to satisfy placement.
+    InsufficientNodes {
+        /// Nodes needed.
+        needed: usize,
+        /// Nodes available.
+        available: usize,
+    },
+    /// All replicas of a shard are unavailable.
+    ShardUnavailable {
+        /// The affected shard index.
+        shard: u32,
+    },
+    /// An underlying node error that was not recoverable.
+    Node(NodeError),
+}
+
+impl core::fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ClusterError::InsufficientNodes { needed, available } => {
+                write!(f, "need {needed} nodes, only {available} available")
+            }
+            ClusterError::ShardUnavailable { shard } => write!(f, "shard {shard} unavailable"),
+            ClusterError::Node(e) => write!(f, "node error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+impl From<NodeError> for ClusterError {
+    fn from(e: NodeError) -> Self {
+        ClusterError::Node(e)
+    }
+}
+
+/// A set of storage nodes across sites, with spread placement: an
+/// object's shards land on distinct nodes, round-robin across sites so
+/// that no site holds two shards of the same object when enough sites
+/// exist.
+///
+/// # Examples
+///
+/// ```
+/// use aeon_store::Cluster;
+///
+/// let cluster = Cluster::in_memory(&["us", "eu", "ap"], 2); // 6 nodes
+/// let placement = cluster.place("obj-1", 5).unwrap();
+/// assert_eq!(placement.len(), 5);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    nodes: Vec<Arc<dyn StorageNode>>,
+}
+
+impl Cluster {
+    /// Creates a cluster from existing nodes.
+    pub fn new(nodes: Vec<Arc<dyn StorageNode>>) -> Self {
+        Cluster { nodes }
+    }
+
+    /// Creates an all-in-memory cluster with `per_site` nodes at each
+    /// named site.
+    pub fn in_memory(sites: &[&str], per_site: usize) -> Self {
+        let mut nodes: Vec<Arc<dyn StorageNode>> = Vec::new();
+        let mut id = 0u32;
+        for &site in sites {
+            for _ in 0..per_site {
+                nodes.push(Arc::new(MemoryNode::new(id, site)));
+                id += 1;
+            }
+        }
+        Cluster { nodes }
+    }
+
+    /// The cluster's nodes.
+    pub fn nodes(&self) -> &[Arc<dyn StorageNode>] {
+        &self.nodes
+    }
+
+    /// Looks up a node by id.
+    pub fn node(&self, id: NodeId) -> Option<&Arc<dyn StorageNode>> {
+        self.nodes.iter().find(|n| n.id() == id)
+    }
+
+    /// Chooses `count` distinct nodes for an object's shards: sites are
+    /// visited round-robin, nodes within a site in order. Deterministic
+    /// for a given object name (stable placement).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::InsufficientNodes`] if `count` exceeds the
+    /// node population.
+    pub fn place(&self, object: &str, count: usize) -> Result<Vec<NodeId>, ClusterError> {
+        if count > self.nodes.len() {
+            return Err(ClusterError::InsufficientNodes {
+                needed: count,
+                available: self.nodes.len(),
+            });
+        }
+        // Group nodes by site, preserving order.
+        let mut by_site: Vec<(&str, Vec<&Arc<dyn StorageNode>>)> = Vec::new();
+        for node in &self.nodes {
+            match by_site.iter_mut().find(|(s, _)| *s == node.site()) {
+                Some((_, v)) => v.push(node),
+                None => by_site.push((node.site(), vec![node])),
+            }
+        }
+        // Start site chosen by a stable hash of the object name so load
+        // spreads across sites between objects.
+        let start = stable_hash(object) as usize % by_site.len();
+        let mut picked = Vec::with_capacity(count);
+        let mut depth = 0usize;
+        while picked.len() < count {
+            let mut progressed = false;
+            for s in 0..by_site.len() {
+                let (_, nodes) = &by_site[(start + s) % by_site.len()];
+                if let Some(node) = nodes.get(depth) {
+                    picked.push(node.id());
+                    progressed = true;
+                    if picked.len() == count {
+                        break;
+                    }
+                }
+            }
+            if !progressed {
+                break;
+            }
+            depth += 1;
+        }
+        Ok(picked)
+    }
+
+    /// Stores an object's shards on a placement.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first node error.
+    pub fn put_shards(
+        &self,
+        object: &str,
+        placement: &[NodeId],
+        shards: &[Vec<u8>],
+    ) -> Result<(), ClusterError> {
+        assert_eq!(placement.len(), shards.len(), "placement/shard mismatch");
+        for (i, (node_id, shard)) in placement.iter().zip(shards).enumerate() {
+            let node = self
+                .node(*node_id)
+                .ok_or(ClusterError::InsufficientNodes {
+                    needed: placement.len(),
+                    available: self.nodes.len(),
+                })?;
+            node.put(&ShardKey::new(object, i as u32), shard)?;
+        }
+        Ok(())
+    }
+
+    /// Fetches an object's shards; unavailable shards come back as `None`
+    /// rather than failing the whole read (erasure decoding handles
+    /// gaps).
+    pub fn get_shards(&self, object: &str, placement: &[NodeId]) -> Vec<Option<Vec<u8>>> {
+        placement
+            .iter()
+            .enumerate()
+            .map(|(i, node_id)| {
+                self.node(*node_id)
+                    .and_then(|n| n.get(&ShardKey::new(object, i as u32)).ok())
+            })
+            .collect()
+    }
+
+    /// Deletes an object's shards (best effort).
+    pub fn delete_shards(&self, object: &str, placement: &[NodeId]) {
+        for (i, node_id) in placement.iter().enumerate() {
+            if let Some(node) = self.node(*node_id) {
+                let _ = node.delete(&ShardKey::new(object, i as u32));
+            }
+        }
+    }
+
+    /// Total bytes stored across the cluster.
+    pub fn total_stored_bytes(&self) -> u64 {
+        self.nodes.iter().map(|n| n.stored_bytes()).sum()
+    }
+
+    /// Distinct sites represented in the cluster.
+    pub fn sites(&self) -> Vec<String> {
+        let mut sites: Vec<String> = Vec::new();
+        for n in &self.nodes {
+            if !sites.iter().any(|s| s == n.site()) {
+                sites.push(n.site().to_string());
+            }
+        }
+        sites
+    }
+}
+
+fn stable_hash(s: &str) -> u64 {
+    // FNV-1a.
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster_with_handles() -> (Cluster, Vec<MemoryNode>) {
+        let handles: Vec<MemoryNode> = (0..6)
+            .map(|i| MemoryNode::new(i, ["us", "eu", "ap"][(i % 3) as usize]))
+            .collect();
+        let nodes: Vec<Arc<dyn StorageNode>> = handles
+            .iter()
+            .map(|h| Arc::new(h.clone()) as Arc<dyn StorageNode>)
+            .collect();
+        (Cluster::new(nodes), handles)
+    }
+
+    #[test]
+    fn placement_is_distinct_and_spread() {
+        let cluster = Cluster::in_memory(&["us", "eu", "ap"], 2);
+        let placement = cluster.place("obj", 3).unwrap();
+        let set: std::collections::HashSet<_> = placement.iter().collect();
+        assert_eq!(set.len(), 3, "distinct nodes");
+        // First three picks must land on three distinct sites.
+        let sites: std::collections::HashSet<&str> = placement
+            .iter()
+            .map(|id| cluster.node(*id).unwrap().site())
+            .collect();
+        assert_eq!(sites.len(), 3);
+    }
+
+    #[test]
+    fn placement_deterministic_per_object() {
+        let cluster = Cluster::in_memory(&["a", "b"], 3);
+        assert_eq!(
+            cluster.place("same", 4).unwrap(),
+            cluster.place("same", 4).unwrap()
+        );
+    }
+
+    #[test]
+    fn placement_insufficient_nodes() {
+        let cluster = Cluster::in_memory(&["solo"], 2);
+        assert!(matches!(
+            cluster.place("o", 3),
+            Err(ClusterError::InsufficientNodes {
+                needed: 3,
+                available: 2
+            })
+        ));
+    }
+
+    #[test]
+    fn put_get_roundtrip_with_loss() {
+        let (cluster, handles) = cluster_with_handles();
+        let placement = cluster.place("obj", 4).unwrap();
+        let shards: Vec<Vec<u8>> = (0..4u8).map(|i| vec![i; 8]).collect();
+        cluster.put_shards("obj", &placement, &shards).unwrap();
+        // All present.
+        let got = cluster.get_shards("obj", &placement);
+        assert!(got.iter().all(|s| s.is_some()));
+        // Take one node offline: its shard reads as None.
+        let victim = placement[1];
+        handles
+            .iter()
+            .find(|h| h.id() == victim)
+            .unwrap()
+            .set_offline(true);
+        let got = cluster.get_shards("obj", &placement);
+        assert!(got[1].is_none());
+        assert_eq!(got.iter().flatten().count(), 3);
+    }
+
+    #[test]
+    fn delete_is_best_effort() {
+        let (cluster, handles) = cluster_with_handles();
+        let placement = cluster.place("obj", 3).unwrap();
+        let shards: Vec<Vec<u8>> = (0..3u8).map(|i| vec![i; 4]).collect();
+        cluster.put_shards("obj", &placement, &shards).unwrap();
+        handles
+            .iter()
+            .find(|h| h.id() == placement[0])
+            .unwrap()
+            .set_offline(true);
+        cluster.delete_shards("obj", &placement); // must not panic
+        handles
+            .iter()
+            .find(|h| h.id() == placement[0])
+            .unwrap()
+            .set_offline(false);
+        let got = cluster.get_shards("obj", &placement);
+        // Shard 0 survived (node was offline during delete); 1, 2 gone.
+        assert!(got[0].is_some());
+        assert!(got[1].is_none());
+        assert!(got[2].is_none());
+    }
+
+    #[test]
+    fn accounting() {
+        let cluster = Cluster::in_memory(&["x", "y"], 1);
+        let placement = cluster.place("o", 2).unwrap();
+        cluster
+            .put_shards("o", &placement, &[vec![0; 100], vec![0; 50]])
+            .unwrap();
+        assert_eq!(cluster.total_stored_bytes(), 150);
+        assert_eq!(cluster.sites(), vec!["x".to_string(), "y".to_string()]);
+    }
+}

@@ -1,0 +1,34 @@
+//! Simulated archival storage substrate.
+//!
+//! The paper assumes (as all of its surveyed systems do) an archive
+//! spanning geographically dispersed storage nodes on cheap, mostly
+//! offline media. This crate supplies that world in simulation:
+//!
+//! * [`node`] — the [`node::StorageNode`] trait with in-memory and
+//!   file-backed implementations, plus failure and corruption injection
+//!   for adversary experiments.
+//! * [`cluster`] — a geo-dispersed cluster that places shards across
+//!   sites with anti-affinity (no two shards of an object on one site).
+//! * [`media`] — parametric media models (tape, HDD, SSD, glass, DNA,
+//!   film): cost, density, lifetime, throughput; plus presets for the
+//!   real archives the paper cites (Oak Ridge HPSS, ECMWF MARS, CERN
+//!   EOS, Pergamum).
+//! * [`durability`] — Monte-Carlo object-loss estimation per `(n, k)`
+//!   layout under node failures and repair delays.
+//! * [`campaign`] — the §3.2 analysis engine: how long does it take to
+//!   read, re-encrypt, and write back an entire archive, under write
+//!   penalties and reserved foreground capacity? Both closed-form and
+//!   discrete-event variants.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod campaign;
+pub mod cluster;
+pub mod durability;
+pub mod media;
+pub mod node;
+
+pub use cluster::Cluster;
+pub use media::{ArchiveSite, MediaProfile, MediaType};
+pub use node::{MemoryNode, NodeError, NodeId, StorageNode};

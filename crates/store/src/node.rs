@@ -1,0 +1,436 @@
+//! Storage nodes: the unit of trust, failure, and compromise.
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::fmt;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Identifies a storage node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node-{}", self.0)
+    }
+}
+
+/// A shard key: object identifier plus shard index.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ShardKey {
+    /// The object this shard belongs to.
+    pub object: String,
+    /// Which shard of the object.
+    pub shard: u32,
+}
+
+impl ShardKey {
+    /// Creates a shard key.
+    pub fn new(object: impl Into<String>, shard: u32) -> Self {
+        ShardKey {
+            object: object.into(),
+            shard,
+        }
+    }
+}
+
+/// Errors from node operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeError {
+    /// The shard does not exist on this node.
+    NotFound,
+    /// The node is offline (failure injection).
+    Offline,
+    /// An I/O error from the backing store.
+    Io(String),
+}
+
+impl fmt::Display for NodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NodeError::NotFound => write!(f, "shard not found"),
+            NodeError::Offline => write!(f, "node offline"),
+            NodeError::Io(e) => write!(f, "I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for NodeError {}
+
+/// A storage node holding shard blobs.
+///
+/// Implementations must be thread-safe; the cluster fans out to nodes
+/// concurrently during campaign simulations.
+pub trait StorageNode: Send + Sync + fmt::Debug {
+    /// This node's identity.
+    fn id(&self) -> NodeId;
+
+    /// The site (failure/compromise domain) the node lives in.
+    fn site(&self) -> &str;
+
+    /// Stores a shard.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NodeError::Offline`] under failure injection or
+    /// [`NodeError::Io`] from the backing store.
+    fn put(&self, key: &ShardKey, data: &[u8]) -> Result<(), NodeError>;
+
+    /// Retrieves a shard.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NodeError::NotFound`], [`NodeError::Offline`], or
+    /// [`NodeError::Io`].
+    fn get(&self, key: &ShardKey) -> Result<Vec<u8>, NodeError>;
+
+    /// Deletes a shard (idempotent).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NodeError::Offline`] under failure injection.
+    fn delete(&self, key: &ShardKey) -> Result<(), NodeError>;
+
+    /// Lists all shard keys on this node.
+    fn keys(&self) -> Vec<ShardKey>;
+
+    /// Bytes stored on this node.
+    fn stored_bytes(&self) -> u64;
+}
+
+/// Shared failure/compromise state, attachable to any node implementation.
+#[derive(Debug, Default)]
+struct Injection {
+    offline: bool,
+    /// Keys whose contents are silently corrupted on read.
+    corrupted: HashMap<ShardKey, Vec<u8>>,
+}
+
+/// An in-memory storage node with failure and corruption injection.
+///
+/// # Examples
+///
+/// ```
+/// use aeon_store::node::{MemoryNode, ShardKey, StorageNode};
+///
+/// let node = MemoryNode::new(0, "us-east");
+/// let key = ShardKey::new("obj-1", 0);
+/// node.put(&key, b"shard bytes")?;
+/// assert_eq!(node.get(&key)?, b"shard bytes");
+/// # Ok::<(), aeon_store::node::NodeError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct MemoryNode {
+    inner: Arc<MemoryNodeInner>,
+}
+
+#[derive(Debug)]
+struct MemoryNodeInner {
+    id: NodeId,
+    site: String,
+    blobs: RwLock<HashMap<ShardKey, Vec<u8>>>,
+    injection: RwLock<Injection>,
+}
+
+impl MemoryNode {
+    /// Creates a node at the given site.
+    pub fn new(id: u32, site: impl Into<String>) -> Self {
+        MemoryNode {
+            inner: Arc::new(MemoryNodeInner {
+                id: NodeId(id),
+                site: site.into(),
+                blobs: RwLock::new(HashMap::new()),
+                injection: RwLock::new(Injection::default()),
+            }),
+        }
+    }
+
+    /// Takes the node offline (reads and writes fail) or back online.
+    pub fn set_offline(&self, offline: bool) {
+        self.inner.injection.write().offline = offline;
+    }
+
+    /// Returns `true` if the node is currently offline.
+    pub fn is_offline(&self) -> bool {
+        self.inner.injection.read().offline
+    }
+
+    /// Silently corrupts a stored shard: subsequent reads return the given
+    /// bytes instead of the stored ones (bit-rot / malicious modification).
+    pub fn corrupt(&self, key: &ShardKey, replacement: Vec<u8>) {
+        self.inner
+            .injection
+            .write()
+            .corrupted
+            .insert(key.clone(), replacement);
+    }
+
+    /// Adversary hook: dumps every blob on the node (a total compromise).
+    pub fn exfiltrate_all(&self) -> Vec<(ShardKey, Vec<u8>)> {
+        self.inner
+            .blobs
+            .read()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
+}
+
+impl StorageNode for MemoryNode {
+    fn id(&self) -> NodeId {
+        self.inner.id
+    }
+
+    fn site(&self) -> &str {
+        &self.inner.site
+    }
+
+    fn put(&self, key: &ShardKey, data: &[u8]) -> Result<(), NodeError> {
+        if self.is_offline() {
+            return Err(NodeError::Offline);
+        }
+        self.inner.blobs.write().insert(key.clone(), data.to_vec());
+        Ok(())
+    }
+
+    fn get(&self, key: &ShardKey) -> Result<Vec<u8>, NodeError> {
+        if self.is_offline() {
+            return Err(NodeError::Offline);
+        }
+        if let Some(corrupt) = self.inner.injection.read().corrupted.get(key) {
+            return Ok(corrupt.clone());
+        }
+        self.inner
+            .blobs
+            .read()
+            .get(key)
+            .cloned()
+            .ok_or(NodeError::NotFound)
+    }
+
+    fn delete(&self, key: &ShardKey) -> Result<(), NodeError> {
+        if self.is_offline() {
+            return Err(NodeError::Offline);
+        }
+        self.inner.blobs.write().remove(key);
+        Ok(())
+    }
+
+    fn keys(&self) -> Vec<ShardKey> {
+        self.inner.blobs.read().keys().cloned().collect()
+    }
+
+    fn stored_bytes(&self) -> u64 {
+        self.inner
+            .blobs
+            .read()
+            .values()
+            .map(|v| v.len() as u64)
+            .sum()
+    }
+}
+
+/// A file-backed storage node: each shard is a file under the node's root
+/// directory. Used by durability-oriented integration tests.
+#[derive(Debug)]
+pub struct FileNode {
+    id: NodeId,
+    site: String,
+    root: PathBuf,
+    injection: RwLock<Injection>,
+}
+
+impl FileNode {
+    /// Creates a node rooted at `root` (created if missing).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NodeError::Io`] if the directory cannot be created.
+    pub fn create(id: u32, site: impl Into<String>, root: PathBuf) -> Result<Self, NodeError> {
+        std::fs::create_dir_all(&root).map_err(|e| NodeError::Io(e.to_string()))?;
+        Ok(FileNode {
+            id: NodeId(id),
+            site: site.into(),
+            root,
+            injection: RwLock::new(Injection::default()),
+        })
+    }
+
+    /// Takes the node offline or back online.
+    pub fn set_offline(&self, offline: bool) {
+        self.injection.write().offline = offline;
+    }
+
+    fn path_for(&self, key: &ShardKey) -> PathBuf {
+        // Object ids are caller-controlled: encode to a safe filename.
+        let safe: String = key
+            .object
+            .bytes()
+            .map(|b| {
+                if b.is_ascii_alphanumeric() || b == b'-' || b == b'_' {
+                    (b as char).to_string()
+                } else {
+                    format!("%{b:02x}")
+                }
+            })
+            .collect();
+        self.root.join(format!("{safe}.{}", key.shard))
+    }
+}
+
+impl StorageNode for FileNode {
+    fn id(&self) -> NodeId {
+        self.id
+    }
+
+    fn site(&self) -> &str {
+        &self.site
+    }
+
+    fn put(&self, key: &ShardKey, data: &[u8]) -> Result<(), NodeError> {
+        if self.injection.read().offline {
+            return Err(NodeError::Offline);
+        }
+        std::fs::write(self.path_for(key), data).map_err(|e| NodeError::Io(e.to_string()))
+    }
+
+    fn get(&self, key: &ShardKey) -> Result<Vec<u8>, NodeError> {
+        if self.injection.read().offline {
+            return Err(NodeError::Offline);
+        }
+        if let Some(corrupt) = self.injection.read().corrupted.get(key) {
+            return Ok(corrupt.clone());
+        }
+        match std::fs::read(self.path_for(key)) {
+            Ok(data) => Ok(data),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Err(NodeError::NotFound),
+            Err(e) => Err(NodeError::Io(e.to_string())),
+        }
+    }
+
+    fn delete(&self, key: &ShardKey) -> Result<(), NodeError> {
+        if self.injection.read().offline {
+            return Err(NodeError::Offline);
+        }
+        match std::fs::remove_file(self.path_for(key)) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(NodeError::Io(e.to_string())),
+        }
+    }
+
+    fn keys(&self) -> Vec<ShardKey> {
+        let Ok(entries) = std::fs::read_dir(&self.root) else {
+            return Vec::new();
+        };
+        entries
+            .flatten()
+            .filter_map(|e| {
+                let name = e.file_name().into_string().ok()?;
+                let (obj, shard) = name.rsplit_once('.')?;
+                // Decode percent-encoding.
+                let mut decoded = Vec::new();
+                let bytes = obj.as_bytes();
+                let mut i = 0;
+                while i < bytes.len() {
+                    if bytes[i] == b'%' && i + 2 < bytes.len() {
+                        let hex = std::str::from_utf8(&bytes[i + 1..i + 3]).ok()?;
+                        decoded.push(u8::from_str_radix(hex, 16).ok()?);
+                        i += 3;
+                    } else {
+                        decoded.push(bytes[i]);
+                        i += 1;
+                    }
+                }
+                Some(ShardKey {
+                    object: String::from_utf8(decoded).ok()?,
+                    shard: shard.parse().ok()?,
+                })
+            })
+            .collect()
+    }
+
+    fn stored_bytes(&self) -> u64 {
+        let Ok(entries) = std::fs::read_dir(&self.root) else {
+            return 0;
+        };
+        entries
+            .flatten()
+            .filter_map(|e| e.metadata().ok())
+            .map(|m| m.len())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_node_crud() {
+        let node = MemoryNode::new(1, "eu-west");
+        let key = ShardKey::new("obj", 3);
+        assert_eq!(node.get(&key).unwrap_err(), NodeError::NotFound);
+        node.put(&key, b"data").unwrap();
+        assert_eq!(node.get(&key).unwrap(), b"data");
+        assert_eq!(node.stored_bytes(), 4);
+        node.delete(&key).unwrap();
+        assert_eq!(node.get(&key).unwrap_err(), NodeError::NotFound);
+        assert_eq!(node.stored_bytes(), 0);
+    }
+
+    #[test]
+    fn memory_node_offline_injection() {
+        let node = MemoryNode::new(2, "ap-south");
+        let key = ShardKey::new("o", 0);
+        node.put(&key, b"x").unwrap();
+        node.set_offline(true);
+        assert_eq!(node.get(&key).unwrap_err(), NodeError::Offline);
+        assert_eq!(node.put(&key, b"y").unwrap_err(), NodeError::Offline);
+        node.set_offline(false);
+        assert_eq!(node.get(&key).unwrap(), b"x");
+    }
+
+    #[test]
+    fn memory_node_corruption_injection() {
+        let node = MemoryNode::new(3, "us-west");
+        let key = ShardKey::new("o", 1);
+        node.put(&key, b"clean").unwrap();
+        node.corrupt(&key, b"dirty".to_vec());
+        assert_eq!(node.get(&key).unwrap(), b"dirty");
+    }
+
+    #[test]
+    fn memory_node_exfiltration() {
+        let node = MemoryNode::new(4, "x");
+        node.put(&ShardKey::new("a", 0), b"1").unwrap();
+        node.put(&ShardKey::new("b", 0), b"2").unwrap();
+        let dump = node.exfiltrate_all();
+        assert_eq!(dump.len(), 2);
+    }
+
+    #[test]
+    fn file_node_crud_and_listing() {
+        let dir = std::env::temp_dir().join(format!("aeon-node-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let node = FileNode::create(5, "dc-1", dir.clone()).unwrap();
+        let key = ShardKey::new("obj/with:odd chars", 7);
+        node.put(&key, b"persisted").unwrap();
+        assert_eq!(node.get(&key).unwrap(), b"persisted");
+        let keys = node.keys();
+        assert_eq!(keys, vec![key.clone()]);
+        assert_eq!(node.stored_bytes(), 9);
+        node.delete(&key).unwrap();
+        assert_eq!(node.get(&key).unwrap_err(), NodeError::NotFound);
+        node.delete(&key).unwrap(); // idempotent
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn shard_key_equality() {
+        assert_eq!(ShardKey::new("a", 1), ShardKey::new("a", 1));
+        assert_ne!(ShardKey::new("a", 1), ShardKey::new("a", 2));
+        assert_ne!(ShardKey::new("a", 1), ShardKey::new("b", 1));
+    }
+}

@@ -1,0 +1,79 @@
+//! Property tests: cluster placement invariants, node CRUD, campaign
+//! model monotonicity.
+
+use aeon_store::campaign::{simulate_campaign, ReencryptionModel};
+use aeon_store::media::{ArchiveSite, MediaType};
+use aeon_store::node::{MemoryNode, ShardKey, StorageNode};
+use aeon_store::Cluster;
+use proptest::prelude::*;
+
+proptest! {
+    /// Placement always returns distinct nodes and is deterministic.
+    #[test]
+    fn placement_invariants(sites in 1usize..6, per_site in 1usize..4,
+                            count in 1usize..12, name in "[a-z]{1,12}") {
+        let site_names: Vec<String> = (0..sites).map(|i| format!("s{i}")).collect();
+        let refs: Vec<&str> = site_names.iter().map(|s| s.as_str()).collect();
+        let cluster = Cluster::in_memory(&refs, per_site);
+        let total = sites * per_site;
+        match cluster.place(&name, count) {
+            Ok(placement) => {
+                prop_assert!(count <= total);
+                prop_assert_eq!(placement.len(), count);
+                let set: std::collections::HashSet<_> = placement.iter().collect();
+                prop_assert_eq!(set.len(), count, "distinct nodes");
+                prop_assert_eq!(placement.clone(), cluster.place(&name, count).unwrap());
+                // Site anti-affinity: with count <= sites, all distinct sites.
+                if count <= sites {
+                    let used: std::collections::HashSet<&str> = placement
+                        .iter()
+                        .map(|id| cluster.node(*id).unwrap().site())
+                        .collect();
+                    prop_assert_eq!(used.len(), count);
+                }
+            }
+            Err(_) => prop_assert!(count > total),
+        }
+    }
+
+    /// Node storage accounting equals the sum of live blobs.
+    #[test]
+    fn node_accounting(blobs in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..64), 0..16)) {
+        let node = MemoryNode::new(0, "x");
+        let mut expect = 0u64;
+        for (i, b) in blobs.iter().enumerate() {
+            node.put(&ShardKey::new("obj", i as u32), b).unwrap();
+            expect += b.len() as u64;
+        }
+        prop_assert_eq!(node.stored_bytes(), expect);
+        prop_assert_eq!(node.keys().len(), blobs.len());
+        // Deleting everything zeroes the account.
+        for i in 0..blobs.len() {
+            node.delete(&ShardKey::new("obj", i as u32)).unwrap();
+        }
+        prop_assert_eq!(node.stored_bytes(), 0);
+    }
+
+    /// Campaign duration grows monotonically with archive size and
+    /// shrinks with bandwidth.
+    #[test]
+    fn campaign_monotonicity(capacity in 100.0f64..10_000.0, bw in 1.0f64..100.0) {
+        let site = ArchiveSite {
+            name: "p".into(),
+            capacity_tb: capacity,
+            read_tb_per_day: bw,
+            write_tb_per_day: bw,
+            media: MediaType::Tape,
+        };
+        let bigger = ArchiveSite { capacity_tb: capacity * 2.0, ..site.clone() };
+        let faster = ArchiveSite { read_tb_per_day: bw * 2.0, write_tb_per_day: bw * 2.0, ..site.clone() };
+        let base = ReencryptionModel::paper_assumptions(site.clone()).estimate();
+        let big = ReencryptionModel::paper_assumptions(bigger).estimate();
+        let fast = ReencryptionModel::paper_assumptions(faster).estimate();
+        prop_assert!(big.realistic_months > base.realistic_months);
+        prop_assert!(fast.realistic_months < base.realistic_months);
+        // Simulation agrees with closed form without ingest (±1 day).
+        let sim = simulate_campaign(&site, 0.0);
+        prop_assert!((sim.days - capacity / bw).abs() <= 1.0);
+    }
+}

@@ -1,0 +1,84 @@
+//! A harvest-now-decrypt-later timeline: watch a 2026 data theft play
+//! out over fifty years of cryptanalysis.
+//!
+//! ```sh
+//! cargo run --example hndl_timeline
+//! ```
+
+use aeon::adversary::{CryptanalyticTimeline, Harvester};
+use aeon::core::keys::KeyStore;
+use aeon::core::{PolicyKind, Recovery};
+use aeon::crypto::{ChaChaDrbg, CryptoRng, SuiteId};
+
+fn main() {
+    // Three departments chose three policies in 2026.
+    let mut rng = ChaChaDrbg::from_u64_seed(2026);
+    let keys = KeyStore::new([7u8; 32]);
+    let mut secret = vec![0u8; 4096];
+    rng.fill_bytes(&mut secret);
+
+    let depts: Vec<(&str, PolicyKind)> = vec![
+        (
+            "treasury (AES+EC)",
+            PolicyKind::Encrypted {
+                suite: SuiteId::Aes256CtrHmac,
+                data: 4,
+                parity: 2,
+            },
+        ),
+        (
+            "intelligence (cascade x2)",
+            PolicyKind::Cascade {
+                suites: vec![SuiteId::Aes256CtrHmac, SuiteId::ChaCha20Poly1305],
+                data: 4,
+                parity: 2,
+            },
+        ),
+        (
+            "state secrets (Shamir 3-of-5)",
+            PolicyKind::Shamir {
+                threshold: 3,
+                shares: 5,
+            },
+        ),
+    ];
+
+    // 2026: a contractor exfiltrates TWO storage sites from every
+    // department (a sub-threshold haul for the Shamir design).
+    let mut harvester = Harvester::new();
+    let mut encodings = Vec::new();
+    for (name, policy) in &depts {
+        let enc = policy.encode(&mut rng, &keys, name, &secret).expect("encode");
+        let stolen_blobs = vec![enc.shards[0].clone(), enc.shards[1].clone()];
+        harvester.record(*name, 2026, stolen_blobs, "two-site breach");
+        encodings.push((name, policy, enc));
+    }
+    println!(
+        "2026: breach recorded — adversary stores {} KiB and waits\n",
+        harvester.stored_bytes() / 1024
+    );
+
+    // The future unfolds.
+    let timeline = CryptanalyticTimeline::pessimistic_2045();
+    for year in [2030u32, 2045, 2046, 2060, 2061, 2076] {
+        println!("--- year {year} ---");
+        for (name, policy, enc) in &encodings {
+            let n = policy.shard_count();
+            let mut stolen: Vec<Option<Vec<u8>>> = vec![None; n];
+            stolen[0] = Some(enc.shards[0].clone());
+            stolen[1] = Some(enc.shards[1].clone());
+            let outcome =
+                policy.hndl_recover(&keys, name, &stolen, &enc.meta, &timeline, year);
+            let verdict = match outcome {
+                Recovery::Full(_) => "PLAINTEXT RECOVERED".to_string(),
+                Recovery::Partial(f) => format!("{:.0}% of plaintext exposed", f * 100.0),
+                Recovery::Nothing => "still confidential".to_string(),
+            };
+            println!("  {name:<30} {verdict}");
+        }
+    }
+
+    println!("\nthe paper's point, reproduced: for any computational design the");
+    println!("2026 theft is a time bomb with a cryptanalytic fuse; only the");
+    println!("sub-threshold secret-shared haul stays dark forever.");
+}

@@ -1,0 +1,72 @@
+//! A hospital archive under attack: proactive secret sharing vs the
+//! mobile adversary, across decades.
+//!
+//! Medical records must stay confidential for the patient's lifetime —
+//! the paper's canonical long-term workload. This example ingests
+//! records into a secret-shared archive, lets a mobile adversary corrupt
+//! one storage site per year, and shows that the archive survives
+//! exactly when the refresh cadence outpaces the adversary.
+//!
+//! ```sh
+//! cargo run --example medical_records
+//! ```
+
+use aeon::adversary::mobile::{run_attack, MobileAdversary};
+use aeon::core::{Archive, ArchiveConfig, PolicyKind};
+use aeon::crypto::ChaChaDrbg;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let policy = PolicyKind::Shamir {
+        threshold: 3,
+        shares: 5,
+    };
+    let mut archive = Archive::in_memory(ArchiveConfig::new(policy).with_year(2026))?;
+
+    // Ingest a cohort of records.
+    let mut ids = Vec::new();
+    for i in 0..10 {
+        let record = format!("patient-{i:03}: chart, imaging index, genomics consent");
+        ids.push(archive.ingest(record.as_bytes(), &format!("patient-{i:03}"))?);
+    }
+    println!("ingested {} records in 2026", ids.len());
+
+    // Decades pass. Each year: the adversary corrupts one site; the
+    // archive refreshes annually.
+    for year in 2027..=2066 {
+        archive.advance_year(year);
+        for id in &ids {
+            archive.refresh_object(id)?;
+        }
+    }
+    println!("2066: 40 annual refresh epochs completed");
+    for id in &ids {
+        assert!(archive.retrieve(id).is_ok());
+    }
+    println!("all records intact and retrievable after 40 years");
+
+    // The security argument, quantified: a mobile adversary corrupting one
+    // shareholder per epoch against the same (3, 5) sharing.
+    println!("\nmobile adversary (1 corruption/epoch, 40 epochs):");
+    for (label, refresh_every) in [("no refresh", 0u64), ("every 5 epochs", 5), ("every epoch", 1)]
+    {
+        let mut rng = ChaChaDrbg::from_u64_seed(2026);
+        let out = run_attack(
+            &mut rng,
+            b"patient-000 master record",
+            3,
+            5,
+            MobileAdversary {
+                corrupt_per_epoch: 1,
+                epochs: 40,
+                refresh_every,
+            },
+        );
+        println!(
+            "  {label:<16} compromised={}, at-epoch={:?}",
+            out.compromised, out.compromise_epoch
+        );
+    }
+    println!("\nconclusion: the refresh period — not the cipher — is the security");
+    println!("parameter of a secret-shared archive (paper §3.2, mobile adversary).");
+    Ok(())
+}

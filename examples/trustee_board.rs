@@ -1,0 +1,61 @@
+//! Distributed custody of an archive master key: a trustee board with
+//! verifiable proactive refresh and board turnover (the HasDPSS pattern
+//! the paper's §4 recommends studying).
+//!
+//! ```sh
+//! cargo run --example trustee_board
+//! ```
+
+use aeon::core::trustees::TrusteeKeyring;
+use aeon::crypto::ChaChaDrbg;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = ChaChaDrbg::from_u64_seed(2026);
+
+    // 2026: three founding trustees, any two can act.
+    let mut keyring = TrusteeKeyring::establish(&mut rng, b"founding ceremony entropy", 2, 3)?;
+    println!(
+        "established: {} trustees, threshold {}, ledger entries {}",
+        keyring.trustees(),
+        keyring.threshold(),
+        keyring.ledger().len()
+    );
+    let original = keyring.with_master_key(|k| *k)?;
+    println!("master key digest derived under quorum (never stored whole)");
+
+    // Annual verifiable refresh: shares re-randomized, commitments
+    // updated homomorphically, everything auditable.
+    for year in 1..=5 {
+        let rejected = keyring.refresh(&mut rng)?;
+        assert!(rejected.is_empty());
+        println!("year {year}: refresh ok, audit clean = {}", keyring.audit().is_empty());
+    }
+    assert_eq!(keyring.with_master_key(|k| *k)?, original);
+
+    // 2031: board turnover — five trustees, threshold three — without
+    // the key ever being reconstructed outside a quorum operation.
+    keyring.reshare(&mut rng, 3, 5)?;
+    println!(
+        "reshared to {} trustees / threshold {} (epoch {})",
+        keyring.trustees(),
+        keyring.threshold(),
+        keyring.epoch()
+    );
+    assert_eq!(keyring.with_master_key(|k| *k)?, original);
+    println!("key unchanged across refreshes and resharing");
+
+    // A trustee goes rogue and corrupts its share: the audit and the
+    // quorum operation both name it.
+    keyring.corrupt_trustee_for_simulation(2);
+    println!("audit after corruption: bad trustees = {:?}", keyring.audit());
+    match keyring.with_master_key(|k| *k) {
+        Err(e) => println!("quorum operation refused: {e}"),
+        Ok(_) => unreachable!("corrupt share must be detected"),
+    }
+
+    println!("\nledger: {} entries, chain valid = {}",
+        keyring.ledger().len(),
+        keyring.ledger().verify().is_ok()
+    );
+    Ok(())
+}

@@ -1,0 +1,239 @@
+//! Integration: adversary models against a real archive — node
+//! exfiltration, harvest-now-decrypt-later, channel taps, ledger
+//! tampering.
+
+use aeon::adversary::{CryptanalyticTimeline, Harvester};
+use aeon::channel::dh;
+use aeon::channel::transport::{Link, Tap};
+use aeon::core::{Archive, ArchiveConfig, PolicyKind, Recovery};
+use aeon::crypto::{ChaChaDrbg, CryptoRng, SuiteId};
+use aeon::num::ModpGroup;
+use aeon::store::node::{MemoryNode, StorageNode};
+use aeon::store::Cluster;
+use std::sync::Arc;
+
+fn archive_with_handles(policy: PolicyKind, n: usize) -> (Archive, Vec<MemoryNode>) {
+    let handles: Vec<MemoryNode> = (0..n as u32)
+        .map(|i| MemoryNode::new(i, format!("site-{i}")))
+        .collect();
+    let cluster = Cluster::new(
+        handles
+            .iter()
+            .map(|h| Arc::new(h.clone()) as Arc<dyn StorageNode>)
+            .collect(),
+    );
+    let archive = Archive::with_cluster(ArchiveConfig::new(policy), cluster).unwrap();
+    (archive, handles)
+}
+
+#[test]
+fn node_exfiltration_below_threshold_is_useless() {
+    let (mut archive, handles) = archive_with_handles(
+        PolicyKind::Shamir {
+            threshold: 3,
+            shares: 5,
+        },
+        5,
+    );
+    let id = archive.ingest(b"the state secret", "s").unwrap();
+
+    // The adversary fully compromises two nodes.
+    let mut harvester = Harvester::new();
+    for h in handles.iter().take(2) {
+        let blobs: Vec<Vec<u8>> = h.exfiltrate_all().into_iter().map(|(_, b)| b).collect();
+        harvester.record(id.as_str(), 2026, blobs, "node-compromise");
+    }
+    assert_eq!(harvester.records().len(), 2);
+
+    // Reconstructing the stolen haul as policy shards: positions 0 and 1.
+    let manifest = archive.manifest(&id).unwrap();
+    let mut stolen: Vec<Option<Vec<u8>>> = vec![None; 5];
+    for (i, h) in handles.iter().enumerate().take(2) {
+        let blob = h.exfiltrate_all().into_iter().next().map(|(_, b)| b);
+        stolen[i] = blob;
+    }
+    let timeline = CryptanalyticTimeline::pessimistic_2045();
+    let outcome = manifest.policy.hndl_recover(
+        archive.keys(),
+        id.as_str(),
+        &stolen,
+        &manifest.meta,
+        &timeline,
+        3000,
+    );
+    assert_eq!(outcome, Recovery::Nothing);
+}
+
+#[test]
+fn node_exfiltration_at_threshold_wins_without_any_break() {
+    let (mut archive, handles) = archive_with_handles(
+        PolicyKind::Shamir {
+            threshold: 3,
+            shares: 5,
+        },
+        5,
+    );
+    let id = archive.ingest(b"the state secret", "s").unwrap();
+    let manifest = archive.manifest(&id).unwrap();
+    // Placement maps shard index -> node; exfiltrate the right three.
+    let mut stolen: Vec<Option<Vec<u8>>> = vec![None; 5];
+    for (shard_idx, node_id) in manifest.placement.iter().enumerate().take(3) {
+        let h = handles.iter().find(|h| h.id() == *node_id).unwrap();
+        let blob = h
+            .exfiltrate_all()
+            .into_iter()
+            .find(|(k, _)| k.shard == shard_idx as u32)
+            .map(|(_, b)| b);
+        stolen[shard_idx] = blob;
+    }
+    let timeline = CryptanalyticTimeline::optimistic(); // nothing broken!
+    let outcome = manifest.policy.hndl_recover(
+        archive.keys(),
+        id.as_str(),
+        &stolen,
+        &manifest.meta,
+        &timeline,
+        2026,
+    );
+    assert_eq!(outcome, Recovery::Full(b"the state secret".to_vec()));
+}
+
+#[test]
+fn refresh_between_thefts_defeats_accumulation() {
+    let (mut archive, handles) = archive_with_handles(
+        PolicyKind::Shamir {
+            threshold: 3,
+            shares: 5,
+        },
+        5,
+    );
+    let id = archive.ingest(b"rotating target", "s").unwrap();
+    let manifest_placement = archive.manifest(&id).unwrap().placement.clone();
+
+    let steal = |shard_idx: usize| -> Vec<u8> {
+        let node_id = manifest_placement[shard_idx];
+        handles
+            .iter()
+            .find(|h| h.id() == node_id)
+            .unwrap()
+            .exfiltrate_all()
+            .into_iter()
+            .find(|(k, _)| k.shard == shard_idx as u32)
+            .map(|(_, b)| b)
+            .unwrap()
+    };
+
+    // Epoch 1: steal shards 0, 1. Refresh. Epoch 2: steal shard 2.
+    let s0 = steal(0);
+    let s1 = steal(1);
+    archive.refresh_object(&id).unwrap();
+    let s2 = steal(2);
+
+    let stolen = vec![Some(s0), Some(s1), Some(s2), None, None];
+    let manifest = archive.manifest(&id).unwrap();
+    let outcome = manifest.policy.hndl_recover(
+        archive.keys(),
+        id.as_str(),
+        &stolen,
+        &manifest.meta,
+        &CryptanalyticTimeline::optimistic(),
+        2026,
+    );
+    // Three shards, but from different epochs: reconstruction yields
+    // garbage, not the secret.
+    match outcome {
+        Recovery::Full(pt) => assert_ne!(pt, b"rotating target"),
+        Recovery::Nothing | Recovery::Partial(_) => {}
+    }
+    // The archive itself still reads fine.
+    assert_eq!(archive.retrieve(&id).unwrap(), b"rotating target");
+}
+
+#[test]
+fn channel_tap_plus_future_break_recovers_transit_data() {
+    // An ITS datastore does not help if shares cross a computational
+    // channel: tap the DH channel now, break it later (paper §3.2).
+    let group = ModpGroup::rfc3526_2048();
+    let mut link = Link::wan();
+    let tap = Tap::new();
+    link.attach_tap(tap.clone());
+
+    // Mirror RNG to learn the exponent the future cryptanalyst computes.
+    let mut shadow = ChaChaDrbg::from_u64_seed(777);
+    let a_exp = shadow.gen_array::<32>();
+
+    let mut rng = ChaChaDrbg::from_u64_seed(777);
+    let (mut alice, mut bob) = dh::handshake(&mut rng, &group, &mut link).unwrap();
+    alice.send(&mut link, b"share #3 of the master key");
+    bob.recv(&mut link).unwrap();
+
+    let recovered = dh::simulate_retro_break(&group, &tap, &a_exp);
+    assert_eq!(recovered, vec![b"share #3 of the master key".to_vec()]);
+}
+
+#[test]
+fn ledger_tamper_detected() {
+    let mut archive = Archive::in_memory(ArchiveConfig::new(PolicyKind::Replication {
+        copies: 2,
+    }))
+    .unwrap();
+    for i in 0..5 {
+        archive.ingest(b"entry", &format!("obj-{i}")).unwrap();
+    }
+    assert!(archive.ledger().verify().is_ok());
+    assert_eq!(archive.ledger().len(), 5);
+}
+
+#[test]
+fn hndl_harvester_full_pipeline_against_archive() {
+    let (mut archive, handles) = archive_with_handles(
+        PolicyKind::Encrypted {
+            suite: SuiteId::Aes256CtrHmac,
+            data: 2,
+            parity: 1,
+        },
+        3,
+    );
+    let id = archive.ingest(b"treasury ledger 2026", "t").unwrap();
+
+    // Total theft: all three nodes.
+    let manifest = archive.manifest(&id).unwrap().clone();
+    let mut harvester = Harvester::new();
+    let mut stolen: Vec<Option<Vec<u8>>> = vec![None; 3];
+    for (shard_idx, node_id) in manifest.placement.iter().enumerate() {
+        let h = handles.iter().find(|h| h.id() == *node_id).unwrap();
+        let blob = h
+            .exfiltrate_all()
+            .into_iter()
+            .find(|(k, _)| k.shard == shard_idx as u32)
+            .map(|(_, b)| b)
+            .unwrap();
+        stolen[shard_idx] = Some(blob.clone());
+        harvester.record(id.as_str(), 2026, vec![blob], "full-theft");
+    }
+
+    let timeline = CryptanalyticTimeline::pessimistic_2045();
+    let keys = archive.keys().clone();
+    let policy = manifest.policy.clone();
+    let meta = manifest.meta.clone();
+    let object = id.as_str().to_string();
+    let recover = |_r: &aeon::adversary::HarvestRecord,
+                   t: &CryptanalyticTimeline,
+                   y: u32|
+     -> Option<Vec<u8>> {
+        match policy.hndl_recover(&keys, &object, &stolen, &meta, t, y) {
+            Recovery::Full(pt) => Some(pt),
+            _ => None,
+        }
+    };
+    // 2040: AES stands; nothing recovered.
+    assert_eq!(harvester.replay(&timeline, 2040, recover).recovered.len(), 0);
+    // 2050: AES fell; everything recovered. Re-encrypting the archive in
+    // 2046 would NOT have helped — the adversary replays the 2026 bytes.
+    let after = harvester.replay(&timeline, 2050, recover);
+    assert_eq!(after.recovered.len(), harvester.records().len());
+    assert!(after
+        .recovered
+        .iter()
+        .all(|(_, pt)| pt == b"treasury ledger 2026"));
+}

@@ -1,0 +1,130 @@
+//! Integration: the maintenance plan is executable — walk the planner's
+//! schedule against a live archive and verify the outcome it promises.
+
+use aeon::adversary::CryptanalyticTimeline;
+use aeon::core::planner::{plan, Action, PlannerConfig};
+use aeon::core::trustees::TrusteeKeyring;
+use aeon::core::{Archive, ArchiveConfig, PolicyKind, Recovery};
+use aeon::crypto::{ChaChaDrbg, SuiteId};
+use aeon::store::media::ArchiveSite;
+
+#[test]
+fn executing_the_plan_beats_the_timeline() {
+    let timeline = CryptanalyticTimeline::pessimistic_2045();
+    let mut archive = Archive::in_memory(
+        ArchiveConfig::new(PolicyKind::Encrypted {
+            suite: SuiteId::Aes256CtrHmac,
+            data: 4,
+            parity: 2,
+        })
+        .with_year(2026),
+    )
+    .unwrap();
+    let ids: Vec<_> = (0..4)
+        .map(|i| archive.ingest(b"planned object", &format!("o{i}")).unwrap())
+        .collect();
+
+    let entries = plan(
+        &archive,
+        &timeline,
+        &ArchiveSite::hpss(),
+        PlannerConfig {
+            refresh_every_years: 0,
+            ..Default::default()
+        },
+    );
+
+    // Execute each entry at its scheduled year.
+    for entry in &entries {
+        archive.advance_year(entry.year);
+        match &entry.action {
+            Action::StartReencodeCampaign { doomed, .. } => {
+                assert_eq!(*doomed, SuiteId::Aes256CtrHmac);
+                archive
+                    .reencode_all(PolicyKind::Cascade {
+                        suites: vec![SuiteId::Aes256CtrHmac, SuiteId::ChaCha20Poly1305],
+                        data: 4,
+                        parity: 2,
+                    })
+                    .unwrap();
+            }
+            Action::RotateSignatureScheme { .. } => {
+                archive.rotate_timestamp_scheme("wots-v2");
+                for id in &ids {
+                    archive.renew_timestamp(id).unwrap();
+                }
+            }
+            Action::RefreshShares => unreachable!("refresh disabled in config"),
+        }
+    }
+
+    // 2045 arrives: AES falls. The plan must have left the archive safe —
+    // a full at-rest harvest in 2046 recovers nothing.
+    archive.advance_year(2046);
+    for id in &ids {
+        assert_eq!(archive.retrieve(id).unwrap(), b"planned object");
+        let m = archive.manifest(id).unwrap();
+        let stolen = archive.cluster().get_shards(id.as_str(), &m.placement);
+        let outcome =
+            m.policy
+                .hndl_recover(archive.keys(), id.as_str(), &stolen, &m.meta, &timeline, 2046);
+        assert_eq!(outcome, Recovery::Nothing, "plan failed to protect {id}");
+    }
+}
+
+#[test]
+fn unexecuted_plan_is_the_counterfactual_disaster() {
+    // Same archive, same timeline, nobody executes the plan.
+    let timeline = CryptanalyticTimeline::pessimistic_2045();
+    let mut archive = Archive::in_memory(
+        ArchiveConfig::new(PolicyKind::Encrypted {
+            suite: SuiteId::Aes256CtrHmac,
+            data: 4,
+            parity: 2,
+        })
+        .with_year(2026),
+    )
+    .unwrap();
+    let id = archive.ingest(b"unprotected object", "o").unwrap();
+    archive.advance_year(2046);
+    let m = archive.manifest(&id).unwrap();
+    let stolen = archive.cluster().get_shards(id.as_str(), &m.placement);
+    let outcome =
+        m.policy
+            .hndl_recover(archive.keys(), id.as_str(), &stolen, &m.meta, &timeline, 2046);
+    assert_eq!(outcome, Recovery::Full(b"unprotected object".to_vec()));
+}
+
+#[test]
+fn trustee_keyring_feeds_archive_master_key() {
+    // Distributed custody end to end: the archive's master key exists
+    // only under trustee quorum; the archive is constructed inside the
+    // quorum operation and never sees the shares.
+    let mut rng = ChaChaDrbg::from_u64_seed(42);
+    let mut keyring = TrusteeKeyring::establish(&mut rng, b"board ceremony", 2, 3).unwrap();
+    keyring.refresh(&mut rng).unwrap();
+
+    let id = keyring
+        .with_master_key(|master| {
+            let mut config = ArchiveConfig::new(PolicyKind::Encrypted {
+                suite: SuiteId::ChaCha20Poly1305,
+                data: 2,
+                parity: 1,
+            });
+            config.master_key = *master;
+            let mut archive = Archive::in_memory(config).unwrap();
+            let id = archive.ingest(b"quorum-keyed object", "q").unwrap();
+            assert_eq!(archive.retrieve(&id).unwrap(), b"quorum-keyed object");
+            id
+        })
+        .unwrap();
+
+    // Later quorum: the same key re-derives, so a rebuilt archive (same
+    // seed and cluster state simulated by a fresh ingest) uses the same
+    // object-key derivations. Here we assert key stability across refresh.
+    let k1 = keyring.with_master_key(|k| *k).unwrap();
+    keyring.refresh(&mut rng).unwrap();
+    let k2 = keyring.with_master_key(|k| *k).unwrap();
+    assert_eq!(k1, k2);
+    let _ = id;
+}

@@ -1,0 +1,115 @@
+//! Cross-crate property tests: every policy, arbitrary payloads,
+//! arbitrary loss patterns.
+
+use aeon::core::keys::KeyStore;
+use aeon::core::PolicyKind;
+use aeon::crypto::{ChaChaDrbg, SuiteId};
+use proptest::prelude::*;
+
+fn arb_policy() -> impl Strategy<Value = PolicyKind> {
+    prop_oneof![
+        (1usize..5).prop_map(|copies| PolicyKind::Replication { copies }),
+        (1usize..6, 1usize..4)
+            .prop_map(|(data, parity)| PolicyKind::ErasureCoded { data, parity }),
+        (1usize..6, 1usize..4).prop_map(|(data, parity)| PolicyKind::Encrypted {
+            suite: SuiteId::ChaCha20Poly1305,
+            data,
+            parity
+        }),
+        (1usize..5, 1usize..3).prop_map(|(data, parity)| PolicyKind::AontRs { data, parity }),
+        (1usize..5, 0usize..4).prop_map(|(t, extra)| PolicyKind::Shamir {
+            threshold: t,
+            shares: t + extra
+        }),
+        (1usize..4, 1usize..4, 0usize..4).prop_map(|(privacy, pack, extra)| {
+            PolicyKind::PackedShamir {
+                privacy,
+                pack,
+                shares: privacy + pack + extra,
+            }
+        }),
+        (1usize..4, 0usize..3, 8usize..64).prop_map(|(t, extra, source_len)| {
+            PolicyKind::LeakageResilientShamir {
+                threshold: t,
+                shares: t + extra,
+                source_len,
+            }
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any valid policy round-trips any payload through encode/decode.
+    #[test]
+    fn policy_roundtrip(policy in arb_policy(),
+                        payload in prop::collection::vec(any::<u8>(), 0..2048),
+                        seed in any::<u64>()) {
+        let keys = KeyStore::new([9u8; 32]);
+        let mut rng = ChaChaDrbg::from_u64_seed(seed);
+        let enc = policy.encode(&mut rng, &keys, "prop-object", &payload).unwrap();
+        prop_assert_eq!(enc.shards.len(), policy.shard_count());
+        let shards: Vec<Option<Vec<u8>>> = enc.shards.iter().cloned().map(Some).collect();
+        let dec = policy.decode(&keys, "prop-object", &shards, &enc.meta).unwrap();
+        prop_assert_eq!(dec, payload);
+    }
+
+    /// Decoding succeeds with any loss pattern that keeps >= threshold
+    /// shards, chosen pseudo-randomly.
+    #[test]
+    fn policy_survives_random_loss(policy in arb_policy(),
+                                   payload in prop::collection::vec(any::<u8>(), 1..512),
+                                   seed in any::<u64>()) {
+        let keys = KeyStore::new([9u8; 32]);
+        let mut rng = ChaChaDrbg::from_u64_seed(seed);
+        let enc = policy.encode(&mut rng, &keys, "loss-object", &payload).unwrap();
+        let n = policy.shard_count();
+        let t = policy.read_threshold();
+        // Drop a pseudo-random set of n - t shards.
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut s = seed;
+        for i in (1..order.len()).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            order.swap(i, (s >> 33) as usize % (i + 1));
+        }
+        let mut shards: Vec<Option<Vec<u8>>> = enc.shards.iter().cloned().map(Some).collect();
+        for &idx in order.iter().take(n - t) {
+            shards[idx] = None;
+        }
+        let dec = policy.decode(&keys, "loss-object", &shards, &enc.meta).unwrap();
+        prop_assert_eq!(dec, payload);
+    }
+
+    /// Encode never panics on pathological payload sizes.
+    #[test]
+    fn policy_handles_tiny_and_empty(policy in arb_policy(), len in 0usize..4) {
+        let keys = KeyStore::new([9u8; 32]);
+        let mut rng = ChaChaDrbg::from_u64_seed(1);
+        let payload = vec![0xA5u8; len];
+        let enc = policy.encode(&mut rng, &keys, "tiny", &payload).unwrap();
+        let shards: Vec<Option<Vec<u8>>> = enc.shards.iter().cloned().map(Some).collect();
+        let dec = policy.decode(&keys, "tiny", &shards, &enc.meta).unwrap();
+        prop_assert_eq!(dec, payload);
+    }
+
+    /// Stored bytes match the policy's analytic expansion (within framing
+    /// overhead) for large payloads.
+    #[test]
+    fn measured_expansion_tracks_analytic(policy in arb_policy(), seed in any::<u64>()) {
+        let keys = KeyStore::new([9u8; 32]);
+        let mut rng = ChaChaDrbg::from_u64_seed(seed);
+        let payload = vec![0x5Au8; 64 * 1024];
+        let enc = policy.encode(&mut rng, &keys, "sized", &payload).unwrap();
+        let stored: usize = enc.shards.iter().map(|s| s.len()).sum();
+        let measured = stored as f64 / payload.len() as f64;
+        let analytic = policy.expansion();
+        // LRSS's analytic figure is the large-object limit; give all
+        // policies 15% headroom for headers, padding, and AEAD tags.
+        prop_assert!(
+            (measured - analytic).abs() / analytic < 0.15,
+            "policy {:?}: measured {measured:.3} vs analytic {analytic:.3}",
+            policy
+        );
+    }
+}
