@@ -38,14 +38,8 @@ pub fn parity_leakage_experiment(
     trials: usize,
 ) -> LeakageReport {
     let mut rng = ChaChaDrbg::from_u64_seed(seed);
-    let advantage = lrss::local_leakage_advantage(
-        &mut rng,
-        secret_byte,
-        threshold,
-        count,
-        wrapped,
-        trials,
-    );
+    let advantage =
+        lrss::local_leakage_advantage(&mut rng, secret_byte, threshold, count, wrapped, trials);
     LeakageReport {
         bits_per_share: 1,
         advantage,
@@ -67,8 +61,7 @@ pub fn leak_bits<R: CryptoRng + ?Sized>(
     let shares = shamir::split(rng, secret, threshold, count).expect("valid params");
     let mask = if bits >= 8 { 0xFF } else { (1u8 << bits) - 1 };
     if wrapped {
-        let wrapped_shares =
-            lrss::wrap(rng, &shares, LrssParams::default()).expect("valid params");
+        let wrapped_shares = lrss::wrap(rng, &shares, LrssParams::default()).expect("valid params");
         wrapped_shares
             .iter()
             .map(|s| s.masked.iter().map(|b| b & mask).collect())

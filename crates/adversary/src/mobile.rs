@@ -61,8 +61,8 @@ pub fn run_attack<R: CryptoRng + ?Sized>(
         adversary.corrupt_per_epoch <= shares,
         "cannot corrupt more nodes than exist"
     );
-    let mut ps = ProactiveSecret::share(rng, secret, threshold, shares)
-        .expect("valid sharing parameters");
+    let mut ps =
+        ProactiveSecret::share(rng, secret, threshold, shares).expect("valid sharing parameters");
     // Stolen shares of the *current* period, keyed by share index.
     let mut stolen_current: Vec<Option<Share>> = vec![None; shares + 1];
     let mut corruptions = 0u64;
@@ -151,7 +151,10 @@ mod tests {
             refresh_every: 0,
         };
         let out = run_attack(&mut rng, SECRET, 3, 5, adv);
-        assert!(out.compromised, "static sharing must fall to a mobile adversary");
+        assert!(
+            out.compromised,
+            "static sharing must fall to a mobile adversary"
+        );
         assert_eq!(out.refreshes, 0);
     }
 

@@ -11,7 +11,9 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 fn bench_merkle(c: &mut Criterion) {
     let mut g = c.benchmark_group("merkle");
     for n in [64usize, 1024, 8192] {
-        let leaves: Vec<Vec<u8>> = (0..n).map(|i| format!("manifest-{i}").into_bytes()).collect();
+        let leaves: Vec<Vec<u8>> = (0..n)
+            .map(|i| format!("manifest-{i}").into_bytes())
+            .collect();
         g.bench_with_input(BenchmarkId::new("build", n), &leaves, |b, ls| {
             b.iter(|| MerkleTree::build(ls.iter().map(|l| l.as_slice())).unwrap())
         });

@@ -3,6 +3,7 @@
 
 use aeon_bench::reference_payload;
 use aeon_core::keys::KeyStore;
+use aeon_core::pipeline::{self, PipelineConfig};
 use aeon_core::{Archive, ArchiveConfig, IntegrityMode, PolicyKind};
 use aeon_crypto::{ChaChaDrbg, SuiteId};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
@@ -10,7 +11,10 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 fn policies() -> Vec<(&'static str, PolicyKind)> {
     vec![
         ("replication-3", PolicyKind::Replication { copies: 3 }),
-        ("erasure-4+2", PolicyKind::ErasureCoded { data: 4, parity: 2 }),
+        (
+            "erasure-4+2",
+            PolicyKind::ErasureCoded { data: 4, parity: 2 },
+        ),
         (
             "aes-ec-4+2",
             PolicyKind::Encrypted {
@@ -58,7 +62,9 @@ fn bench_encode_decode(c: &mut Criterion) {
             b.iter(|| policy.encode(&mut rng, &keys, "bench-object", d).unwrap())
         });
         let mut rng = ChaChaDrbg::from_u64_seed(2);
-        let enc = policy.encode(&mut rng, &keys, "bench-object", &payload).unwrap();
+        let enc = policy
+            .encode(&mut rng, &keys, "bench-object", &payload)
+            .unwrap();
         let shards: Vec<Option<Vec<u8>>> = enc.shards.iter().cloned().map(Some).collect();
         g.bench_with_input(BenchmarkId::new("decode", name), &shards, |b, s| {
             b.iter(|| policy.decode(&keys, "bench-object", s, &enc.meta).unwrap())
@@ -101,9 +107,92 @@ fn bench_archive_roundtrip(c: &mut Criterion) {
     g.finish();
 }
 
+/// Serial vs parallel chunked encode on a multi-MiB object: with ≥2
+/// hardware threads the ≥2-worker rows beat the serial row; on a
+/// single-CPU host the sweep measures pure scheduling overhead instead,
+/// so the host's parallelism is printed alongside the numbers.
+fn bench_chunked_workers(c: &mut Criterion) {
+    eprintln!(
+        "host parallelism: {} hardware thread(s)",
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    );
+    let payload = reference_payload(8 << 20, 7); // 8 MiB
+    let keys = KeyStore::new([1u8; 32]);
+    let heavy = vec![
+        (
+            "aes-ec-4+2",
+            PolicyKind::Encrypted {
+                suite: SuiteId::Aes256CtrHmac,
+                data: 4,
+                parity: 2,
+            },
+        ),
+        (
+            "shamir-3of5",
+            PolicyKind::Shamir {
+                threshold: 3,
+                shares: 5,
+            },
+        ),
+    ];
+    let mut g = c.benchmark_group("chunked-workers");
+    g.throughput(Throughput::Bytes(payload.len() as u64));
+    for (name, policy) in &heavy {
+        for workers in [1usize, 2, 4] {
+            let cfg = PipelineConfig::serial()
+                .with_chunk_size(1 << 20)
+                .with_workers(workers);
+            g.bench_with_input(
+                BenchmarkId::new(format!("encode-{name}"), format!("{workers}w")),
+                &payload,
+                |b, d| {
+                    let mut rng = ChaChaDrbg::from_u64_seed(3);
+                    b.iter(|| {
+                        pipeline::encode_object(policy, &keys, &mut rng, "bench", d, &cfg).unwrap()
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+/// Chunk-size sweep at a fixed worker count: smaller chunks expose more
+/// parallelism but pay more framing/derivation overhead per byte.
+fn bench_chunk_size_sweep(c: &mut Criterion) {
+    let payload = reference_payload(8 << 20, 9);
+    let keys = KeyStore::new([1u8; 32]);
+    let policy = PolicyKind::Encrypted {
+        suite: SuiteId::Aes256CtrHmac,
+        data: 4,
+        parity: 2,
+    };
+    let mut g = c.benchmark_group("chunk-size-sweep");
+    g.throughput(Throughput::Bytes(payload.len() as u64));
+    for (label, chunk_size) in [("256KiB", 256 * 1024), ("1MiB", 1 << 20), ("4MiB", 4 << 20)] {
+        let cfg = PipelineConfig::serial()
+            .with_chunk_size(chunk_size)
+            .with_workers(4);
+        g.bench_with_input(
+            BenchmarkId::new("encode-aes-ec-4+2", label),
+            &payload,
+            |b, d| {
+                let mut rng = ChaChaDrbg::from_u64_seed(5);
+                b.iter(|| {
+                    pipeline::encode_object(&policy, &keys, &mut rng, "bench", d, &cfg).unwrap()
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_encode_decode, bench_archive_roundtrip
+    targets = bench_encode_decode, bench_archive_roundtrip, bench_chunked_workers,
+        bench_chunk_size_sweep
 }
 criterion_main!(benches);

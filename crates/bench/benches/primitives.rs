@@ -79,15 +79,11 @@ fn bench_aeads(c: &mut Criterion) {
                 b.iter(|| aead.seal(&[0u8; 12], b"", d))
             },
         );
-        g.bench_with_input(
-            BenchmarkId::new("entropic-encrypt", size),
-            &data,
-            |b, d| {
-                let cipher = EntropicCipher::new([5u8; 16]);
-                let mut rng = ChaChaDrbg::from_u64_seed(4);
-                b.iter(|| cipher.encrypt(&mut rng, d))
-            },
-        );
+        g.bench_with_input(BenchmarkId::new("entropic-encrypt", size), &data, |b, d| {
+            let cipher = EntropicCipher::new([5u8; 16]);
+            let mut rng = ChaChaDrbg::from_u64_seed(4);
+            b.iter(|| cipher.encrypt(&mut rng, d))
+        });
     }
     g.finish();
 }

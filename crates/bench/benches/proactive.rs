@@ -25,7 +25,11 @@ fn bench_redistribute(c: &mut Criterion) {
     let mut g = c.benchmark_group("redistribute");
     let payload = reference_payload(1 << 16, 2);
     g.throughput(Throughput::Bytes(payload.len() as u64));
-    for (from, to) in [((3usize, 5usize), (3usize, 5usize)), ((3, 5), (5, 9)), ((5, 9), (3, 5))] {
+    for (from, to) in [
+        ((3usize, 5usize), (3usize, 5usize)),
+        ((3, 5), (5, 9)),
+        ((5, 9), (3, 5)),
+    ] {
         let label = format!("{}of{}->{}of{}", from.0, from.1, to.0, to.1);
         g.bench_with_input(BenchmarkId::new("vsr", label), &payload, |b, d| {
             let mut rng = ChaChaDrbg::from_u64_seed(3);

@@ -37,7 +37,9 @@ fn main() {
             parity: 2,
         };
         let start = Instant::now();
-        let enc = policy.encode(&mut rng, &keys, "cascade-abl", &payload).unwrap();
+        let enc = policy
+            .encode(&mut rng, &keys, "cascade-abl", &payload)
+            .unwrap();
         let ms = start.elapsed().as_secs_f64() * 1000.0;
         let stored: usize = enc.shards.iter().map(|s| s.len()).sum();
         let overhead = stored - (payload.len() as f64 * 1.5) as usize;
@@ -78,7 +80,11 @@ fn main() {
     // --- LRSS source length: leakage budget vs storage ---
     let mut table = Table::new(
         "Ablation: LRSS source length (3-of-5 over 4 KiB object)",
-        &["source(B)", "stored-total(x payload)", "leakage-budget(bits/share)"],
+        &[
+            "source(B)",
+            "stored-total(x payload)",
+            "leakage-budget(bits/share)",
+        ],
     );
     let small = reference_payload(4096, 1);
     for source_len in [16usize, 32, 64, 128] {

@@ -52,7 +52,10 @@ fn main() {
             pct.to_string(),
             f3(known_sum / runs as f64),
             f3(expected_known_fraction(params, adv_blocks)),
-            format!("{:.2e}", final_key_compromise_probability(params, adv_blocks)),
+            format!(
+                "{:.2e}",
+                final_key_compromise_probability(params, adv_blocks)
+            ),
             format!("{finals}/{runs}"),
         ]);
     }

@@ -15,7 +15,12 @@ fn main() {
 
     let mut table = Table::new(
         "Figure 1 (measured): storage cost vs security level, 256 KiB object",
-        &["encoding", "expansion(x)", "security-class", "security-ordinal"],
+        &[
+            "encoding",
+            "expansion(x)",
+            "security-class",
+            "security-ordinal",
+        ],
     );
     let mut sorted = points.clone();
     sorted.sort_by(|a, b| {
@@ -49,9 +54,7 @@ fn main() {
             // Figure 1 puts secret sharing in the replication cost class:
             // each share is as large as a full replica (per-copy cost 1.0x).
             "secret sharing costs like replication (per copy)",
-            (find("Secret sharing").expansion / 5.0
-                - find("Replication").expansion / 3.0)
-                .abs()
+            (find("Secret sharing").expansion / 5.0 - find("Replication").expansion / 3.0).abs()
                 < 0.05,
         ),
         (
@@ -61,13 +64,11 @@ fn main() {
         ),
         (
             "LRSS pays extra storage for leakage resilience",
-            find("Leakage-resilient secret sharing").expansion
-                > find("Secret sharing").expansion,
+            find("Leakage-resilient secret sharing").expansion > find("Secret sharing").expansion,
         ),
         (
             "entropic encryption is near-EC cost",
-            (find("Entropically secure encryption").expansion
-                - find("Erasure coding").expansion)
+            (find("Entropically secure encryption").expansion - find("Erasure coding").expansion)
                 .abs()
                 < 0.1,
         ),

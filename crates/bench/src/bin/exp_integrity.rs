@@ -26,24 +26,39 @@ fn main() {
 
     // Chain A: renewed on time (2044, before v1's 2045 break).
     let mut tsa = TimestampAuthority::new(&mut rng, "wots-v1", 2026, 4);
-    let mut chain_a =
-        DocumentChain::create(&mut rng, &mut tsa, &committer, AnchorMode::HashDigest, document)
-            .expect("create");
+    let mut chain_a = DocumentChain::create(
+        &mut rng,
+        &mut tsa,
+        &committer,
+        AnchorMode::HashDigest,
+        document,
+    )
+    .expect("create");
     tsa.advance_to(2044);
     tsa.rotate(&mut rng, "wots-v2", 4);
     chain_a.renew(&mut tsa).expect("renew");
 
     // Chain B: never renewed.
     let mut tsa_b = TimestampAuthority::new(&mut rng, "wots-v1", 2026, 4);
-    let chain_b =
-        DocumentChain::create(&mut rng, &mut tsa_b, &committer, AnchorMode::HashDigest, document)
-            .expect("create");
+    let chain_b = DocumentChain::create(
+        &mut rng,
+        &mut tsa_b,
+        &committer,
+        AnchorMode::HashDigest,
+        document,
+    )
+    .expect("create");
 
     // Chain C: renewed too late (2050, after the break).
     let mut tsa_c = TimestampAuthority::new(&mut rng, "wots-v1", 2026, 4);
-    let mut chain_c =
-        DocumentChain::create(&mut rng, &mut tsa_c, &committer, AnchorMode::HashDigest, document)
-            .expect("create");
+    let mut chain_c = DocumentChain::create(
+        &mut rng,
+        &mut tsa_c,
+        &committer,
+        AnchorMode::HashDigest,
+        document,
+    )
+    .expect("create");
     tsa_c.advance_to(2050);
     tsa_c.rotate(&mut rng, "wots-v2", 4);
     chain_c.renew(&mut tsa_c).expect("renew");
@@ -101,15 +116,15 @@ fn main() {
         b"patient record: diagnosis Y",
         b"something else entirely",
     ];
-    let hash_hit = candidates.iter().any(|c| {
-        aeon_crypto::Sha256::digest(c).as_ref() == hash_chain.anchor()
-    });
+    let hash_hit = candidates
+        .iter()
+        .any(|c| aeon_crypto::Sha256::digest(c).as_ref() == hash_chain.anchor());
     // Against Pedersen, every candidate is consistent with the anchor for
     // SOME blinding, so the dictionary attack learns nothing; concretely
     // the anchor never equals any candidate-derived value.
-    let pedersen_hit = candidates.iter().any(|c| {
-        aeon_crypto::Sha256::digest(c).as_ref() == pedersen_chain.anchor()
-    });
+    let pedersen_hit = candidates
+        .iter()
+        .any(|c| aeon_crypto::Sha256::digest(c).as_ref() == pedersen_chain.anchor());
     println!("Dictionary attack on the published anchor:");
     println!("  hash anchor identified the document: {hash_hit}");
     println!("  Pedersen anchor identified the document: {pedersen_hit}");

@@ -1,10 +1,10 @@
 //! E13 — the maintenance plan: what a century of operations looks like
 //! under a pessimistic cryptanalytic forecast, per policy choice.
 
+use aeon_adversary::CryptanalyticTimeline;
 use aeon_bench::Table;
 use aeon_core::planner::{plan, Action, PlannerConfig};
 use aeon_core::{Archive, ArchiveConfig, IntegrityMode, PolicyKind};
-use aeon_adversary::CryptanalyticTimeline;
 use aeon_crypto::SuiteId;
 use aeon_store::media::ArchiveSite;
 
@@ -61,7 +61,9 @@ fn main() {
                 .with_integrity(IntegrityMode::DigestOnly),
         )
         .expect("archive");
-        archive.ingest(b"representative object", "obj").expect("ingest");
+        archive
+            .ingest(b"representative object", "obj")
+            .expect("ingest");
 
         let entries = plan(
             &archive,
@@ -82,7 +84,10 @@ fn main() {
             table.row(&[e.year.to_string(), describe(&e.action)]);
         }
         if entries.len() > 14 {
-            table.row(&["...".to_string(), format!("(+{} more refresh epochs)", entries.len() - 14)]);
+            table.row(&[
+                "...".to_string(),
+                format!("(+{} more refresh epochs)", entries.len() - 14),
+            ]);
         }
         table.emit(&format!(
             "e13_plan_{}",

@@ -31,7 +31,8 @@ fn main() {
     for (site, paper) in ArchiveSite::paper_examples().into_iter().zip(paper_months) {
         let est = ReencryptionModel::paper_assumptions(site.clone()).estimate();
         // Day-by-day simulation with ingest at 25% of write bandwidth.
-        let sim = simulate_campaign(&site, site.write_tb_per_day * 0.25);
+        let sim = simulate_campaign(&site, site.write_tb_per_day * 0.25)
+            .expect("25% ingest leaves bandwidth for migration");
         table.row(&[
             site.name.clone(),
             f2(site.capacity_tb / 1000.0),

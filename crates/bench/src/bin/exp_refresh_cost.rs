@@ -41,7 +41,12 @@ fn main() {
 
     // Quadratic check: bytes ratio between n=25 and n=5 should be ~ (25·24)/(5·4).
     let b5 = measured.iter().find(|(n, _)| *n == 5).expect("n=5").1.bytes as f64;
-    let b25 = measured.iter().find(|(n, _)| *n == 25).expect("n=25").1.bytes as f64;
+    let b25 = measured
+        .iter()
+        .find(|(n, _)| *n == 25)
+        .expect("n=25")
+        .1
+        .bytes as f64;
     let expect = (25.0 * 24.0) / (5.0 * 4.0);
     println!(
         "Quadratic scaling check: bytes(n=25)/bytes(n=5) = {:.1} (theory {:.1})\n",
@@ -54,12 +59,7 @@ fn main() {
     // figures), vs one re-encryption pass of the same archive.
     let archive_tb = 80_000.0;
     let objects = (archive_tb * 1e12 / object_len as f64) as u64;
-    let per_object_bytes = measured
-        .iter()
-        .find(|(n, _)| *n == 5)
-        .expect("n=5")
-        .1
-        .bytes;
+    let per_object_bytes = measured.iter().find(|(n, _)| *n == 5).expect("n=5").1.bytes;
     let mut table = Table::new(
         "One full maintenance pass over an 80 PB archive (400 TB/day fabric)",
         &["operation", "traffic(PB)", "months"],
@@ -73,11 +73,7 @@ fn main() {
     ]);
     // Re-encryption: read all + write all of the 5x-expanded archive.
     let reencrypt_pb = archive_tb * 5.0 * 2.0 / 1000.0;
-    let reencrypt_months = protocol_campaign_months(
-        objects,
-        (object_len * 5 * 2) as u64,
-        400.0,
-    );
+    let reencrypt_months = protocol_campaign_months(objects, (object_len * 5 * 2) as u64, 400.0);
     table.row(&[
         "re-encryption (read+write 5x archive)".to_string(),
         f2(reencrypt_pb),

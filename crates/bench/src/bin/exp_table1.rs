@@ -49,26 +49,60 @@ fn main() {
     use aeon_core::CostBucket;
     use aeon_crypto::SecurityLevel as L;
     let expect: &[(&str, L, L, &[CostBucket])] = &[
-        ("ArchiveSafeLT", L::Computational, L::Computational, &[CostBucket::Low]),
-        ("AONT-RS", L::Computational, L::Computational, &[CostBucket::Low]),
-        ("HasDPSS", L::Computational, L::InformationTheoretic, &[CostBucket::High]),
-        ("LINCOS", L::InformationTheoretic, L::InformationTheoretic, &[CostBucket::High]),
+        (
+            "ArchiveSafeLT",
+            L::Computational,
+            L::Computational,
+            &[CostBucket::Low],
+        ),
+        (
+            "AONT-RS",
+            L::Computational,
+            L::Computational,
+            &[CostBucket::Low],
+        ),
+        (
+            "HasDPSS",
+            L::Computational,
+            L::InformationTheoretic,
+            &[CostBucket::High],
+        ),
+        (
+            "LINCOS",
+            L::InformationTheoretic,
+            L::InformationTheoretic,
+            &[CostBucket::High],
+        ),
         (
             "PASIS",
             L::Computational,
             L::InformationTheoretic,
             &[CostBucket::Low, CostBucket::Medium, CostBucket::High],
         ),
-        ("POTSHARDS", L::Computational, L::InformationTheoretic, &[CostBucket::High]),
-        ("VSR Archive", L::Computational, L::InformationTheoretic, &[CostBucket::High]),
-        ("AWS/Azure/GCP", L::Computational, L::Computational, &[CostBucket::Low]),
+        (
+            "POTSHARDS",
+            L::Computational,
+            L::InformationTheoretic,
+            &[CostBucket::High],
+        ),
+        (
+            "VSR Archive",
+            L::Computational,
+            L::InformationTheoretic,
+            &[CostBucket::High],
+        ),
+        (
+            "AWS/Azure/GCP",
+            L::Computational,
+            L::Computational,
+            &[CostBucket::Low],
+        ),
     ];
     println!("Agreement with paper Table 1:");
     let mut all_ok = true;
     for (name, transit, rest, costs) in expect {
         let row = rows.iter().find(|r| r.system == *name).expect("row");
-        let ok =
-            row.in_transit == *transit && row.at_rest == *rest && costs.contains(&row.cost);
+        let ok = row.in_transit == *transit && row.at_rest == *rest && costs.contains(&row.cost);
         all_ok &= ok;
         println!("  [{}] {name}", if ok { "PASS" } else { "FAIL" });
     }

@@ -48,8 +48,7 @@ fn main() {
 
     let (mut link, tap) = tapped_wan();
     let mut qkd = QkdLink::metro_reference();
-    let (_, rep_its) =
-        ship_its(&archive, &id, &mut qkd, &mut link, 0x7247).expect("ITS shipment");
+    let (_, rep_its) = ship_its(&archive, &id, &mut qkd, &mut link, 0x7247).expect("ITS shipment");
     table.row(&[
         "QKD-fed OTP".to_string(),
         rep_its.wire_bytes.to_string(),

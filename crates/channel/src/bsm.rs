@@ -87,8 +87,7 @@ pub fn run_session<R: CryptoRng + ?Sized>(
     let honest_positions = sample_distinct(rng, n, params.samples);
     // Adversary stored positions (independent random subset).
     let adversary_positions = sample_distinct(rng, n, adversary_blocks.min(n));
-    let adversary_set: std::collections::HashSet<usize> =
-        adversary_positions.into_iter().collect();
+    let adversary_set: std::collections::HashSet<usize> = adversary_positions.into_iter().collect();
 
     // Stream the blocks; both parties (and the adversary, for its subset)
     // sample on the fly — nobody stores the whole stream.
@@ -178,7 +177,11 @@ mod tests {
         let out = run_session(&mut rng, params, 1024);
         assert!(!out.adversary_knows_final);
         // Known fraction should be near 25%.
-        assert!(out.adversary_raw_fraction < 0.45, "{}", out.adversary_raw_fraction);
+        assert!(
+            out.adversary_raw_fraction < 0.45,
+            "{}",
+            out.adversary_raw_fraction
+        );
     }
 
     #[test]
@@ -221,7 +224,10 @@ mod tests {
         }
         let mean = total / runs as f64;
         let expect = expected_known_fraction(params, 300);
-        assert!((mean - expect).abs() < 0.08, "mean {mean} vs expected {expect}");
+        assert!(
+            (mean - expect).abs() < 0.08,
+            "mean {mean} vs expected {expect}"
+        );
     }
 
     #[test]
@@ -229,7 +235,10 @@ mod tests {
         let params = BsmParams::lab();
         let p_half = final_key_compromise_probability(params, 2048);
         let p_all = final_key_compromise_probability(params, 4096);
-        assert!(p_half < 1e-15, "half-storage adversary ~never wins: {p_half}");
+        assert!(
+            p_half < 1e-15,
+            "half-storage adversary ~never wins: {p_half}"
+        );
         assert!((p_all - 1.0).abs() < 1e-12);
     }
 

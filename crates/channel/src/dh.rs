@@ -148,7 +148,12 @@ pub fn simulate_retro_break(
     // Frames 0 and 1 are g^a and g^b; the cracked exponent is a.
     let gb = aeon_num::GroupElement::from_be_bytes(&transcript[1]);
     let shared = group.exp(&gb, cracked_exponent);
-    let okm = hkdf::derive(b"aeon-dh-channel", &shared.to_be_bytes(), b"session-key", 32);
+    let okm = hkdf::derive(
+        b"aeon-dh-channel",
+        &shared.to_be_bytes(),
+        b"session-key",
+        32,
+    );
     let mut key = [0u8; 32];
     key.copy_from_slice(&okm);
     let aead = ChaCha20Poly1305::new(&key);

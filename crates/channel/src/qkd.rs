@@ -48,7 +48,11 @@ impl QkdLink {
     /// Generates `len` bytes of shared pad, advancing the simulated clock
     /// by the time the link needs at its key rate. Returns identical pads
     /// for both endpoints.
-    pub fn generate_pad<R: CryptoRng + ?Sized>(&mut self, rng: &mut R, len: usize) -> (Vec<u8>, Vec<u8>) {
+    pub fn generate_pad<R: CryptoRng + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        len: usize,
+    ) -> (Vec<u8>, Vec<u8>) {
         let mut pad = vec![0u8; len];
         rng.fill_bytes(&mut pad);
         self.delivered_bytes += len as u64;
@@ -268,7 +272,7 @@ mod tests {
     #[test]
     fn payload_timing_includes_mac_keys() {
         let link = QkdLink::new(8.0, 0.0, 0.0); // 1 byte/s
-        // 100 bytes in 10-byte records: 10 records × 32 + 100 = 420 bytes.
+                                                // 100 bytes in 10-byte records: 10 records × 32 + 100 = 420 bytes.
         let secs = link.seconds_for_payload(100, 10);
         assert!((secs - 420.0).abs() < 1e-9);
     }

@@ -161,11 +161,7 @@ impl AontRs {
         }
         if cipher_broken {
             // Partial: fraction of payload spanned by stolen data shards.
-            let data_stolen = stolen
-                .iter()
-                .take(self.rs.data_shards())
-                .flatten()
-                .count();
+            let data_stolen = stolen.iter().take(self.rs.data_shards()).flatten().count();
             AontHndlOutcome::PartialPlaintext {
                 fraction: data_stolen as f64 / self.rs.data_shards() as f64,
             }
@@ -295,7 +291,10 @@ mod tests {
         let mut r = rng();
         let encoded = codec.encode(&mut r, b"harvest me").unwrap();
         let stolen = vec![Some(encoded[0].clone()), None, None, None, None];
-        assert_eq!(codec.simulate_hndl(&stolen, false), AontHndlOutcome::Nothing);
+        assert_eq!(
+            codec.simulate_hndl(&stolen, false),
+            AontHndlOutcome::Nothing
+        );
         match codec.simulate_hndl(&stolen, true) {
             AontHndlOutcome::PartialPlaintext { fraction } => {
                 assert!((fraction - 1.0 / 3.0).abs() < 1e-9);

@@ -2,12 +2,11 @@
 //! maintenance.
 
 use crate::keys::KeyStore;
+use crate::pipeline::{self, PipelineConfig};
 use crate::policy::{EncodingMeta, PolicyError, PolicyKind};
 use aeon_crypto::{ChaChaDrbg, Sha256};
 use aeon_integrity::ledger::Ledger;
-use aeon_integrity::timestamp::{
-    AnchorMode, DocumentChain, SigBreakSchedule, TimestampAuthority,
-};
+use aeon_integrity::timestamp::{AnchorMode, DocumentChain, SigBreakSchedule, TimestampAuthority};
 use aeon_num::pedersen::Committer;
 use aeon_num::ModpGroup;
 use aeon_secretshare::proactive::{self, ProtocolCost};
@@ -64,6 +63,8 @@ pub struct ArchiveConfig {
     pub rng_seed: u64,
     /// Integrity anchoring mode.
     pub integrity: IntegrityMode,
+    /// Chunked-pipeline tuning (chunk size, worker threads).
+    pub pipeline: PipelineConfig,
 }
 
 impl ArchiveConfig {
@@ -79,12 +80,19 @@ impl ArchiveConfig {
             master_key: [0x42; 32],
             rng_seed: 0xAE0_0AE0,
             integrity: IntegrityMode::HashChain,
+            pipeline: PipelineConfig::default(),
         }
     }
 
     /// Overrides the integrity mode.
     pub fn with_integrity(mut self, mode: IntegrityMode) -> Self {
         self.integrity = mode;
+        self
+    }
+
+    /// Overrides the chunked-pipeline tuning.
+    pub fn with_pipeline(mut self, pipeline: PipelineConfig) -> Self {
+        self.pipeline = pipeline;
         self
     }
 
@@ -367,7 +375,14 @@ impl Archive {
             }
         }
         let id = self.next_id(name);
-        let encoded = policy.encode(&mut self.rng, &self.keys, id.as_str(), payload)?;
+        let encoded = pipeline::encode_object(
+            &policy,
+            &self.keys,
+            &mut self.rng,
+            id.as_str(),
+            payload,
+            &self.config.pipeline,
+        )?;
         let placement = self.cluster.place(id.as_str(), encoded.shards.len())?;
         self.cluster
             .put_shards(id.as_str(), &placement, &encoded.shards)?;
@@ -383,11 +398,15 @@ impl Archive {
                     AnchorMode::HashDigest
                 };
                 self.ensure_tsa_capacity();
-                let chain =
-                    DocumentChain::create(&mut self.rng, &mut self.tsa, &self.committer, mode, payload)
-                        .map_err(|e| ArchiveError::Timestamp(e.to_string()))?;
-                self.ledger
-                    .append(self.year, chain.anchor().to_vec());
+                let chain = DocumentChain::create(
+                    &mut self.rng,
+                    &mut self.tsa,
+                    &self.committer,
+                    mode,
+                    payload,
+                )
+                .map_err(|e| ArchiveError::Timestamp(e.to_string()))?;
+                self.ledger.append(self.year, chain.anchor().to_vec());
                 self.chains.insert(id.clone(), chain);
             }
         }
@@ -428,9 +447,14 @@ impl Archive {
             .get(id)
             .ok_or_else(|| ArchiveError::UnknownObject(id.clone()))?;
         let shards = self.cluster.get_shards(id.as_str(), &manifest.placement);
-        let payload = manifest
-            .policy
-            .decode(&self.keys, id.as_str(), &shards, &manifest.meta)?;
+        let payload = pipeline::decode_object(
+            &manifest.policy,
+            &self.keys,
+            id.as_str(),
+            &shards,
+            &manifest.meta,
+            self.config.pipeline.workers,
+        )?;
         if Sha256::digest(&payload) != manifest.digest {
             return Err(ArchiveError::IntegrityViolation(id.clone()));
         }
@@ -468,11 +492,16 @@ impl Archive {
             .ok_or_else(|| ArchiveError::UnknownObject(id.clone()))?;
         let shards = self.cluster.get_shards(id.as_str(), &manifest.placement);
         let available = shards.iter().flatten().count();
-        let intact = manifest
-            .policy
-            .decode(&self.keys, id.as_str(), &shards, &manifest.meta)
-            .map(|p| Sha256::digest(&p) == manifest.digest)
-            .unwrap_or(false);
+        let intact = pipeline::decode_object(
+            &manifest.policy,
+            &self.keys,
+            id.as_str(),
+            &shards,
+            &manifest.meta,
+            self.config.pipeline.workers,
+        )
+        .map(|p| Sha256::digest(&p) == manifest.digest)
+        .unwrap_or(false);
         let chain_valid = self
             .chains
             .get(id)
@@ -531,20 +560,63 @@ impl Archive {
             ));
         };
         let raw = self.cluster.get_shards(id.as_str(), &manifest.placement);
-        let mut shares: Vec<Share> = Vec::with_capacity(raw.len());
-        for (i, s) in raw.iter().enumerate() {
+        let mut stored: Vec<Vec<u8>> = Vec::with_capacity(raw.len());
+        for s in &raw {
             let Some(bytes) = s else {
                 return Err(ArchiveError::UnsupportedOperation(
                     "refresh requires all shareholders online",
                 ));
             };
-            shares.push(Share {
-                index: (i + 1) as u8,
-                data: bytes.clone(),
-            });
+            stored.push(bytes.clone());
         }
-        let cost = proactive::refresh(&mut self.rng, &mut shares, threshold)?;
-        let blobs: Vec<Vec<u8>> = shares.into_iter().map(|s| s.data).collect();
+        let (blobs, cost): (Vec<Vec<u8>>, ProtocolCost) =
+            if let Some(chunked) = manifest.meta.chunked.clone() {
+                // Chunked object: the Herzberg zero-sharing delta must land on
+                // share payloads only, never on the segment framing, so each
+                // chunk's share set is refreshed independently.
+                let chunk_count = chunked.chunk_count();
+                let mut columns: Vec<Vec<Vec<u8>>> = stored
+                    .iter()
+                    .map(|b| pipeline::split_shard_segments(b, chunk_count))
+                    .collect::<Result<_, _>>()
+                    .map_err(ArchiveError::Policy)?;
+                let mut total = ProtocolCost {
+                    messages: 0,
+                    bytes: 0,
+                };
+                for j in 0..chunk_count {
+                    let mut shares: Vec<Share> = columns
+                        .iter()
+                        .enumerate()
+                        .map(|(i, segments)| Share {
+                            index: (i + 1) as u8,
+                            data: segments[j].clone(),
+                        })
+                        .collect();
+                    let cost = proactive::refresh(&mut self.rng, &mut shares, threshold)?;
+                    total.messages += cost.messages;
+                    total.bytes += cost.bytes;
+                    for (column, share) in columns.iter_mut().zip(shares) {
+                        column[j] = share.data;
+                    }
+                }
+                let blobs = columns
+                    .iter()
+                    .map(|segments| pipeline::join_shard_segments(segments))
+                    .collect();
+                (blobs, total)
+            } else {
+                let mut shares: Vec<Share> = stored
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, data)| Share {
+                        index: (i + 1) as u8,
+                        data,
+                    })
+                    .collect();
+                let cost = proactive::refresh(&mut self.rng, &mut shares, threshold)?;
+                (shares.into_iter().map(|s| s.data).collect(), cost)
+            };
         self.cluster
             .put_shards(id.as_str(), &manifest.placement, &blobs)?;
         manifest.refresh_epochs += 1;
@@ -576,8 +648,16 @@ impl Archive {
             .map(|s| s.len() as u64)
             .sum();
         let placement_old = manifest.placement.clone();
-        // Encode fresh under the new policy.
-        let encoded = new_policy.encode(&mut self.rng, &self.keys, id.as_str(), &payload)?;
+        // Encode fresh under the new policy (through the chunked
+        // pipeline, so campaigns inherit its parallelism).
+        let encoded = pipeline::encode_object(
+            &new_policy,
+            &self.keys,
+            &mut self.rng,
+            id.as_str(),
+            &payload,
+            &self.config.pipeline,
+        )?;
         let written: u64 = encoded.shards.iter().map(|s| s.len() as u64).sum();
         let placement = self.cluster.place(id.as_str(), encoded.shards.len())?;
         self.cluster.delete_shards(id.as_str(), &placement_old);
@@ -642,28 +722,72 @@ impl Archive {
                 "re-wrap requires the Cascade policy",
             ));
         };
-        // Rebuild the layered ciphertext from the erasure code.
+        // Rebuild the layered ciphertext from the erasure code, re-wrap
+        // only the new outer layer, and re-disperse. Chunked objects are
+        // re-wrapped chunk by chunk: each chunk was sealed under its own
+        // derived context (and possibly key version), and the segment
+        // framing must survive untouched.
         let rs = aeon_erasure::ReedSolomon::new(data, parity)
             .map_err(|e| ArchiveError::Policy(PolicyError::Malformed(e.to_string())))?;
         let shards = self.cluster.get_shards(id.as_str(), &manifest.placement);
-        let ct = aeon_erasure::ErasureCode::decode(&rs, &shards)
-            .map_err(|e| ArchiveError::Policy(PolicyError::Malformed(e.to_string())))?;
-
-        // Extend the cascade and wrap ONLY the new outer layer.
-        let master = self
-            .keys
-            .object_key_for_version(manifest.meta.key_version, id.as_str(), 0);
-        let mut cascade = aeon_crypto::cascade::Cascade::new(&suites, &master)
-            .map_err(|e| ArchiveError::Policy(PolicyError::CryptoFailure(e.to_string())))?;
-        let old_depth = cascade.depth();
-        cascade
-            .add_layer(new_suite, &master)
-            .map_err(|e| ArchiveError::Policy(PolicyError::CryptoFailure(e.to_string())))?;
-        let rewrapped = cascade.rewrap(id.as_str().as_bytes(), &ct, old_depth);
-
-        // Re-disperse and update the manifest's policy.
-        let new_shards = aeon_erasure::ErasureCode::encode(&rs, &rewrapped)
-            .map_err(|e| ArchiveError::Policy(PolicyError::Malformed(e.to_string())))?;
+        let rewrap_one = |keys: &KeyStore,
+                          context: &str,
+                          key_version: u32,
+                          ct: &[u8]|
+         -> Result<Vec<u8>, ArchiveError> {
+            let master = keys.object_key_for_version(key_version, context, 0);
+            let mut cascade = aeon_crypto::cascade::Cascade::new(&suites, &master)
+                .map_err(|e| ArchiveError::Policy(PolicyError::CryptoFailure(e.to_string())))?;
+            let old_depth = cascade.depth();
+            cascade
+                .add_layer(new_suite, &master)
+                .map_err(|e| ArchiveError::Policy(PolicyError::CryptoFailure(e.to_string())))?;
+            Ok(cascade.rewrap(context.as_bytes(), ct, old_depth))
+        };
+        let new_shards: Vec<Vec<u8>> = if let Some(chunked) = manifest.meta.chunked.clone() {
+            let chunk_count = chunked.chunk_count();
+            let columns: Vec<Option<Vec<Vec<u8>>>> = shards
+                .iter()
+                .map(|s| {
+                    s.as_ref()
+                        .map(|b| pipeline::split_shard_segments(b, chunk_count))
+                        .transpose()
+                })
+                .collect::<Result<_, _>>()
+                .map_err(ArchiveError::Policy)?;
+            let mut rebuilt: Vec<Vec<Vec<u8>>> =
+                vec![Vec::with_capacity(chunk_count); data + parity];
+            for j in 0..chunk_count {
+                let chunk_shards: Vec<Option<Vec<u8>>> = columns
+                    .iter()
+                    .map(|col| col.as_ref().map(|segments| segments[j].clone()))
+                    .collect();
+                let ct = aeon_erasure::ErasureCode::decode(&rs, &chunk_shards)
+                    .map_err(|e| ArchiveError::Policy(PolicyError::Malformed(e.to_string())))?;
+                let chunk_id = pipeline::chunk_object_id(id.as_str(), j);
+                let rewrapped = rewrap_one(
+                    &self.keys,
+                    &chunk_id,
+                    chunked.chunk_metas[j].key_version,
+                    &ct,
+                )?;
+                let segments = aeon_erasure::ErasureCode::encode(&rs, &rewrapped)
+                    .map_err(|e| ArchiveError::Policy(PolicyError::Malformed(e.to_string())))?;
+                for (column, segment) in rebuilt.iter_mut().zip(segments) {
+                    column.push(segment);
+                }
+            }
+            rebuilt
+                .iter()
+                .map(|segments| pipeline::join_shard_segments(segments))
+                .collect()
+        } else {
+            let ct = aeon_erasure::ErasureCode::decode(&rs, &shards)
+                .map_err(|e| ArchiveError::Policy(PolicyError::Malformed(e.to_string())))?;
+            let rewrapped = rewrap_one(&self.keys, id.as_str(), manifest.meta.key_version, &ct)?;
+            aeon_erasure::ErasureCode::encode(&rs, &rewrapped)
+                .map_err(|e| ArchiveError::Policy(PolicyError::Malformed(e.to_string())))?
+        };
         let placement = manifest.placement.clone();
         self.cluster
             .put_shards(id.as_str(), &placement, &new_shards)?;
@@ -790,10 +914,7 @@ mod tests {
             Err(ArchiveError::UnknownObject(_))
         ));
         assert_eq!(a.cluster().total_stored_bytes(), 0);
-        assert!(matches!(
-            a.delete(&id),
-            Err(ArchiveError::UnknownObject(_))
-        ));
+        assert!(matches!(a.delete(&id), Err(ArchiveError::UnknownObject(_))));
     }
 
     #[test]
@@ -914,8 +1035,9 @@ mod tests {
         // Use a cluster we keep handles to.
         use aeon_store::node::{MemoryNode, ShardKey, StorageNode};
         use std::sync::Arc;
-        let handles: Vec<MemoryNode> =
-            (0..3).map(|i| MemoryNode::new(i, format!("s{i}"))).collect();
+        let handles: Vec<MemoryNode> = (0..3)
+            .map(|i| MemoryNode::new(i, format!("s{i}")))
+            .collect();
         let cluster = Cluster::new(
             handles
                 .iter()
@@ -931,7 +1053,10 @@ mod tests {
         // Corrupt every replica (replication picks the first available).
         for h in &handles {
             for key in h.keys() {
-                h.corrupt(&ShardKey::new(key.object.clone(), key.shard), b"lies!".to_vec());
+                h.corrupt(
+                    &ShardKey::new(key.object.clone(), key.shard),
+                    b"lies!".to_vec(),
+                );
             }
         }
         assert!(matches!(
@@ -943,10 +1068,8 @@ mod tests {
     #[test]
     fn tsa_auto_rotates_when_exhausted() {
         // Height-6 TSA = 64 signatures; ingest 70 objects with chains.
-        let mut a = Archive::in_memory(ArchiveConfig::new(PolicyKind::Replication {
-            copies: 2,
-        }))
-        .unwrap();
+        let mut a =
+            Archive::in_memory(ArchiveConfig::new(PolicyKind::Replication { copies: 2 })).unwrap();
         for i in 0..70 {
             a.ingest(b"obj", &format!("d{i}")).unwrap();
         }

@@ -180,8 +180,8 @@ pub fn evaluate_profile(
     profile: &SystemProfile,
     payload: &[u8],
 ) -> Result<Table1Row, crate::archive::ArchiveError> {
-    let config = ArchiveConfig::new(profile.at_rest.clone())
-        .with_integrity(IntegrityMode::DigestOnly);
+    let config =
+        ArchiveConfig::new(profile.at_rest.clone()).with_integrity(IntegrityMode::DigestOnly);
     let mut archive = Archive::in_memory(config)?;
     archive.ingest(payload, "reference-object")?;
     let stats = archive.stats();
@@ -363,7 +363,10 @@ mod tests {
         let rep = find("Replication").expansion;
         let ss = find("Secret sharing").expansion;
         let lrss = find("Leakage-resilient secret sharing").expansion;
-        assert!(ec <= enc && enc < packed, "ec {ec}, enc {enc}, packed {packed}");
+        assert!(
+            ec <= enc && enc < packed,
+            "ec {ec}, enc {enc}, packed {packed}"
+        );
         assert!((ent - ec).abs() < 0.2, "entropic ≈ EC: {ent} vs {ec}");
         assert!(packed < ss, "packed {packed} < ss {ss}");
         assert!(rep <= ss + 0.01, "rep {rep} ≈ ss {ss}");
@@ -371,8 +374,14 @@ mod tests {
 
         // Security axis (ordinal): replication/EC = 0 … LRSS = 4.
         assert_eq!(find("Replication").security_ordinal, 0);
-        assert!(find("Traditional encryption").security_ordinal < find("Entropically secure encryption").security_ordinal);
-        assert!(find("Entropically secure encryption").security_ordinal < find("Secret sharing").security_ordinal);
+        assert!(
+            find("Traditional encryption").security_ordinal
+                < find("Entropically secure encryption").security_ordinal
+        );
+        assert!(
+            find("Entropically secure encryption").security_ordinal
+                < find("Secret sharing").security_ordinal
+        );
         assert_eq!(find("Leakage-resilient secret sharing").security_ordinal, 4);
     }
 

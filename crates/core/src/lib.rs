@@ -16,6 +16,9 @@
 //!   space, from replication to leakage-resilient secret sharing.
 //! * [`aont`] — the AONT-RS dispersal codec (Resch–Plank).
 //! * [`keys`] — versioned master keys and per-object derivation.
+//! * [`pipeline`] — the chunked, parallel encode/decode data path:
+//!   fixed-size chunks, a scoped-thread worker pool, and one batched
+//!   shard write per object.
 //! * [`evaluate`] — regenerates the paper's Table 1 and Figure 1 from
 //!   measured behaviour.
 //! * [`trustees`] — HasDPSS-style distributed custody of the master key:
@@ -47,6 +50,7 @@ pub mod aont;
 mod archive;
 pub mod evaluate;
 pub mod keys;
+pub mod pipeline;
 pub mod planner;
 mod policy;
 mod repair;
@@ -60,5 +64,6 @@ pub use archive::{
 pub use evaluate::{
     figure1_points, table1, ChannelKind, CostBucket, Figure1Point, SystemProfile, Table1Row,
 };
+pub use pipeline::{ChunkedMeta, PipelineConfig, DEFAULT_CHUNK_SIZE};
 pub use policy::{Encoded, EncodingMeta, PolicyError, PolicyKind, Recovery};
 pub use repair::{RepairMethod, RepairReport};

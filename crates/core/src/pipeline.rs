@@ -1,0 +1,469 @@
+//! The chunked, parallel encode/decode pipeline.
+//!
+//! The paper's §3.2 prices a re-encryption campaign in *months* because
+//! the data path is throughput-bound; the ROADMAP's north star is an
+//! encode path that runs "as fast as the hardware allows". This module
+//! supplies that path: objects larger than a configurable chunk size
+//! (default 1 MiB) are split into fixed-size chunks, each chunk is
+//! encoded independently under the object's policy across a
+//! `std::thread` worker pool, and the per-chunk shards are batched into
+//! one framed blob per storage node so cluster placement and node I/O
+//! still happen **once per object**, not once per chunk.
+//!
+//! # Chunk format
+//!
+//! An object of `L` bytes with chunk size `C` produces
+//! `ceil(L / C)` chunks; chunk `j` is encoded exactly as a standalone
+//! object would be, under the derived object context `"{id}#chunk{j}"`
+//! (so AEAD keys and nonces are domain-separated per chunk). The shard
+//! shipped to storage node `s` is the concatenation over chunks of
+//! length-prefixed segments:
+//!
+//! ```text
+//! shard[s] = [u32 BE len(seg_0_s)] seg_0_s  [u32 BE len(seg_1_s)] seg_1_s  ...
+//! ```
+//!
+//! where `seg_j_s` is shard `s` of chunk `j`'s encoding. All segments of
+//! a chunk have equal length (every policy produces equal-length
+//! shards), so framing offsets are identical across nodes. Per-chunk
+//! decode metadata lives in [`ChunkedMeta::chunk_metas`].
+//!
+//! Objects that fit in a single chunk bypass the framing entirely: the
+//! pipeline output is byte-identical to the legacy whole-buffer
+//! [`PolicyKind::encode`] path and `meta.chunked` stays `None`.
+//!
+//! # Determinism and worker-pool sizing
+//!
+//! Per-chunk DRBG seeds are drawn **serially** from the caller's RNG
+//! before any worker starts, and workers re-seed a private [`ChaChaDrbg`]
+//! per chunk. The encoded bytes are therefore a pure function of
+//! `(rng state, policy, object id, payload, chunk size)` — independent
+//! of the worker count and of thread scheduling. `workers = 1` runs
+//! inline on the calling thread; `workers = N` spawns `min(N, chunks)`
+//! scoped threads that pull chunk indices from a shared atomic counter.
+
+use crate::keys::KeyStore;
+use crate::policy::{Encoded, EncodingMeta, PolicyError, PolicyKind};
+use aeon_crypto::{ChaChaDrbg, CryptoRng};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Default chunk size: 1 MiB.
+pub const DEFAULT_CHUNK_SIZE: usize = 1 << 20;
+
+/// Tuning knobs for the chunked pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PipelineConfig {
+    /// Objects larger than this are split into chunks of this many bytes.
+    pub chunk_size: usize,
+    /// Worker threads for per-chunk encode/decode. `1` means fully
+    /// serial (no threads spawned).
+    pub workers: usize,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            chunk_size: DEFAULT_CHUNK_SIZE,
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        }
+    }
+}
+
+impl PipelineConfig {
+    /// A fully serial configuration (one worker, default chunk size).
+    pub fn serial() -> Self {
+        PipelineConfig {
+            workers: 1,
+            ..PipelineConfig::default()
+        }
+    }
+
+    /// Overrides the chunk size.
+    pub fn with_chunk_size(mut self, bytes: usize) -> Self {
+        self.chunk_size = bytes;
+        self
+    }
+
+    /// Overrides the worker count.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+}
+
+/// Decode metadata for a chunked object: the chunk size used at encode
+/// time plus each chunk's own [`EncodingMeta`] (entropic nonces, packed
+/// parameters, key versions).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChunkedMeta {
+    /// Chunk size in effect when the object was encoded.
+    pub chunk_size: usize,
+    /// One metadata record per chunk, in payload order.
+    pub chunk_metas: Vec<EncodingMeta>,
+}
+
+impl ChunkedMeta {
+    /// Number of chunks in the object.
+    pub fn chunk_count(&self) -> usize {
+        self.chunk_metas.len()
+    }
+}
+
+/// The derived object context for chunk `j` of `object_id` — the string
+/// under which per-chunk keys and nonces are derived.
+pub fn chunk_object_id(object_id: &str, chunk: usize) -> String {
+    format!("{object_id}#chunk{chunk}")
+}
+
+/// Runs `job(0..count)` across `workers` scoped threads, preserving
+/// index order in the output. `workers <= 1` (or a single item) runs
+/// inline on the calling thread.
+fn run_indexed<T, F>(count: usize, workers: usize, job: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if workers <= 1 || count <= 1 {
+        return (0..count).map(job).collect();
+    }
+    let workers = workers.min(count);
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = (0..count).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let j = next.fetch_add(1, Ordering::Relaxed);
+                if j >= count {
+                    break;
+                }
+                let out = job(j);
+                *slots[j].lock() = Some(out);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("worker filled every claimed slot"))
+        .collect()
+}
+
+/// Encodes a payload through the chunked pipeline.
+///
+/// Payloads of at most `cfg.chunk_size` bytes take the legacy
+/// whole-buffer path and return bit-identical output to
+/// [`PolicyKind::encode`]; larger payloads are chunk-encoded in
+/// parallel and assembled into framed per-node shards (see the module
+/// docs for the format). Output is independent of `cfg.workers`.
+///
+/// # Errors
+///
+/// Returns [`PolicyError`] from validation or any chunk's encode.
+pub fn encode_object<R: CryptoRng + ?Sized>(
+    policy: &PolicyKind,
+    keys: &KeyStore,
+    rng: &mut R,
+    object_id: &str,
+    payload: &[u8],
+    cfg: &PipelineConfig,
+) -> Result<Encoded, PolicyError> {
+    policy.validate()?;
+    let chunk_size = cfg.chunk_size.max(1);
+    if payload.len() <= chunk_size {
+        return policy.encode(rng, keys, object_id, payload);
+    }
+    let chunks: Vec<&[u8]> = payload.chunks(chunk_size).collect();
+    // Seeds are drawn serially from the caller's RNG *before* any worker
+    // runs: shard bytes do not depend on worker count or scheduling.
+    let seeds: Vec<[u8; 32]> = chunks
+        .iter()
+        .map(|_| {
+            let mut seed = [0u8; 32];
+            rng.fill_bytes(&mut seed);
+            seed
+        })
+        .collect();
+    let ids: Vec<String> = (0..chunks.len())
+        .map(|j| chunk_object_id(object_id, j))
+        .collect();
+
+    let results = run_indexed(chunks.len(), cfg.workers.max(1), |j| {
+        let mut chunk_rng = ChaChaDrbg::from_seed(seeds[j]);
+        policy.encode(&mut chunk_rng, keys, &ids[j], chunks[j])
+    });
+
+    let shard_count = policy.shard_count();
+    let mut shards: Vec<Vec<u8>> = vec![Vec::new(); shard_count];
+    let mut chunk_metas = Vec::with_capacity(chunks.len());
+    for encoded in results {
+        let encoded = encoded?;
+        debug_assert_eq!(encoded.shards.len(), shard_count);
+        for (out, segment) in shards.iter_mut().zip(&encoded.shards) {
+            out.extend_from_slice(&(segment.len() as u32).to_be_bytes());
+            out.extend_from_slice(segment);
+        }
+        chunk_metas.push(encoded.meta);
+    }
+    Ok(Encoded {
+        shards,
+        meta: EncodingMeta {
+            key_version: keys.current_version(),
+            packed: None,
+            entropic_nonce: None,
+            chunked: Some(ChunkedMeta {
+                chunk_size,
+                chunk_metas,
+            }),
+        },
+    })
+}
+
+/// Decodes an object encoded by [`encode_object`]. Non-chunked objects
+/// (`meta.chunked == None`) go straight through [`PolicyKind::decode`];
+/// chunked objects are parsed into per-chunk shard sets and decoded
+/// across `workers` threads.
+///
+/// # Errors
+///
+/// Returns [`PolicyError::Malformed`] for corrupt framing and any
+/// per-chunk decode failure.
+pub fn decode_object(
+    policy: &PolicyKind,
+    keys: &KeyStore,
+    object_id: &str,
+    shards: &[Option<Vec<u8>>],
+    meta: &EncodingMeta,
+    workers: usize,
+) -> Result<Vec<u8>, PolicyError> {
+    let Some(chunked) = &meta.chunked else {
+        return policy.decode(keys, object_id, shards, meta);
+    };
+    let chunk_count = chunked.chunk_count();
+    let columns: Vec<Option<Vec<Vec<u8>>>> = shards
+        .iter()
+        .map(|s| {
+            s.as_ref()
+                .map(|bytes| split_shard_segments(bytes, chunk_count))
+                .transpose()
+        })
+        .collect::<Result<_, _>>()?;
+    let ids: Vec<String> = (0..chunk_count)
+        .map(|j| chunk_object_id(object_id, j))
+        .collect();
+
+    let results = run_indexed(chunk_count, workers.max(1), |j| {
+        let chunk_shards: Vec<Option<Vec<u8>>> = columns
+            .iter()
+            .map(|col| col.as_ref().map(|segments| segments[j].clone()))
+            .collect();
+        policy.decode(keys, &ids[j], &chunk_shards, &chunked.chunk_metas[j])
+    });
+
+    let mut payload = Vec::new();
+    for chunk in results {
+        payload.extend_from_slice(&chunk?);
+    }
+    Ok(payload)
+}
+
+/// Parses one framed shard into its `chunk_count` per-chunk segments.
+///
+/// # Errors
+///
+/// Returns [`PolicyError::Malformed`] if the framing is truncated or
+/// leaves trailing bytes.
+pub fn split_shard_segments(shard: &[u8], chunk_count: usize) -> Result<Vec<Vec<u8>>, PolicyError> {
+    let mut segments = Vec::with_capacity(chunk_count);
+    let mut pos = 0usize;
+    for _ in 0..chunk_count {
+        let Some(header) = shard.get(pos..pos + 4) else {
+            return Err(PolicyError::Malformed(
+                "chunked shard truncated inside a segment header".into(),
+            ));
+        };
+        let len = u32::from_be_bytes(header.try_into().expect("4-byte slice")) as usize;
+        pos += 4;
+        let Some(segment) = shard.get(pos..pos + len) else {
+            return Err(PolicyError::Malformed(
+                "chunked shard truncated inside a segment body".into(),
+            ));
+        };
+        segments.push(segment.to_vec());
+        pos += len;
+    }
+    if pos != shard.len() {
+        return Err(PolicyError::Malformed(
+            "chunked shard has trailing bytes after the last segment".into(),
+        ));
+    }
+    Ok(segments)
+}
+
+/// Reassembles per-chunk segments (one per chunk, in order) into a
+/// framed shard — the inverse of [`split_shard_segments`].
+pub fn join_shard_segments<S: AsRef<[u8]>>(segments: &[S]) -> Vec<u8> {
+    let total: usize = segments.iter().map(|s| s.as_ref().len() + 4).sum();
+    let mut out = Vec::with_capacity(total);
+    for segment in segments {
+        let segment = segment.as_ref();
+        out.extend_from_slice(&(segment.len() as u32).to_be_bytes());
+        out.extend_from_slice(segment);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aeon_crypto::SuiteId;
+
+    fn fixtures() -> (ChaChaDrbg, KeyStore) {
+        (ChaChaDrbg::from_u64_seed(77), KeyStore::new([3u8; 32]))
+    }
+
+    fn all_policies() -> Vec<PolicyKind> {
+        vec![
+            PolicyKind::Replication { copies: 3 },
+            PolicyKind::ErasureCoded { data: 4, parity: 2 },
+            PolicyKind::Encrypted {
+                suite: SuiteId::Aes256CtrHmac,
+                data: 4,
+                parity: 2,
+            },
+            PolicyKind::Cascade {
+                suites: vec![SuiteId::Aes256CtrHmac, SuiteId::ChaCha20Poly1305],
+                data: 4,
+                parity: 2,
+            },
+            PolicyKind::AontRs { data: 4, parity: 2 },
+            PolicyKind::Shamir {
+                threshold: 3,
+                shares: 5,
+            },
+            PolicyKind::PackedShamir {
+                privacy: 2,
+                pack: 2,
+                shares: 6,
+            },
+            PolicyKind::LeakageResilientShamir {
+                threshold: 3,
+                shares: 5,
+                source_len: 32,
+            },
+            PolicyKind::Entropic { data: 4, parity: 2 },
+        ]
+    }
+
+    fn test_payload(len: usize) -> Vec<u8> {
+        // High-entropy-ish but deterministic (Entropic needs no gate at
+        // this layer, but keep it realistic).
+        let mut rng = ChaChaDrbg::from_u64_seed(0xC0FFEE);
+        let mut p = vec![0u8; len];
+        rng.fill_bytes(&mut p);
+        p
+    }
+
+    #[test]
+    fn small_objects_match_legacy_encode_exactly() {
+        let payload = test_payload(900);
+        let cfg = PipelineConfig::serial().with_chunk_size(1024);
+        for policy in all_policies() {
+            let (mut rng_a, keys) = fixtures();
+            let mut rng_b = ChaChaDrbg::from_u64_seed(77);
+            let legacy = policy.encode(&mut rng_a, &keys, "obj", &payload).unwrap();
+            let piped = encode_object(&policy, &keys, &mut rng_b, "obj", &payload, &cfg).unwrap();
+            assert_eq!(legacy.shards, piped.shards, "{policy:?}");
+            assert!(piped.meta.chunked.is_none(), "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn chunked_roundtrip_every_policy() {
+        let payload = test_payload(10_000);
+        let cfg = PipelineConfig::serial()
+            .with_chunk_size(1024)
+            .with_workers(3);
+        for policy in all_policies() {
+            let (mut rng, keys) = fixtures();
+            let enc = encode_object(&policy, &keys, &mut rng, "obj", &payload, &cfg).unwrap();
+            let chunked = enc.meta.chunked.as_ref().expect("multi-chunk object");
+            assert_eq!(chunked.chunk_count(), 10, "{policy:?}");
+            assert_eq!(enc.shards.len(), policy.shard_count(), "{policy:?}");
+            let shards: Vec<Option<Vec<u8>>> = enc.shards.iter().cloned().map(Some).collect();
+            let dec = decode_object(&policy, &keys, "obj", &shards, &enc.meta, 3).unwrap();
+            assert_eq!(dec, payload, "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn worker_count_does_not_change_output() {
+        let payload = test_payload(8_192);
+        for policy in all_policies() {
+            let mut outputs = Vec::new();
+            for workers in [1usize, 2, 5] {
+                let (mut rng, keys) = fixtures();
+                let cfg = PipelineConfig::serial()
+                    .with_chunk_size(1000)
+                    .with_workers(workers);
+                let enc = encode_object(&policy, &keys, &mut rng, "det", &payload, &cfg).unwrap();
+                outputs.push((enc.shards, enc.meta));
+            }
+            assert_eq!(outputs[0], outputs[1], "{policy:?}: 1 vs 2 workers");
+            assert_eq!(outputs[0], outputs[2], "{policy:?}: 1 vs 5 workers");
+        }
+    }
+
+    #[test]
+    fn chunked_survives_maximum_loss() {
+        let payload = test_payload(5_000);
+        let cfg = PipelineConfig::serial()
+            .with_chunk_size(512)
+            .with_workers(2);
+        for policy in all_policies() {
+            let (mut rng, keys) = fixtures();
+            let enc = encode_object(&policy, &keys, &mut rng, "loss", &payload, &cfg).unwrap();
+            let n = policy.shard_count();
+            let t = policy.read_threshold();
+            let mut shards: Vec<Option<Vec<u8>>> = enc.shards.iter().cloned().map(Some).collect();
+            for s in shards.iter_mut().take(n - t) {
+                *s = None;
+            }
+            let dec = decode_object(&policy, &keys, "loss", &shards, &enc.meta, 2).unwrap();
+            assert_eq!(dec, payload, "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn corrupt_framing_is_a_typed_error() {
+        let payload = test_payload(4_096);
+        let policy = PolicyKind::ErasureCoded { data: 2, parity: 1 };
+        let (mut rng, keys) = fixtures();
+        let cfg = PipelineConfig::serial().with_chunk_size(1024);
+        let enc = encode_object(&policy, &keys, &mut rng, "bad", &payload, &cfg).unwrap();
+        // Truncate one shard mid-segment.
+        let mut shards: Vec<Option<Vec<u8>>> = enc.shards.iter().cloned().map(Some).collect();
+        let blob = shards[0].as_mut().unwrap();
+        blob.truncate(blob.len() - 3);
+        assert!(matches!(
+            decode_object(&policy, &keys, "bad", &shards, &enc.meta, 1),
+            Err(PolicyError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn segment_framing_roundtrip() {
+        let segments: Vec<Vec<u8>> = vec![vec![1, 2, 3], vec![], vec![9; 300]];
+        let framed = join_shard_segments(&segments);
+        assert_eq!(split_shard_segments(&framed, 3).unwrap(), segments);
+        assert!(split_shard_segments(&framed, 4).is_err());
+        assert!(split_shard_segments(&framed[..framed.len() - 1], 3).is_err());
+    }
+
+    #[test]
+    fn chunk_ids_are_domain_separated() {
+        assert_eq!(chunk_object_id("abc", 0), "abc#chunk0");
+        assert_ne!(chunk_object_id("abc", 1), chunk_object_id("abc", 2));
+    }
+}

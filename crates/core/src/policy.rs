@@ -5,7 +5,7 @@ use crate::aont::{AontHndlOutcome, AontRs};
 use crate::keys::KeyStore;
 use aeon_adversary::CryptanalyticTimeline;
 use aeon_crypto::cascade::Cascade;
-use aeon_crypto::entropic::{EntropicCiphertext, EntropicCipher};
+use aeon_crypto::entropic::{EntropicCipher, EntropicCiphertext};
 use aeon_crypto::{aead, CryptoRng, SecurityLevel, SuiteId, SuiteRegistry};
 use aeon_erasure::{ErasureCode, ReedSolomon, Replicator};
 use aeon_secretshare::lrss::{self, LrssParams, LrssShare};
@@ -34,7 +34,10 @@ impl core::fmt::Display for PolicyError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
             PolicyError::InvalidPolicy(why) => write!(f, "invalid policy: {why}"),
-            PolicyError::TooFewShards { available, required } => {
+            PolicyError::TooFewShards {
+                available,
+                required,
+            } => {
                 write!(f, "too few shards: {available} of {required}")
             }
             PolicyError::CryptoFailure(why) => write!(f, "crypto failure: {why}"),
@@ -135,6 +138,9 @@ pub struct EncodingMeta {
     pub packed: Option<(PackedParams, usize)>,
     /// Entropic cipher public nonce.
     pub entropic_nonce: Option<[u8; 16]>,
+    /// Present when the object went through the chunked pipeline
+    /// ([`crate::pipeline`]); holds per-chunk decode metadata.
+    pub chunked: Option<crate::pipeline::ChunkedMeta>,
 }
 
 impl EncodingMeta {
@@ -143,6 +149,7 @@ impl EncodingMeta {
             key_version,
             packed: None,
             entropic_nonce: None,
+            chunked: None,
         }
     }
 }
@@ -285,9 +292,7 @@ impl PolicyKind {
     /// Rest".
     pub fn at_rest_level(&self) -> SecurityLevel {
         match self {
-            PolicyKind::Replication { .. } | PolicyKind::ErasureCoded { .. } => {
-                SecurityLevel::None
-            }
+            PolicyKind::Replication { .. } | PolicyKind::ErasureCoded { .. } => SecurityLevel::None,
             PolicyKind::Encrypted { .. }
             | PolicyKind::Cascade { .. }
             | PolicyKind::AontRs { .. } => SecurityLevel::Computational,
@@ -398,6 +403,7 @@ impl PolicyKind {
                         key_version: version,
                         packed: Some((params, payload.len())),
                         entropic_nonce: None,
+                        chunked: None,
                     },
                 })
             }
@@ -431,6 +437,7 @@ impl PolicyKind {
                         key_version: version,
                         packed: None,
                         entropic_nonce: Some(ct.nonce),
+                        chunked: None,
                     },
                 })
             }
@@ -461,8 +468,8 @@ impl PolicyKind {
         };
         match self {
             PolicyKind::Replication { copies } => {
-                let rep = Replicator::new(*copies)
-                    .map_err(|e| PolicyError::Malformed(e.to_string()))?;
+                let rep =
+                    Replicator::new(*copies).map_err(|e| PolicyError::Malformed(e.to_string()))?;
                 rep.decode(shards).map_err(wrap_code)
             }
             PolicyKind::ErasureCoded { data, parity } => {
@@ -590,8 +597,7 @@ impl PolicyKind {
                     Ok(pt) => Recovery::Full(pt),
                     Err(_) => {
                         let data = self.read_threshold();
-                        let data_stolen =
-                            stolen.iter().take(data).flatten().count();
+                        let data_stolen = stolen.iter().take(data).flatten().count();
                         if data_stolen > 0 {
                             Recovery::Partial(data_stolen as f64 / data as f64)
                         } else {
@@ -640,9 +646,7 @@ impl PolicyKind {
                     Ok(c) => c,
                     Err(_) => return Recovery::Nothing,
                 };
-                let broken = timeline
-                    .ciphers()
-                    .is_broken(SuiteId::Aes256CtrHmac, year);
+                let broken = timeline.ciphers().is_broken(SuiteId::Aes256CtrHmac, year);
                 match codec.simulate_hndl(stolen, broken) {
                     AontHndlOutcome::FullPlaintext(pt) => Recovery::Full(pt),
                     AontHndlOutcome::PartialPlaintext { fraction } => Recovery::Partial(fraction),
@@ -669,11 +673,7 @@ impl PolicyKind {
                     Recovery::Nothing
                 }
             }
-            PolicyKind::PackedShamir {
-                privacy,
-                pack,
-                ..
-            } => {
+            PolicyKind::PackedShamir { privacy, pack, .. } => {
                 if have >= privacy + pack {
                     match self.decode(keys, object_id, stolen, meta) {
                         Ok(pt) => Recovery::Full(pt),
@@ -881,7 +881,9 @@ mod tests {
             data: 2,
             parity: 1,
         };
-        let enc = policy.encode(&mut rng, &keys, "obj", b"pre-rotation").unwrap();
+        let enc = policy
+            .encode(&mut rng, &keys, "obj", b"pre-rotation")
+            .unwrap();
         keys.rotate([99u8; 32]);
         let shards: Vec<Option<Vec<u8>>> = enc.shards.iter().cloned().map(Some).collect();
         // meta.key_version pins the old master.
@@ -923,9 +925,7 @@ mod tests {
     #[test]
     fn expansions() {
         assert!((PolicyKind::Replication { copies: 3 }.expansion() - 3.0).abs() < 1e-9);
-        assert!(
-            (PolicyKind::ErasureCoded { data: 4, parity: 2 }.expansion() - 1.5).abs() < 1e-9
-        );
+        assert!((PolicyKind::ErasureCoded { data: 4, parity: 2 }.expansion() - 1.5).abs() < 1e-9);
         assert!(
             (PolicyKind::Shamir {
                 threshold: 3,
@@ -952,7 +952,9 @@ mod tests {
     #[test]
     fn validation_rejects_bad_parameters() {
         assert!(PolicyKind::Replication { copies: 0 }.validate().is_err());
-        assert!(PolicyKind::ErasureCoded { data: 0, parity: 1 }.validate().is_err());
+        assert!(PolicyKind::ErasureCoded { data: 0, parity: 1 }
+            .validate()
+            .is_err());
         assert!(PolicyKind::Cascade {
             suites: vec![],
             data: 2,
@@ -990,7 +992,9 @@ mod tests {
             data: 2,
             parity: 1,
         };
-        let enc = policy.encode(&mut rng, &keys, "hndl", b"harvested!").unwrap();
+        let enc = policy
+            .encode(&mut rng, &keys, "hndl", b"harvested!")
+            .unwrap();
         let stolen: Vec<Option<Vec<u8>>> = enc.shards.iter().cloned().map(Some).collect();
         let timeline = CryptanalyticTimeline::pessimistic_2045();
         assert_eq!(
@@ -1054,7 +1058,9 @@ mod tests {
     fn hndl_erasure_leaks_immediately() {
         let (mut rng, keys) = fixtures();
         let policy = PolicyKind::ErasureCoded { data: 4, parity: 2 };
-        let enc = policy.encode(&mut rng, &keys, "plain", b"no confidentiality here").unwrap();
+        let enc = policy
+            .encode(&mut rng, &keys, "plain", b"no confidentiality here")
+            .unwrap();
         let mut stolen: Vec<Option<Vec<u8>>> = vec![None; 6];
         stolen[0] = Some(enc.shards[0].clone()); // one data shard
         let timeline = CryptanalyticTimeline::optimistic();

@@ -11,6 +11,7 @@
 //! randomness.
 
 use crate::archive::{Archive, ArchiveError, ObjectId};
+use crate::pipeline;
 use crate::policy::PolicyKind;
 use aeon_erasure::ReedSolomon;
 use aeon_gf::Gf256;
@@ -55,9 +56,7 @@ impl Archive {
             .ok_or_else(|| ArchiveError::UnknownObject(id.clone()))?
             .clone();
         let shards = self.cluster().get_shards(id.as_str(), &manifest.placement);
-        let missing: Vec<usize> = (0..shards.len())
-            .filter(|&i| shards[i].is_none())
-            .collect();
+        let missing: Vec<usize> = (0..shards.len()).filter(|&i| shards[i].is_none()).collect();
         if missing.is_empty() {
             return Ok(RepairReport {
                 missing_before: 0,
@@ -73,26 +72,67 @@ impl Archive {
             | PolicyKind::AontRs { data, parity }
             | PolicyKind::Entropic { data, parity } => {
                 // The stored shards ARE an RS codeword set: rebuild the
-                // missing rows directly, ciphertext untouched.
-                let rs = ReedSolomon::new(*data, *parity)
-                    .map_err(|e| ArchiveError::Policy(crate::policy::PolicyError::Malformed(e.to_string())))?;
-                let all = rs.reconstruct_shards(&shards).map_err(|e| {
+                // missing rows directly, ciphertext untouched. Chunked
+                // shards are framed concatenations of per-chunk codewords
+                // (the length prefixes are NOT code symbols), so the
+                // reconstruction runs per chunk and the framing is
+                // reassembled afterwards.
+                let rs = ReedSolomon::new(*data, *parity).map_err(|e| {
                     ArchiveError::Policy(crate::policy::PolicyError::Malformed(e.to_string()))
                 })?;
+                let all = if let Some(chunked) = manifest.meta.chunked.clone() {
+                    let chunk_count = chunked.chunk_count();
+                    let columns: Vec<Option<Vec<Vec<u8>>>> = shards
+                        .iter()
+                        .map(|s| {
+                            s.as_ref()
+                                .map(|b| pipeline::split_shard_segments(b, chunk_count))
+                                .transpose()
+                        })
+                        .collect::<Result<_, _>>()
+                        .map_err(ArchiveError::Policy)?;
+                    let mut rebuilt: Vec<Vec<Vec<u8>>> =
+                        vec![Vec::with_capacity(chunk_count); shards.len()];
+                    for j in 0..chunk_count {
+                        let chunk_shards: Vec<Option<Vec<u8>>> = columns
+                            .iter()
+                            .map(|col| col.as_ref().map(|segments| segments[j].clone()))
+                            .collect();
+                        let chunk_all = rs.reconstruct_shards(&chunk_shards).map_err(|e| {
+                            ArchiveError::Policy(crate::policy::PolicyError::Malformed(
+                                e.to_string(),
+                            ))
+                        })?;
+                        for (column, segment) in rebuilt.iter_mut().zip(chunk_all) {
+                            column.push(segment);
+                        }
+                    }
+                    rebuilt
+                        .iter()
+                        .map(|segments| pipeline::join_shard_segments(segments))
+                        .collect()
+                } else {
+                    rs.reconstruct_shards(&shards).map_err(|e| {
+                        ArchiveError::Policy(crate::policy::PolicyError::Malformed(e.to_string()))
+                    })?
+                };
                 self.write_missing(id, &manifest.placement, &missing, &all)?;
                 RepairMethod::PartialErasure
             }
             PolicyKind::Replication { .. } => {
                 // Any surviving replica is the object.
-                let replica = shards
-                    .iter()
-                    .flatten()
-                    .next()
-                    .cloned()
-                    .ok_or(ArchiveError::Policy(crate::policy::PolicyError::TooFewShards {
-                        available: 0,
-                        required: 1,
-                    }))?;
+                let replica =
+                    shards
+                        .iter()
+                        .flatten()
+                        .next()
+                        .cloned()
+                        .ok_or(ArchiveError::Policy(
+                            crate::policy::PolicyError::TooFewShards {
+                                available: 0,
+                                required: 1,
+                            },
+                        ))?;
                 let all = vec![replica; shards.len()];
                 self.write_missing(id, &manifest.placement, &missing, &all)?;
                 RepairMethod::PartialErasure
@@ -100,6 +140,11 @@ impl Archive {
             PolicyKind::Shamir { threshold, .. } => {
                 // Re-derive each missing share at its own x from t
                 // survivors — the secret is never reconstructed at x = 0.
+                // This works verbatim on chunked (framed) shards: the
+                // framing prefixes are identical across shards, Lagrange
+                // coefficients sum to 1, so any interpolation maps equal
+                // constants to that same constant, preserving the frame
+                // while the share payloads interpolate normally.
                 let survivors: Vec<Share> = shards
                     .iter()
                     .enumerate()
@@ -118,13 +163,11 @@ impl Archive {
                     rebuilt.push((m, share));
                 }
                 for (m, data) in rebuilt {
-                    let node = self
-                        .cluster()
-                        .node(manifest.placement[m])
-                        .cloned()
-                        .ok_or(ArchiveError::Policy(crate::policy::PolicyError::Malformed(
+                    let node = self.cluster().node(manifest.placement[m]).cloned().ok_or(
+                        ArchiveError::Policy(crate::policy::PolicyError::Malformed(
                             "placement references unknown node".into(),
-                        )))?;
+                        )),
+                    )?;
                     node.put(
                         &aeon_store::node::ShardKey::new(id.as_str(), m as u32),
                         &data,
@@ -172,8 +215,11 @@ impl Archive {
                 .ok_or(ArchiveError::Policy(crate::policy::PolicyError::Malformed(
                     "placement references unknown node".into(),
                 )))?;
-            node.put(&aeon_store::node::ShardKey::new(id.as_str(), m as u32), &all[m])
-                .map_err(|e| ArchiveError::Cluster(aeon_store::cluster::ClusterError::Node(e)))?;
+            node.put(
+                &aeon_store::node::ShardKey::new(id.as_str(), m as u32),
+                &all[m],
+            )
+            .map_err(|e| ArchiveError::Cluster(aeon_store::cluster::ClusterError::Node(e)))?;
         }
         Ok(())
     }
@@ -226,7 +272,8 @@ mod tests {
         let manifest = archive.manifest(id).unwrap();
         let node_id = manifest.placement[shard];
         let node = handles.iter().find(|h| h.id() == node_id).unwrap();
-        node.delete(&ShardKey::new(id.as_str(), shard as u32)).unwrap();
+        node.delete(&ShardKey::new(id.as_str(), shard as u32))
+            .unwrap();
     }
 
     #[test]
@@ -254,13 +301,17 @@ mod tests {
         );
         let id = archive.ingest(b"derive my shares back", "r").unwrap();
         let manifest = archive.manifest(&id).unwrap();
-        let before = archive.cluster().get_shards(id.as_str(), &manifest.placement);
+        let before = archive
+            .cluster()
+            .get_shards(id.as_str(), &manifest.placement);
         delete_shard(&handles, &archive, &id, 2);
         let report = archive.repair_object(&id).unwrap();
         assert_eq!(report.method, RepairMethod::PartialShamir);
         assert_eq!(report.missing_after, 0);
         let manifest = archive.manifest(&id).unwrap();
-        let after = archive.cluster().get_shards(id.as_str(), &manifest.placement);
+        let after = archive
+            .cluster()
+            .get_shards(id.as_str(), &manifest.placement);
         // The rebuilt share equals the original (same polynomial).
         assert_eq!(before[2], after[2]);
         assert_eq!(archive.retrieve(&id).unwrap(), b"derive my shares back");
@@ -303,8 +354,7 @@ mod tests {
 
     #[test]
     fn replication_repair() {
-        let (mut archive, handles) =
-            archive_with_handles(PolicyKind::Replication { copies: 3 }, 3);
+        let (mut archive, handles) = archive_with_handles(PolicyKind::Replication { copies: 3 }, 3);
         let id = archive.ingest(b"copy repair", "r").unwrap();
         delete_shard(&handles, &archive, &id, 0);
         delete_shard(&handles, &archive, &id, 2);
@@ -316,10 +366,8 @@ mod tests {
 
     #[test]
     fn repair_beyond_threshold_fails() {
-        let (mut archive, handles) = archive_with_handles(
-            PolicyKind::ErasureCoded { data: 3, parity: 1 },
-            4,
-        );
+        let (mut archive, handles) =
+            archive_with_handles(PolicyKind::ErasureCoded { data: 3, parity: 1 }, 4);
         let id = archive.ingest(b"gone", "r").unwrap();
         delete_shard(&handles, &archive, &id, 0);
         delete_shard(&handles, &archive, &id, 1);
@@ -338,10 +386,8 @@ mod tests {
 
     #[test]
     fn repair_all_sweeps_fleet() {
-        let (mut archive, handles) = archive_with_handles(
-            PolicyKind::ErasureCoded { data: 2, parity: 2 },
-            4,
-        );
+        let (mut archive, handles) =
+            archive_with_handles(PolicyKind::ErasureCoded { data: 2, parity: 2 }, 4);
         let ids: Vec<_> = (0..3)
             .map(|i| archive.ingest(b"sweep", &format!("o{i}")).unwrap())
             .collect();

@@ -203,38 +203,81 @@ mod tests {
         // Shamir shares are random-looking, so instead ingest under
         // replication where the shard IS the plaintext — the channel must
         // still hide it.
-        let mut archive2 = Archive::in_memory(ArchiveConfig::new(PolicyKind::Replication {
-            copies: 2,
-        }))
-        .unwrap();
-        let id2 = archive2.ingest(b"PLAINTEXT-MARKER-0123456789", "p").unwrap();
+        let mut archive2 =
+            Archive::in_memory(ArchiveConfig::new(PolicyKind::Replication { copies: 2 })).unwrap();
+        let id2 = archive2
+            .ingest(b"PLAINTEXT-MARKER-0123456789", "p")
+            .unwrap();
 
         let contains_marker = |frames: &[Vec<u8>]| {
-            frames.iter().any(|f| {
-                f.windows(27).any(|w| w == b"PLAINTEXT-MARKER-0123456789")
-            })
+            frames
+                .iter()
+                .any(|f| f.windows(27).any(|w| w == b"PLAINTEXT-MARKER-0123456789"))
         };
 
         let (mut link, tap) = tapped_wan();
         ship_computational(&archive2, &id2, &mut link, 9).unwrap();
-        assert!(!contains_marker(&tap.capture()), "DH channel leaked plaintext");
+        assert!(
+            !contains_marker(&tap.capture()),
+            "DH channel leaked plaintext"
+        );
 
         let (mut link, tap) = tapped_wan();
         let mut qkd = QkdLink::metro_reference();
         ship_its(&archive2, &id2, &mut qkd, &mut link, 10).unwrap();
-        assert!(!contains_marker(&tap.capture()), "OTP channel leaked plaintext");
+        assert!(
+            !contains_marker(&tap.capture()),
+            "OTP channel leaked plaintext"
+        );
 
         let _ = (archive, id);
+    }
+
+    #[test]
+    fn chunked_object_ships_and_decodes_on_far_end() {
+        use crate::pipeline::{self, PipelineConfig};
+        use crate::IntegrityMode;
+
+        let mut archive = Archive::in_memory(
+            ArchiveConfig::new(PolicyKind::Shamir {
+                threshold: 2,
+                shares: 3,
+            })
+            .with_integrity(IntegrityMode::DigestOnly)
+            .with_pipeline(PipelineConfig::serial().with_chunk_size(256)),
+        )
+        .unwrap();
+        let payload = vec![0x5Au8; 1500];
+        let id = archive.ingest(&payload, "chunked").unwrap();
+        let manifest = archive.manifest(&id).unwrap();
+        assert!(manifest.meta.chunked.is_some());
+
+        let mut link = Link::lan();
+        let (received, report) = ship_computational(&archive, &id, &mut link, 11).unwrap();
+        assert_eq!(report.shards, 3);
+        // Shards are one framed blob per node, so shipment cost scales
+        // with object size, not chunk count.
+        assert!(report.payload_bytes >= payload.len() as u64);
+        let shards: Vec<Option<Vec<u8>>> = received.into_iter().map(Some).collect();
+        let pt = pipeline::decode_object(
+            &manifest.policy,
+            archive.keys(),
+            id.as_str(),
+            &shards,
+            &manifest.meta,
+            2,
+        )
+        .unwrap();
+        assert_eq!(pt, payload);
     }
 
     #[test]
     fn unknown_object_rejected() {
         let (archive, _) = archive_with_object();
         let bogus = {
-            let mut a2 = Archive::in_memory(ArchiveConfig::new(PolicyKind::Replication {
-                copies: 1,
-            }))
-            .unwrap();
+            let mut a2 =
+                Archive::in_memory(ArchiveConfig::new(PolicyKind::Replication { copies: 1 }))
+                    .unwrap();
             a2.ingest(b"x", "other").unwrap()
         };
         let mut link = Link::lan();

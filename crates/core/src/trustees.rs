@@ -208,11 +208,7 @@ impl TrusteeKeyring {
             if rejected_dealers.contains(&delta.dealer) {
                 continue;
             }
-            for (ours, theirs) in self
-                .commitments
-                .iter_mut()
-                .zip(&delta.dealing.commitments)
-            {
+            for (ours, theirs) in self.commitments.iter_mut().zip(&delta.dealing.commitments) {
                 *ours = self.committer.add(ours, theirs);
             }
         }
@@ -299,9 +295,7 @@ impl TrusteeKeyring {
                 .iter()
                 .map(|c| {
                     aeon_num::pedersen::Commitment(
-                        self.committer
-                            .group()
-                            .exp(&c.0, &lambda.to_be_bytes()),
+                        self.committer.group().exp(&c.0, &lambda.to_be_bytes()),
                     )
                 })
                 .collect();
@@ -399,15 +393,8 @@ mod tests {
         let mut keyring = TrusteeKeyring::establish(&mut r, b"seed", 2, 3).unwrap();
         let before = keyring.with_master_key(|k| *k).unwrap();
         let committer = Committer::new(ModpGroup::rfc3526_2048());
-        let good = vss_proactive::deal_zero_delta(
-            &mut r,
-            &committer,
-            VssKind::Pedersen,
-            1,
-            2,
-            3,
-        )
-        .unwrap();
+        let good =
+            vss_proactive::deal_zero_delta(&mut r, &committer, VssKind::Pedersen, 1, 2, 3).unwrap();
         let bad = vss_proactive::corrupt_delta_for_simulation(
             &mut r,
             &committer,
@@ -431,7 +418,10 @@ mod tests {
         keyring.reshare(&mut r, 3, 5).unwrap();
         assert_eq!(keyring.trustees(), 5);
         assert_eq!(keyring.threshold(), 3);
-        assert!(keyring.audit().is_empty(), "new commitments track new shares");
+        assert!(
+            keyring.audit().is_empty(),
+            "new commitments track new shares"
+        );
         assert_eq!(keyring.with_master_key(|k| *k).unwrap(), before);
     }
 

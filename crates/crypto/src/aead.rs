@@ -198,16 +198,17 @@ mod tests {
     fn rfc8439_aead_vector() {
         // RFC 8439 §2.8.2.
         let key: [u8; 32] = core::array::from_fn(|i| 0x80 + i as u8);
-        let nonce: [u8; 12] = [0x07, 0x00, 0x00, 0x00, 0x40, 0x41, 0x42, 0x43, 0x44, 0x45, 0x46, 0x47];
-        let aad: [u8; 12] = [0x50, 0x51, 0x52, 0x53, 0xc0, 0xc1, 0xc2, 0xc3, 0xc4, 0xc5, 0xc6, 0xc7];
+        let nonce: [u8; 12] = [
+            0x07, 0x00, 0x00, 0x00, 0x40, 0x41, 0x42, 0x43, 0x44, 0x45, 0x46, 0x47,
+        ];
+        let aad: [u8; 12] = [
+            0x50, 0x51, 0x52, 0x53, 0xc0, 0xc1, 0xc2, 0xc3, 0xc4, 0xc5, 0xc6, 0xc7,
+        ];
         let pt = b"Ladies and Gentlemen of the class of '99: If I could offer you \
 only one tip for the future, sunscreen would be it.";
         let sealed = ChaCha20Poly1305::new(&key).seal(&nonce, &aad, pt);
         let (ct, tag) = sealed.split_at(sealed.len() - 16);
-        assert_eq!(
-            to_hex(&ct[..16]),
-            "d31a8d34648e60db7b86afbc53ef7ec2"
-        );
+        assert_eq!(to_hex(&ct[..16]), "d31a8d34648e60db7b86afbc53ef7ec2");
         assert_eq!(to_hex(tag), "1ae10b594f09e26a7e902ecbd0600691");
     }
 

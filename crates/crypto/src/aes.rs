@@ -41,12 +41,8 @@ const fn build_sbox() -> [u8; 256] {
         let inv = gf_inv(i as u8);
         // Affine transform: b ^ rotl(b,1) ^ rotl(b,2) ^ rotl(b,3) ^ rotl(b,4) ^ 0x63
         let b = inv;
-        sbox[i] = b
-            ^ b.rotate_left(1)
-            ^ b.rotate_left(2)
-            ^ b.rotate_left(3)
-            ^ b.rotate_left(4)
-            ^ 0x63;
+        sbox[i] =
+            b ^ b.rotate_left(1) ^ b.rotate_left(2) ^ b.rotate_left(3) ^ b.rotate_left(4) ^ 0x63;
         i += 1;
     }
     sbox

@@ -97,7 +97,11 @@ impl EntropicCipher {
     }
 
     /// Encrypts a message with a freshly drawn public nonce.
-    pub fn encrypt<R: CryptoRng + ?Sized>(&self, rng: &mut R, plaintext: &[u8]) -> EntropicCiphertext {
+    pub fn encrypt<R: CryptoRng + ?Sized>(
+        &self,
+        rng: &mut R,
+        plaintext: &[u8],
+    ) -> EntropicCiphertext {
         let mut nonce = [0u8; 16];
         // The nonce must be nonzero (r = 0 gives a zero pad).
         loop {

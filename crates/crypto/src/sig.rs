@@ -131,7 +131,11 @@ fn digits(message: &[u8]) -> [u32; CHAINS] {
     let mut out = [0u32; CHAINS];
     for i in 0..LEN1 {
         let byte = digest[i / 2];
-        out[i] = if i % 2 == 0 { (byte >> 4) as u32 } else { (byte & 0x0F) as u32 };
+        out[i] = if i % 2 == 0 {
+            (byte >> 4) as u32
+        } else {
+            (byte & 0x0F) as u32
+        };
     }
     // Checksum digits (base-w little-endian of sum of complements).
     let checksum: u32 = out[..LEN1].iter().map(|&d| W - 1 - d).sum();

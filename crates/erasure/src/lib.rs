@@ -33,6 +33,7 @@
 
 pub mod striping;
 
+use aeon_gf::slice::Gf256MulTable;
 use aeon_gf::{Gf256, Matrix};
 
 /// Errors from erasure coding.
@@ -70,15 +71,31 @@ pub enum CodeError {
 impl core::fmt::Display for CodeError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
-            CodeError::InvalidParameters { data, parity, reason } => {
-                write!(f, "invalid code parameters ({data} data, {parity} parity): {reason}")
+            CodeError::InvalidParameters {
+                data,
+                parity,
+                reason,
+            } => {
+                write!(
+                    f,
+                    "invalid code parameters ({data} data, {parity} parity): {reason}"
+                )
             }
-            CodeError::TooFewShards { available, required } => {
-                write!(f, "too few shards: {available} available, {required} required")
+            CodeError::TooFewShards {
+                available,
+                required,
+            } => {
+                write!(
+                    f,
+                    "too few shards: {available} available, {required} required"
+                )
             }
             CodeError::ShardLengthMismatch => write!(f, "shard lengths differ"),
             CodeError::WrongShardCount { provided, expected } => {
-                write!(f, "wrong shard count: {provided} provided, {expected} expected")
+                write!(
+                    f,
+                    "wrong shard count: {provided} provided, {expected} expected"
+                )
             }
             CodeError::CorruptHeader => write!(f, "corrupt shard header"),
         }
@@ -134,6 +151,11 @@ pub struct ReedSolomon {
     data: usize,
     parity: usize,
     encode_matrix: Matrix<Gf256>,
+    /// Per-coefficient product tables for the parity rows, built once at
+    /// construction: `parity_tables[r][c]` multiplies by
+    /// `encode_matrix[data + r][c]`. Encoding the same code over many
+    /// chunks then pays zero table-build cost per chunk.
+    parity_tables: Vec<Vec<Gf256MulTable>>,
 }
 
 impl ReedSolomon {
@@ -165,10 +187,18 @@ impl ReedSolomon {
                 reason: "GF(256) supports at most 255 shards",
             });
         }
+        let encode_matrix = Matrix::rs_systematic(data, parity);
+        let parity_tables = (0..parity)
+            .map(|r| {
+                let row = encode_matrix.row(data + r);
+                row.iter().map(|&coeff| Gf256MulTable::new(coeff)).collect()
+            })
+            .collect();
         Ok(ReedSolomon {
             data,
             parity,
-            encode_matrix: Matrix::rs_systematic(data, parity),
+            encode_matrix,
+            parity_tables,
         })
     }
 
@@ -192,10 +222,9 @@ impl ReedSolomon {
             return Err(CodeError::ShardLengthMismatch);
         }
         let mut parity = vec![vec![0u8; len]; self.parity];
-        for (r, out) in parity.iter_mut().enumerate() {
-            let row = self.encode_matrix.row(self.data + r);
-            for (c, shard) in data_shards.iter().enumerate() {
-                row[c].mul_acc_slice(shard, out);
+        for (tables, out) in self.parity_tables.iter().zip(parity.iter_mut()) {
+            for (table, shard) in tables.iter().zip(data_shards) {
+                table.mul_add_slice(shard, out);
             }
         }
         Ok(parity)
@@ -243,12 +272,14 @@ impl ReedSolomon {
         })?;
 
         // Recover data shards: data[c] = sum_j inv[c][j] * surviving[j].
+        // The inverse depends on the erasure pattern, so its tables are
+        // built here; the cost amortizes over the shard length.
         let mut data: Vec<Vec<u8>> = vec![vec![0u8; len]; self.data];
         for (c, out) in data.iter_mut().enumerate() {
             for (j, &row_idx) in rows.iter().enumerate() {
-                let coeff = inv[(c, j)];
+                let table = Gf256MulTable::new(inv[(c, j)]);
                 let src = shards[row_idx].as_ref().expect("available");
-                coeff.mul_acc_slice(src, out);
+                table.mul_add_slice(src, out);
             }
         }
 
@@ -395,8 +426,7 @@ mod tests {
         // Drop every pair of shards.
         for i in 0..5 {
             for j in i + 1..5 {
-                let mut shards: Vec<Option<Vec<u8>>> =
-                    encoded.iter().cloned().map(Some).collect();
+                let mut shards: Vec<Option<Vec<u8>>> = encoded.iter().cloned().map(Some).collect();
                 shards[i] = None;
                 shards[j] = None;
                 assert_eq!(rs.decode(&shards).unwrap(), payload, "lost {i},{j}");
@@ -436,8 +466,7 @@ mod tests {
     #[test]
     fn rs_empty_payload() {
         let rs = ReedSolomon::new(4, 3).unwrap();
-        let shards: Vec<Option<Vec<u8>>> =
-            rs.encode(b"").unwrap().into_iter().map(Some).collect();
+        let shards: Vec<Option<Vec<u8>>> = rs.encode(b"").unwrap().into_iter().map(Some).collect();
         assert_eq!(rs.decode(&shards).unwrap(), b"");
     }
 
@@ -481,12 +510,11 @@ mod tests {
     #[test]
     fn rs_ragged_shards_rejected() {
         let rs = ReedSolomon::new(2, 1).unwrap();
-        let shards = vec![
-            Some(vec![0u8; 8]),
-            Some(vec![0u8; 9]),
-            Some(vec![0u8; 8]),
-        ];
-        assert_eq!(rs.decode(&shards).unwrap_err(), CodeError::ShardLengthMismatch);
+        let shards = vec![Some(vec![0u8; 8]), Some(vec![0u8; 9]), Some(vec![0u8; 8])];
+        assert_eq!(
+            rs.decode(&shards).unwrap_err(),
+            CodeError::ShardLengthMismatch
+        );
     }
 
     #[test]
@@ -497,7 +525,10 @@ mod tests {
         let partial = vec![None, None, Some(shards[2].clone())];
         assert_eq!(rep.decode(&partial).unwrap(), b"copy me");
         let none = vec![None, None, None];
-        assert!(matches!(rep.decode(&none), Err(CodeError::TooFewShards { .. })));
+        assert!(matches!(
+            rep.decode(&none),
+            Err(CodeError::TooFewShards { .. })
+        ));
     }
 
     #[test]
@@ -513,6 +544,9 @@ mod tests {
         let mut bad = vec![0u8; 16];
         bad[..8].copy_from_slice(&(100u64).to_be_bytes());
         assert_eq!(unframe_payload(&bad).unwrap_err(), CodeError::CorruptHeader);
-        assert_eq!(unframe_payload(&[1, 2]).unwrap_err(), CodeError::CorruptHeader);
+        assert_eq!(
+            unframe_payload(&[1, 2]).unwrap_err(),
+            CodeError::CorruptHeader
+        );
     }
 }

@@ -69,11 +69,25 @@ pub fn interleave(payload: &[u8], count: usize) -> (Vec<Vec<u8>>, usize) {
 ///
 /// # Panics
 ///
-/// Panics if the shards hold fewer than `original_len` bytes in total.
+/// Panics if the shards are ragged (unequal lengths — [`interleave`]
+/// always produces equal-length shards) or hold fewer than
+/// `original_len` bytes in total.
 pub fn deinterleave(shards: &[Vec<u8>], original_len: usize) -> Vec<u8> {
     let count = shards.len();
-    let total: usize = shards.iter().map(|s| s.len()).sum();
-    assert!(total >= original_len, "shards shorter than original length");
+    assert!(count > 0 || original_len == 0, "no shards to deinterleave");
+    // A total-length check alone is not enough: ragged shards can hold
+    // enough bytes overall while shard `i % count` is still too short
+    // for row `i / count`, which would fail as an opaque index panic.
+    let shard_len = shards.first().map_or(0, |s| s.len());
+    assert!(
+        shards.iter().all(|s| s.len() == shard_len),
+        "ragged shards: deinterleave requires equal-length shards as \
+         produced by interleave"
+    );
+    assert!(
+        count * shard_len >= original_len,
+        "shards shorter than original length"
+    );
     let mut out = Vec::with_capacity(original_len);
     for i in 0..original_len {
         out.push(shards[i % count][i / count]);
@@ -123,5 +137,22 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_count_panics() {
         let _ = split(b"x", 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged shards")]
+    fn ragged_but_sufficient_shards_rejected_clearly() {
+        // Total bytes (5 + 3 = 8) cover original_len = 8, but shard 1 is
+        // short; this used to slip past the total-length check and die on
+        // an out-of-bounds index deep in the loop.
+        let shards = vec![vec![0u8; 5], vec![0u8; 3]];
+        let _ = deinterleave(&shards, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "shorter than original")]
+    fn insufficient_shards_rejected() {
+        let shards = vec![vec![0u8; 2], vec![0u8; 2]];
+        let _ = deinterleave(&shards, 5);
     }
 }

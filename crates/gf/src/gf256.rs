@@ -97,6 +97,10 @@ impl Gf256 {
     /// `self`, accumulating (XOR) into `dst`. This is the inner loop of
     /// Reed–Solomon encoding: `dst ^= self * src`.
     ///
+    /// Buffers long enough to amortize a table build are routed through
+    /// the branch-free bulk kernel in [`crate::slice`]; short buffers use
+    /// the log/exp tables directly.
+    ///
     /// # Panics
     ///
     /// Panics if `src` and `dst` have different lengths.
@@ -109,6 +113,12 @@ impl Gf256 {
             for (d, s) in dst.iter_mut().zip(src) {
                 *d ^= *s;
             }
+            return;
+        }
+        // The nibble-table kernel costs 32 scalar multiplies up front,
+        // then beats the zero-checked log/exp loop per byte.
+        if src.len() >= 64 {
+            crate::slice::Gf256MulTable::new(self).mul_add_slice(src, dst);
             return;
         }
         let ls = LOG[self.0 as usize] as usize;

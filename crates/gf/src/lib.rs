@@ -17,6 +17,9 @@
 //! * [`matrix`] — dense matrices over a field: Vandermonde and Cauchy
 //!   constructions, Gaussian elimination, inversion. These drive systematic
 //!   Reed–Solomon encoding and decoding.
+//! * [`slice`] — bulk scalar × vector kernels (`mul_slice`,
+//!   `mul_add_slice`) with per-scalar product tables, the branch-free
+//!   inner loops of erasure encoding and share evaluation.
 //!
 //! # Design notes
 //!
@@ -45,6 +48,7 @@ mod gf16;
 mod gf256;
 pub mod matrix;
 pub mod poly;
+pub mod slice;
 
 pub use field::Field;
 pub use gf16::Gf16;

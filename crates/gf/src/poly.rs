@@ -45,10 +45,7 @@ impl<F: Field> Polynomial<F> {
     /// Returns the effective degree (ignoring trailing zeros); the zero
     /// polynomial reports degree 0.
     pub fn degree(&self) -> usize {
-        self.coeffs
-            .iter()
-            .rposition(|c| !c.is_zero())
-            .unwrap_or(0)
+        self.coeffs.iter().rposition(|c| !c.is_zero()).unwrap_or(0)
     }
 
     /// Evaluates the polynomial at `x` using Horner's rule.
@@ -158,7 +155,10 @@ pub fn lagrange_eval<F: Field>(points: &[(F, F)], x0: F) -> Result<F, Interpolat
             num *= x0 - xj;
             den *= xi - xj;
         }
-        let li = num * den.inverse().expect("distinct x-coordinates imply nonzero denominator");
+        let li = num
+            * den
+                .inverse()
+                .expect("distinct x-coordinates imply nonzero denominator");
         acc += yi * li;
     }
     Ok(acc)
@@ -262,7 +262,12 @@ mod tests {
 
     #[test]
     fn lagrange_any_subset_agrees() {
-        let p = Polynomial::new(vec![Gf16::new(999), Gf16::new(3), Gf16::new(7), Gf16::new(1)]);
+        let p = Polynomial::new(vec![
+            Gf16::new(999),
+            Gf16::new(3),
+            Gf16::new(7),
+            Gf16::new(1),
+        ]);
         let all: Vec<(Gf16, Gf16)> = (1..=8u16)
             .map(|i| (Gf16::new(i), p.eval(Gf16::new(i))))
             .collect();
@@ -299,7 +304,10 @@ mod tests {
 
     #[test]
     fn duplicate_x_rejected() {
-        let pts = [(Gf256::new(1), Gf256::new(2)), (Gf256::new(1), Gf256::new(3))];
+        let pts = [
+            (Gf256::new(1), Gf256::new(2)),
+            (Gf256::new(1), Gf256::new(3)),
+        ];
         assert_eq!(
             lagrange_eval(&pts, Gf256::ZERO),
             Err(InterpolateError::DuplicateX)
@@ -310,7 +318,10 @@ mod tests {
     #[test]
     fn empty_rejected() {
         let pts: [(Gf256, Gf256); 0] = [];
-        assert_eq!(lagrange_eval(&pts, Gf256::ZERO), Err(InterpolateError::Empty));
+        assert_eq!(
+            lagrange_eval(&pts, Gf256::ZERO),
+            Err(InterpolateError::Empty)
+        );
     }
 
     #[test]

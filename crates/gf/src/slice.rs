@@ -1,0 +1,383 @@
+//! Bulk slice kernels: scalar × vector products over GF(2^8) and
+//! GF(2^16).
+//!
+//! The log/exp scalar multiply in [`Gf256`]/[`Gf16`] costs two table
+//! lookups, an add, and a zero-check branch per element. The inner loops
+//! of Reed–Solomon encoding and Shamir share evaluation multiply *whole
+//! buffers* by one scalar, so this module precomputes a per-scalar
+//! product table once and then streams through the buffer branch-free:
+//!
+//! * [`Gf256MulTable`] — two 16-entry nibble tables (`lo[n] = s·n`,
+//!   `hi[n] = s·(n«4)`); a product is `lo[b & 0xF] ^ hi[b >> 4]`. This
+//!   is the classic SSSE3 `PSHUFB` layout, expressed portably.
+//! * [`Gf16MulTable`] — two 256-entry byte tables over the low and high
+//!   byte of each 16-bit symbol.
+//!
+//! Free functions [`mul_slice`] / [`mul_add_slice`] (and the `gf16_*`
+//! variants) build the table and apply it in one call; hot paths that
+//! reuse one coefficient across many rows should build the table once.
+
+use crate::{Gf16, Gf256};
+
+/// Precomputed multiplication table for one GF(2^8) scalar.
+///
+/// # Examples
+///
+/// ```
+/// use aeon_gf::slice::Gf256MulTable;
+/// use aeon_gf::Gf256;
+///
+/// let t = Gf256MulTable::new(Gf256::new(0x57));
+/// assert_eq!(t.mul(0x83), 0xC1); // {57}·{83} = {C1} in the AES field
+/// ```
+#[derive(Debug, Clone)]
+pub struct Gf256MulTable {
+    lo: [u8; 16],
+    hi: [u8; 16],
+    scalar: Gf256,
+}
+
+impl Gf256MulTable {
+    /// Builds the nibble tables for `scalar` (32 scalar multiplies).
+    pub fn new(scalar: Gf256) -> Self {
+        let mut lo = [0u8; 16];
+        let mut hi = [0u8; 16];
+        for n in 0..16u8 {
+            lo[n as usize] = (scalar * Gf256::new(n)).value();
+            hi[n as usize] = (scalar * Gf256::new(n << 4)).value();
+        }
+        Gf256MulTable { lo, hi, scalar }
+    }
+
+    /// The scalar this table multiplies by.
+    #[inline]
+    pub fn scalar(&self) -> Gf256 {
+        self.scalar
+    }
+
+    /// Multiplies one byte by the scalar.
+    #[inline]
+    pub fn mul(&self, b: u8) -> u8 {
+        self.lo[(b & 0x0F) as usize] ^ self.hi[(b >> 4) as usize]
+    }
+
+    /// `dst = scalar · src`, element-wise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` and `dst` have different lengths.
+    pub fn mul_slice(&self, src: &[u8], dst: &mut [u8]) {
+        assert_eq!(src.len(), dst.len(), "mul_slice length mismatch");
+        match self.scalar.value() {
+            0 => dst.fill(0),
+            1 => dst.copy_from_slice(src),
+            _ => {
+                let mut d = dst.chunks_exact_mut(8);
+                let mut s = src.chunks_exact(8);
+                for (dc, sc) in (&mut d).zip(&mut s) {
+                    for i in 0..8 {
+                        dc[i] = self.mul(sc[i]);
+                    }
+                }
+                for (db, sb) in d.into_remainder().iter_mut().zip(s.remainder()) {
+                    *db = self.mul(*sb);
+                }
+            }
+        }
+    }
+
+    /// `buf = scalar · buf`, element-wise.
+    pub fn mul_slice_in_place(&self, buf: &mut [u8]) {
+        match self.scalar.value() {
+            0 => buf.fill(0),
+            1 => {}
+            _ => {
+                for b in buf.iter_mut() {
+                    *b = self.mul(*b);
+                }
+            }
+        }
+    }
+
+    /// `dst ^= scalar · src`, element-wise — the Reed–Solomon inner loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` and `dst` have different lengths.
+    pub fn mul_add_slice(&self, src: &[u8], dst: &mut [u8]) {
+        assert_eq!(src.len(), dst.len(), "mul_add_slice length mismatch");
+        match self.scalar.value() {
+            0 => {}
+            1 => {
+                for (d, s) in dst.iter_mut().zip(src) {
+                    *d ^= *s;
+                }
+            }
+            _ => {
+                let mut d = dst.chunks_exact_mut(8);
+                let mut s = src.chunks_exact(8);
+                for (dc, sc) in (&mut d).zip(&mut s) {
+                    for i in 0..8 {
+                        dc[i] ^= self.mul(sc[i]);
+                    }
+                }
+                for (db, sb) in d.into_remainder().iter_mut().zip(s.remainder()) {
+                    *db ^= self.mul(*sb);
+                }
+            }
+        }
+    }
+}
+
+/// `dst = scalar · src` over GF(2^8) bytes (one-shot table build).
+///
+/// # Panics
+///
+/// Panics if `src` and `dst` have different lengths.
+pub fn mul_slice(scalar: Gf256, src: &[u8], dst: &mut [u8]) {
+    Gf256MulTable::new(scalar).mul_slice(src, dst);
+}
+
+/// `dst ^= scalar · src` over GF(2^8) bytes (one-shot table build).
+///
+/// # Panics
+///
+/// Panics if `src` and `dst` have different lengths.
+pub fn mul_add_slice(scalar: Gf256, src: &[u8], dst: &mut [u8]) {
+    Gf256MulTable::new(scalar).mul_add_slice(src, dst);
+}
+
+/// Precomputed multiplication table for one GF(2^16) scalar.
+///
+/// Symbol slices are `&[u16]`; byte-oriented callers convert at the
+/// boundary (packed sharing stores big-endian pairs).
+#[derive(Clone)]
+pub struct Gf16MulTable {
+    lo: Box<[u16; 256]>,
+    hi: Box<[u16; 256]>,
+    scalar: Gf16,
+}
+
+impl std::fmt::Debug for Gf16MulTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Gf16MulTable({:?})", self.scalar)
+    }
+}
+
+impl Gf16MulTable {
+    /// Builds the byte tables for `scalar` (512 scalar multiplies).
+    pub fn new(scalar: Gf16) -> Self {
+        let mut lo = Box::new([0u16; 256]);
+        let mut hi = Box::new([0u16; 256]);
+        for b in 0..256u16 {
+            lo[b as usize] = (scalar * Gf16::new(b)).value();
+            hi[b as usize] = (scalar * Gf16::new(b << 8)).value();
+        }
+        Gf16MulTable { lo, hi, scalar }
+    }
+
+    /// The scalar this table multiplies by.
+    #[inline]
+    pub fn scalar(&self) -> Gf16 {
+        self.scalar
+    }
+
+    /// Multiplies one 16-bit symbol by the scalar.
+    #[inline]
+    pub fn mul(&self, v: u16) -> u16 {
+        self.lo[(v & 0xFF) as usize] ^ self.hi[(v >> 8) as usize]
+    }
+
+    /// `dst = scalar · src`, symbol-wise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` and `dst` have different lengths.
+    pub fn mul_slice(&self, src: &[u16], dst: &mut [u16]) {
+        assert_eq!(src.len(), dst.len(), "gf16 mul_slice length mismatch");
+        match self.scalar.value() {
+            0 => dst.fill(0),
+            1 => dst.copy_from_slice(src),
+            _ => {
+                for (d, s) in dst.iter_mut().zip(src) {
+                    *d = self.mul(*s);
+                }
+            }
+        }
+    }
+
+    /// `buf = scalar · buf`, symbol-wise.
+    pub fn mul_slice_in_place(&self, buf: &mut [u16]) {
+        match self.scalar.value() {
+            0 => buf.fill(0),
+            1 => {}
+            _ => {
+                for v in buf.iter_mut() {
+                    *v = self.mul(*v);
+                }
+            }
+        }
+    }
+
+    /// `dst ^= scalar · src`, symbol-wise — the Horner step of packed
+    /// share evaluation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` and `dst` have different lengths.
+    pub fn mul_add_slice(&self, src: &[u16], dst: &mut [u16]) {
+        assert_eq!(src.len(), dst.len(), "gf16 mul_add_slice length mismatch");
+        match self.scalar.value() {
+            0 => {}
+            1 => {
+                for (d, s) in dst.iter_mut().zip(src) {
+                    *d ^= *s;
+                }
+            }
+            _ => {
+                for (d, s) in dst.iter_mut().zip(src) {
+                    *d ^= self.mul(*s);
+                }
+            }
+        }
+    }
+}
+
+/// `dst = scalar · src` over GF(2^16) symbols (one-shot table build).
+///
+/// # Panics
+///
+/// Panics if `src` and `dst` have different lengths.
+pub fn gf16_mul_slice(scalar: Gf16, src: &[u16], dst: &mut [u16]) {
+    Gf16MulTable::new(scalar).mul_slice(src, dst);
+}
+
+/// `dst ^= scalar · src` over GF(2^16) symbols (one-shot table build).
+///
+/// # Panics
+///
+/// Panics if `src` and `dst` have different lengths.
+pub fn gf16_mul_add_slice(scalar: Gf16, src: &[u16], dst: &mut [u16]) {
+    Gf16MulTable::new(scalar).mul_add_slice(src, dst);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Scalar reference: d' = d ⊕ s·v via the field's own multiply.
+    fn ref_mul_acc_256(scalar: Gf256, src: &[u8], dst: &mut [u8]) {
+        for (d, s) in dst.iter_mut().zip(src) {
+            *d = (Gf256::new(*d) + scalar * Gf256::new(*s)).value();
+        }
+    }
+
+    #[test]
+    fn gf256_table_matches_field_mul_exhaustive() {
+        for s in 0..=255u8 {
+            let t = Gf256MulTable::new(Gf256::new(s));
+            for b in 0..=255u8 {
+                assert_eq!(
+                    t.mul(b),
+                    (Gf256::new(s) * Gf256::new(b)).value(),
+                    "s={s} b={b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gf256_slice_kernels_match_scalar_reference() {
+        let src: Vec<u8> = (0..=255u8).cycle().take(1000).collect();
+        for s in [0u8, 1, 2, 0x53, 0x8E, 0xFF] {
+            let scalar = Gf256::new(s);
+            let t = Gf256MulTable::new(scalar);
+
+            let mut expect = vec![0xA5u8; src.len()];
+            let mut got = expect.clone();
+            ref_mul_acc_256(scalar, &src, &mut expect);
+            t.mul_add_slice(&src, &mut got);
+            assert_eq!(got, expect, "mul_add_slice s={s}");
+
+            let mut got2 = vec![0u8; src.len()];
+            t.mul_slice(&src, &mut got2);
+            let expect2: Vec<u8> = src
+                .iter()
+                .map(|&b| (scalar * Gf256::new(b)).value())
+                .collect();
+            assert_eq!(got2, expect2, "mul_slice s={s}");
+
+            let mut got3 = src.clone();
+            t.mul_slice_in_place(&mut got3);
+            assert_eq!(got3, expect2, "mul_slice_in_place s={s}");
+        }
+    }
+
+    #[test]
+    fn gf256_kernels_agree_with_mul_acc_slice() {
+        // The legacy log/exp path and the new table path must be
+        // bit-identical on every length, including the unrolled tail.
+        for len in [0usize, 1, 7, 8, 9, 63, 64, 65, 255] {
+            let src: Vec<u8> = (0..len).map(|i| (i * 37 + 11) as u8).collect();
+            for s in [0u8, 1, 0xB7] {
+                let mut a = vec![0x3Cu8; len];
+                let mut b = a.clone();
+                Gf256::new(s).mul_acc_slice(&src, &mut a);
+                mul_add_slice(Gf256::new(s), &src, &mut b);
+                assert_eq!(a, b, "len={len} s={s}");
+            }
+        }
+    }
+
+    #[test]
+    fn gf16_table_matches_field_mul_samples() {
+        for s in [0u16, 1, 2, 0x1234, 0xABCD, 0xFFFF] {
+            let t = Gf16MulTable::new(Gf16::new(s));
+            for v in (0..=65_535u16).step_by(251) {
+                assert_eq!(
+                    t.mul(v),
+                    (Gf16::new(s) * Gf16::new(v)).value(),
+                    "s={s:#x} v={v:#x}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gf16_slice_kernels_match_scalar_reference() {
+        let src: Vec<u16> = (0..500u16).map(|i| i.wrapping_mul(131)).collect();
+        for s in [0u16, 1, 0x0003, 0x8001, 0xFFFE] {
+            let scalar = Gf16::new(s);
+            let t = Gf16MulTable::new(scalar);
+
+            let mut got = vec![0x5A5Au16; src.len()];
+            let expect: Vec<u16> = src
+                .iter()
+                .zip(got.iter())
+                .map(|(&v, &d)| (Gf16::new(d) + scalar * Gf16::new(v)).value())
+                .collect();
+            t.mul_add_slice(&src, &mut got);
+            assert_eq!(got, expect, "gf16 mul_add_slice s={s:#x}");
+
+            let mut got2 = vec![0u16; src.len()];
+            gf16_mul_slice(scalar, &src, &mut got2);
+            let expect2: Vec<u16> = src
+                .iter()
+                .map(|&v| (scalar * Gf16::new(v)).value())
+                .collect();
+            assert_eq!(got2, expect2, "gf16 mul_slice s={s:#x}");
+
+            let mut got3 = src.clone();
+            t.mul_slice_in_place(&mut got3);
+            assert_eq!(got3, expect2, "gf16 mul_slice_in_place s={s:#x}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let t = Gf256MulTable::new(Gf256::new(2));
+        let mut dst = [0u8; 3];
+        t.mul_add_slice(&[1, 2], &mut dst);
+    }
+}

@@ -84,11 +84,7 @@ impl Ledger {
     /// acknowledgement (the appender's).
     pub fn append(&mut self, year: u32, payload: Vec<u8>) -> u64 {
         let index = self.entries.len() as u64;
-        let prev_hash = self
-            .entries
-            .last()
-            .map(|e| e.hash)
-            .unwrap_or([0u8; 32]);
+        let prev_hash = self.entries.last().map(|e| e.hash).unwrap_or([0u8; 32]);
         let hash = entry_hash(index, year, &payload, &prev_hash);
         self.entries.push(LedgerEntry {
             index,

@@ -305,7 +305,11 @@ impl DocumentChain {
             if expect != link.payload {
                 return Err(ChainInvalid::BadSignature { link: i });
             }
-            if !link.token.public_key.verify(&link.payload, &link.token.signature) {
+            if !link
+                .token
+                .public_key
+                .verify(&link.payload, &link.token.signature)
+            {
                 return Err(ChainInvalid::BadSignature { link: i });
             }
             if let Some(p) = prev {
@@ -341,8 +345,7 @@ impl DocumentChain {
                 };
                 let digest = Sha256::digest(document);
                 // Reconstruct the commitment from the stored bytes.
-                let commitment =
-                    Commitment(aeon_num::GroupElement::from_be_bytes(&self.anchor));
+                let commitment = Commitment(aeon_num::GroupElement::from_be_bytes(&self.anchor));
                 committer.verify(&commitment, &digest, opening)
             }
         }
@@ -490,7 +493,11 @@ mod tests {
             b"same doc",
         )
         .unwrap();
-        assert_ne!(c1.anchor(), c2.anchor(), "ITS hiding requires randomization");
+        assert_ne!(
+            c1.anchor(),
+            c2.anchor(),
+            "ITS hiding requires randomization"
+        );
     }
 
     #[test]

@@ -122,9 +122,7 @@ impl ModpGroup {
 
     /// Inverts a group element via Fermat: `a^(p-2) mod p`.
     pub fn invert(&self, a: &GroupElement) -> GroupElement {
-        let p_minus_2 = self
-            .modulus()
-            .wrapping_sub(&U2048::from_u64(2));
+        let p_minus_2 = self.modulus().wrapping_sub(&U2048::from_u64(2));
         GroupElement(self.inner.ctx.pow(&a.0, &p_minus_2))
     }
 

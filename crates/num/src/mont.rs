@@ -60,7 +60,12 @@ impl<const L: usize> MontCtx<L> {
         for _ in 0..Uint::<L>::BITS {
             r2 = r2.add_mod(&r2, &n);
         }
-        MontCtx { n, n0, one_mont, r2 }
+        MontCtx {
+            n,
+            n0,
+            one_mont,
+            r2,
+        }
     }
 
     /// Returns the modulus.

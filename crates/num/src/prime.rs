@@ -128,7 +128,10 @@ mod tests {
     #[test]
     fn mersenne_127() {
         let p = U256::from_hex("7fffffffffffffffffffffffffffffff"); // 2^127-1
-        assert_eq!(miller_rabin(&p, &[2, 3, 5, 7, 11]), Primality::ProbablyPrime);
+        assert_eq!(
+            miller_rabin(&p, &[2, 3, 5, 7, 11]),
+            Primality::ProbablyPrime
+        );
         let c = p.wrapping_sub(&U256::from_u64(2));
         assert_eq!(miller_rabin(&c, &[2, 3, 5, 7, 11]), Primality::Composite);
     }

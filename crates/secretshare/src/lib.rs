@@ -91,7 +91,10 @@ impl core::fmt::Display for ShareError {
                 "invalid sharing parameters (t={threshold}, n={shares}): {reason}"
             ),
             ShareError::TooFewShares { provided, required } => {
-                write!(f, "too few shares: {provided} provided, {required} required")
+                write!(
+                    f,
+                    "too few shares: {provided} provided, {required} required"
+                )
             }
             ShareError::InconsistentShares(why) => write!(f, "inconsistent shares: {why}"),
             ShareError::VerificationFailed { index } => {

@@ -313,6 +313,9 @@ mod tests {
             adv_plain_0 > 0.5 || adv_plain_1 > 0.5,
             "expected strong parity bias, got {adv_plain_0} / {adv_plain_1}"
         );
-        assert!(adv_wrapped < 0.3, "wrapped advantage too high: {adv_wrapped}");
+        assert!(
+            adv_wrapped < 0.3,
+            "wrapped advantage too high: {adv_wrapped}"
+        );
     }
 }

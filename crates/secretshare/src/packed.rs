@@ -15,6 +15,7 @@
 use crate::ShareError;
 use aeon_crypto::CryptoRng;
 use aeon_gf::poly::{interpolate, lagrange_eval};
+use aeon_gf::slice::Gf16MulTable;
 use aeon_gf::Gf16;
 
 /// A packed share: one evaluation of the packed polynomial per symbol
@@ -126,6 +127,15 @@ pub fn split<R: CryptoRng + ?Sized>(
         })
         .collect();
 
+    // Interpolate every row's polynomial first, then evaluate all rows
+    // at each share point in one column-wise Horner sweep: the per-share
+    // product table is built once and streams over a whole coefficient
+    // column instead of re-deriving logs symbol by symbol.
+    let degree_bound = params.pack + params.privacy; // coefficient count
+    let mut coeff_cols: Vec<Vec<u16>> = vec![vec![0u16; rows]; degree_bound];
+    // `row` indexes the transposed (inner) axis of `coeff_cols`, so the
+    // enumerate() rewrite clippy suggests does not apply.
+    #[allow(clippy::needless_range_loop)]
     for row in 0..rows {
         // Interpolation constraints: k secret slots + t random anchors.
         let mut points: Vec<(Gf16, Gf16)> = Vec::with_capacity(params.pack + params.privacy);
@@ -144,9 +154,22 @@ pub fn split<R: CryptoRng + ?Sized>(
         }
         let poly = interpolate(&points)
             .map_err(|_| ShareError::ProtocolViolation("interpolation failed"))?;
-        for share in shares.iter_mut() {
-            share.data.push(poly.eval(Gf16::new(share.index)).value());
+        for (k, &c) in poly.coeffs().iter().enumerate() {
+            coeff_cols[k][row] = c.value();
         }
+    }
+    // acc = c_{d}; acc = acc·x + c_{k} down to c_0, vectorized over rows.
+    let mut acc = vec![0u16; rows];
+    for share in shares.iter_mut() {
+        let table = Gf16MulTable::new(Gf16::new(share.index));
+        acc.copy_from_slice(&coeff_cols[degree_bound - 1]);
+        for col in coeff_cols[..degree_bound - 1].iter().rev() {
+            table.mul_slice_in_place(&mut acc);
+            for (a, &c) in acc.iter_mut().zip(col) {
+                *a ^= c;
+            }
+        }
+        share.data.extend_from_slice(&acc);
     }
     Ok(shares)
 }

@@ -347,10 +347,7 @@ mod tests {
         let shares = shamir::split(&mut r, b"move me", 2, 4).unwrap();
         let redist = redistribute(&mut r, &shares, 2, 2, 4).unwrap();
         assert_eq!(redist.shares.len(), 4);
-        assert_eq!(
-            shamir::reconstruct(&redist.shares, 2).unwrap(),
-            b"move me"
-        );
+        assert_eq!(shamir::reconstruct(&redist.shares, 2).unwrap(), b"move me");
     }
 
     #[test]

@@ -10,6 +10,7 @@
 use crate::ShareError;
 use aeon_crypto::CryptoRng;
 use aeon_gf::poly::lagrange_coefficients;
+use aeon_gf::slice::Gf256MulTable;
 use aeon_gf::Gf256;
 
 /// One Shamir share: an evaluation point and the per-byte evaluations.
@@ -98,22 +99,18 @@ pub fn split<R: CryptoRng + ?Sized>(
     let mut out = Vec::with_capacity(shares);
     for i in 1..=shares as u8 {
         let x = Gf256::new(i);
-        // share = secret + c_1 x + c_2 x^2 + ... (byte-parallel Horner on
-        // precomputed powers).
+        // share = secret + c_1 x + c_2 x^2 + ... (byte-parallel on
+        // precomputed powers, each power applied via a bulk product
+        // table).
         let mut data = secret.to_vec();
         let mut x_pow = x;
         for c in &coefficients {
-            x_pow_mul_acc(x_pow, c, &mut data);
+            Gf256MulTable::new(x_pow).mul_add_slice(c, &mut data);
             x_pow *= x;
         }
         out.push(Share { index: i, data });
     }
     Ok(out)
-}
-
-#[inline]
-fn x_pow_mul_acc(scalar: Gf256, src: &[u8], dst: &mut [u8]) {
-    scalar.mul_acc_slice(src, dst);
 }
 
 /// Reconstructs the secret from at least `threshold` shares.
@@ -165,7 +162,7 @@ pub fn reconstruct_at(
         .map_err(|_| ShareError::InconsistentShares("duplicate share index"))?;
     let mut out = vec![0u8; len];
     for (coeff, share) in lambda.iter().zip(subset) {
-        coeff.mul_acc_slice(&share.data, &mut out);
+        Gf256MulTable::new(*coeff).mul_add_slice(&share.data, &mut out);
     }
     Ok(out)
 }

@@ -164,9 +164,7 @@ pub fn deal<R: CryptoRng + ?Sized>(
     // Commitments per coefficient.
     let commitments: Vec<Commitment> = (0..threshold)
         .map(|j| match kind {
-            VssKind::Feldman => {
-                Commitment(group.exp_generator(&f[j].to_be_bytes()))
-            }
+            VssKind::Feldman => Commitment(group.exp_generator(&f[j].to_be_bytes())),
             VssKind::Pedersen => committer.commit_scalars(&f[j], &b[j]),
         })
         .collect();

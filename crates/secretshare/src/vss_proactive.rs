@@ -138,9 +138,7 @@ pub fn apply_verified_refresh(
     let mut rejected = Vec::new();
     for delta in deltas {
         if delta.dealing.shares.len() != shares.len() {
-            return Err(ShareError::InconsistentShares(
-                "delta share count mismatch",
-            ));
+            return Err(ShareError::InconsistentShares("delta share count mismatch"));
         }
         if !verify_zero_rooted(committer, delta) {
             rejected.push((delta.dealer, "not zero-rooted"));
@@ -148,11 +146,14 @@ pub fn apply_verified_refresh(
         }
         // Every shareholder checks its own delta share against the
         // commitments.
-        let all_consistent = delta
-            .dealing
-            .shares
-            .iter()
-            .all(|ds| vss::verify_share(committer, delta.dealing.kind, &delta.dealing.commitments, ds));
+        let all_consistent = delta.dealing.shares.iter().all(|ds| {
+            vss::verify_share(
+                committer,
+                delta.dealing.kind,
+                &delta.dealing.commitments,
+                ds,
+            )
+        });
         if !all_consistent {
             rejected.push((delta.dealer, "inconsistent delta share"));
             continue;
@@ -247,16 +248,10 @@ mod tests {
     fn feldman_verifiable_refresh_preserves_secret() {
         let (committer, mut rng) = setup();
         let secret = U2048::from_u64(0xC0FFEE);
-        let dealing =
-            vss::deal(&mut rng, &committer, VssKind::Feldman, &secret, 2, 3).unwrap();
-        let refreshed = verifiable_refresh_round(
-            &mut rng,
-            &committer,
-            VssKind::Feldman,
-            &dealing.shares,
-            2,
-        )
-        .unwrap();
+        let dealing = vss::deal(&mut rng, &committer, VssKind::Feldman, &secret, 2, 3).unwrap();
+        let refreshed =
+            verifiable_refresh_round(&mut rng, &committer, VssKind::Feldman, &dealing.shares, 2)
+                .unwrap();
         assert!(refreshed.rejected.is_empty());
         // Shares changed...
         assert_ne!(refreshed.shares[0].value, dealing.shares[0].value);
@@ -269,16 +264,10 @@ mod tests {
     fn pedersen_verifiable_refresh_preserves_secret() {
         let (committer, mut rng) = setup();
         let secret = U2048::from_u64(777);
-        let dealing =
-            vss::deal(&mut rng, &committer, VssKind::Pedersen, &secret, 2, 3).unwrap();
-        let refreshed = verifiable_refresh_round(
-            &mut rng,
-            &committer,
-            VssKind::Pedersen,
-            &dealing.shares,
-            2,
-        )
-        .unwrap();
+        let dealing = vss::deal(&mut rng, &committer, VssKind::Pedersen, &secret, 2, 3).unwrap();
+        let refreshed =
+            verifiable_refresh_round(&mut rng, &committer, VssKind::Pedersen, &dealing.shares, 2)
+                .unwrap();
         assert!(refreshed.rejected.is_empty());
         let rec = vss::reconstruct(committer.group(), &refreshed.shares[1..3], 2).unwrap();
         assert_eq!(rec, secret);
@@ -288,23 +277,13 @@ mod tests {
     fn corrupt_delta_rejected_and_secret_unharmed() {
         let (committer, mut rng) = setup();
         let secret = U2048::from_u64(42);
-        let dealing =
-            vss::deal(&mut rng, &committer, VssKind::Feldman, &secret, 2, 3).unwrap();
+        let dealing = vss::deal(&mut rng, &committer, VssKind::Feldman, &secret, 2, 3).unwrap();
 
         // Two honest deltas, one corrupt (would shift the secret by 999).
-        let d1 =
-            deal_zero_delta(&mut rng, &committer, VssKind::Feldman, 1, 2, 3).unwrap();
-        let d2 =
-            deal_zero_delta(&mut rng, &committer, VssKind::Feldman, 2, 2, 3).unwrap();
-        let bad = corrupt_delta_for_simulation(
-            &mut rng,
-            &committer,
-            VssKind::Feldman,
-            3,
-            999,
-            2,
-            3,
-        );
+        let d1 = deal_zero_delta(&mut rng, &committer, VssKind::Feldman, 1, 2, 3).unwrap();
+        let d2 = deal_zero_delta(&mut rng, &committer, VssKind::Feldman, 2, 2, 3).unwrap();
+        let bad =
+            corrupt_delta_for_simulation(&mut rng, &committer, VssKind::Feldman, 3, 999, 2, 3);
         let refreshed =
             apply_verified_refresh(&committer, &dealing.shares, &[d1, d2, bad]).unwrap();
         assert_eq!(refreshed.rejected, vec![(3, "not zero-rooted")]);
@@ -316,19 +295,9 @@ mod tests {
     fn corrupt_pedersen_delta_rejected() {
         let (committer, mut rng) = setup();
         let secret = U2048::from_u64(7);
-        let dealing =
-            vss::deal(&mut rng, &committer, VssKind::Pedersen, &secret, 2, 3).unwrap();
-        let bad = corrupt_delta_for_simulation(
-            &mut rng,
-            &committer,
-            VssKind::Pedersen,
-            1,
-            5,
-            2,
-            3,
-        );
-        let refreshed =
-            apply_verified_refresh(&committer, &dealing.shares, &[bad]).unwrap();
+        let dealing = vss::deal(&mut rng, &committer, VssKind::Pedersen, &secret, 2, 3).unwrap();
+        let bad = corrupt_delta_for_simulation(&mut rng, &committer, VssKind::Pedersen, 1, 5, 2, 3);
+        let refreshed = apply_verified_refresh(&committer, &dealing.shares, &[bad]).unwrap();
         assert_eq!(refreshed.rejected.len(), 1);
         let rec = vss::reconstruct(committer.group(), &refreshed.shares[..2], 2).unwrap();
         assert_eq!(rec, secret);
@@ -346,8 +315,7 @@ mod tests {
             3,
         )
         .unwrap();
-        let refreshed =
-            apply_verified_refresh(&committer, &dealing.shares, &[]).unwrap();
+        let refreshed = apply_verified_refresh(&committer, &dealing.shares, &[]).unwrap();
         assert_eq!(refreshed.shares, dealing.shares);
     }
 
@@ -357,17 +325,11 @@ mod tests {
         // shares + new shares do not mix.
         let (committer, mut rng) = setup();
         let secret = U2048::from_u64(31337);
-        let dealing =
-            vss::deal(&mut rng, &committer, VssKind::Feldman, &secret, 2, 3).unwrap();
+        let dealing = vss::deal(&mut rng, &committer, VssKind::Feldman, &secret, 2, 3).unwrap();
         let stolen_old = dealing.shares[0].clone();
-        let refreshed = verifiable_refresh_round(
-            &mut rng,
-            &committer,
-            VssKind::Feldman,
-            &dealing.shares,
-            2,
-        )
-        .unwrap();
+        let refreshed =
+            verifiable_refresh_round(&mut rng, &committer, VssKind::Feldman, &dealing.shares, 2)
+                .unwrap();
         let mix = vec![stolen_old, refreshed.shares[1].clone()];
         let rec = vss::reconstruct(committer.group(), &mix, 2).unwrap();
         assert_ne!(rec, secret);

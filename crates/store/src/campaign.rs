@@ -11,6 +11,35 @@
 
 use crate::media::{ArchiveSite, DAYS_PER_MONTH};
 
+/// Errors from campaign simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CampaignError {
+    /// Ingest consumes all write bandwidth, so migration never finishes.
+    Saturated {
+        /// Ongoing ingest, TB/day.
+        ingest_tb_per_day: f64,
+        /// The site's total write bandwidth, TB/day.
+        write_tb_per_day: f64,
+    },
+}
+
+impl core::fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            CampaignError::Saturated {
+                ingest_tb_per_day,
+                write_tb_per_day,
+            } => write!(
+                f,
+                "ingest ({ingest_tb_per_day} TB/day) saturates write bandwidth \
+                 ({write_tb_per_day} TB/day); campaign cannot progress"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {}
+
 /// Closed-form re-encryption duration model.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ReencryptionModel {
@@ -87,16 +116,21 @@ pub struct CampaignOutcome {
 ///
 /// Returns the duration and exposure profile.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the campaign cannot progress (ingest saturates write
-/// bandwidth).
-pub fn simulate_campaign(site: &ArchiveSite, ingest_tb_per_day: f64) -> CampaignOutcome {
+/// Returns [`CampaignError::Saturated`] if the campaign cannot progress
+/// because ingest consumes all write bandwidth.
+pub fn simulate_campaign(
+    site: &ArchiveSite,
+    ingest_tb_per_day: f64,
+) -> Result<CampaignOutcome, CampaignError> {
     let write_available = site.write_tb_per_day - ingest_tb_per_day;
-    assert!(
-        write_available > 0.0,
-        "ingest saturates write bandwidth; campaign cannot progress"
-    );
+    if write_available <= 0.0 {
+        return Err(CampaignError::Saturated {
+            ingest_tb_per_day,
+            write_tb_per_day: site.write_tb_per_day,
+        });
+    }
     let mut remaining = site.capacity_tb;
     let mut days = 0.0f64;
     let mut ingested = 0.0f64;
@@ -122,12 +156,12 @@ pub fn simulate_campaign(site: &ArchiveSite, ingest_tb_per_day: f64) -> Campaign
     if exposed_at_halfway == 1.0 {
         exposed_at_halfway = 0.5; // degenerate one-day campaigns
     }
-    CampaignOutcome {
+    Ok(CampaignOutcome {
         days,
         migrated_tb: total,
         ingested_tb: ingested,
         exposed_fraction_at_halfway: exposed_at_halfway,
-    }
+    })
 }
 
 /// Generic bulk-maintenance estimator, used for proactive-refresh
@@ -154,7 +188,11 @@ mod tests {
         let m = ReencryptionModel::paper_assumptions(ArchiveSite::hpss());
         let e = m.estimate();
         // Read-only ≈ 6.6 months; ×2 write-back; ×2 reservation.
-        assert!((e.read_only_months - 6.57).abs() < 0.1, "{}", e.read_only_months);
+        assert!(
+            (e.read_only_months - 6.57).abs() < 0.1,
+            "{}",
+            e.read_only_months
+        );
         assert!((e.with_write_months - 2.0 * e.read_only_months).abs() < 1e-9);
         assert!((e.realistic_months - 4.0 * e.read_only_months).abs() < 1e-9);
         // "The practical time could turn into many years": > 2 years.
@@ -193,7 +231,7 @@ mod tests {
             write_tb_per_day: 20.0,
             media: crate::media::MediaType::Tape,
         };
-        let out = simulate_campaign(&site, 0.0);
+        let out = simulate_campaign(&site, 0.0).expect("no ingest");
         // Bounded by reads: 100 days.
         assert!((out.days - 100.0).abs() < 1.0);
         assert!((out.exposed_fraction_at_halfway - 0.5).abs() < 0.02);
@@ -208,15 +246,19 @@ mod tests {
             write_tb_per_day: 20.0,
             media: crate::media::MediaType::Tape,
         };
-        let idle = simulate_campaign(&site, 0.0);
-        let busy = simulate_campaign(&site, 10.0);
-        assert!(busy.days > idle.days * 1.9, "{} vs {}", busy.days, idle.days);
+        let idle = simulate_campaign(&site, 0.0).expect("idle");
+        let busy = simulate_campaign(&site, 10.0).expect("half bandwidth left");
+        assert!(
+            busy.days > idle.days * 1.9,
+            "{} vs {}",
+            busy.days,
+            idle.days
+        );
         assert!(busy.ingested_tb > 0.0);
     }
 
     #[test]
-    #[should_panic(expected = "saturates")]
-    fn saturated_ingest_panics() {
+    fn saturated_ingest_is_typed_error() {
         let site = ArchiveSite {
             name: "toy".into(),
             capacity_tb: 100.0,
@@ -224,7 +266,22 @@ mod tests {
             write_tb_per_day: 5.0,
             media: crate::media::MediaType::Tape,
         };
-        let _ = simulate_campaign(&site, 5.0);
+        // Exactly saturated and over-saturated both report the error
+        // instead of panicking mid-simulation.
+        for ingest in [5.0, 7.5] {
+            match simulate_campaign(&site, ingest) {
+                Err(CampaignError::Saturated {
+                    ingest_tb_per_day,
+                    write_tb_per_day,
+                }) => {
+                    assert_eq!(ingest_tb_per_day, ingest);
+                    assert_eq!(write_tb_per_day, 5.0);
+                }
+                other => panic!("expected Saturated error, got {other:?}"),
+            }
+        }
+        let msg = simulate_campaign(&site, 5.0).unwrap_err().to_string();
+        assert!(msg.contains("saturates write bandwidth"), "{msg}");
     }
 
     #[test]

@@ -152,12 +152,10 @@ impl Cluster {
     ) -> Result<(), ClusterError> {
         assert_eq!(placement.len(), shards.len(), "placement/shard mismatch");
         for (i, (node_id, shard)) in placement.iter().zip(shards).enumerate() {
-            let node = self
-                .node(*node_id)
-                .ok_or(ClusterError::InsufficientNodes {
-                    needed: placement.len(),
-                    available: self.nodes.len(),
-                })?;
+            let node = self.node(*node_id).ok_or(ClusterError::InsufficientNodes {
+                needed: placement.len(),
+                available: self.nodes.len(),
+            })?;
             node.put(&ShardKey::new(object, i as u32), shard)?;
         }
         Ok(())

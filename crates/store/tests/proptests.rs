@@ -73,7 +73,7 @@ proptest! {
         prop_assert!(big.realistic_months > base.realistic_months);
         prop_assert!(fast.realistic_months < base.realistic_months);
         // Simulation agrees with closed form without ingest (±1 day).
-        let sim = simulate_campaign(&site, 0.0);
+        let sim = simulate_campaign(&site, 0.0).expect("no ingest, cannot saturate");
         prop_assert!((sim.days - capacity / bw).abs() <= 1.0);
     }
 }

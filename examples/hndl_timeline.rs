@@ -48,7 +48,9 @@ fn main() {
     let mut harvester = Harvester::new();
     let mut encodings = Vec::new();
     for (name, policy) in &depts {
-        let enc = policy.encode(&mut rng, &keys, name, &secret).expect("encode");
+        let enc = policy
+            .encode(&mut rng, &keys, name, &secret)
+            .expect("encode");
         let stolen_blobs = vec![enc.shards[0].clone(), enc.shards[1].clone()];
         harvester.record(*name, 2026, stolen_blobs, "two-site breach");
         encodings.push((name, policy, enc));
@@ -67,8 +69,7 @@ fn main() {
             let mut stolen: Vec<Option<Vec<u8>>> = vec![None; n];
             stolen[0] = Some(enc.shards[0].clone());
             stolen[1] = Some(enc.shards[1].clone());
-            let outcome =
-                policy.hndl_recover(&keys, name, &stolen, &enc.meta, &timeline, year);
+            let outcome = policy.hndl_recover(&keys, name, &stolen, &enc.meta, &timeline, year);
             let verdict = match outcome {
                 Recovery::Full(_) => "PLAINTEXT RECOVERED".to_string(),
                 Recovery::Partial(f) => format!("{:.0}% of plaintext exposed", f * 100.0),

@@ -47,8 +47,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The security argument, quantified: a mobile adversary corrupting one
     // shareholder per epoch against the same (3, 5) sharing.
     println!("\nmobile adversary (1 corruption/epoch, 40 epochs):");
-    for (label, refresh_every) in [("no refresh", 0u64), ("every 5 epochs", 5), ("every epoch", 1)]
-    {
+    for (label, refresh_every) in [
+        ("no refresh", 0u64),
+        ("every 5 epochs", 5),
+        ("every epoch", 1),
+    ] {
         let mut rng = ChaChaDrbg::from_u64_seed(2026);
         let out = run_attack(
             &mut rng,

@@ -51,7 +51,10 @@ fn main() {
     ];
     let tape = MediaProfile::tape();
     let glass = MediaProfile::glass();
-    println!("{:<44} {:>6} {:>14} {:>14}", "policy", "exp(x)", "tape($M/100y)", "glass($M/100y)");
+    println!(
+        "{:<44} {:>6} {:>14} {:>14}",
+        "policy", "exp(x)", "tape($M/100y)", "glass($M/100y)"
+    );
     for (name, policy) in &policies {
         let exp = policy.expansion();
         println!(
@@ -90,14 +93,14 @@ fn main() {
     // What the exposure window means: data read per month of campaign.
     let exposed_pb_per_month =
         site.capacity_tb / 1000.0 / (site.capacity_tb / site.read_tb_per_day / DAYS_PER_MONTH);
-    println!(
-        "  migration pace        : {exposed_pb_per_month:>6.1} PB/month — everything not yet"
-    );
+    println!("  migration pace        : {exposed_pb_per_month:>6.1} PB/month — everything not yet");
     println!("                          migrated remains harvestable\n");
 
     println!("the paper's takeaway, reproduced: for computational designs the");
     println!("emergency response takes YEARS at national scale, and does nothing");
     println!("for ciphertext already harvested; ITS designs (Shamir) never need");
-    println!("the campaign but pay {:.0}% more storage up front.",
-        (policies[3].1.expansion() / policies[0].1.expansion() - 1.0) * 100.0);
+    println!(
+        "the campaign but pay {:.0}% more storage up front.",
+        (policies[3].1.expansion() / policies[0].1.expansion() - 1.0) * 100.0
+    );
 }

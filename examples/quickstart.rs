@@ -19,7 +19,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("ingested object {id}");
 
     let data = archive.retrieve(&id)?;
-    println!("retrieved {} bytes: {:?}", data.len(), String::from_utf8_lossy(&data));
+    println!(
+        "retrieved {} bytes: {:?}",
+        data.len(),
+        String::from_utf8_lossy(&data)
+    );
 
     let health = archive.verify(&id, &SigBreakSchedule::new())?;
     println!(

@@ -28,7 +28,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for year in 1..=5 {
         let rejected = keyring.refresh(&mut rng)?;
         assert!(rejected.is_empty());
-        println!("year {year}: refresh ok, audit clean = {}", keyring.audit().is_empty());
+        println!(
+            "year {year}: refresh ok, audit clean = {}",
+            keyring.audit().is_empty()
+        );
     }
     assert_eq!(keyring.with_master_key(|k| *k)?, original);
 
@@ -47,13 +50,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A trustee goes rogue and corrupts its share: the audit and the
     // quorum operation both name it.
     keyring.corrupt_trustee_for_simulation(2);
-    println!("audit after corruption: bad trustees = {:?}", keyring.audit());
+    println!(
+        "audit after corruption: bad trustees = {:?}",
+        keyring.audit()
+    );
     match keyring.with_master_key(|k| *k) {
         Err(e) => println!("quorum operation refused: {e}"),
         Ok(_) => unreachable!("corrupt share must be detected"),
     }
 
-    println!("\nledger: {} entries, chain valid = {}",
+    println!(
+        "\nledger: {} entries, chain valid = {}",
         keyring.ledger().len(),
         keyring.ledger().verify().is_ok()
     );

@@ -1,0 +1,38 @@
+//! Fixed-size array strategies.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy for `[T; N]` with every element drawn from one inner
+/// strategy.
+#[derive(Debug, Clone)]
+pub struct UniformArrayStrategy<S, const N: usize> {
+    element: S,
+}
+
+impl<S: Strategy, const N: usize> Strategy for UniformArrayStrategy<S, N> {
+    type Value = [S::Value; N];
+
+    fn generate(&self, rng: &mut TestRng) -> [S::Value; N] {
+        std::array::from_fn(|_| self.element.generate(rng))
+    }
+}
+
+/// Generates `[T; 32]` arrays from `element`.
+pub fn uniform32<S: Strategy>(element: S) -> UniformArrayStrategy<S, 32> {
+    UniformArrayStrategy { element }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::any;
+
+    #[test]
+    fn uniform32_fills_all_slots() {
+        let mut rng = TestRng::for_test("array");
+        let a = uniform32(any::<u8>()).generate(&mut rng);
+        assert_eq!(a.len(), 32);
+        assert!(a.iter().any(|&b| b != a[0]), "array should not be constant");
+    }
+}

@@ -1,0 +1,58 @@
+//! Collection strategies.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::ops::Range;
+
+/// Strategy for `Vec<T>` with a length drawn from a range.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    len: Range<usize>,
+}
+
+/// Generates vectors whose length lies in `len` and whose elements come
+/// from `element`.
+pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+    assert!(
+        len.start < len.end,
+        "empty length range for collection::vec"
+    );
+    VecStrategy { element, len }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = self.len.clone().generate(rng);
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::any;
+
+    #[test]
+    fn lengths_in_range() {
+        let mut rng = TestRng::for_test("collection");
+        let s = vec(any::<u8>(), 2..7);
+        for _ in 0..500 {
+            let v = s.generate(&mut rng);
+            assert!((2..7).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn nested_vec_works() {
+        let mut rng = TestRng::for_test("nested");
+        let s = vec(vec(any::<u8>(), 0..4), 1..5);
+        let v = s.generate(&mut rng);
+        assert!(!v.is_empty());
+        for inner in v {
+            assert!(inner.len() < 4);
+        }
+    }
+}

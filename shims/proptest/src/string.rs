@@ -1,0 +1,145 @@
+//! String generation from a small regex subset.
+//!
+//! Real proptest interprets `&str` strategies as full regexes. This shim
+//! supports the subset the workspace's tests actually use: literal
+//! characters, character classes like `[a-z0-9_]`, and `{m}` / `{m,n}`
+//! repetition applied to the preceding class or literal.
+
+use crate::test_runner::TestRng;
+
+#[derive(Debug, Clone)]
+enum Atom {
+    Literal(char),
+    Class(Vec<char>),
+}
+
+fn expand_class(body: &str) -> Vec<char> {
+    let chars: Vec<char> = body.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        if i + 2 < chars.len() && chars[i + 1] == '-' {
+            let (lo, hi) = (chars[i] as u32, chars[i + 2] as u32);
+            assert!(lo <= hi, "descending range in char class: {body}");
+            for c in lo..=hi {
+                out.push(char::from_u32(c).expect("valid char in class range"));
+            }
+            i += 3;
+        } else {
+            out.push(chars[i]);
+            i += 1;
+        }
+    }
+    assert!(!out.is_empty(), "empty char class: [{body}]");
+    out
+}
+
+fn parse(pattern: &str) -> Vec<(Atom, usize, usize)> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut parts = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .unwrap_or_else(|| panic!("unclosed [ in pattern: {pattern}"))
+                    + i;
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                Atom::Class(expand_class(&body))
+            }
+            '\\' => {
+                i += 1;
+                let c = *chars
+                    .get(i)
+                    .unwrap_or_else(|| panic!("dangling escape in pattern: {pattern}"));
+                i += 1;
+                Atom::Literal(c)
+            }
+            c => {
+                i += 1;
+                Atom::Literal(c)
+            }
+        };
+        // Optional {m} or {m,n} quantifier.
+        let (min, max) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .unwrap_or_else(|| panic!("unclosed {{ in pattern: {pattern}"))
+                + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().expect("bad {m,n} lower bound"),
+                    hi.trim().parse().expect("bad {m,n} upper bound"),
+                ),
+                None => {
+                    let n = body.trim().parse().expect("bad {n} count");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        parts.push((atom, min, max));
+    }
+    parts
+}
+
+/// Generates one string matching `pattern` (see module docs for the
+/// supported subset).
+pub fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for (atom, min, max) in parse(pattern) {
+        let reps = if min == max {
+            min
+        } else {
+            min + rng.below((max - min + 1) as u64) as usize
+        };
+        for _ in 0..reps {
+            match &atom {
+                Atom::Literal(c) => out.push(*c),
+                Atom::Class(set) => out.push(set[rng.below(set.len() as u64) as usize]),
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_with_quantifier() {
+        let mut rng = TestRng::for_test("string");
+        for _ in 0..200 {
+            let s = generate_from_pattern("[a-z]{1,12}", &mut rng);
+            assert!((1..=12).contains(&s.len()));
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn literals_and_fixed_counts() {
+        let mut rng = TestRng::for_test("string2");
+        let s = generate_from_pattern("id-[0-9]{4}", &mut rng);
+        assert!(s.starts_with("id-"));
+        assert_eq!(s.len(), 7);
+        assert!(s[3..].chars().all(|c| c.is_ascii_digit()));
+    }
+
+    #[test]
+    fn multi_range_class() {
+        let mut rng = TestRng::for_test("string3");
+        let s = generate_from_pattern("[a-z0-9_]{8}", &mut rng);
+        assert_eq!(s.len(), 8);
+        assert!(s
+            .chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+    }
+}

@@ -173,10 +173,8 @@ fn channel_tap_plus_future_break_recovers_transit_data() {
 
 #[test]
 fn ledger_tamper_detected() {
-    let mut archive = Archive::in_memory(ArchiveConfig::new(PolicyKind::Replication {
-        copies: 2,
-    }))
-    .unwrap();
+    let mut archive =
+        Archive::in_memory(ArchiveConfig::new(PolicyKind::Replication { copies: 2 })).unwrap();
     for i in 0..5 {
         archive.ingest(b"entry", &format!("obj-{i}")).unwrap();
     }
@@ -227,7 +225,10 @@ fn hndl_harvester_full_pipeline_against_archive() {
         }
     };
     // 2040: AES stands; nothing recovered.
-    assert_eq!(harvester.replay(&timeline, 2040, recover).recovered.len(), 0);
+    assert_eq!(
+        harvester.replay(&timeline, 2040, recover).recovered.len(),
+        0
+    );
     // 2050: AES fell; everything recovered. Re-encrypting the archive in
     // 2046 would NOT have helped — the adversary replays the 2026 bytes.
     let after = harvester.replay(&timeline, 2050, recover);

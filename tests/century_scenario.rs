@@ -64,9 +64,7 @@ fn century_of_custody() {
         assert_eq!(&archive.retrieve(id).unwrap(), payload);
         let m = archive.manifest(id).unwrap();
         // At-rest data harvested NOW still resists: ChaCha layer stands.
-        let stolen: Vec<Option<Vec<u8>>> = archive
-            .cluster()
-            .get_shards(id.as_str(), &m.placement);
+        let stolen: Vec<Option<Vec<u8>>> = archive.cluster().get_shards(id.as_str(), &m.placement);
         let outcome = m.policy.hndl_recover(
             archive.keys(),
             id.as_str(),
@@ -99,7 +97,10 @@ fn century_of_custody() {
         assert_eq!(health.chain_valid, Some(true));
         // Confidentiality is now unconditional.
         let m = archive.manifest(id).unwrap();
-        assert_eq!(m.policy.at_rest_level(), SecurityLevel::InformationTheoretic);
+        assert_eq!(
+            m.policy.at_rest_level(),
+            SecurityLevel::InformationTheoretic
+        );
         // Sub-threshold theft in 2126 learns nothing, breaks or no breaks.
         let mut stolen = archive.cluster().get_shards(id.as_str(), &m.placement);
         stolen[2] = None;
@@ -128,11 +129,12 @@ fn century_of_custody() {
         .with_year(2026),
     )
     .unwrap();
-    let id = archive_2026.ingest(b"harvested before migration", "h").unwrap();
+    let id = archive_2026
+        .ingest(b"harvested before migration", "h")
+        .unwrap();
     let m = archive_2026.manifest(&id).unwrap();
-    let harvested_2026: Vec<Option<Vec<u8>>> = archive_2026
-        .cluster()
-        .get_shards(id.as_str(), &m.placement);
+    let harvested_2026: Vec<Option<Vec<u8>>> =
+        archive_2026.cluster().get_shards(id.as_str(), &m.placement);
     let outcome = m.policy.hndl_recover(
         archive_2026.keys(),
         id.as_str(),

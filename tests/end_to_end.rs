@@ -77,12 +77,17 @@ fn survives_maximum_node_failures() {
         cluster,
     )
     .unwrap();
-    let id = archive.ingest(b"survives two site failures", "doc").unwrap();
+    let id = archive
+        .ingest(b"survives two site failures", "doc")
+        .unwrap();
 
     // Fail two arbitrary sites.
     handles[1].set_offline(true);
     handles[4].set_offline(true);
-    assert_eq!(archive.retrieve(&id).unwrap(), b"survives two site failures");
+    assert_eq!(
+        archive.retrieve(&id).unwrap(),
+        b"survives two site failures"
+    );
 
     // A third failure crosses the threshold.
     handles[0].set_offline(true);
@@ -90,7 +95,10 @@ fn survives_maximum_node_failures() {
 
     // Recovery: bring one back.
     handles[1].set_offline(false);
-    assert_eq!(archive.retrieve(&id).unwrap(), b"survives two site failures");
+    assert_eq!(
+        archive.retrieve(&id).unwrap(),
+        b"survives two site failures"
+    );
 }
 
 #[test]
@@ -100,8 +108,7 @@ fn file_backed_archive_persists() {
     let nodes: Vec<Arc<dyn StorageNode>> = (0..4)
         .map(|i| {
             Arc::new(
-                FileNode::create(i, format!("site-{i}"), dir.join(format!("node-{i}")))
-                    .unwrap(),
+                FileNode::create(i, format!("site-{i}"), dir.join(format!("node-{i}"))).unwrap(),
             ) as Arc<dyn StorageNode>
         })
         .collect();

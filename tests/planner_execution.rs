@@ -65,9 +65,14 @@ fn executing_the_plan_beats_the_timeline() {
         assert_eq!(archive.retrieve(id).unwrap(), b"planned object");
         let m = archive.manifest(id).unwrap();
         let stolen = archive.cluster().get_shards(id.as_str(), &m.placement);
-        let outcome =
-            m.policy
-                .hndl_recover(archive.keys(), id.as_str(), &stolen, &m.meta, &timeline, 2046);
+        let outcome = m.policy.hndl_recover(
+            archive.keys(),
+            id.as_str(),
+            &stolen,
+            &m.meta,
+            &timeline,
+            2046,
+        );
         assert_eq!(outcome, Recovery::Nothing, "plan failed to protect {id}");
     }
 }
@@ -89,9 +94,14 @@ fn unexecuted_plan_is_the_counterfactual_disaster() {
     archive.advance_year(2046);
     let m = archive.manifest(&id).unwrap();
     let stolen = archive.cluster().get_shards(id.as_str(), &m.placement);
-    let outcome =
-        m.policy
-            .hndl_recover(archive.keys(), id.as_str(), &stolen, &m.meta, &timeline, 2046);
+    let outcome = m.policy.hndl_recover(
+        archive.keys(),
+        id.as_str(),
+        &stolen,
+        &m.meta,
+        &timeline,
+        2046,
+    );
     assert_eq!(outcome, Recovery::Full(b"unprotected object".to_vec()));
 }
 

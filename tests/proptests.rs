@@ -2,6 +2,7 @@
 //! arbitrary loss patterns.
 
 use aeon::core::keys::KeyStore;
+use aeon::core::pipeline::{self, PipelineConfig};
 use aeon::core::PolicyKind;
 use aeon::crypto::{ChaChaDrbg, SuiteId};
 use proptest::prelude::*;
@@ -9,12 +10,19 @@ use proptest::prelude::*;
 fn arb_policy() -> impl Strategy<Value = PolicyKind> {
     prop_oneof![
         (1usize..5).prop_map(|copies| PolicyKind::Replication { copies }),
-        (1usize..6, 1usize..4)
-            .prop_map(|(data, parity)| PolicyKind::ErasureCoded { data, parity }),
+        (1usize..6, 1usize..4).prop_map(|(data, parity)| PolicyKind::ErasureCoded { data, parity }),
         (1usize..6, 1usize..4).prop_map(|(data, parity)| PolicyKind::Encrypted {
             suite: SuiteId::ChaCha20Poly1305,
             data,
             parity
+        }),
+        (1usize..5, 1usize..3, 1usize..3).prop_map(|(data, parity, depth)| {
+            let suites = [SuiteId::Aes256CtrHmac, SuiteId::ChaCha20Poly1305];
+            PolicyKind::Cascade {
+                suites: suites[..depth].to_vec(),
+                data,
+                parity,
+            }
         }),
         (1usize..5, 1usize..3).prop_map(|(data, parity)| PolicyKind::AontRs { data, parity }),
         (1usize..5, 0usize..4).prop_map(|(t, extra)| PolicyKind::Shamir {
@@ -35,6 +43,7 @@ fn arb_policy() -> impl Strategy<Value = PolicyKind> {
                 source_len,
             }
         }),
+        (1usize..5, 1usize..3).prop_map(|(data, parity)| PolicyKind::Entropic { data, parity }),
     ]
 }
 
@@ -90,6 +99,75 @@ proptest! {
         let enc = policy.encode(&mut rng, &keys, "tiny", &payload).unwrap();
         let shards: Vec<Option<Vec<u8>>> = enc.shards.iter().cloned().map(Some).collect();
         let dec = policy.decode(&keys, "tiny", &shards, &enc.meta).unwrap();
+        prop_assert_eq!(dec, payload);
+    }
+
+    /// The parallel chunked pipeline and the serial path produce
+    /// byte-identical archives and round-trip identically, for every
+    /// policy: (a) multi-chunk encodes are invariant under worker count,
+    /// and (b) single-chunk payloads match the legacy whole-buffer
+    /// `PolicyKind::encode` bit for bit.
+    #[test]
+    fn chunked_parallel_matches_serial(policy in arb_policy(),
+                                       payload in prop::collection::vec(any::<u8>(), 0..3072),
+                                       seed in any::<u64>()) {
+        let keys = KeyStore::new([9u8; 32]);
+
+        // (a) Same RNG state, same chunking, different worker counts.
+        let chunked = PipelineConfig::serial().with_chunk_size(257);
+        let mut rng_serial = ChaChaDrbg::from_u64_seed(seed);
+        let mut rng_parallel = ChaChaDrbg::from_u64_seed(seed);
+        let serial = pipeline::encode_object(
+            &policy, &keys, &mut rng_serial, "eq-object", &payload,
+            &chunked.clone().with_workers(1)).unwrap();
+        let parallel = pipeline::encode_object(
+            &policy, &keys, &mut rng_parallel, "eq-object", &payload,
+            &chunked.with_workers(4)).unwrap();
+        prop_assert_eq!(&serial.shards, &parallel.shards);
+        prop_assert_eq!(&serial.meta, &parallel.meta);
+        let shards: Vec<Option<Vec<u8>>> =
+            parallel.shards.iter().cloned().map(Some).collect();
+        let dec = pipeline::decode_object(
+            &policy, &keys, "eq-object", &shards, &parallel.meta, 4).unwrap();
+        prop_assert_eq!(&dec, &payload);
+
+        // (b) A chunk size >= the payload bypasses framing entirely and
+        // matches the legacy path byte for byte.
+        let whole = PipelineConfig::serial().with_chunk_size(payload.len().max(1));
+        let mut rng_legacy = ChaChaDrbg::from_u64_seed(seed);
+        let mut rng_piped = ChaChaDrbg::from_u64_seed(seed);
+        let legacy = policy.encode(&mut rng_legacy, &keys, "eq-object", &payload).unwrap();
+        let piped = pipeline::encode_object(
+            &policy, &keys, &mut rng_piped, "eq-object", &payload, &whole).unwrap();
+        prop_assert_eq!(&legacy.shards, &piped.shards);
+        prop_assert!(piped.meta.chunked.is_none());
+    }
+
+    /// Chunked objects survive the same loss patterns the policy
+    /// guarantees for whole-buffer encodes.
+    #[test]
+    fn chunked_survives_random_loss(policy in arb_policy(),
+                                    payload in prop::collection::vec(any::<u8>(), 600..2048),
+                                    seed in any::<u64>()) {
+        let keys = KeyStore::new([9u8; 32]);
+        let mut rng = ChaChaDrbg::from_u64_seed(seed);
+        let cfg = PipelineConfig::serial().with_chunk_size(199).with_workers(2);
+        let enc = pipeline::encode_object(
+            &policy, &keys, &mut rng, "chunk-loss", &payload, &cfg).unwrap();
+        let n = policy.shard_count();
+        let t = policy.read_threshold();
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut s = seed;
+        for i in (1..order.len()).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            order.swap(i, (s >> 33) as usize % (i + 1));
+        }
+        let mut shards: Vec<Option<Vec<u8>>> = enc.shards.iter().cloned().map(Some).collect();
+        for &idx in order.iter().take(n - t) {
+            shards[idx] = None;
+        }
+        let dec = pipeline::decode_object(
+            &policy, &keys, "chunk-loss", &shards, &enc.meta, 2).unwrap();
         prop_assert_eq!(dec, payload);
     }
 
