@@ -11,8 +11,9 @@ use aeon_num::pedersen::Committer;
 use aeon_num::ModpGroup;
 use aeon_secretshare::proactive::{self, ProtocolCost};
 use aeon_secretshare::shamir::Share;
-use aeon_store::cluster::ClusterError;
+use aeon_store::cluster::{ClusterError, ReadReport};
 use aeon_store::node::NodeId;
+use aeon_store::retry::RetryPolicy;
 use aeon_store::Cluster;
 use std::collections::BTreeMap;
 use std::fmt;
@@ -65,6 +66,10 @@ pub struct ArchiveConfig {
     pub integrity: IntegrityMode,
     /// Chunked-pipeline tuning (chunk size, worker threads).
     pub pipeline: PipelineConfig,
+    /// Bounded-retry policy for node I/O (reads, ingest writes,
+    /// repairs). Backoff is simulated; jitter is drawn from a DRBG
+    /// derived from `rng_seed`, so runs replay identically.
+    pub retry: RetryPolicy,
 }
 
 impl ArchiveConfig {
@@ -81,7 +86,14 @@ impl ArchiveConfig {
             rng_seed: 0xAE0_0AE0,
             integrity: IntegrityMode::HashChain,
             pipeline: PipelineConfig::default(),
+            retry: RetryPolicy::default(),
         }
+    }
+
+    /// Overrides the node-I/O retry policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
     }
 
     /// Overrides the integrity mode.
@@ -114,6 +126,19 @@ pub enum ArchiveError {
     UnknownObject(ObjectId),
     /// Retrieved data failed its digest check.
     IntegrityViolation(ObjectId),
+    /// Too few healthy shards remain (or landed, for writes) to stay
+    /// within the policy's `(n, k)` redundancy budget.
+    DegradedBeyondBudget {
+        /// The affected object.
+        id: ObjectId,
+        /// Healthy shards available (read) or durably written (write).
+        available: usize,
+        /// The policy's read threshold `k`.
+        required: usize,
+        /// Shards discarded because their bytes failed the per-shard
+        /// digest check.
+        corrupt: usize,
+    },
     /// The operation does not apply to the object's policy.
     UnsupportedOperation(&'static str),
     /// An Entropic-policy ingest with insufficient payload entropy.
@@ -136,6 +161,16 @@ impl fmt::Display for ArchiveError {
             ArchiveError::Cluster(e) => write!(f, "cluster: {e}"),
             ArchiveError::UnknownObject(id) => write!(f, "unknown object {id}"),
             ArchiveError::IntegrityViolation(id) => write!(f, "integrity violation on {id}"),
+            ArchiveError::DegradedBeyondBudget {
+                id,
+                available,
+                required,
+                corrupt,
+            } => write!(
+                f,
+                "object {id} degraded beyond budget: {available} healthy shards \
+                 (need {required}, {corrupt} corrupt)"
+            ),
             ArchiveError::UnsupportedOperation(why) => write!(f, "unsupported operation: {why}"),
             ArchiveError::LowEntropy { bits_per_byte } => write!(
                 f,
@@ -185,10 +220,31 @@ pub struct Manifest {
     pub logical_len: usize,
     /// SHA-256 of the payload.
     pub digest: [u8; 32],
+    /// SHA-256 of each stored shard blob, indexed like `placement`.
+    /// Degraded reads and repair use these to discard bit-rotted
+    /// shards instead of feeding them to the decoder.
+    pub shard_digests: Vec<[u8; 32]>,
     /// Year of ingest.
     pub created_year: u32,
     /// Refresh epochs completed (proactive policies).
     pub refresh_epochs: u64,
+}
+
+/// Snapshot of an object's shards after a retrying, digest-checked
+/// fetch: the raw material for degraded reads, verification, and
+/// repair.
+#[derive(Debug)]
+pub struct ShardsSnapshot {
+    /// Shard slots in placement order. Slots that erred out past the
+    /// retry budget, or whose bytes failed the per-shard digest check,
+    /// are `None`.
+    pub shards: Vec<Option<Vec<u8>>>,
+    /// Shards present and digest-clean.
+    pub valid: usize,
+    /// Shards discarded because their bytes failed the digest check.
+    pub corrupt: usize,
+    /// Per-shard retry accounting from the cluster.
+    pub report: ReadReport,
 }
 
 /// Health report from [`Archive::verify`].
@@ -384,8 +440,31 @@ impl Archive {
             &self.config.pipeline,
         )?;
         let placement = self.cluster.place(id.as_str(), encoded.shards.len())?;
-        self.cluster
-            .put_shards(id.as_str(), &placement, &encoded.shards)?;
+        let shard_digests: Vec<[u8; 32]> = encoded
+            .shards
+            .iter()
+            .map(|s| Sha256::digest(s.as_slice()))
+            .collect();
+        let mut put_rng = self.op_rng("ingest", id.as_str());
+        let (written, _report) = self.cluster.put_shards_retrying(
+            id.as_str(),
+            &placement,
+            &encoded.shards,
+            &self.config.retry,
+            &mut put_rng,
+        );
+        let required = policy.read_threshold();
+        if written < required {
+            // Too few shards landed durably to ever read the object
+            // back: roll back whatever was written and report.
+            self.cluster.delete_shards(id.as_str(), &placement);
+            return Err(ArchiveError::DegradedBeyondBudget {
+                id,
+                available: written,
+                required,
+                corrupt: 0,
+            });
+        }
 
         let digest = Sha256::digest(payload);
         // Integrity anchoring.
@@ -419,6 +498,7 @@ impl Archive {
             placement,
             logical_len: payload.len(),
             digest,
+            shard_digests,
             created_year: self.year,
             refresh_epochs: 0,
         };
@@ -435,30 +515,125 @@ impl Archive {
         }
     }
 
+    /// Derives a per-operation DRBG for retry jitter. Keyed by the
+    /// archive seed, an operation label, and the object id, so `&self`
+    /// read paths stay deterministic without perturbing the archive's
+    /// main encode stream.
+    pub(crate) fn op_rng(&self, label: &str, object: &str) -> ChaChaDrbg {
+        let mut h = Sha256::new();
+        h.update(&self.config.rng_seed.to_le_bytes());
+        h.update(label.as_bytes());
+        h.update(object.as_bytes());
+        ChaChaDrbg::from_seed(h.finalize())
+    }
+
+    /// The configured node-I/O retry policy.
+    pub fn retry_policy(&self) -> &RetryPolicy {
+        &self.config.retry
+    }
+
+    /// Fetches an object's shards with bounded retry, then discards any
+    /// whose bytes fail the per-shard digest check.
+    fn fetch_shards(&self, manifest: &Manifest, label: &str) -> ShardsSnapshot {
+        let mut rng = self.op_rng(label, manifest.id.as_str());
+        let (mut shards, report) = self.cluster.get_shards_retrying(
+            manifest.id.as_str(),
+            &manifest.placement,
+            &self.config.retry,
+            &mut rng,
+        );
+        let mut corrupt = 0usize;
+        for (slot, expected) in shards.iter_mut().zip(&manifest.shard_digests) {
+            if let Some(bytes) = slot {
+                if Sha256::digest(bytes.as_slice()) != *expected {
+                    corrupt += 1;
+                    *slot = None;
+                }
+            }
+        }
+        let valid = shards.iter().flatten().count();
+        ShardsSnapshot {
+            shards,
+            valid,
+            corrupt,
+            report,
+        }
+    }
+
+    /// Retrying, digest-filtered fetch by object id, for maintenance
+    /// paths in sibling modules (repair, transfer). `None` if unknown.
+    pub(crate) fn fetch_shards_for(&self, id: &ObjectId, label: &str) -> Option<ShardsSnapshot> {
+        self.manifests
+            .get(id)
+            .map(|manifest| self.fetch_shards(manifest, label))
+    }
+
+    /// Records the digest of a freshly rewritten shard (repair paths).
+    pub(crate) fn set_shard_digest(&mut self, id: &ObjectId, shard: usize, digest: [u8; 32]) {
+        if let Some(manifest) = self.manifests.get_mut(id) {
+            if shard < manifest.shard_digests.len() {
+                manifest.shard_digests[shard] = digest;
+            }
+        }
+    }
+
     /// Retrieves and verifies an object.
     ///
     /// # Errors
     ///
     /// Returns [`ArchiveError::UnknownObject`],
-    /// [`ArchiveError::IntegrityViolation`], or decode errors.
+    /// [`ArchiveError::IntegrityViolation`],
+    /// [`ArchiveError::DegradedBeyondBudget`], or decode errors.
     pub fn retrieve(&self, id: &ObjectId) -> Result<Vec<u8>, ArchiveError> {
+        self.retrieve_with_report(id).map(|(payload, _)| payload)
+    }
+
+    /// Retrieves an object in degraded mode, also returning the
+    /// per-shard retry accounting. Shards are fetched under the
+    /// configured [`RetryPolicy`]; erroring nodes are retried up to the
+    /// attempt cap, bit-rotted shards are discarded via per-shard
+    /// digests, and the decode proceeds from any `k` valid shards. The
+    /// read fails only when fewer than `k` valid shards remain: with
+    /// corruption in evidence that is an
+    /// [`ArchiveError::IntegrityViolation`], otherwise an
+    /// [`ArchiveError::DegradedBeyondBudget`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Archive::retrieve`].
+    pub fn retrieve_with_report(
+        &self,
+        id: &ObjectId,
+    ) -> Result<(Vec<u8>, ReadReport), ArchiveError> {
         let manifest = self
             .manifests
             .get(id)
             .ok_or_else(|| ArchiveError::UnknownObject(id.clone()))?;
-        let shards = self.cluster.get_shards(id.as_str(), &manifest.placement);
+        let snap = self.fetch_shards(manifest, "retrieve");
+        let required = manifest.policy.read_threshold();
+        if snap.valid < required {
+            if snap.corrupt > 0 {
+                return Err(ArchiveError::IntegrityViolation(id.clone()));
+            }
+            return Err(ArchiveError::DegradedBeyondBudget {
+                id: id.clone(),
+                available: snap.valid,
+                required,
+                corrupt: snap.corrupt,
+            });
+        }
         let payload = pipeline::decode_object(
             &manifest.policy,
             &self.keys,
             id.as_str(),
-            &shards,
+            &snap.shards,
             &manifest.meta,
             self.config.pipeline.workers,
         )?;
         if Sha256::digest(&payload) != manifest.digest {
             return Err(ArchiveError::IntegrityViolation(id.clone()));
         }
-        Ok(payload)
+        Ok((payload, snap.report))
     }
 
     /// Deletes an object and its shards.
@@ -490,13 +665,13 @@ impl Archive {
             .manifests
             .get(id)
             .ok_or_else(|| ArchiveError::UnknownObject(id.clone()))?;
-        let shards = self.cluster.get_shards(id.as_str(), &manifest.placement);
-        let available = shards.iter().flatten().count();
+        let snap = self.fetch_shards(manifest, "verify");
+        let available = snap.valid;
         let intact = pipeline::decode_object(
             &manifest.policy,
             &self.keys,
             id.as_str(),
-            &shards,
+            &snap.shards,
             &manifest.meta,
             self.config.pipeline.workers,
         )
@@ -552,16 +727,20 @@ impl Archive {
     pub fn refresh_object(&mut self, id: &ObjectId) -> Result<ProtocolCost, ArchiveError> {
         let manifest = self
             .manifests
-            .get_mut(id)
-            .ok_or_else(|| ArchiveError::UnknownObject(id.clone()))?;
+            .get(id)
+            .ok_or_else(|| ArchiveError::UnknownObject(id.clone()))?
+            .clone();
         let PolicyKind::Shamir { threshold, .. } = manifest.policy else {
             return Err(ArchiveError::UnsupportedOperation(
                 "proactive refresh requires the Shamir policy",
             ));
         };
-        let raw = self.cluster.get_shards(id.as_str(), &manifest.placement);
-        let mut stored: Vec<Vec<u8>> = Vec::with_capacity(raw.len());
-        for s in &raw {
+        // The Herzberg round needs every shareholder's current share;
+        // a corrupt share would poison the whole next epoch, so the
+        // digest filter treats it as absent.
+        let snap = self.fetch_shards(&manifest, "refresh");
+        let mut stored: Vec<Vec<u8>> = Vec::with_capacity(snap.shards.len());
+        for s in &snap.shards {
             let Some(bytes) = s else {
                 return Err(ArchiveError::UnsupportedOperation(
                     "refresh requires all shareholders online",
@@ -617,9 +796,30 @@ impl Archive {
                 let cost = proactive::refresh(&mut self.rng, &mut shares, threshold)?;
                 (shares.into_iter().map(|s| s.data).collect(), cost)
             };
-        self.cluster
-            .put_shards(id.as_str(), &manifest.placement, &blobs)?;
-        manifest.refresh_epochs += 1;
+        let digests: Vec<[u8; 32]> = blobs.iter().map(|b| Sha256::digest(b.as_slice())).collect();
+        let mut put_rng = self.op_rng("refresh", id.as_str());
+        let (written, _report) = self.cluster.put_shards_retrying(
+            id.as_str(),
+            &manifest.placement,
+            &blobs,
+            &self.config.retry,
+            &mut put_rng,
+        );
+        // Record the new epoch's digests unconditionally: any share
+        // that failed to land is stale (previous epoch) and must be
+        // filtered on read — `threshold` fresh shares still
+        // reconstruct, so the object survives a degraded write.
+        let entry = self.manifests.get_mut(id).expect("manifest exists");
+        entry.shard_digests = digests;
+        entry.refresh_epochs += 1;
+        if written < threshold {
+            return Err(ArchiveError::DegradedBeyondBudget {
+                id: id.clone(),
+                available: written,
+                required: threshold,
+                corrupt: 0,
+            });
+        }
         Ok(cost)
     }
 
@@ -661,12 +861,33 @@ impl Archive {
         let written: u64 = encoded.shards.iter().map(|s| s.len() as u64).sum();
         let placement = self.cluster.place(id.as_str(), encoded.shards.len())?;
         self.cluster.delete_shards(id.as_str(), &placement_old);
-        self.cluster
-            .put_shards(id.as_str(), &placement, &encoded.shards)?;
+        let shard_digests: Vec<[u8; 32]> = encoded
+            .shards
+            .iter()
+            .map(|s| Sha256::digest(s.as_slice()))
+            .collect();
+        let required = new_policy.read_threshold();
+        let mut put_rng = self.op_rng("reencode", id.as_str());
+        let (landed, _report) = self.cluster.put_shards_retrying(
+            id.as_str(),
+            &placement,
+            &encoded.shards,
+            &self.config.retry,
+            &mut put_rng,
+        );
         let manifest = self.manifests.get_mut(id).expect("manifest exists");
         manifest.policy = new_policy;
         manifest.meta = encoded.meta;
         manifest.placement = placement;
+        manifest.shard_digests = shard_digests;
+        if landed < required {
+            return Err(ArchiveError::DegradedBeyondBudget {
+                id: id.clone(),
+                available: landed,
+                required,
+                corrupt: 0,
+            });
+        }
         Ok((old_stored, written))
     }
 
@@ -729,7 +950,7 @@ impl Archive {
         // framing must survive untouched.
         let rs = aeon_erasure::ReedSolomon::new(data, parity)
             .map_err(|e| ArchiveError::Policy(PolicyError::Malformed(e.to_string())))?;
-        let shards = self.cluster.get_shards(id.as_str(), &manifest.placement);
+        let shards = self.fetch_shards(manifest, "rewrap").shards;
         let rewrap_one = |keys: &KeyStore,
                           context: &str,
                           key_version: u32,
@@ -789,8 +1010,18 @@ impl Archive {
                 .map_err(|e| ArchiveError::Policy(PolicyError::Malformed(e.to_string())))?
         };
         let placement = manifest.placement.clone();
-        self.cluster
-            .put_shards(id.as_str(), &placement, &new_shards)?;
+        let shard_digests: Vec<[u8; 32]> = new_shards
+            .iter()
+            .map(|s| Sha256::digest(s.as_slice()))
+            .collect();
+        let mut put_rng = self.op_rng("rewrap", id.as_str());
+        let (landed, _report) = self.cluster.put_shards_retrying(
+            id.as_str(),
+            &placement,
+            &new_shards,
+            &self.config.retry,
+            &mut put_rng,
+        );
         let mut new_suites = suites;
         new_suites.push(new_suite);
         let manifest = self.manifests.get_mut(id).expect("manifest exists");
@@ -799,6 +1030,17 @@ impl Archive {
             data,
             parity,
         };
+        // Shards that missed the rewrap hold the old layering; the new
+        // digests make reads treat them as stale until repaired.
+        manifest.shard_digests = shard_digests;
+        if landed < data {
+            return Err(ArchiveError::DegradedBeyondBudget {
+                id: id.clone(),
+                available: landed,
+                required: data,
+                corrupt: 0,
+            });
+        }
         Ok(())
     }
 

@@ -59,11 +59,16 @@ pub mod trustees;
 
 pub use archive::{
     estimate_entropy_bits_per_byte, Archive, ArchiveConfig, ArchiveError, ArchiveStats,
-    HealthReport, IntegrityMode, Manifest, ObjectId,
+    HealthReport, IntegrityMode, Manifest, ObjectId, ShardsSnapshot,
 };
 pub use evaluate::{
     figure1_points, table1, ChannelKind, CostBucket, Figure1Point, SystemProfile, Table1Row,
 };
 pub use pipeline::{ChunkedMeta, PipelineConfig, DEFAULT_CHUNK_SIZE};
 pub use policy::{Encoded, EncodingMeta, PolicyError, PolicyKind, Recovery};
-pub use repair::{RepairMethod, RepairReport};
+pub use repair::{FleetRepairOutcome, RepairMethod, RepairReport};
+
+// Fault-tolerance knobs live in the store crate; re-exported here so
+// archive users can configure retries without a direct dependency.
+pub use aeon_store::cluster::{ReadReport, ShardAttempt};
+pub use aeon_store::retry::{RetryPolicy, RetryStats};

@@ -13,9 +13,12 @@
 use crate::archive::{Archive, ArchiveError, ObjectId};
 use crate::pipeline;
 use crate::policy::PolicyKind;
+use aeon_crypto::Sha256;
 use aeon_erasure::ReedSolomon;
 use aeon_gf::Gf256;
 use aeon_secretshare::shamir::{self, Share};
+use aeon_store::node::ShardKey;
+use aeon_store::retry::run_with_retry;
 
 /// How a repair was performed.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -55,7 +58,12 @@ impl Archive {
             .manifest(id)
             .ok_or_else(|| ArchiveError::UnknownObject(id.clone()))?
             .clone();
-        let shards = self.cluster().get_shards(id.as_str(), &manifest.placement);
+        // Digest-filtered fetch: a bit-rotted shard is as lost as a
+        // deleted one, and must be rebuilt rather than trusted.
+        let shards = self
+            .fetch_shards_for(id, "repair")
+            .expect("manifest exists")
+            .shards;
         let missing: Vec<usize> = (0..shards.len()).filter(|&i| shards[i].is_none()).collect();
         if missing.is_empty() {
             return Ok(RepairReport {
@@ -162,19 +170,20 @@ impl Archive {
                         .map_err(ArchiveError::Share)?;
                     rebuilt.push((m, share));
                 }
+                let retry = self.retry_policy().clone();
+                let mut rng = self.op_rng("repair-put", id.as_str());
                 for (m, data) in rebuilt {
                     let node = self.cluster().node(manifest.placement[m]).cloned().ok_or(
                         ArchiveError::Policy(crate::policy::PolicyError::Malformed(
                             "placement references unknown node".into(),
                         )),
                     )?;
-                    node.put(
-                        &aeon_store::node::ShardKey::new(id.as_str(), m as u32),
-                        &data,
-                    )
-                    .map_err(|e| {
+                    let key = ShardKey::new(id.as_str(), m as u32);
+                    let (res, _stats) = run_with_retry(&retry, &mut rng, || node.put(&key, &data));
+                    res.map_err(|e| {
                         ArchiveError::Cluster(aeon_store::cluster::ClusterError::Node(e))
                     })?;
+                    self.set_shard_digest(id, m, Sha256::digest(&data));
                 }
                 RepairMethod::PartialShamir
             }
@@ -186,13 +195,10 @@ impl Archive {
             }
         };
 
-        let manifest = self.manifest(id).expect("manifest survives repair");
-        let after = self
-            .cluster()
-            .get_shards(id.as_str(), &manifest.placement)
-            .iter()
-            .filter(|s| s.is_none())
-            .count();
+        let snap = self
+            .fetch_shards_for(id, "repair-after")
+            .expect("manifest survives repair");
+        let after = snap.shards.len() - snap.valid;
         Ok(RepairReport {
             missing_before: missing.len(),
             missing_after: after,
@@ -207,6 +213,8 @@ impl Archive {
         missing: &[usize],
         all: &[Vec<u8>],
     ) -> Result<(), ArchiveError> {
+        let retry = self.retry_policy().clone();
+        let mut rng = self.op_rng("repair-put", id.as_str());
         for &m in missing {
             let node = self
                 .cluster()
@@ -215,31 +223,52 @@ impl Archive {
                 .ok_or(ArchiveError::Policy(crate::policy::PolicyError::Malformed(
                     "placement references unknown node".into(),
                 )))?;
-            node.put(
-                &aeon_store::node::ShardKey::new(id.as_str(), m as u32),
-                &all[m],
-            )
-            .map_err(|e| ArchiveError::Cluster(aeon_store::cluster::ClusterError::Node(e)))?;
+            let key = ShardKey::new(id.as_str(), m as u32);
+            let (res, _stats) = run_with_retry(&retry, &mut rng, || node.put(&key, &all[m]));
+            res.map_err(|e| ArchiveError::Cluster(aeon_store::cluster::ClusterError::Node(e)))?;
+            self.set_shard_digest(id, m, Sha256::digest(&all[m]));
         }
         Ok(())
     }
 
-    /// Repairs every object that is missing shards; returns
-    /// `(objects_repaired, reports)`.
-    ///
-    /// # Errors
-    ///
-    /// Propagates the first unrecoverable per-object failure.
-    pub fn repair_all(&mut self) -> Result<Vec<(ObjectId, RepairReport)>, ArchiveError> {
+    /// Repairs every object that is missing shards. One object failing
+    /// (too few survivors, write errors past the retry budget) does not
+    /// stop the sweep: the fleet report carries a per-object outcome
+    /// for every object that needed attention.
+    pub fn repair_all(&mut self) -> FleetRepairOutcome {
         let ids: Vec<ObjectId> = self.manifests().map(|m| m.id.clone()).collect();
-        let mut out = Vec::new();
+        let mut outcome = FleetRepairOutcome {
+            repaired: Vec::new(),
+            failed: Vec::new(),
+            healthy: 0,
+        };
         for id in ids {
-            let report = self.repair_object(&id)?;
-            if report.method != RepairMethod::NotNeeded {
-                out.push((id, report));
+            match self.repair_object(&id) {
+                Ok(report) if report.method == RepairMethod::NotNeeded => outcome.healthy += 1,
+                Ok(report) => outcome.repaired.push((id, report)),
+                Err(e) => outcome.failed.push((id, e)),
             }
         }
-        Ok(out)
+        outcome
+    }
+}
+
+/// Per-object outcome of an [`Archive::repair_all`] fleet sweep.
+#[derive(Debug)]
+pub struct FleetRepairOutcome {
+    /// Objects that needed and received repair.
+    pub repaired: Vec<(ObjectId, RepairReport)>,
+    /// Objects whose repair failed, with the error — the sweep
+    /// continues past them.
+    pub failed: Vec<(ObjectId, ArchiveError)>,
+    /// Objects that were already fully healthy.
+    pub healthy: usize,
+}
+
+impl FleetRepairOutcome {
+    /// `true` when no object's repair failed.
+    pub fn all_ok(&self) -> bool {
+        self.failed.is_empty()
     }
 }
 
@@ -381,7 +410,10 @@ mod tests {
         let id = archive.ingest(b"fine", "r").unwrap();
         let report = archive.repair_object(&id).unwrap();
         assert_eq!(report.method, RepairMethod::NotNeeded);
-        assert!(archive.repair_all().unwrap().is_empty());
+        let outcome = archive.repair_all();
+        assert!(outcome.repaired.is_empty());
+        assert!(outcome.all_ok());
+        assert_eq!(outcome.healthy, 1);
     }
 
     #[test]
@@ -393,8 +425,10 @@ mod tests {
             .collect();
         delete_shard(&handles, &archive, &ids[0], 1);
         delete_shard(&handles, &archive, &ids[2], 0);
-        let repaired = archive.repair_all().unwrap();
-        assert_eq!(repaired.len(), 2);
+        let outcome = archive.repair_all();
+        assert_eq!(outcome.repaired.len(), 2);
+        assert!(outcome.all_ok());
+        assert_eq!(outcome.healthy, 1);
         for id in &ids {
             assert_eq!(archive.retrieve(id).unwrap(), b"sweep");
         }

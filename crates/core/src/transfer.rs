@@ -46,12 +46,11 @@ pub fn ship_computational(
     link: &mut Link,
     rng_seed: u64,
 ) -> Result<(Vec<Vec<u8>>, TransferReport), ArchiveError> {
-    let manifest = archive
-        .manifest(id)
-        .ok_or_else(|| ArchiveError::UnknownObject(id.clone()))?;
+    // Retrying, digest-filtered fetch: never ship a bit-rotted shard.
     let shards: Vec<Vec<u8>> = archive
-        .cluster()
-        .get_shards(id.as_str(), &manifest.placement)
+        .fetch_shards_for(id, "ship-dh")
+        .ok_or_else(|| ArchiveError::UnknownObject(id.clone()))?
+        .shards
         .into_iter()
         .flatten()
         .collect();
@@ -96,12 +95,11 @@ pub fn ship_its(
     link: &mut Link,
     rng_seed: u64,
 ) -> Result<(Vec<Vec<u8>>, TransferReport), ArchiveError> {
-    let manifest = archive
-        .manifest(id)
-        .ok_or_else(|| ArchiveError::UnknownObject(id.clone()))?;
+    // Retrying, digest-filtered fetch: never ship a bit-rotted shard.
     let shards: Vec<Vec<u8>> = archive
-        .cluster()
-        .get_shards(id.as_str(), &manifest.placement)
+        .fetch_shards_for(id, "ship-its")
+        .ok_or_else(|| ArchiveError::UnknownObject(id.clone()))?
+        .shards
         .into_iter()
         .flatten()
         .collect();

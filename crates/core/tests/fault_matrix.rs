@@ -1,0 +1,179 @@
+//! The corruption matrix: for every one of the nine policies, any
+//! combination of up to `n - k` lost or bit-flipped shards must
+//! round-trip bit-identically, and `n - k + 1` losses must fail with a
+//! typed error — never a panic, never silently wrong bytes.
+
+use aeon_core::{Archive, ArchiveConfig, ArchiveError, IntegrityMode, ObjectId, PolicyKind};
+use aeon_crypto::SuiteId;
+use aeon_store::node::{MemoryNode, NodeId, ShardKey, StorageNode};
+use aeon_store::Cluster;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// One representative of each of the nine policy families.
+fn policies() -> Vec<PolicyKind> {
+    vec![
+        PolicyKind::Replication { copies: 4 },
+        PolicyKind::ErasureCoded { data: 3, parity: 2 },
+        PolicyKind::Encrypted {
+            suite: SuiteId::Aes256CtrHmac,
+            data: 3,
+            parity: 2,
+        },
+        PolicyKind::Cascade {
+            suites: vec![SuiteId::Aes256CtrHmac, SuiteId::ChaCha20Poly1305],
+            data: 2,
+            parity: 2,
+        },
+        PolicyKind::AontRs { data: 3, parity: 2 },
+        PolicyKind::Shamir {
+            threshold: 3,
+            shares: 5,
+        },
+        PolicyKind::PackedShamir {
+            privacy: 2,
+            pack: 2,
+            shares: 6,
+        },
+        PolicyKind::LeakageResilientShamir {
+            threshold: 2,
+            shares: 4,
+            source_len: 32,
+        },
+        PolicyKind::Entropic { data: 2, parity: 2 },
+    ]
+}
+
+fn archive_for(policy: &PolicyKind) -> (Archive, Vec<MemoryNode>) {
+    let n = policy.shard_count().max(1);
+    let handles: Vec<MemoryNode> = (0..n as u32)
+        .map(|i| MemoryNode::new(i, format!("site-{i}")))
+        .collect();
+    let cluster = Cluster::new(
+        handles
+            .iter()
+            .map(|h| Arc::new(h.clone()) as Arc<dyn StorageNode>)
+            .collect(),
+    );
+    let config = ArchiveConfig::new(policy.clone()).with_integrity(IntegrityMode::DigestOnly);
+    (Archive::with_cluster(config, cluster).unwrap(), handles)
+}
+
+fn node_of(handles: &[MemoryNode], id: NodeId) -> &MemoryNode {
+    handles.iter().find(|h| h.id() == id).expect("node exists")
+}
+
+/// Deletes the shard at placement slot `idx`.
+fn lose_shard(archive: &Archive, handles: &[MemoryNode], id: &ObjectId, idx: usize) {
+    let placement = &archive.manifest(id).unwrap().placement;
+    node_of(handles, placement[idx])
+        .delete(&ShardKey::new(id.as_str(), idx as u32))
+        .unwrap();
+}
+
+/// Flips one bit of the shard at placement slot `idx` (via the node's
+/// corruption injection, modelling silent bit-rot).
+fn flip_shard(archive: &Archive, handles: &[MemoryNode], id: &ObjectId, idx: usize, bit: u64) {
+    let placement = &archive.manifest(id).unwrap().placement;
+    let node = node_of(handles, placement[idx]);
+    let key = ShardKey::new(id.as_str(), idx as u32);
+    let mut bytes = node.get(&key).unwrap();
+    let target = (bit % (bytes.len() as u64 * 8)) as usize;
+    bytes[target / 8] ^= 1 << (target % 8);
+    node.corrupt(&key, bytes);
+}
+
+proptest! {
+    // 4 cases x 9 policies x 4 scenarios is plenty; CI's chaos job
+    // re-runs this in release across three pinned seeds.
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Up to `n - k` shards deleted: the payload still reads back
+    /// bit-identically, for every policy.
+    #[test]
+    fn losses_within_budget_roundtrip(
+        payload in prop::collection::vec(any::<u8>(), 1..64),
+        rot in any::<u64>(),
+    ) {
+        for policy in policies() {
+            let n = policy.shard_count();
+            let k = policy.read_threshold();
+            let (mut archive, handles) = archive_for(&policy);
+            let id = archive.ingest(&payload, "matrix").unwrap();
+            for j in 0..(n - k) {
+                lose_shard(&archive, &handles, &id, (rot as usize + j) % n);
+            }
+            let got = archive.retrieve(&id).unwrap();
+            prop_assert_eq!(&got, &payload, "policy {:?}", policy);
+        }
+    }
+
+    /// Up to `n - k` shards bit-flipped: the digest filter discards the
+    /// rotted shards and the decode proceeds from the clean remainder.
+    #[test]
+    fn bit_flips_within_budget_roundtrip(
+        payload in prop::collection::vec(any::<u8>(), 1..64),
+        rot in any::<u64>(),
+        bit in any::<u64>(),
+    ) {
+        for policy in policies() {
+            let n = policy.shard_count();
+            let k = policy.read_threshold();
+            let (mut archive, handles) = archive_for(&policy);
+            let id = archive.ingest(&payload, "matrix").unwrap();
+            for j in 0..(n - k) {
+                flip_shard(&archive, &handles, &id, (rot as usize + j) % n, bit.wrapping_add(j as u64));
+            }
+            let got = archive.retrieve(&id).unwrap();
+            prop_assert_eq!(&got, &payload, "policy {:?}", policy);
+        }
+    }
+
+    /// `n - k + 1` shards deleted: a typed DegradedBeyondBudget error
+    /// carrying the exact deficit — not a panic, not garbage bytes.
+    #[test]
+    fn losses_beyond_budget_fail_typed(
+        payload in prop::collection::vec(any::<u8>(), 1..64),
+        rot in any::<u64>(),
+    ) {
+        for policy in policies() {
+            let n = policy.shard_count();
+            let k = policy.read_threshold();
+            let (mut archive, handles) = archive_for(&policy);
+            let id = archive.ingest(&payload, "matrix").unwrap();
+            for j in 0..(n - k + 1) {
+                lose_shard(&archive, &handles, &id, (rot as usize + j) % n);
+            }
+            match archive.retrieve(&id) {
+                Err(ArchiveError::DegradedBeyondBudget { available, required, .. }) => {
+                    prop_assert_eq!(available, k - 1, "policy {:?}", policy);
+                    prop_assert_eq!(required, k, "policy {:?}", policy);
+                }
+                other => prop_assert!(false, "policy {:?}: expected DegradedBeyondBudget, got {:?}", policy, other.map(|_| "Ok(payload)")),
+            }
+        }
+    }
+
+    /// `n - k + 1` shards bit-flipped: with corruption in evidence the
+    /// failure is an IntegrityViolation — still typed, still no panic.
+    #[test]
+    fn bit_flips_beyond_budget_fail_typed(
+        payload in prop::collection::vec(any::<u8>(), 1..64),
+        rot in any::<u64>(),
+        bit in any::<u64>(),
+    ) {
+        for policy in policies() {
+            let n = policy.shard_count();
+            let k = policy.read_threshold();
+            let (mut archive, handles) = archive_for(&policy);
+            let id = archive.ingest(&payload, "matrix").unwrap();
+            for j in 0..(n - k + 1) {
+                flip_shard(&archive, &handles, &id, (rot as usize + j) % n, bit.wrapping_add(j as u64));
+            }
+            prop_assert!(
+                matches!(archive.retrieve(&id), Err(ArchiveError::IntegrityViolation(_))),
+                "policy {:?}", policy
+            );
+        }
+    }
+}

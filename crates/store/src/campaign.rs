@@ -10,6 +10,7 @@
 //! closed-form estimate turns out to be optimistic.
 
 use crate::media::{ArchiveSite, DAYS_PER_MONTH};
+use aeon_crypto::{ChaChaDrbg, CryptoRng};
 
 /// Errors from campaign simulation.
 #[derive(Debug, Clone, PartialEq)]
@@ -104,6 +105,33 @@ pub struct CampaignOutcome {
     /// Fraction of the archive that was still exposed (un-migrated) at
     /// the campaign's halfway point in time.
     pub exposed_fraction_at_halfway: f64,
+    /// Terabytes re-read / re-written due to injected faults (0 for a
+    /// fault-free campaign).
+    pub retried_tb: f64,
+}
+
+/// Fault model for a campaign run: the §3.2 numbers assume every read
+/// succeeds first try, which multi-month campaigns over mostly-offline
+/// media do not get to assume. Each day a deterministic, seeded fraction
+/// of that day's migrated volume fails verification and must be re-read
+/// and re-written, stealing bandwidth from forward progress.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignFaults {
+    /// Seed for the per-day fault draws.
+    pub seed: u64,
+    /// Mean fraction of a day's volume lost to retries, in `[0, 1)`.
+    /// Each day draws uniformly from `[0, 2 * rate]`, clamped below 1.
+    pub daily_fault_rate: f64,
+}
+
+impl CampaignFaults {
+    /// A fault model at the given mean daily rate.
+    pub fn new(seed: u64, daily_fault_rate: f64) -> Self {
+        CampaignFaults {
+            seed,
+            daily_fault_rate,
+        }
+    }
 }
 
 /// Simulates a re-encryption campaign day by day.
@@ -161,6 +189,76 @@ pub fn simulate_campaign(
         migrated_tb: total,
         ingested_tb: ingested,
         exposed_fraction_at_halfway: exposed_at_halfway,
+        retried_tb: 0.0,
+    })
+}
+
+/// [`simulate_campaign`] under injected faults: each day a seeded,
+/// deterministic fraction of the day's volume (drawn uniformly from
+/// `[0, 2 * daily_fault_rate]`, clamped at 0.95) fails verification and
+/// is re-read/re-written, so the campaign's forward progress that day is
+/// only `bandwidth * (1 - loss)`. With `daily_fault_rate == 0` the
+/// outcome matches the fault-free simulation. The same seed reproduces
+/// the identical day-by-day trajectory.
+///
+/// # Errors
+///
+/// Returns [`CampaignError::Saturated`] if ingest consumes all write
+/// bandwidth.
+pub fn simulate_campaign_faulty(
+    site: &ArchiveSite,
+    ingest_tb_per_day: f64,
+    faults: &CampaignFaults,
+) -> Result<CampaignOutcome, CampaignError> {
+    let write_available = site.write_tb_per_day - ingest_tb_per_day;
+    if write_available <= 0.0 {
+        return Err(CampaignError::Saturated {
+            ingest_tb_per_day,
+            write_tb_per_day: site.write_tb_per_day,
+        });
+    }
+    let daily = site.read_tb_per_day.min(write_available);
+    let total = site.capacity_tb;
+    let mut rng = ChaChaDrbg::from_u64_seed(faults.seed);
+    let mut remaining = total;
+    let mut days = 0.0f64;
+    let mut ingested = 0.0f64;
+    let mut retried = 0.0f64;
+    // Remaining volume at the start of each day, for the halfway-point
+    // exposure lookup after the (fault-dependent) duration is known.
+    let mut trajectory = Vec::new();
+    loop {
+        trajectory.push(remaining);
+        let loss = if faults.daily_fault_rate > 0.0 {
+            let u = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+            (2.0 * faults.daily_fault_rate * u).min(0.95)
+        } else {
+            0.0
+        };
+        let progress = daily * (1.0 - loss);
+        if remaining <= progress {
+            let fraction = remaining / progress;
+            days += fraction;
+            ingested += ingest_tb_per_day * fraction;
+            retried += daily * loss * fraction;
+            break;
+        }
+        remaining -= progress;
+        ingested += ingest_tb_per_day;
+        retried += daily * loss;
+        days += 1.0;
+    }
+    let exposed_fraction_at_halfway = if days <= 2.0 {
+        0.5 // degenerate short campaigns, matching the fault-free model
+    } else {
+        trajectory[(days / 2.0) as usize] / total
+    };
+    Ok(CampaignOutcome {
+        days,
+        migrated_tb: total,
+        ingested_tb: ingested,
+        exposed_fraction_at_halfway,
+        retried_tb: retried,
     })
 }
 
@@ -282,6 +380,57 @@ mod tests {
         }
         let msg = simulate_campaign(&site, 5.0).unwrap_err().to_string();
         assert!(msg.contains("saturates write bandwidth"), "{msg}");
+    }
+
+    #[test]
+    fn fault_rate_slows_campaign_deterministically() {
+        let site = ArchiveSite {
+            name: "toy".into(),
+            capacity_tb: 1000.0,
+            read_tb_per_day: 10.0,
+            write_tb_per_day: 20.0,
+            media: crate::media::MediaType::Tape,
+        };
+        let clean = simulate_campaign(&site, 0.0).expect("no ingest");
+        let zero =
+            simulate_campaign_faulty(&site, 0.0, &CampaignFaults::new(1, 0.0)).expect("no ingest");
+        assert!((zero.days - clean.days).abs() < 1.0);
+        assert_eq!(zero.retried_tb, 0.0);
+
+        let faulty =
+            simulate_campaign_faulty(&site, 0.0, &CampaignFaults::new(1, 0.2)).expect("no ingest");
+        assert!(
+            faulty.days > clean.days * 1.1,
+            "{} vs {}",
+            faulty.days,
+            clean.days
+        );
+        assert!(faulty.retried_tb > 0.0);
+        // Heavier faults: slower still.
+        let heavier =
+            simulate_campaign_faulty(&site, 0.0, &CampaignFaults::new(1, 0.4)).expect("no ingest");
+        assert!(heavier.days > faulty.days);
+        // Same seed, same trajectory; different seed, different days.
+        let again = simulate_campaign_faulty(&site, 0.0, &CampaignFaults::new(1, 0.2)).unwrap();
+        assert_eq!(again.days, faulty.days);
+        assert_eq!(again.retried_tb, faulty.retried_tb);
+        let other = simulate_campaign_faulty(&site, 0.0, &CampaignFaults::new(2, 0.2)).unwrap();
+        assert_ne!(other.days, faulty.days);
+    }
+
+    #[test]
+    fn faulty_campaign_still_detects_saturation() {
+        let site = ArchiveSite {
+            name: "toy".into(),
+            capacity_tb: 100.0,
+            read_tb_per_day: 10.0,
+            write_tb_per_day: 5.0,
+            media: crate::media::MediaType::Tape,
+        };
+        assert!(matches!(
+            simulate_campaign_faulty(&site, 5.0, &CampaignFaults::new(3, 0.1)),
+            Err(CampaignError::Saturated { .. })
+        ));
     }
 
     #[test]

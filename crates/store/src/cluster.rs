@@ -1,6 +1,8 @@
 //! Geo-dispersed clusters with anti-affinity placement.
 
 use crate::node::{MemoryNode, NodeError, NodeId, ShardKey, StorageNode};
+use crate::retry::{run_with_retry, RetryPolicy};
+use aeon_crypto::CryptoRng;
 use std::sync::Arc;
 
 /// Errors from cluster operations.
@@ -39,6 +41,59 @@ impl std::error::Error for ClusterError {}
 impl From<NodeError> for ClusterError {
     fn from(e: NodeError) -> Self {
         ClusterError::Node(e)
+    }
+}
+
+/// Outcome of one shard's fan-out leg in a retried read or write.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardAttempt {
+    /// Shard index within the object.
+    pub shard: u32,
+    /// The node the shard lives on.
+    pub node: NodeId,
+    /// Attempts actually made against the node.
+    pub attempts: u32,
+    /// Simulated backoff spent on this shard, in milliseconds.
+    pub backoff_ms: u64,
+    /// The final error, if the shard stayed unavailable.
+    pub error: Option<NodeError>,
+}
+
+/// Per-shard accounting from [`Cluster::get_shards_retrying`] /
+/// [`Cluster::put_shards_retrying`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ReadReport {
+    /// One record per placement entry, in shard order.
+    pub attempts: Vec<ShardAttempt>,
+}
+
+impl ReadReport {
+    /// Attempts made against `node` across all shards.
+    pub fn attempts_for(&self, node: NodeId) -> u32 {
+        self.attempts
+            .iter()
+            .filter(|a| a.node == node)
+            .map(|a| a.attempts)
+            .sum()
+    }
+
+    /// Total attempts across the fan-out.
+    pub fn total_attempts(&self) -> u32 {
+        self.attempts.iter().map(|a| a.attempts).sum()
+    }
+
+    /// Total simulated backoff, in milliseconds.
+    pub fn total_backoff_ms(&self) -> u64 {
+        self.attempts.iter().map(|a| a.backoff_ms).sum()
+    }
+
+    /// Shards that ended in an error.
+    pub fn failed_shards(&self) -> Vec<u32> {
+        self.attempts
+            .iter()
+            .filter(|a| a.error.is_some())
+            .map(|a| a.shard)
+            .collect()
     }
 }
 
@@ -175,6 +230,98 @@ impl Cluster {
             .collect()
     }
 
+    /// Fetches an object's shards with bounded retry per node. Each
+    /// shard is attempted up to `retry.max_attempts` times (transient
+    /// errors and offline nodes only — a missing shard is permanent);
+    /// unavailable shards come back as `None` plus a per-shard
+    /// [`ShardAttempt`] record, so callers can both decode degraded and
+    /// audit exactly how often each node was hammered.
+    pub fn get_shards_retrying<R: CryptoRng + ?Sized>(
+        &self,
+        object: &str,
+        placement: &[NodeId],
+        retry: &RetryPolicy,
+        rng: &mut R,
+    ) -> (Vec<Option<Vec<u8>>>, ReadReport) {
+        let mut shards = Vec::with_capacity(placement.len());
+        let mut attempts = Vec::with_capacity(placement.len());
+        for (i, node_id) in placement.iter().enumerate() {
+            let key = ShardKey::new(object, i as u32);
+            let Some(node) = self.node(*node_id) else {
+                shards.push(None);
+                attempts.push(ShardAttempt {
+                    shard: i as u32,
+                    node: *node_id,
+                    attempts: 0,
+                    backoff_ms: 0,
+                    error: Some(NodeError::Io("placement references unknown node".into())),
+                });
+                continue;
+            };
+            let (result, stats) = run_with_retry(retry, rng, || node.get(&key));
+            let (shard, error) = match result {
+                Ok(bytes) => (Some(bytes), None),
+                Err(e) => (None, Some(e)),
+            };
+            shards.push(shard);
+            attempts.push(ShardAttempt {
+                shard: i as u32,
+                node: *node_id,
+                attempts: stats.attempts,
+                backoff_ms: stats.backoff_ms,
+                error,
+            });
+        }
+        (shards, ReadReport { attempts })
+    }
+
+    /// Stores an object's shards with bounded retry per node, tolerating
+    /// per-shard failures: every write is attempted, failures are
+    /// recorded instead of aborting the fan-out (the shard stays missing
+    /// and is a repair's problem). Returns the number of shards durably
+    /// written plus the per-shard report.
+    pub fn put_shards_retrying<R: CryptoRng + ?Sized>(
+        &self,
+        object: &str,
+        placement: &[NodeId],
+        shards: &[Vec<u8>],
+        retry: &RetryPolicy,
+        rng: &mut R,
+    ) -> (usize, ReadReport) {
+        assert_eq!(placement.len(), shards.len(), "placement/shard mismatch");
+        let mut written = 0usize;
+        let mut attempts = Vec::with_capacity(placement.len());
+        for (i, (node_id, shard)) in placement.iter().zip(shards).enumerate() {
+            let key = ShardKey::new(object, i as u32);
+            let Some(node) = self.node(*node_id) else {
+                attempts.push(ShardAttempt {
+                    shard: i as u32,
+                    node: *node_id,
+                    attempts: 0,
+                    backoff_ms: 0,
+                    error: Some(NodeError::Io("placement references unknown node".into())),
+                });
+                continue;
+            };
+            let (result, stats) = run_with_retry(retry, rng, || node.put(&key, shard));
+            let error = match result {
+                Ok(()) => {
+                    written += 1;
+                    None
+                }
+                Err(e) => Some(e),
+            };
+            attempts.push(ShardAttempt {
+                shard: i as u32,
+                node: *node_id,
+                attempts: stats.attempts,
+                backoff_ms: stats.backoff_ms,
+                error,
+            });
+        }
+        (written, ReadReport { attempts })
+    }
+
     /// Deletes an object's shards (best effort).
     pub fn delete_shards(&self, object: &str, placement: &[NodeId]) {
         for (i, node_id) in placement.iter().enumerate() {
@@ -304,6 +451,52 @@ mod tests {
         assert!(got[0].is_some());
         assert!(got[1].is_none());
         assert!(got[2].is_none());
+    }
+
+    #[test]
+    fn retrying_read_bounds_attempts_on_dead_nodes() {
+        use aeon_crypto::ChaChaDrbg;
+        let (cluster, handles) = cluster_with_handles();
+        let placement = cluster.place("obj", 4).unwrap();
+        let shards: Vec<Vec<u8>> = (0..4u8).map(|i| vec![i; 8]).collect();
+        cluster.put_shards("obj", &placement, &shards).unwrap();
+        let dead = placement[2];
+        handles
+            .iter()
+            .find(|h| h.id() == dead)
+            .unwrap()
+            .set_offline(true);
+        let retry = crate::retry::RetryPolicy::default().with_attempts(3);
+        let mut rng = ChaChaDrbg::from_u64_seed(1);
+        let (got, report) = cluster.get_shards_retrying("obj", &placement, &retry, &mut rng);
+        assert_eq!(got.iter().flatten().count(), 3);
+        assert!(got[2].is_none());
+        assert_eq!(report.attempts_for(dead), 3, "dead node retried to cap");
+        for id in placement.iter().filter(|&&id| id != dead) {
+            assert_eq!(report.attempts_for(*id), 1, "healthy nodes hit once");
+        }
+        assert_eq!(report.failed_shards(), vec![2]);
+        assert!(report.total_backoff_ms() > 0);
+    }
+
+    #[test]
+    fn retrying_put_tolerates_partial_failure() {
+        use aeon_crypto::ChaChaDrbg;
+        let (cluster, handles) = cluster_with_handles();
+        let placement = cluster.place("obj", 3).unwrap();
+        handles
+            .iter()
+            .find(|h| h.id() == placement[0])
+            .unwrap()
+            .set_offline(true);
+        let shards: Vec<Vec<u8>> = (0..3u8).map(|i| vec![i; 4]).collect();
+        let retry = crate::retry::RetryPolicy::default().with_attempts(2);
+        let mut rng = ChaChaDrbg::from_u64_seed(2);
+        let (written, report) =
+            cluster.put_shards_retrying("obj", &placement, &shards, &retry, &mut rng);
+        assert_eq!(written, 2, "fan-out continued past the dead node");
+        assert_eq!(report.failed_shards(), vec![0]);
+        assert_eq!(report.attempts_for(placement[0]), 2);
     }
 
     #[test]

@@ -19,6 +19,12 @@
 //!   read, re-encrypt, and write back an entire archive, under write
 //!   penalties and reserved foreground capacity? Both closed-form and
 //!   discrete-event variants.
+//! * [`faults`] — seeded, deterministic fault injection: a
+//!   [`faults::FaultyNode`] decorator applying a [`faults::FaultPlan`]
+//!   (transient I/O errors, persistent bit flips, torn writes, simulated
+//!   latency, scheduled offline windows) to any inner node.
+//! * [`retry`] — bounded retry with exponential backoff and
+//!   deterministic jitter, shared by every consumer of node I/O.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
@@ -26,9 +32,13 @@
 pub mod campaign;
 pub mod cluster;
 pub mod durability;
+pub mod faults;
 pub mod media;
 pub mod node;
+pub mod retry;
 
 pub use cluster::Cluster;
+pub use faults::{FaultEvent, FaultKind, FaultPlan, FaultyNode};
 pub use media::{ArchiveSite, MediaProfile, MediaType};
 pub use node::{MemoryNode, NodeError, NodeId, StorageNode};
+pub use retry::{RetryPolicy, RetryStats};

@@ -262,6 +262,21 @@ impl FileNode {
         self.injection.write().offline = offline;
     }
 
+    /// Returns `true` if the node is currently offline.
+    pub fn is_offline(&self) -> bool {
+        self.injection.read().offline
+    }
+
+    /// Silently corrupts a stored shard: subsequent reads return the
+    /// given bytes instead of the on-disk ones (bit-rot / malicious
+    /// modification), matching [`MemoryNode::corrupt`].
+    pub fn corrupt(&self, key: &ShardKey, replacement: Vec<u8>) {
+        self.injection
+            .write()
+            .corrupted
+            .insert(key.clone(), replacement);
+    }
+
     fn path_for(&self, key: &ShardKey) -> PathBuf {
         // Object ids are caller-controlled: encode to a safe filename.
         let safe: String = key

@@ -1,0 +1,239 @@
+//! Bounded, deterministic retry for node operations.
+//!
+//! Archival media fail *transiently* far more often than they fail for
+//! good (SCSI resets, robot arm contention, tape positioning errors), so
+//! every consumer of [`StorageNode`](crate::node::StorageNode) I/O wants
+//! the same loop: retry retryable errors a bounded number of times with
+//! exponential backoff, give up on permanent ones immediately. This
+//! module supplies that loop with two properties the simulation needs:
+//!
+//! * **Simulated time.** Backoff is accounted, not slept: the loop
+//!   returns the milliseconds it *would* have waited so campaign math
+//!   can bill them, and a million-object test run finishes in seconds.
+//! * **Deterministic jitter.** The jitter added to each backoff step is
+//!   drawn from a caller-supplied [`CryptoRng`], so a seeded run replays
+//!   the exact same retry schedule.
+
+use crate::node::NodeError;
+use aeon_crypto::CryptoRng;
+
+/// Bounded-retry configuration for a single node operation.
+///
+/// # Examples
+///
+/// ```
+/// use aeon_store::retry::RetryPolicy;
+///
+/// let policy = RetryPolicy::default();
+/// assert_eq!(policy.max_attempts, 3);
+/// assert_eq!(RetryPolicy::none().max_attempts, 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per operation, including the first (`>= 1`).
+    pub max_attempts: u32,
+    /// Simulated backoff before the first retry, in milliseconds.
+    pub base_backoff_ms: u64,
+    /// Multiplier applied to the backoff after each failed attempt.
+    pub backoff_multiplier: u32,
+    /// Ceiling on a single backoff step, in milliseconds.
+    pub max_backoff_ms: u64,
+    /// Upper bound (exclusive) on the uniform jitter added to each
+    /// backoff step; `0` disables jitter.
+    pub jitter_ms: u64,
+    /// Total simulated backoff budget per operation: once the
+    /// accumulated backoff would exceed this, the loop gives up even if
+    /// attempts remain.
+    pub op_budget_ms: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base_backoff_ms: 10,
+            backoff_multiplier: 2,
+            max_backoff_ms: 1_000,
+            jitter_ms: 5,
+            op_budget_ms: 10_000,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries (single attempt, no backoff).
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            base_backoff_ms: 0,
+            backoff_multiplier: 1,
+            max_backoff_ms: 0,
+            jitter_ms: 0,
+            op_budget_ms: 0,
+        }
+    }
+
+    /// Overrides the attempt bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `attempts` is zero.
+    pub fn with_attempts(mut self, attempts: u32) -> Self {
+        assert!(attempts >= 1, "at least one attempt is required");
+        self.max_attempts = attempts;
+        self
+    }
+
+    /// Overrides the per-operation backoff budget.
+    pub fn with_budget_ms(mut self, budget: u64) -> Self {
+        self.op_budget_ms = budget;
+        self
+    }
+
+    /// Whether `error` is worth retrying: transient I/O failures and
+    /// offline nodes are; a missing shard is a permanent answer.
+    pub fn is_retryable(error: &NodeError) -> bool {
+        match error {
+            NodeError::Io(_) | NodeError::Offline => true,
+            NodeError::NotFound => false,
+        }
+    }
+}
+
+/// Accounting from one retried operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RetryStats {
+    /// Attempts actually made (`1..=max_attempts`).
+    pub attempts: u32,
+    /// Total simulated backoff, in milliseconds.
+    pub backoff_ms: u64,
+}
+
+/// Runs `op` under `policy`, retrying retryable [`NodeError`]s with
+/// exponential backoff and deterministic jitter drawn from `rng`.
+///
+/// Returns the final result plus [`RetryStats`]. Backoff time is
+/// simulated (accounted, never slept).
+pub fn run_with_retry<T, R, F>(
+    policy: &RetryPolicy,
+    rng: &mut R,
+    mut op: F,
+) -> (Result<T, NodeError>, RetryStats)
+where
+    R: CryptoRng + ?Sized,
+    F: FnMut() -> Result<T, NodeError>,
+{
+    let mut stats = RetryStats::default();
+    let mut step_ms = policy.base_backoff_ms;
+    loop {
+        stats.attempts += 1;
+        match op() {
+            Ok(v) => return (Ok(v), stats),
+            Err(e) => {
+                if !RetryPolicy::is_retryable(&e) || stats.attempts >= policy.max_attempts {
+                    return (Err(e), stats);
+                }
+                let jitter = if policy.jitter_ms > 0 {
+                    rng.gen_range(policy.jitter_ms)
+                } else {
+                    0
+                };
+                let wait = step_ms.min(policy.max_backoff_ms) + jitter;
+                if stats.backoff_ms.saturating_add(wait) > policy.op_budget_ms {
+                    return (Err(e), stats);
+                }
+                stats.backoff_ms += wait;
+                step_ms = step_ms.saturating_mul(policy.backoff_multiplier as u64);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aeon_crypto::ChaChaDrbg;
+
+    #[test]
+    fn succeeds_first_try_without_backoff() {
+        let mut rng = ChaChaDrbg::from_u64_seed(1);
+        let (out, stats) =
+            run_with_retry(&RetryPolicy::default(), &mut rng, || Ok::<_, NodeError>(7));
+        assert_eq!(out.unwrap(), 7);
+        assert_eq!(stats.attempts, 1);
+        assert_eq!(stats.backoff_ms, 0);
+    }
+
+    #[test]
+    fn retries_transient_errors_until_success() {
+        let mut rng = ChaChaDrbg::from_u64_seed(2);
+        let mut calls = 0;
+        let (out, stats) = run_with_retry(&RetryPolicy::default(), &mut rng, || {
+            calls += 1;
+            if calls < 3 {
+                Err(NodeError::Io("flaky".into()))
+            } else {
+                Ok(calls)
+            }
+        });
+        assert_eq!(out.unwrap(), 3);
+        assert_eq!(stats.attempts, 3);
+        assert!(stats.backoff_ms >= 10 + 20, "exponential steps accumulate");
+    }
+
+    #[test]
+    fn not_found_is_permanent() {
+        let mut rng = ChaChaDrbg::from_u64_seed(3);
+        let mut calls = 0;
+        let (out, stats) = run_with_retry(&RetryPolicy::default(), &mut rng, || {
+            calls += 1;
+            Err::<(), _>(NodeError::NotFound)
+        });
+        assert_eq!(out.unwrap_err(), NodeError::NotFound);
+        assert_eq!(stats.attempts, 1);
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn attempt_bound_is_respected() {
+        let mut rng = ChaChaDrbg::from_u64_seed(4);
+        let policy = RetryPolicy::default().with_attempts(5);
+        let mut calls = 0u32;
+        let (out, stats) = run_with_retry(&policy, &mut rng, || {
+            calls += 1;
+            Err::<(), _>(NodeError::Offline)
+        });
+        assert!(out.is_err());
+        assert_eq!(calls, 5);
+        assert_eq!(stats.attempts, 5);
+    }
+
+    #[test]
+    fn budget_stops_retrying_early() {
+        let mut rng = ChaChaDrbg::from_u64_seed(5);
+        let policy = RetryPolicy::default().with_attempts(100).with_budget_ms(25);
+        let (out, stats) = run_with_retry(&policy, &mut rng, || {
+            Err::<(), _>(NodeError::Io("down".into()))
+        });
+        assert!(out.is_err());
+        assert!(stats.attempts < 100, "budget cut the loop short");
+        assert!(stats.backoff_ms <= 25);
+    }
+
+    #[test]
+    fn jitter_is_deterministic_per_seed() {
+        let schedule = |seed: u64| {
+            let mut rng = ChaChaDrbg::from_u64_seed(seed);
+            let (_, stats) =
+                run_with_retry(&RetryPolicy::default().with_attempts(3), &mut rng, || {
+                    Err::<(), _>(NodeError::Io("x".into()))
+                });
+            stats
+        };
+        assert_eq!(schedule(9), schedule(9));
+        // Different seeds give different jitter with overwhelming
+        // probability under a 5 ms jitter window and two draws; allow
+        // equality but check attempts anyway.
+        assert_eq!(schedule(9).attempts, 3);
+    }
+}
