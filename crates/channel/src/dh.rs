@@ -59,8 +59,8 @@ pub fn handshake<R: CryptoRng + ?Sized>(
     link: &mut Link,
 ) -> Result<(DhSession, DhSession), ChannelError> {
     // Ephemeral exponents (256-bit scalars are ample for the simulation).
-    let a = rng.gen_array::<32>();
-    let b = rng.gen_array::<32>();
+    let a = aeon_crypto::random_array::<32, _>(rng);
+    let b = aeon_crypto::random_array::<32, _>(rng);
     let ga = group.exp_generator(&a);
     let gb = group.exp_generator(&b);
 

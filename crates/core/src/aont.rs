@@ -83,7 +83,7 @@ impl AontRs {
 
     /// Builds the AONT package: `ciphertext ‖ (k ⊕ H(ciphertext))`.
     fn package<R: CryptoRng + ?Sized>(rng: &mut R, payload: &[u8]) -> Vec<u8> {
-        let key = rng.gen_array::<32>();
+        let key = aeon_crypto::random_array::<32, _>(rng);
         let mut ct = payload.to_vec();
         Aes::new_256(&key).apply_ctr(&[0u8; 16], &mut ct);
         let digest = Sha256::digest(&ct);

@@ -1,16 +1,17 @@
 //! The archive: policy-driven ingest, retrieval, verification,
 //! maintenance.
 
+use crate::codec::RepairError;
+use crate::executor::{PlanExecutor, ShardsSnapshot};
 use crate::keys::KeyStore;
 use crate::pipeline::{self, PipelineConfig};
+use crate::plan::{self, ReadPlan};
 use crate::policy::{EncodingMeta, PolicyError, PolicyKind};
 use aeon_crypto::{ChaChaDrbg, Sha256};
 use aeon_integrity::ledger::Ledger;
 use aeon_integrity::timestamp::{AnchorMode, DocumentChain, SigBreakSchedule, TimestampAuthority};
 use aeon_num::pedersen::Committer;
 use aeon_num::ModpGroup;
-use aeon_secretshare::proactive::{self, ProtocolCost};
-use aeon_secretshare::shamir::Share;
 use aeon_store::cluster::{ClusterError, ReadReport};
 use aeon_store::node::NodeId;
 use aeon_store::retry::RetryPolicy;
@@ -203,6 +204,15 @@ impl From<aeon_secretshare::ShareError> for ArchiveError {
     }
 }
 
+impl From<RepairError> for ArchiveError {
+    fn from(e: RepairError) -> Self {
+        match e {
+            RepairError::Policy(e) => ArchiveError::Policy(e),
+            RepairError::Share(e) => ArchiveError::Share(e),
+        }
+    }
+}
+
 /// Per-object record kept by the archive.
 #[derive(Debug, Clone)]
 pub struct Manifest {
@@ -228,23 +238,6 @@ pub struct Manifest {
     pub created_year: u32,
     /// Refresh epochs completed (proactive policies).
     pub refresh_epochs: u64,
-}
-
-/// Snapshot of an object's shards after a retrying, digest-checked
-/// fetch: the raw material for degraded reads, verification, and
-/// repair.
-#[derive(Debug)]
-pub struct ShardsSnapshot {
-    /// Shard slots in placement order. Slots that erred out past the
-    /// retry budget, or whose bytes failed the per-shard digest check,
-    /// are `None`.
-    pub shards: Vec<Option<Vec<u8>>>,
-    /// Shards present and digest-clean.
-    pub valid: usize,
-    /// Shards discarded because their bytes failed the digest check.
-    pub corrupt: usize,
-    /// Per-shard retry accounting from the cluster.
-    pub report: ReadReport,
 }
 
 /// Health report from [`Archive::verify`].
@@ -289,11 +282,11 @@ pub struct ArchiveStats {
 /// # Ok::<(), aeon_core::ArchiveError>(())
 /// ```
 pub struct Archive {
-    config: ArchiveConfig,
+    pub(crate) config: ArchiveConfig,
     cluster: Cluster,
-    keys: KeyStore,
-    rng: ChaChaDrbg,
-    manifests: BTreeMap<ObjectId, Manifest>,
+    pub(crate) keys: KeyStore,
+    pub(crate) rng: ChaChaDrbg,
+    pub(crate) manifests: BTreeMap<ObjectId, Manifest>,
     chains: BTreeMap<ObjectId, DocumentChain>,
     ledger: Ledger,
     tsa: TimestampAuthority,
@@ -431,37 +424,26 @@ impl Archive {
             }
         }
         let id = self.next_id(name);
-        let encoded = pipeline::encode_object(
+        let write = plan::plan_write(
             &policy,
             &self.keys,
             &mut self.rng,
-            id.as_str(),
+            &id,
             payload,
             &self.config.pipeline,
         )?;
-        let placement = self.cluster.place(id.as_str(), encoded.shards.len())?;
-        let shard_digests: Vec<[u8; 32]> = encoded
-            .shards
-            .iter()
-            .map(|s| Sha256::digest(s.as_slice()))
-            .collect();
+        let placement = self.executor().place(id.as_str(), write.shards.len())?;
         let mut put_rng = self.op_rng("ingest", id.as_str());
-        let (written, _report) = self.cluster.put_shards_retrying(
-            id.as_str(),
-            &placement,
-            &encoded.shards,
-            &self.config.retry,
-            &mut put_rng,
-        );
-        let required = policy.read_threshold();
-        if written < required {
-            // Too few shards landed durably to ever read the object
-            // back: roll back whatever was written and report.
-            self.cluster.delete_shards(id.as_str(), &placement);
+        // Too few shards landing durably means the object could never
+        // be read back: the executor rolls back whatever was written.
+        if let Err(outcome) = self
+            .executor()
+            .commit_write(&write, &placement, &mut put_rng)
+        {
             return Err(ArchiveError::DegradedBeyondBudget {
                 id,
-                available: written,
-                required,
+                available: outcome.written,
+                required: write.required,
                 corrupt: 0,
             });
         }
@@ -494,11 +476,11 @@ impl Archive {
             id: id.clone(),
             name: name.to_string(),
             policy,
-            meta: encoded.meta,
+            meta: write.meta,
             placement,
             logical_len: payload.len(),
             digest,
-            shard_digests,
+            shard_digests: write.shard_digests,
             created_year: self.year,
             refresh_epochs: 0,
         };
@@ -532,32 +514,18 @@ impl Archive {
         &self.config.retry
     }
 
+    /// A plan executor over this archive's cluster and retry budget —
+    /// the only path to node I/O for every module in this crate.
+    pub(crate) fn executor(&self) -> PlanExecutor<'_> {
+        PlanExecutor::new(&self.cluster, &self.config.retry)
+    }
+
     /// Fetches an object's shards with bounded retry, then discards any
     /// whose bytes fail the per-shard digest check.
-    fn fetch_shards(&self, manifest: &Manifest, label: &str) -> ShardsSnapshot {
+    pub(crate) fn fetch_shards(&self, manifest: &Manifest, label: &str) -> ShardsSnapshot {
         let mut rng = self.op_rng(label, manifest.id.as_str());
-        let (mut shards, report) = self.cluster.get_shards_retrying(
-            manifest.id.as_str(),
-            &manifest.placement,
-            &self.config.retry,
-            &mut rng,
-        );
-        let mut corrupt = 0usize;
-        for (slot, expected) in shards.iter_mut().zip(&manifest.shard_digests) {
-            if let Some(bytes) = slot {
-                if Sha256::digest(bytes.as_slice()) != *expected {
-                    corrupt += 1;
-                    *slot = None;
-                }
-            }
-        }
-        let valid = shards.iter().flatten().count();
-        ShardsSnapshot {
-            shards,
-            valid,
-            corrupt,
-            report,
-        }
+        self.executor()
+            .read(&ReadPlan::for_manifest(manifest), &mut rng)
     }
 
     /// Retrying, digest-filtered fetch by object id, for maintenance
@@ -646,7 +614,7 @@ impl Archive {
             .manifests
             .remove(id)
             .ok_or_else(|| ArchiveError::UnknownObject(id.clone()))?;
-        self.cluster.delete_shards(id.as_str(), &manifest.placement);
+        self.executor().delete(id.as_str(), &manifest.placement);
         self.chains.remove(id);
         Ok(())
     }
@@ -713,335 +681,6 @@ impl Archive {
     /// current signature scheme nears its break).
     pub fn rotate_timestamp_scheme(&mut self, scheme: &str) {
         self.tsa.rotate(&mut self.rng, scheme, 6);
-    }
-
-    /// Runs one proactive-refresh epoch on a Shamir-encoded object:
-    /// reads every share, applies a Herzberg refresh round, writes the
-    /// re-randomized shares back. Returns the protocol communication
-    /// cost.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`ArchiveError::UnsupportedOperation`] for non-Shamir
-    /// policies and cluster/share errors otherwise.
-    pub fn refresh_object(&mut self, id: &ObjectId) -> Result<ProtocolCost, ArchiveError> {
-        let manifest = self
-            .manifests
-            .get(id)
-            .ok_or_else(|| ArchiveError::UnknownObject(id.clone()))?
-            .clone();
-        let PolicyKind::Shamir { threshold, .. } = manifest.policy else {
-            return Err(ArchiveError::UnsupportedOperation(
-                "proactive refresh requires the Shamir policy",
-            ));
-        };
-        // The Herzberg round needs every shareholder's current share;
-        // a corrupt share would poison the whole next epoch, so the
-        // digest filter treats it as absent.
-        let snap = self.fetch_shards(&manifest, "refresh");
-        let mut stored: Vec<Vec<u8>> = Vec::with_capacity(snap.shards.len());
-        for s in &snap.shards {
-            let Some(bytes) = s else {
-                return Err(ArchiveError::UnsupportedOperation(
-                    "refresh requires all shareholders online",
-                ));
-            };
-            stored.push(bytes.clone());
-        }
-        let (blobs, cost): (Vec<Vec<u8>>, ProtocolCost) =
-            if let Some(chunked) = manifest.meta.chunked.clone() {
-                // Chunked object: the Herzberg zero-sharing delta must land on
-                // share payloads only, never on the segment framing, so each
-                // chunk's share set is refreshed independently.
-                let chunk_count = chunked.chunk_count();
-                let mut columns: Vec<Vec<Vec<u8>>> = stored
-                    .iter()
-                    .map(|b| pipeline::split_shard_segments(b, chunk_count))
-                    .collect::<Result<_, _>>()
-                    .map_err(ArchiveError::Policy)?;
-                let mut total = ProtocolCost {
-                    messages: 0,
-                    bytes: 0,
-                };
-                for j in 0..chunk_count {
-                    let mut shares: Vec<Share> = columns
-                        .iter()
-                        .enumerate()
-                        .map(|(i, segments)| Share {
-                            index: (i + 1) as u8,
-                            data: segments[j].clone(),
-                        })
-                        .collect();
-                    let cost = proactive::refresh(&mut self.rng, &mut shares, threshold)?;
-                    total.messages += cost.messages;
-                    total.bytes += cost.bytes;
-                    for (column, share) in columns.iter_mut().zip(shares) {
-                        column[j] = share.data;
-                    }
-                }
-                let blobs = columns
-                    .iter()
-                    .map(|segments| pipeline::join_shard_segments(segments))
-                    .collect();
-                (blobs, total)
-            } else {
-                let mut shares: Vec<Share> = stored
-                    .into_iter()
-                    .enumerate()
-                    .map(|(i, data)| Share {
-                        index: (i + 1) as u8,
-                        data,
-                    })
-                    .collect();
-                let cost = proactive::refresh(&mut self.rng, &mut shares, threshold)?;
-                (shares.into_iter().map(|s| s.data).collect(), cost)
-            };
-        let digests: Vec<[u8; 32]> = blobs.iter().map(|b| Sha256::digest(b.as_slice())).collect();
-        let mut put_rng = self.op_rng("refresh", id.as_str());
-        let (written, _report) = self.cluster.put_shards_retrying(
-            id.as_str(),
-            &manifest.placement,
-            &blobs,
-            &self.config.retry,
-            &mut put_rng,
-        );
-        // Record the new epoch's digests unconditionally: any share
-        // that failed to land is stale (previous epoch) and must be
-        // filtered on read — `threshold` fresh shares still
-        // reconstruct, so the object survives a degraded write.
-        let entry = self.manifests.get_mut(id).expect("manifest exists");
-        entry.shard_digests = digests;
-        entry.refresh_epochs += 1;
-        if written < threshold {
-            return Err(ArchiveError::DegradedBeyondBudget {
-                id: id.clone(),
-                available: written,
-                required: threshold,
-                corrupt: 0,
-            });
-        }
-        Ok(cost)
-    }
-
-    /// Re-encodes an object under a new policy (the unit of a
-    /// re-encryption campaign). Returns bytes read + written.
-    ///
-    /// # Errors
-    ///
-    /// Propagates retrieval and ingest errors.
-    pub fn reencode_object(
-        &mut self,
-        id: &ObjectId,
-        new_policy: PolicyKind,
-    ) -> Result<(u64, u64), ArchiveError> {
-        new_policy.validate()?;
-        let payload = self.retrieve(id)?;
-        let manifest = self
-            .manifests
-            .get(id)
-            .expect("manifest exists after retrieve");
-        let old_stored: u64 = self
-            .cluster
-            .get_shards(id.as_str(), &manifest.placement)
-            .iter()
-            .flatten()
-            .map(|s| s.len() as u64)
-            .sum();
-        let placement_old = manifest.placement.clone();
-        // Encode fresh under the new policy (through the chunked
-        // pipeline, so campaigns inherit its parallelism).
-        let encoded = pipeline::encode_object(
-            &new_policy,
-            &self.keys,
-            &mut self.rng,
-            id.as_str(),
-            &payload,
-            &self.config.pipeline,
-        )?;
-        let written: u64 = encoded.shards.iter().map(|s| s.len() as u64).sum();
-        let placement = self.cluster.place(id.as_str(), encoded.shards.len())?;
-        self.cluster.delete_shards(id.as_str(), &placement_old);
-        let shard_digests: Vec<[u8; 32]> = encoded
-            .shards
-            .iter()
-            .map(|s| Sha256::digest(s.as_slice()))
-            .collect();
-        let required = new_policy.read_threshold();
-        let mut put_rng = self.op_rng("reencode", id.as_str());
-        let (landed, _report) = self.cluster.put_shards_retrying(
-            id.as_str(),
-            &placement,
-            &encoded.shards,
-            &self.config.retry,
-            &mut put_rng,
-        );
-        let manifest = self.manifests.get_mut(id).expect("manifest exists");
-        manifest.policy = new_policy;
-        manifest.meta = encoded.meta;
-        manifest.placement = placement;
-        manifest.shard_digests = shard_digests;
-        if landed < required {
-            return Err(ArchiveError::DegradedBeyondBudget {
-                id: id.clone(),
-                available: landed,
-                required,
-                corrupt: 0,
-            });
-        }
-        Ok((old_stored, written))
-    }
-
-    /// Re-encodes every object under `new_policy`, returning total
-    /// objects migrated and bytes (read, written) — the campaign the
-    /// paper prices in §3.2.
-    ///
-    /// # Errors
-    ///
-    /// Propagates the first per-object failure.
-    pub fn reencode_all(
-        &mut self,
-        new_policy: PolicyKind,
-    ) -> Result<(usize, u64, u64), ArchiveError> {
-        let ids: Vec<ObjectId> = self.manifests.keys().cloned().collect();
-        let mut read = 0u64;
-        let mut written = 0u64;
-        for id in &ids {
-            let (r, w) = self.reencode_object(id, new_policy.clone())?;
-            read += r;
-            written += w;
-        }
-        Ok((ids.len(), read, written))
-    }
-
-    /// Adds an outer cascade layer to a Cascade-encoded object *without
-    /// decrypting the inner layers* — ArchiveSafeLT's emergency re-wrap.
-    /// The shards are read, the layered ciphertext is rebuilt from the
-    /// erasure code, one more AEAD layer is applied, and the result is
-    /// re-dispersed. Unlike [`Archive::reencode_object`], no plaintext and
-    /// no inner-layer keys are touched.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`ArchiveError::UnsupportedOperation`] for non-Cascade
-    /// objects, and shard/crypto errors otherwise.
-    pub fn add_cascade_layer(
-        &mut self,
-        id: &ObjectId,
-        new_suite: aeon_crypto::SuiteId,
-    ) -> Result<(), ArchiveError> {
-        let manifest = self
-            .manifests
-            .get(id)
-            .ok_or_else(|| ArchiveError::UnknownObject(id.clone()))?;
-        let PolicyKind::Cascade {
-            suites,
-            data,
-            parity,
-        } = manifest.policy.clone()
-        else {
-            return Err(ArchiveError::UnsupportedOperation(
-                "re-wrap requires the Cascade policy",
-            ));
-        };
-        // Rebuild the layered ciphertext from the erasure code, re-wrap
-        // only the new outer layer, and re-disperse. Chunked objects are
-        // re-wrapped chunk by chunk: each chunk was sealed under its own
-        // derived context (and possibly key version), and the segment
-        // framing must survive untouched.
-        let rs = aeon_erasure::ReedSolomon::new(data, parity)
-            .map_err(|e| ArchiveError::Policy(PolicyError::Malformed(e.to_string())))?;
-        let shards = self.fetch_shards(manifest, "rewrap").shards;
-        let rewrap_one = |keys: &KeyStore,
-                          context: &str,
-                          key_version: u32,
-                          ct: &[u8]|
-         -> Result<Vec<u8>, ArchiveError> {
-            let master = keys.object_key_for_version(key_version, context, 0);
-            let mut cascade = aeon_crypto::cascade::Cascade::new(&suites, &master)
-                .map_err(|e| ArchiveError::Policy(PolicyError::CryptoFailure(e.to_string())))?;
-            let old_depth = cascade.depth();
-            cascade
-                .add_layer(new_suite, &master)
-                .map_err(|e| ArchiveError::Policy(PolicyError::CryptoFailure(e.to_string())))?;
-            Ok(cascade.rewrap(context.as_bytes(), ct, old_depth))
-        };
-        let new_shards: Vec<Vec<u8>> = if let Some(chunked) = manifest.meta.chunked.clone() {
-            let chunk_count = chunked.chunk_count();
-            let columns: Vec<Option<Vec<Vec<u8>>>> = shards
-                .iter()
-                .map(|s| {
-                    s.as_ref()
-                        .map(|b| pipeline::split_shard_segments(b, chunk_count))
-                        .transpose()
-                })
-                .collect::<Result<_, _>>()
-                .map_err(ArchiveError::Policy)?;
-            let mut rebuilt: Vec<Vec<Vec<u8>>> =
-                vec![Vec::with_capacity(chunk_count); data + parity];
-            for j in 0..chunk_count {
-                let chunk_shards: Vec<Option<Vec<u8>>> = columns
-                    .iter()
-                    .map(|col| col.as_ref().map(|segments| segments[j].clone()))
-                    .collect();
-                let ct = aeon_erasure::ErasureCode::decode(&rs, &chunk_shards)
-                    .map_err(|e| ArchiveError::Policy(PolicyError::Malformed(e.to_string())))?;
-                let chunk_id = pipeline::chunk_object_id(id.as_str(), j);
-                let rewrapped = rewrap_one(
-                    &self.keys,
-                    &chunk_id,
-                    chunked.chunk_metas[j].key_version,
-                    &ct,
-                )?;
-                let segments = aeon_erasure::ErasureCode::encode(&rs, &rewrapped)
-                    .map_err(|e| ArchiveError::Policy(PolicyError::Malformed(e.to_string())))?;
-                for (column, segment) in rebuilt.iter_mut().zip(segments) {
-                    column.push(segment);
-                }
-            }
-            rebuilt
-                .iter()
-                .map(|segments| pipeline::join_shard_segments(segments))
-                .collect()
-        } else {
-            let ct = aeon_erasure::ErasureCode::decode(&rs, &shards)
-                .map_err(|e| ArchiveError::Policy(PolicyError::Malformed(e.to_string())))?;
-            let rewrapped = rewrap_one(&self.keys, id.as_str(), manifest.meta.key_version, &ct)?;
-            aeon_erasure::ErasureCode::encode(&rs, &rewrapped)
-                .map_err(|e| ArchiveError::Policy(PolicyError::Malformed(e.to_string())))?
-        };
-        let placement = manifest.placement.clone();
-        let shard_digests: Vec<[u8; 32]> = new_shards
-            .iter()
-            .map(|s| Sha256::digest(s.as_slice()))
-            .collect();
-        let mut put_rng = self.op_rng("rewrap", id.as_str());
-        let (landed, _report) = self.cluster.put_shards_retrying(
-            id.as_str(),
-            &placement,
-            &new_shards,
-            &self.config.retry,
-            &mut put_rng,
-        );
-        let mut new_suites = suites;
-        new_suites.push(new_suite);
-        let manifest = self.manifests.get_mut(id).expect("manifest exists");
-        manifest.policy = PolicyKind::Cascade {
-            suites: new_suites,
-            data,
-            parity,
-        };
-        // Shards that missed the rewrap hold the old layering; the new
-        // digests make reads treat them as stale until repaired.
-        manifest.shard_digests = shard_digests;
-        if landed < data {
-            return Err(ArchiveError::DegradedBeyondBudget {
-                id: id.clone(),
-                available: landed,
-                required: data,
-                corrupt: 0,
-            });
-        }
-        Ok(())
     }
 
     /// Rotates the master key.

@@ -167,6 +167,9 @@ pub struct Table1Row {
     pub at_rest: SecurityLevel,
     /// Measured storage expansion on the reference workload.
     pub expansion: f64,
+    /// The codec's analytic expansion for the policy — what the
+    /// measured figure converges to as framing overhead amortizes.
+    pub analytic_expansion: f64,
     /// The paper's qualitative bucket for that expansion.
     pub cost: CostBucket,
 }
@@ -190,6 +193,7 @@ pub fn evaluate_profile(
         in_transit: profile.in_transit.level(),
         at_rest: profile.at_rest.at_rest_level(),
         expansion: stats.expansion,
+        analytic_expansion: profile.at_rest.expansion(),
         cost: CostBucket::from_expansion(stats.expansion),
     })
 }
@@ -214,14 +218,19 @@ pub struct Figure1Point {
     pub encoding: &'static str,
     /// Measured expansion on the reference payload.
     pub expansion: f64,
+    /// The codec's analytic expansion for the policy.
+    pub analytic_expansion: f64,
     /// Confidentiality classification.
     pub level: SecurityLevel,
     /// Ordinal position on the figure's security axis (0 = none … 4 =
-    /// full ITS with leakage resilience).
+    /// full ITS with leakage resilience), as reported by the policy's
+    /// codec.
     pub security_ordinal: u8,
 }
 
-/// Measures the Figure 1 encodings on `payload`.
+/// Measures the Figure 1 encodings on `payload`. The security axis and
+/// the analytic cost come from the codec registry, so the figure can
+/// never drift from what the encodings actually implement.
 ///
 /// # Errors
 ///
@@ -232,12 +241,11 @@ pub fn figure1_points<R: CryptoRng + ?Sized>(
 ) -> Result<Vec<Figure1Point>, crate::policy::PolicyError> {
     use crate::keys::KeyStore;
     let keys = KeyStore::new([1u8; 32]);
-    let encodings: Vec<(&'static str, PolicyKind, u8)> = vec![
-        ("Replication", PolicyKind::Replication { copies: 3 }, 0),
+    let encodings: Vec<(&'static str, PolicyKind)> = vec![
+        ("Replication", PolicyKind::Replication { copies: 3 }),
         (
             "Erasure coding",
             PolicyKind::ErasureCoded { data: 4, parity: 2 },
-            0,
         ),
         (
             "Traditional encryption",
@@ -246,12 +254,10 @@ pub fn figure1_points<R: CryptoRng + ?Sized>(
                 data: 4,
                 parity: 2,
             },
-            1,
         ),
         (
             "Entropically secure encryption",
             PolicyKind::Entropic { data: 4, parity: 2 },
-            2,
         ),
         (
             "Packed secret sharing",
@@ -260,7 +266,6 @@ pub fn figure1_points<R: CryptoRng + ?Sized>(
                 pack: 2,
                 shares: 6,
             },
-            3,
         ),
         (
             "Secret sharing",
@@ -268,7 +273,6 @@ pub fn figure1_points<R: CryptoRng + ?Sized>(
                 threshold: 3,
                 shares: 5,
             },
-            3,
         ),
         (
             "Leakage-resilient secret sharing",
@@ -277,18 +281,19 @@ pub fn figure1_points<R: CryptoRng + ?Sized>(
                 shares: 5,
                 source_len: 64,
             },
-            4,
         ),
     ];
     let mut out = Vec::with_capacity(encodings.len());
-    for (name, policy, ordinal) in encodings {
+    for (name, policy) in encodings {
+        let codec = policy.codec();
         let encoded = policy.encode(rng, &keys, "fig1-object", payload)?;
         let stored: usize = encoded.shards.iter().map(|s| s.len()).sum();
         out.push(Figure1Point {
             encoding: name,
             expansion: stored as f64 / payload.len().max(1) as f64,
+            analytic_expansion: codec.expansion(),
             level: policy.at_rest_level(),
-            security_ordinal: ordinal,
+            security_ordinal: codec.security_ordinal(),
         });
     }
     Ok(out)
@@ -383,6 +388,34 @@ mod tests {
                 < find("Secret sharing").security_ordinal
         );
         assert_eq!(find("Leakage-resilient secret sharing").security_ordinal, 4);
+    }
+
+    #[test]
+    fn measured_expansion_agrees_with_codec_analytic() {
+        // The codec's closed-form expansion and the measured figure must
+        // agree to within 5% on a 4 KiB payload — the registry is the
+        // single source of truth, the measurement its cross-check.
+        let mut rng = ChaChaDrbg::from_u64_seed(11);
+        for p in figure1_points(&mut rng, &payload()).unwrap() {
+            let rel = (p.expansion - p.analytic_expansion).abs() / p.analytic_expansion;
+            assert!(
+                rel < 0.05,
+                "{}: measured {} vs analytic {} (rel err {rel})",
+                p.encoding,
+                p.expansion,
+                p.analytic_expansion
+            );
+        }
+        for row in table1(&payload()).unwrap() {
+            let rel = (row.expansion - row.analytic_expansion).abs() / row.analytic_expansion;
+            assert!(
+                rel < 0.05,
+                "{}: measured {} vs analytic {} (rel err {rel})",
+                row.system,
+                row.expansion,
+                row.analytic_expansion
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,189 @@
+//! The plan executor: the one place node I/O happens.
+//!
+//! Every shard that moves between the archive and its cluster moves
+//! through [`PlanExecutor`]. The executor owns no policy knowledge —
+//! plans arrive with their bytes already decided — and the plan layer
+//! owns no cluster handle, so the codebase has exactly one seam where
+//! retries, digest filtering, rollback, and read accounting live.
+//! Invariant: no other module in this crate calls `Cluster` or
+//! `StorageNode` get/put directly.
+
+use crate::archive::ArchiveError;
+use crate::plan::{ReadPlan, WritePlan};
+use crate::policy::PolicyError;
+use aeon_crypto::{CryptoRng, Sha256};
+use aeon_store::cluster::{ClusterError, ReadReport};
+use aeon_store::node::{NodeId, ShardKey};
+use aeon_store::retry::{run_with_retry, RetryPolicy};
+use aeon_store::Cluster;
+
+/// Snapshot of an object's shards after a retrying, digest-checked
+/// fetch: the raw material for degraded reads, verification, and
+/// repair.
+#[derive(Debug)]
+pub struct ShardsSnapshot {
+    /// Shard slots in placement order. Slots that erred out past the
+    /// retry budget, or whose bytes failed the per-shard digest check,
+    /// are `None`.
+    pub shards: Vec<Option<Vec<u8>>>,
+    /// Shards present and digest-clean.
+    pub valid: usize,
+    /// Shards discarded because their bytes failed the digest check.
+    pub corrupt: usize,
+    /// Per-shard retry accounting from the cluster.
+    pub report: ReadReport,
+}
+
+/// What a shard-set write achieved.
+#[derive(Debug)]
+pub struct WriteOutcome {
+    /// Shards that landed durably within the retry budget.
+    pub written: usize,
+    /// Per-shard retry accounting from the cluster.
+    pub report: ReadReport,
+}
+
+/// Applies plans against a cluster under a bounded retry policy.
+///
+/// Borrowed fresh from the archive for each operation; carries no
+/// state of its own beyond the cluster handle and the retry budget.
+#[derive(Debug)]
+pub struct PlanExecutor<'a> {
+    cluster: &'a Cluster,
+    retry: &'a RetryPolicy,
+}
+
+impl<'a> PlanExecutor<'a> {
+    /// Creates an executor over `cluster` with the given retry budget.
+    pub fn new(cluster: &'a Cluster, retry: &'a RetryPolicy) -> Self {
+        PlanExecutor { cluster, retry }
+    }
+
+    /// Chooses node placement for `shards` shards of an object
+    /// (deterministic in the object id; no node I/O).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError`] when the cluster has too few nodes.
+    pub fn place(&self, object: &str, shards: usize) -> Result<Vec<NodeId>, ClusterError> {
+        self.cluster.place(object, shards)
+    }
+
+    /// Executes a read plan: fetches every shard with bounded retry,
+    /// then discards any whose bytes fail the plan's digest check.
+    pub fn read<R: CryptoRng + ?Sized>(&self, plan: &ReadPlan, rng: &mut R) -> ShardsSnapshot {
+        let (mut shards, report) = self.cluster.get_shards_retrying(
+            plan.object.as_str(),
+            &plan.placement,
+            self.retry,
+            rng,
+        );
+        let mut corrupt = 0usize;
+        for (slot, expected) in shards.iter_mut().zip(&plan.shard_digests) {
+            if let Some(bytes) = slot {
+                if Sha256::digest(bytes.as_slice()) != *expected {
+                    corrupt += 1;
+                    *slot = None;
+                }
+            }
+        }
+        let valid = shards.iter().flatten().count();
+        ShardsSnapshot {
+            shards,
+            valid,
+            corrupt,
+            report,
+        }
+    }
+
+    /// Writes a shard set in place (refresh, re-encode, re-wrap):
+    /// shards that miss the retry budget are left stale for the
+    /// caller's digests to filter on read. No rollback.
+    pub fn write_shards<R: CryptoRng + ?Sized>(
+        &self,
+        object: &str,
+        placement: &[NodeId],
+        shards: &[Vec<u8>],
+        rng: &mut R,
+    ) -> WriteOutcome {
+        let (written, report) = self
+            .cluster
+            .put_shards_retrying(object, placement, shards, self.retry, rng);
+        WriteOutcome { written, report }
+    }
+
+    /// Executes a write plan for a fresh object (ingest): if fewer than
+    /// the plan's required shards land durably the object could never
+    /// be read back, so everything written is rolled back.
+    ///
+    /// # Errors
+    ///
+    /// Returns the outcome as `Err` when the write was rolled back.
+    pub fn commit_write<R: CryptoRng + ?Sized>(
+        &self,
+        plan: &WritePlan,
+        placement: &[NodeId],
+        rng: &mut R,
+    ) -> Result<WriteOutcome, WriteOutcome> {
+        let outcome = self.write_shards(plan.object.as_str(), placement, &plan.shards, rng);
+        if outcome.written < plan.required {
+            self.cluster.delete_shards(plan.object.as_str(), placement);
+            return Err(outcome);
+        }
+        Ok(outcome)
+    }
+
+    /// Executes a repair plan's writes: puts each rebuilt shard back at
+    /// its slot, in order, under one retry rng. Returns the digest of
+    /// each rewritten shard for the caller's manifest.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchiveError::Cluster`] when a put misses the retry
+    /// budget — repair must not silently leave a hole it claimed to
+    /// fill.
+    pub fn apply_repair<R: CryptoRng + ?Sized>(
+        &self,
+        object: &str,
+        placement: &[NodeId],
+        writes: &[(usize, Vec<u8>)],
+        rng: &mut R,
+    ) -> Result<Vec<(usize, [u8; 32])>, ArchiveError> {
+        let mut digests = Vec::with_capacity(writes.len());
+        for (m, data) in writes {
+            let node = self
+                .cluster
+                .node(placement[*m])
+                .cloned()
+                .ok_or(ArchiveError::Policy(PolicyError::Malformed(
+                    "placement references unknown node".into(),
+                )))?;
+            let key = ShardKey::new(object, *m as u32);
+            let (res, _stats) = run_with_retry(self.retry, rng, || node.put(&key, data));
+            res.map_err(|e| ArchiveError::Cluster(ClusterError::Node(e)))?;
+            digests.push((*m, Sha256::digest(data)));
+        }
+        Ok(digests)
+    }
+
+    /// Bytes currently stored for an object (non-retrying read; used
+    /// for re-encode campaign accounting).
+    pub fn stored_bytes_of(&self, object: &str, placement: &[NodeId]) -> u64 {
+        self.cluster
+            .get_shards(object, placement)
+            .iter()
+            .flatten()
+            .map(|s| s.len() as u64)
+            .sum()
+    }
+
+    /// Deletes an object's shards (best-effort).
+    pub fn delete(&self, object: &str, placement: &[NodeId]) {
+        self.cluster.delete_shards(object, placement);
+    }
+
+    /// Total bytes stored across the cluster.
+    pub fn total_stored_bytes(&self) -> u64 {
+        self.cluster.total_stored_bytes()
+    }
+}

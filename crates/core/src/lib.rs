@@ -48,9 +48,13 @@
 
 pub mod aont;
 mod archive;
+pub mod codec;
 pub mod evaluate;
+pub mod executor;
 pub mod keys;
+mod maintenance;
 pub mod pipeline;
+pub mod plan;
 pub mod planner;
 mod policy;
 mod repair;
@@ -59,12 +63,15 @@ pub mod trustees;
 
 pub use archive::{
     estimate_entropy_bits_per_byte, Archive, ArchiveConfig, ArchiveError, ArchiveStats,
-    HealthReport, IntegrityMode, Manifest, ObjectId, ShardsSnapshot,
+    HealthReport, IntegrityMode, Manifest, ObjectId,
 };
+pub use codec::{Codec, CodecRegistry, CodecRepair};
 pub use evaluate::{
     figure1_points, table1, ChannelKind, CostBucket, Figure1Point, SystemProfile, Table1Row,
 };
+pub use executor::{PlanExecutor, ShardsSnapshot, WriteOutcome};
 pub use pipeline::{ChunkedMeta, PipelineConfig, DEFAULT_CHUNK_SIZE};
+pub use plan::{ReadPlan, RepairPlan, WritePlan};
 pub use policy::{Encoded, EncodingMeta, PolicyError, PolicyKind, Recovery};
 pub use repair::{FleetRepairOutcome, RepairMethod, RepairReport};
 

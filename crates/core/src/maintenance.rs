@@ -1,0 +1,212 @@
+//! Maintenance campaigns: proactive refresh, re-encode, emergency
+//! re-wrap.
+//!
+//! These are the operations the paper prices in §3.2 — the work an
+//! archive must keep doing for a century. Each follows the same shape:
+//! fetch via a [`crate::plan::ReadPlan`], compute the replacement
+//! bytes in the pure plan layer, write back through the
+//! [`crate::executor::PlanExecutor`].
+
+use crate::archive::{Archive, ArchiveError, ObjectId};
+use crate::plan;
+use crate::policy::PolicyKind;
+use aeon_crypto::{Sha256, SuiteId};
+use aeon_secretshare::proactive::ProtocolCost;
+
+impl Archive {
+    /// Runs one proactive-refresh epoch on a Shamir-encoded object:
+    /// reads every share, applies a Herzberg refresh round, writes the
+    /// re-randomized shares back. Returns the protocol communication
+    /// cost.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchiveError::UnsupportedOperation`] for non-Shamir
+    /// policies and cluster/share errors otherwise.
+    pub fn refresh_object(&mut self, id: &ObjectId) -> Result<ProtocolCost, ArchiveError> {
+        let manifest = self
+            .manifests
+            .get(id)
+            .ok_or_else(|| ArchiveError::UnknownObject(id.clone()))?
+            .clone();
+        let PolicyKind::Shamir { threshold, .. } = manifest.policy else {
+            return Err(ArchiveError::UnsupportedOperation(
+                "proactive refresh requires the Shamir policy",
+            ));
+        };
+        // The Herzberg round needs every shareholder's current share;
+        // a corrupt share would poison the whole next epoch, so the
+        // digest filter treats it as absent.
+        let snap = self.fetch_shards(&manifest, "refresh");
+        let mut stored: Vec<Vec<u8>> = Vec::with_capacity(snap.shards.len());
+        for s in &snap.shards {
+            let Some(bytes) = s else {
+                return Err(ArchiveError::UnsupportedOperation(
+                    "refresh requires all shareholders online",
+                ));
+            };
+            stored.push(bytes.clone());
+        }
+        let (blobs, cost) = plan::plan_refresh(threshold, &manifest.meta, &mut self.rng, stored)?;
+        let digests: Vec<[u8; 32]> = blobs.iter().map(|b| Sha256::digest(b.as_slice())).collect();
+        let mut put_rng = self.op_rng("refresh", id.as_str());
+        let outcome =
+            self.executor()
+                .write_shards(id.as_str(), &manifest.placement, &blobs, &mut put_rng);
+        // Record the new epoch's digests unconditionally: any share
+        // that failed to land is stale (previous epoch) and must be
+        // filtered on read — `threshold` fresh shares still
+        // reconstruct, so the object survives a degraded write.
+        let entry = self.manifests.get_mut(id).expect("manifest exists");
+        entry.shard_digests = digests;
+        entry.refresh_epochs += 1;
+        if outcome.written < threshold {
+            return Err(ArchiveError::DegradedBeyondBudget {
+                id: id.clone(),
+                available: outcome.written,
+                required: threshold,
+                corrupt: 0,
+            });
+        }
+        Ok(cost)
+    }
+
+    /// Re-encodes an object under a new policy (the unit of a
+    /// re-encryption campaign). Returns bytes read + written.
+    ///
+    /// # Errors
+    ///
+    /// Propagates retrieval and ingest errors.
+    pub fn reencode_object(
+        &mut self,
+        id: &ObjectId,
+        new_policy: PolicyKind,
+    ) -> Result<(u64, u64), ArchiveError> {
+        new_policy.validate()?;
+        let payload = self.retrieve(id)?;
+        let manifest = self
+            .manifests
+            .get(id)
+            .expect("manifest exists after retrieve");
+        let old_stored = self
+            .executor()
+            .stored_bytes_of(id.as_str(), &manifest.placement);
+        let placement_old = manifest.placement.clone();
+        // Encode fresh under the new policy (through the chunked
+        // pipeline, so campaigns inherit its parallelism).
+        let write = plan::plan_write(
+            &new_policy,
+            &self.keys,
+            &mut self.rng,
+            id,
+            &payload,
+            &self.config.pipeline,
+        )?;
+        let written: u64 = write.shards.iter().map(|s| s.len() as u64).sum();
+        let placement = self.executor().place(id.as_str(), write.shards.len())?;
+        self.executor().delete(id.as_str(), &placement_old);
+        let mut put_rng = self.op_rng("reencode", id.as_str());
+        let outcome =
+            self.executor()
+                .write_shards(id.as_str(), &placement, &write.shards, &mut put_rng);
+        let manifest = self.manifests.get_mut(id).expect("manifest exists");
+        manifest.policy = write.policy;
+        manifest.meta = write.meta;
+        manifest.placement = placement;
+        manifest.shard_digests = write.shard_digests;
+        if outcome.written < write.required {
+            return Err(ArchiveError::DegradedBeyondBudget {
+                id: id.clone(),
+                available: outcome.written,
+                required: write.required,
+                corrupt: 0,
+            });
+        }
+        Ok((old_stored, written))
+    }
+
+    /// Re-encodes every object under `new_policy`, returning total
+    /// objects migrated and bytes (read, written) — the campaign the
+    /// paper prices in §3.2.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first per-object failure.
+    pub fn reencode_all(
+        &mut self,
+        new_policy: PolicyKind,
+    ) -> Result<(usize, u64, u64), ArchiveError> {
+        let ids: Vec<ObjectId> = self.manifests.keys().cloned().collect();
+        let mut read = 0u64;
+        let mut written = 0u64;
+        for id in &ids {
+            let (r, w) = self.reencode_object(id, new_policy.clone())?;
+            read += r;
+            written += w;
+        }
+        Ok((ids.len(), read, written))
+    }
+
+    /// Adds an outer cascade layer to a Cascade-encoded object *without
+    /// decrypting the inner layers* — ArchiveSafeLT's emergency re-wrap.
+    /// The shards are read, the layered ciphertext is rebuilt from the
+    /// erasure code, one more AEAD layer is applied, and the result is
+    /// re-dispersed. Unlike [`Archive::reencode_object`], no plaintext and
+    /// no inner-layer keys are touched.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchiveError::UnsupportedOperation`] for non-Cascade
+    /// objects, and shard/crypto errors otherwise.
+    pub fn add_cascade_layer(
+        &mut self,
+        id: &ObjectId,
+        new_suite: SuiteId,
+    ) -> Result<(), ArchiveError> {
+        let manifest = self
+            .manifests
+            .get(id)
+            .ok_or_else(|| ArchiveError::UnknownObject(id.clone()))?;
+        // Reject non-layered policies before touching any node.
+        if manifest
+            .policy
+            .codec()
+            .rewrapped_policy(new_suite)
+            .is_none()
+        {
+            return Err(ArchiveError::UnsupportedOperation(
+                "re-wrap requires the Cascade policy",
+            ));
+        }
+        let manifest = manifest.clone();
+        let snap = self.fetch_shards(&manifest, "rewrap");
+        let (new_shards, new_policy) =
+            plan::plan_rewrap(&manifest, &self.keys, &snap.shards, new_suite)?;
+        let shard_digests: Vec<[u8; 32]> = new_shards
+            .iter()
+            .map(|s| Sha256::digest(s.as_slice()))
+            .collect();
+        let required = new_policy.read_threshold();
+        let mut put_rng = self.op_rng("rewrap", id.as_str());
+        let outcome = self.executor().write_shards(
+            id.as_str(),
+            &manifest.placement,
+            &new_shards,
+            &mut put_rng,
+        );
+        let entry = self.manifests.get_mut(id).expect("manifest exists");
+        entry.policy = new_policy;
+        // Shards that missed the rewrap hold the old layering; the new
+        // digests make reads treat them as stale until repaired.
+        entry.shard_digests = shard_digests;
+        if outcome.written < required {
+            return Err(ArchiveError::DegradedBeyondBudget {
+                id: id.clone(),
+                available: outcome.written,
+                required,
+                corrupt: 0,
+            });
+        }
+        Ok(())
+    }
+}

@@ -16,9 +16,8 @@
 //! so it is easy to test, print, and compare across scenarios.
 
 use crate::archive::Archive;
-use crate::policy::PolicyKind;
 use aeon_adversary::CryptanalyticTimeline;
-use aeon_crypto::SuiteId;
+use aeon_crypto::{SecurityLevel, SuiteId};
 use aeon_store::campaign::ReencryptionModel;
 use aeon_store::media::ArchiveSite;
 use std::collections::BTreeSet;
@@ -93,24 +92,32 @@ pub fn plan(
     let now = archive.year();
     let mut entries: Vec<PlanEntry> = Vec::new();
 
-    // Which suites protect at-rest data right now?
+    // Which suites protect at-rest data right now? The codec registry
+    // answers per policy, so new families never need a planner edit.
     let mut suites_in_use: BTreeSet<SuiteId> = BTreeSet::new();
     let mut any_secret_shared = false;
     for m in archive.manifests() {
-        match &m.policy {
-            PolicyKind::Encrypted { suite, .. } => {
+        let codec = m.policy.codec();
+        if codec.at_rest_level() == SecurityLevel::InformationTheoretic {
+            any_secret_shared = true;
+        }
+        let suites = codec.at_rest_suites();
+        match suites.as_slice() {
+            [] => {}
+            [suite] => {
                 suites_in_use.insert(*suite);
             }
-            PolicyKind::Cascade { suites, .. } => {
-                // A cascade is only doomed when its LAST-falling layer
-                // falls; track that layer.
-                if let Some(last) = suites
+            layered => {
+                // A layered stack (cascade) is only doomed when its
+                // LAST-falling layer falls — and only if every layer
+                // has a forecast break at all.
+                if let Some(last) = layered
                     .iter()
                     .filter_map(|s| timeline.ciphers().break_year(*s).map(|y| (y, *s)))
                     .max_by_key(|(y, _)| *y)
                 {
-                    if suites.len()
-                        == suites
+                    if layered.len()
+                        == layered
                             .iter()
                             .filter(|s| timeline.ciphers().break_year(**s).is_some())
                             .count()
@@ -119,17 +126,6 @@ pub fn plan(
                     }
                 }
             }
-            PolicyKind::AontRs { .. } => {
-                suites_in_use.insert(SuiteId::Aes256CtrHmac);
-            }
-            PolicyKind::Shamir { .. }
-            | PolicyKind::PackedShamir { .. }
-            | PolicyKind::LeakageResilientShamir { .. } => {
-                any_secret_shared = true;
-            }
-            PolicyKind::Replication { .. }
-            | PolicyKind::ErasureCoded { .. }
-            | PolicyKind::Entropic { .. } => {}
         }
     }
 

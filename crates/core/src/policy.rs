@@ -1,16 +1,19 @@
 //! Encoding policies: every data-at-rest design point from the paper's
 //! Figure 1 and Table 1, behind one interface.
+//!
+//! [`PolicyKind`] is the *value* naming a design point and its
+//! parameters; the per-family behavior (validation, shard geometry,
+//! encode/decode, repair, re-wrap) lives in [`crate::codec`], and every
+//! method here delegates to the family's [`Codec`] through the global
+//! [`CodecRegistry`]. What remains local is the harvest-now-
+//! decrypt-later adversary model, which spans families by construction.
 
 use crate::aont::{AontHndlOutcome, AontRs};
+use crate::codec::{Codec, CodecRegistry};
 use crate::keys::KeyStore;
 use aeon_adversary::CryptanalyticTimeline;
-use aeon_crypto::cascade::Cascade;
-use aeon_crypto::entropic::{EntropicCipher, EntropicCiphertext};
-use aeon_crypto::{aead, CryptoRng, SecurityLevel, SuiteId, SuiteRegistry};
-use aeon_erasure::{ErasureCode, ReedSolomon, Replicator};
-use aeon_secretshare::lrss::{self, LrssParams, LrssShare};
-use aeon_secretshare::packed::{self, PackedParams, PackedShare};
-use aeon_secretshare::shamir::{self, Share};
+use aeon_crypto::{CryptoRng, SecurityLevel, SuiteId};
+use aeon_secretshare::packed::PackedParams;
 
 /// Errors from policy encoding and decoding.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -144,7 +147,7 @@ pub struct EncodingMeta {
 }
 
 impl EncodingMeta {
-    fn plain(key_version: u32) -> Self {
+    pub(crate) fn plain(key_version: u32) -> Self {
         EncodingMeta {
             key_version,
             packed: None,
@@ -174,116 +177,50 @@ pub enum Recovery {
     Nothing,
 }
 
+/// Forwards a generic rng as an object-safe one. Like [`ChaChaDrbg`]
+/// (`aeon_crypto::ChaChaDrbg`), it overrides only
+/// [`CryptoRng::fill_bytes`], so every derived draw (`next_u64`,
+/// `gen_range`, array fills) consumes the identical byte stream on both
+/// sides of the adapter.
+struct DynRng<'a, R: CryptoRng + ?Sized>(&'a mut R);
+
+impl<R: CryptoRng + ?Sized> CryptoRng for DynRng<'_, R> {
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.0.fill_bytes(dest)
+    }
+}
+
 impl PolicyKind {
+    /// Builds this policy's family [`Codec`] from the global
+    /// [`CodecRegistry`]. All other methods on `PolicyKind` are
+    /// conveniences over this.
+    pub fn codec(&self) -> Box<dyn Codec> {
+        CodecRegistry::global().resolve(self)
+    }
+
     /// Validates the policy's parameters.
     ///
     /// # Errors
     ///
     /// Returns [`PolicyError::InvalidPolicy`] describing the violation.
     pub fn validate(&self) -> Result<(), PolicyError> {
-        let bad = |why: &str| Err(PolicyError::InvalidPolicy(why.to_string()));
-        match self {
-            PolicyKind::Replication { copies } => {
-                if *copies == 0 {
-                    return bad("replication needs at least one copy");
-                }
-            }
-            PolicyKind::ErasureCoded { data, parity }
-            | PolicyKind::Encrypted { data, parity, .. }
-            | PolicyKind::Cascade { data, parity, .. }
-            | PolicyKind::AontRs { data, parity }
-            | PolicyKind::Entropic { data, parity } => {
-                if *data == 0 || *parity == 0 || data + parity > 255 {
-                    return bad("erasure parameters must satisfy 1 <= data, parity and n <= 255");
-                }
-                if let PolicyKind::Cascade { suites, .. } = self {
-                    if suites.is_empty() {
-                        return bad("cascade needs at least one suite");
-                    }
-                    if suites.iter().any(|s| s.is_information_theoretic()) {
-                        return bad("cascade layers must be AEAD suites");
-                    }
-                }
-            }
-            PolicyKind::Shamir { threshold, shares }
-            | PolicyKind::LeakageResilientShamir {
-                threshold, shares, ..
-            } => {
-                if *threshold == 0 || threshold > shares || *shares > 255 {
-                    return bad("Shamir parameters must satisfy 1 <= t <= n <= 255");
-                }
-                if let PolicyKind::LeakageResilientShamir { source_len, .. } = self {
-                    if *source_len == 0 {
-                        return bad("LRSS source length must be positive");
-                    }
-                }
-            }
-            PolicyKind::PackedShamir {
-                privacy,
-                pack,
-                shares,
-            } => {
-                PackedParams::new(*privacy, *pack, *shares)
-                    .map_err(|e| PolicyError::InvalidPolicy(e.to_string()))?;
-            }
-        }
-        Ok(())
+        self.codec().validate()
     }
 
     /// Number of shards this policy produces per object.
     pub fn shard_count(&self) -> usize {
-        match self {
-            PolicyKind::Replication { copies } => *copies,
-            PolicyKind::ErasureCoded { data, parity }
-            | PolicyKind::Encrypted { data, parity, .. }
-            | PolicyKind::Cascade { data, parity, .. }
-            | PolicyKind::AontRs { data, parity }
-            | PolicyKind::Entropic { data, parity } => data + parity,
-            PolicyKind::Shamir { shares, .. }
-            | PolicyKind::PackedShamir { shares, .. }
-            | PolicyKind::LeakageResilientShamir { shares, .. } => *shares,
-        }
+        self.codec().shard_count()
     }
 
     /// Minimum shards needed to read an object back.
     pub fn read_threshold(&self) -> usize {
-        match self {
-            PolicyKind::Replication { .. } => 1,
-            PolicyKind::ErasureCoded { data, .. }
-            | PolicyKind::Encrypted { data, .. }
-            | PolicyKind::Cascade { data, .. }
-            | PolicyKind::AontRs { data, .. }
-            | PolicyKind::Entropic { data, .. } => *data,
-            PolicyKind::Shamir { threshold, .. }
-            | PolicyKind::LeakageResilientShamir { threshold, .. } => *threshold,
-            PolicyKind::PackedShamir { privacy, pack, .. } => privacy + pack,
-        }
+        self.codec().read_threshold()
     }
 
     /// Analytic storage expansion (stored bytes / payload bytes, ignoring
     /// constant overheads).
     pub fn expansion(&self) -> f64 {
-        match self {
-            PolicyKind::Replication { copies } => *copies as f64,
-            PolicyKind::ErasureCoded { data, parity }
-            | PolicyKind::Encrypted { data, parity, .. }
-            | PolicyKind::Cascade { data, parity, .. }
-            | PolicyKind::AontRs { data, parity }
-            | PolicyKind::Entropic { data, parity } => (data + parity) as f64 / *data as f64,
-            PolicyKind::Shamir { shares, .. } => *shares as f64,
-            PolicyKind::PackedShamir { pack, shares, .. } => *shares as f64 / *pack as f64,
-            PolicyKind::LeakageResilientShamir {
-                threshold: _,
-                shares,
-                source_len,
-            } => {
-                // Each share of length L stores source + seed + masked =
-                // source_len + (source_len + L) + L; expansion depends on
-                // L, so report the large-object limit plus the n factor.
-                let per_share = 2.0; // masked + seed ≈ 2L for L >> source
-                *shares as f64 * per_share + (*source_len as f64 * 0.0)
-            }
-        }
+        self.codec().expansion()
     }
 
     /// The at-rest confidentiality classification against a
@@ -291,16 +228,7 @@ impl PolicyKind {
     /// the sense in which the paper's Table 1 grades "Confidentiality: At
     /// Rest".
     pub fn at_rest_level(&self) -> SecurityLevel {
-        match self {
-            PolicyKind::Replication { .. } | PolicyKind::ErasureCoded { .. } => SecurityLevel::None,
-            PolicyKind::Encrypted { .. }
-            | PolicyKind::Cascade { .. }
-            | PolicyKind::AontRs { .. } => SecurityLevel::Computational,
-            PolicyKind::Shamir { .. }
-            | PolicyKind::PackedShamir { .. }
-            | PolicyKind::LeakageResilientShamir { .. } => SecurityLevel::InformationTheoretic,
-            PolicyKind::Entropic { .. } => SecurityLevel::EntropicIts,
-        }
+        self.codec().at_rest_level()
     }
 
     /// Encodes a payload into shards.
@@ -317,131 +245,8 @@ impl PolicyKind {
         payload: &[u8],
     ) -> Result<Encoded, PolicyError> {
         self.validate()?;
-        let version = keys.current_version();
-        let wrap_code = |e: aeon_erasure::CodeError| PolicyError::Malformed(e.to_string());
-        match self {
-            PolicyKind::Replication { copies } => {
-                let rep = Replicator::new(*copies).map_err(wrap_code)?;
-                Ok(Encoded {
-                    shards: rep.encode(payload).map_err(wrap_code)?,
-                    meta: EncodingMeta::plain(version),
-                })
-            }
-            PolicyKind::ErasureCoded { data, parity } => {
-                let rs = ReedSolomon::new(*data, *parity).map_err(wrap_code)?;
-                Ok(Encoded {
-                    shards: rs.encode(payload).map_err(wrap_code)?,
-                    meta: EncodingMeta::plain(version),
-                })
-            }
-            PolicyKind::Encrypted {
-                suite,
-                data,
-                parity,
-            } => {
-                let key = keys.object_key(object_id, 0);
-                let cipher = SuiteRegistry::new()
-                    .instantiate(*suite, &key)
-                    .ok_or_else(|| PolicyError::InvalidPolicy(format!("{suite} is not an AEAD")))?;
-                let nonce = aead::derive_nonce(object_id.as_bytes());
-                let ct = cipher.seal(&nonce, object_id.as_bytes(), payload);
-                let rs = ReedSolomon::new(*data, *parity).map_err(wrap_code)?;
-                Ok(Encoded {
-                    shards: rs.encode(&ct).map_err(wrap_code)?,
-                    meta: EncodingMeta::plain(version),
-                })
-            }
-            PolicyKind::Cascade {
-                suites,
-                data,
-                parity,
-            } => {
-                let master = keys.object_key(object_id, 0);
-                let cascade = Cascade::new(suites, &master)
-                    .map_err(|e| PolicyError::CryptoFailure(e.to_string()))?;
-                let ct = cascade.encrypt(object_id.as_bytes(), payload);
-                let rs = ReedSolomon::new(*data, *parity).map_err(wrap_code)?;
-                Ok(Encoded {
-                    shards: rs.encode(&ct).map_err(wrap_code)?,
-                    meta: EncodingMeta::plain(version),
-                })
-            }
-            PolicyKind::AontRs { data, parity } => {
-                let codec = AontRs::new(*data, *parity)
-                    .map_err(|e| PolicyError::Malformed(e.to_string()))?;
-                Ok(Encoded {
-                    shards: codec
-                        .encode(rng, payload)
-                        .map_err(|e| PolicyError::Malformed(e.to_string()))?,
-                    meta: EncodingMeta::plain(version),
-                })
-            }
-            PolicyKind::Shamir { threshold, shares } => {
-                let out = shamir::split(rng, payload, *threshold, *shares)
-                    .map_err(|e| PolicyError::Malformed(e.to_string()))?;
-                Ok(Encoded {
-                    shards: out.into_iter().map(|s| s.data).collect(),
-                    meta: EncodingMeta::plain(version),
-                })
-            }
-            PolicyKind::PackedShamir {
-                privacy,
-                pack,
-                shares,
-            } => {
-                let params = PackedParams::new(*privacy, *pack, *shares)
-                    .map_err(|e| PolicyError::InvalidPolicy(e.to_string()))?;
-                let out = packed::split(rng, params, payload)
-                    .map_err(|e| PolicyError::Malformed(e.to_string()))?;
-                let shards = out
-                    .into_iter()
-                    .map(|s| s.data.iter().flat_map(|v| v.to_be_bytes()).collect())
-                    .collect();
-                Ok(Encoded {
-                    shards,
-                    meta: EncodingMeta {
-                        key_version: version,
-                        packed: Some((params, payload.len())),
-                        entropic_nonce: None,
-                        chunked: None,
-                    },
-                })
-            }
-            PolicyKind::LeakageResilientShamir {
-                threshold,
-                shares,
-                source_len,
-            } => {
-                let base = shamir::split(rng, payload, *threshold, *shares)
-                    .map_err(|e| PolicyError::Malformed(e.to_string()))?;
-                let wrapped = lrss::wrap(
-                    rng,
-                    &base,
-                    LrssParams {
-                        source_len: *source_len,
-                    },
-                )
-                .map_err(|e| PolicyError::Malformed(e.to_string()))?;
-                Ok(Encoded {
-                    shards: wrapped.iter().map(serialize_lrss).collect(),
-                    meta: EncodingMeta::plain(version),
-                })
-            }
-            PolicyKind::Entropic { data, parity } => {
-                let cipher = EntropicCipher::new(keys.entropic_key(object_id));
-                let ct = cipher.encrypt(rng, payload);
-                let rs = ReedSolomon::new(*data, *parity).map_err(wrap_code)?;
-                Ok(Encoded {
-                    shards: rs.encode(&ct.body).map_err(wrap_code)?,
-                    meta: EncodingMeta {
-                        key_version: version,
-                        packed: None,
-                        entropic_nonce: Some(ct.nonce),
-                        chunked: None,
-                    },
-                })
-            }
-        }
+        let mut rng = DynRng(rng);
+        self.codec().encode(&mut rng, keys, object_id, payload)
     }
 
     /// Decodes an object from surviving shards.
@@ -456,116 +261,7 @@ impl PolicyKind {
         shards: &[Option<Vec<u8>>],
         meta: &EncodingMeta,
     ) -> Result<Vec<u8>, PolicyError> {
-        let wrap_code = |e: aeon_erasure::CodeError| match e {
-            aeon_erasure::CodeError::TooFewShards {
-                available,
-                required,
-            } => PolicyError::TooFewShards {
-                available,
-                required,
-            },
-            other => PolicyError::Malformed(other.to_string()),
-        };
-        match self {
-            PolicyKind::Replication { copies } => {
-                let rep =
-                    Replicator::new(*copies).map_err(|e| PolicyError::Malformed(e.to_string()))?;
-                rep.decode(shards).map_err(wrap_code)
-            }
-            PolicyKind::ErasureCoded { data, parity } => {
-                let rs = ReedSolomon::new(*data, *parity)
-                    .map_err(|e| PolicyError::Malformed(e.to_string()))?;
-                rs.decode(shards).map_err(wrap_code)
-            }
-            PolicyKind::Encrypted {
-                suite,
-                data,
-                parity,
-            } => {
-                let rs = ReedSolomon::new(*data, *parity)
-                    .map_err(|e| PolicyError::Malformed(e.to_string()))?;
-                let ct = rs.decode(shards).map_err(wrap_code)?;
-                let key = keys.object_key_for_version(meta.key_version, object_id, 0);
-                let cipher = SuiteRegistry::new()
-                    .instantiate(*suite, &key)
-                    .ok_or_else(|| PolicyError::InvalidPolicy(format!("{suite} is not an AEAD")))?;
-                let nonce = aead::derive_nonce(object_id.as_bytes());
-                cipher
-                    .open(&nonce, object_id.as_bytes(), &ct)
-                    .map_err(|_| PolicyError::CryptoFailure("AEAD open failed".into()))
-            }
-            PolicyKind::Cascade {
-                suites,
-                data,
-                parity,
-            } => {
-                let rs = ReedSolomon::new(*data, *parity)
-                    .map_err(|e| PolicyError::Malformed(e.to_string()))?;
-                let ct = rs.decode(shards).map_err(wrap_code)?;
-                let master = keys.object_key_for_version(meta.key_version, object_id, 0);
-                let cascade = Cascade::new(suites, &master)
-                    .map_err(|e| PolicyError::CryptoFailure(e.to_string()))?;
-                cascade
-                    .decrypt(object_id.as_bytes(), &ct)
-                    .map_err(|e| PolicyError::CryptoFailure(e.to_string()))
-            }
-            PolicyKind::AontRs { data, parity } => {
-                let codec = AontRs::new(*data, *parity)
-                    .map_err(|e| PolicyError::Malformed(e.to_string()))?;
-                codec.decode(shards).map_err(|e| match e {
-                    crate::aont::AontError::Code(c) => wrap_code(c),
-                    other => PolicyError::Malformed(other.to_string()),
-                })
-            }
-            PolicyKind::Shamir { threshold, .. } => {
-                let collected = collect_shamir(shards);
-                shamir::reconstruct(&collected, *threshold).map_err(share_err(*threshold))
-            }
-            PolicyKind::PackedShamir { .. } => {
-                let Some((params, plain_len)) = meta.packed else {
-                    return Err(PolicyError::Malformed("missing packed metadata".into()));
-                };
-                let collected: Vec<PackedShare> = shards
-                    .iter()
-                    .enumerate()
-                    .filter_map(|(i, s)| {
-                        s.as_ref().map(|bytes| PackedShare {
-                            index: (i + 1) as u16,
-                            data: bytes
-                                .chunks_exact(2)
-                                .map(|c| u16::from_be_bytes([c[0], c[1]]))
-                                .collect(),
-                        })
-                    })
-                    .collect();
-                let mut out = packed::reconstruct(params, &collected)
-                    .map_err(share_err(params.reconstruct_threshold()))?;
-                out.truncate(plain_len);
-                Ok(out)
-            }
-            PolicyKind::LeakageResilientShamir { threshold, .. } => {
-                let wrapped: Vec<LrssShare> = shards
-                    .iter()
-                    .enumerate()
-                    .filter_map(|(i, s)| {
-                        s.as_ref()
-                            .and_then(|bytes| deserialize_lrss((i + 1) as u8, bytes))
-                    })
-                    .collect();
-                let base = lrss::unwrap(&wrapped);
-                shamir::reconstruct(&base, *threshold).map_err(share_err(*threshold))
-            }
-            PolicyKind::Entropic { data, parity } => {
-                let rs = ReedSolomon::new(*data, *parity)
-                    .map_err(|e| PolicyError::Malformed(e.to_string()))?;
-                let body = rs.decode(shards).map_err(wrap_code)?;
-                let Some(nonce) = meta.entropic_nonce else {
-                    return Err(PolicyError::Malformed("missing entropic nonce".into()));
-                };
-                let cipher = EntropicCipher::new(keys.entropic_key(object_id));
-                Ok(cipher.decrypt(&EntropicCiphertext { nonce, body }))
-            }
-        }
+        self.codec().decode(keys, object_id, shards, meta)
     }
 
     /// Models what a harvest-now-decrypt-later adversary recovers at
@@ -696,66 +392,6 @@ impl PolicyKind {
             }
         }
     }
-}
-
-fn share_err(required: usize) -> impl Fn(aeon_secretshare::ShareError) -> PolicyError {
-    move |e| match e {
-        aeon_secretshare::ShareError::TooFewShares { provided, .. } => PolicyError::TooFewShards {
-            available: provided,
-            required,
-        },
-        other => PolicyError::Malformed(other.to_string()),
-    }
-}
-
-fn collect_shamir(shards: &[Option<Vec<u8>>]) -> Vec<Share> {
-    shards
-        .iter()
-        .enumerate()
-        .filter_map(|(i, s)| {
-            s.as_ref().map(|bytes| Share {
-                index: (i + 1) as u8,
-                data: bytes.clone(),
-            })
-        })
-        .collect()
-}
-
-fn serialize_lrss(share: &LrssShare) -> Vec<u8> {
-    let mut out = Vec::with_capacity(12 + share.stored_len());
-    out.extend_from_slice(&(share.source.len() as u32).to_be_bytes());
-    out.extend_from_slice(&share.source);
-    out.extend_from_slice(&(share.seed.len() as u32).to_be_bytes());
-    out.extend_from_slice(&share.seed);
-    out.extend_from_slice(&(share.masked.len() as u32).to_be_bytes());
-    out.extend_from_slice(&share.masked);
-    out
-}
-
-fn deserialize_lrss(index: u8, bytes: &[u8]) -> Option<LrssShare> {
-    let mut pos = 0usize;
-    let mut take = |bytes: &[u8]| -> Option<Vec<u8>> {
-        if pos + 4 > bytes.len() {
-            return None;
-        }
-        let len = u32::from_be_bytes(bytes[pos..pos + 4].try_into().ok()?) as usize;
-        pos += 4;
-        if pos + len > bytes.len() {
-            return None;
-        }
-        let out = bytes[pos..pos + len].to_vec();
-        pos += len;
-        Some(out)
-    };
-    let source = take(bytes)?;
-    let seed = take(bytes)?;
-    let masked = take(bytes)?;
-    Some(LrssShare {
-        index,
-        source,
-        seed,
-        masked,
-    })
 }
 
 #[cfg(test)]

@@ -11,28 +11,9 @@
 //! randomness.
 
 use crate::archive::{Archive, ArchiveError, ObjectId};
-use crate::pipeline;
-use crate::policy::PolicyKind;
-use aeon_crypto::Sha256;
-use aeon_erasure::ReedSolomon;
-use aeon_gf::Gf256;
-use aeon_secretshare::shamir::{self, Share};
-use aeon_store::node::ShardKey;
-use aeon_store::retry::run_with_retry;
+use crate::plan::{self, RepairOutcome};
 
-/// How a repair was performed.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum RepairMethod {
-    /// Nothing was missing.
-    NotNeeded,
-    /// Lost shards recomputed in place from survivors (MDS property).
-    PartialErasure,
-    /// Lost shares re-derived at their evaluation points (Shamir).
-    PartialShamir,
-    /// Whole object decoded and re-encoded (policies without partial
-    /// repair structure).
-    FullReencode,
-}
+pub use crate::codec::RepairMethod;
 
 /// Report from a repair pass.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -73,121 +54,26 @@ impl Archive {
             });
         }
 
-        let method = match &manifest.policy {
-            PolicyKind::ErasureCoded { data, parity }
-            | PolicyKind::Encrypted { data, parity, .. }
-            | PolicyKind::Cascade { data, parity, .. }
-            | PolicyKind::AontRs { data, parity }
-            | PolicyKind::Entropic { data, parity } => {
-                // The stored shards ARE an RS codeword set: rebuild the
-                // missing rows directly, ciphertext untouched. Chunked
-                // shards are framed concatenations of per-chunk codewords
-                // (the length prefixes are NOT code symbols), so the
-                // reconstruction runs per chunk and the framing is
-                // reassembled afterwards.
-                let rs = ReedSolomon::new(*data, *parity).map_err(|e| {
-                    ArchiveError::Policy(crate::policy::PolicyError::Malformed(e.to_string()))
-                })?;
-                let all = if let Some(chunked) = manifest.meta.chunked.clone() {
-                    let chunk_count = chunked.chunk_count();
-                    let columns: Vec<Option<Vec<Vec<u8>>>> = shards
-                        .iter()
-                        .map(|s| {
-                            s.as_ref()
-                                .map(|b| pipeline::split_shard_segments(b, chunk_count))
-                                .transpose()
-                        })
-                        .collect::<Result<_, _>>()
-                        .map_err(ArchiveError::Policy)?;
-                    let mut rebuilt: Vec<Vec<Vec<u8>>> =
-                        vec![Vec::with_capacity(chunk_count); shards.len()];
-                    for j in 0..chunk_count {
-                        let chunk_shards: Vec<Option<Vec<u8>>> = columns
-                            .iter()
-                            .map(|col| col.as_ref().map(|segments| segments[j].clone()))
-                            .collect();
-                        let chunk_all = rs.reconstruct_shards(&chunk_shards).map_err(|e| {
-                            ArchiveError::Policy(crate::policy::PolicyError::Malformed(
-                                e.to_string(),
-                            ))
-                        })?;
-                        for (column, segment) in rebuilt.iter_mut().zip(chunk_all) {
-                            column.push(segment);
-                        }
-                    }
-                    rebuilt
-                        .iter()
-                        .map(|segments| pipeline::join_shard_segments(segments))
-                        .collect()
-                } else {
-                    rs.reconstruct_shards(&shards).map_err(|e| {
-                        ArchiveError::Policy(crate::policy::PolicyError::Malformed(e.to_string()))
-                    })?
-                };
-                self.write_missing(id, &manifest.placement, &missing, &all)?;
-                RepairMethod::PartialErasure
-            }
-            PolicyKind::Replication { .. } => {
-                // Any surviving replica is the object.
-                let replica =
-                    shards
-                        .iter()
-                        .flatten()
-                        .next()
-                        .cloned()
-                        .ok_or(ArchiveError::Policy(
-                            crate::policy::PolicyError::TooFewShards {
-                                available: 0,
-                                required: 1,
-                            },
-                        ))?;
-                let all = vec![replica; shards.len()];
-                self.write_missing(id, &manifest.placement, &missing, &all)?;
-                RepairMethod::PartialErasure
-            }
-            PolicyKind::Shamir { threshold, .. } => {
-                // Re-derive each missing share at its own x from t
-                // survivors — the secret is never reconstructed at x = 0.
-                // This works verbatim on chunked (framed) shards: the
-                // framing prefixes are identical across shards, Lagrange
-                // coefficients sum to 1, so any interpolation maps equal
-                // constants to that same constant, preserving the frame
-                // while the share payloads interpolate normally.
-                let survivors: Vec<Share> = shards
-                    .iter()
-                    .enumerate()
-                    .filter_map(|(i, s)| {
-                        s.as_ref().map(|bytes| Share {
-                            index: (i + 1) as u8,
-                            data: bytes.clone(),
-                        })
-                    })
-                    .collect();
-                let mut rebuilt: Vec<(usize, Vec<u8>)> = Vec::with_capacity(missing.len());
-                for &m in &missing {
-                    let x = Gf256::new((m + 1) as u8);
-                    let share = shamir::reconstruct_at(&survivors, *threshold, x)
-                        .map_err(ArchiveError::Share)?;
-                    rebuilt.push((m, share));
-                }
-                let retry = self.retry_policy().clone();
+        // The codec decides *how* (pure, per-chunk); the executor
+        // decides *where* (retrying node puts). Repair is the one
+        // maintenance path that rewrites individual slots rather than
+        // whole shard sets, so it carries the rebuilt bytes as an
+        // explicit plan.
+        let method = match plan::plan_repair(&manifest, &shards, &missing)? {
+            RepairOutcome::Apply(repair) => {
                 let mut rng = self.op_rng("repair-put", id.as_str());
-                for (m, data) in rebuilt {
-                    let node = self.cluster().node(manifest.placement[m]).cloned().ok_or(
-                        ArchiveError::Policy(crate::policy::PolicyError::Malformed(
-                            "placement references unknown node".into(),
-                        )),
-                    )?;
-                    let key = ShardKey::new(id.as_str(), m as u32);
-                    let (res, _stats) = run_with_retry(&retry, &mut rng, || node.put(&key, &data));
-                    res.map_err(|e| {
-                        ArchiveError::Cluster(aeon_store::cluster::ClusterError::Node(e))
-                    })?;
-                    self.set_shard_digest(id, m, Sha256::digest(&data));
+                let digests = self.executor().apply_repair(
+                    id.as_str(),
+                    &manifest.placement,
+                    &repair.writes,
+                    &mut rng,
+                )?;
+                for (m, digest) in digests {
+                    self.set_shard_digest(id, m, digest);
                 }
-                RepairMethod::PartialShamir
+                repair.method
             }
-            PolicyKind::PackedShamir { .. } | PolicyKind::LeakageResilientShamir { .. } => {
+            RepairOutcome::Reencode => {
                 // No per-shard repair structure: decode and re-encode.
                 let policy = manifest.policy.clone();
                 self.reencode_object(id, policy)?;
@@ -204,31 +90,6 @@ impl Archive {
             missing_after: after,
             method,
         })
-    }
-
-    fn write_missing(
-        &mut self,
-        id: &ObjectId,
-        placement: &[aeon_store::node::NodeId],
-        missing: &[usize],
-        all: &[Vec<u8>],
-    ) -> Result<(), ArchiveError> {
-        let retry = self.retry_policy().clone();
-        let mut rng = self.op_rng("repair-put", id.as_str());
-        for &m in missing {
-            let node = self
-                .cluster()
-                .node(placement[m])
-                .cloned()
-                .ok_or(ArchiveError::Policy(crate::policy::PolicyError::Malformed(
-                    "placement references unknown node".into(),
-                )))?;
-            let key = ShardKey::new(id.as_str(), m as u32);
-            let (res, _stats) = run_with_retry(&retry, &mut rng, || node.put(&key, &all[m]));
-            res.map_err(|e| ArchiveError::Cluster(aeon_store::cluster::ClusterError::Node(e)))?;
-            self.set_shard_digest(id, m, Sha256::digest(&all[m]));
-        }
-        Ok(())
     }
 
     /// Repairs every object that is missing shards. One object failing

@@ -10,6 +10,10 @@
 //!   Taps record ciphertext that falls retroactively with the group.
 //! * [`ship_its`] — QKD-fed one-time-pad channels with Wegman–Carter
 //!   authentication. Taps record information-theoretic noise.
+//!
+//! Shards are sourced through the archive's digest-filtered fetch path
+//! (and so through the `PlanExecutor`) — shipment never reads nodes
+//! directly.
 
 use crate::archive::{Archive, ArchiveError, ObjectId};
 use aeon_channel::dh;

@@ -15,10 +15,16 @@ pub trait CryptoRng {
     fn fill_bytes(&mut self, dest: &mut [u8]);
 
     /// Returns a fresh array of random bytes.
-    fn gen_array<const N: usize>(&mut self) -> [u8; N] {
-        let mut out = [0u8; N];
-        self.fill_bytes(&mut out);
-        out
+    ///
+    /// Generic over `N`, so only callable on sized types; object-safe
+    /// callers (`&mut dyn CryptoRng`) use the free [`random_array`]
+    /// instead — both funnel through [`CryptoRng::fill_bytes`] and
+    /// consume the identical byte stream.
+    fn gen_array<const N: usize>(&mut self) -> [u8; N]
+    where
+        Self: Sized,
+    {
+        random_array(self)
     }
 
     /// Returns a uniform `u64`.
@@ -44,6 +50,15 @@ pub trait CryptoRng {
             }
         }
     }
+}
+
+/// Returns a fresh array of random bytes from any [`CryptoRng`],
+/// including trait objects. Byte-stream-identical to
+/// [`CryptoRng::gen_array`].
+pub fn random_array<const N: usize, R: CryptoRng + ?Sized>(rng: &mut R) -> [u8; N] {
+    let mut out = [0u8; N];
+    rng.fill_bytes(&mut out);
+    out
 }
 
 /// A ChaCha20-based deterministic random bit generator.

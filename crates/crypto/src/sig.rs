@@ -60,7 +60,7 @@ impl LamportSigner {
     pub fn generate<R: CryptoRng + ?Sized>(rng: &mut R) -> (Self, LamportPublicKey) {
         let mut sk = Vec::with_capacity(512);
         for _ in 0..512 {
-            sk.push(rng.gen_array::<32>());
+            sk.push(crate::drbg::random_array::<32, _>(rng));
         }
         let pk = sk.iter().map(|s| Sha256::digest(s)).collect();
         (LamportSigner { sk, used: false }, LamportPublicKey { pk })
@@ -165,7 +165,9 @@ pub struct WotsSignature {
 impl WotsSigner {
     /// Generates a keypair from the RNG.
     pub fn generate<R: CryptoRng + ?Sized>(rng: &mut R) -> (Self, WotsPublicKey) {
-        let sk: Vec<[u8; 32]> = (0..CHAINS).map(|_| rng.gen_array::<32>()).collect();
+        let sk: Vec<[u8; 32]> = (0..CHAINS)
+            .map(|_| crate::drbg::random_array::<32, _>(rng))
+            .collect();
         let pk = Self::public_from_sk(&sk);
         (WotsSigner { sk, used: false }, pk)
     }

@@ -17,7 +17,7 @@
 //! * [`matrix`] — dense matrices over a field: Vandermonde and Cauchy
 //!   constructions, Gaussian elimination, inversion. These drive systematic
 //!   Reed–Solomon encoding and decoding.
-//! * [`slice`] — bulk scalar × vector kernels (`mul_slice`,
+//! * [`slice`](mod@slice) — bulk scalar × vector kernels (`mul_slice`,
 //!   `mul_add_slice`) with per-scalar product tables, the branch-free
 //!   inner loops of erasure encoding and share evaluation.
 //!

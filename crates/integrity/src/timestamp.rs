@@ -219,7 +219,7 @@ impl DocumentChain {
         let (anchor, opening) = match mode {
             AnchorMode::HashDigest => (Sha256::digest(document).to_vec(), None),
             AnchorMode::PedersenHiding => {
-                let blinding = rng.gen_array::<32>();
+                let blinding = aeon_crypto::random_array::<32, _>(rng);
                 let (c, o) = committer.commit(&Sha256::digest(document), &blinding);
                 (c.to_be_bytes(), Some(o))
             }

@@ -120,7 +120,7 @@ impl ScalarField {
     /// Draws a uniform scalar below `q`.
     pub fn random<R: CryptoRng + ?Sized>(&self, rng: &mut R) -> U2048 {
         // 2048 random bits reduced mod q: bias is 2^-1024, negligible.
-        let bytes = rng.gen_array::<256>();
+        let bytes = aeon_crypto::random_array::<256, _>(rng);
         U2048::from_be_bytes(&bytes).rem(&self.q)
     }
 }

@@ -1,4 +1,11 @@
 //! Geo-dispersed clusters with anti-affinity placement.
+//!
+//! A [`Cluster`] is the raw shard store: placement, batched get/put
+//! with bounded retry, deletion, accounting. It is policy-blind — it
+//! never sees plaintext, codecs, or manifests. In `aeon-core` every
+//! access to a cluster is funneled through the `PlanExecutor` so the
+//! archive has exactly one node-I/O seam; callers embedding this crate
+//! directly get the same primitives without that discipline.
 
 use crate::node::{MemoryNode, NodeError, NodeId, ShardKey, StorageNode};
 use crate::retry::{run_with_retry, RetryPolicy};

@@ -13,6 +13,11 @@
 //! * **Deterministic jitter.** The jitter added to each backoff step is
 //!   drawn from a caller-supplied [`CryptoRng`], so a seeded run replays
 //!   the exact same retry schedule.
+//!
+//! In `aeon-core` the consumer of this loop is the `PlanExecutor`: each
+//! archive operation derives a fresh labelled DRBG for its retry jitter,
+//! which keeps read paths `&self` and replayable without perturbing the
+//! archive's main encode stream.
 
 use crate::node::NodeError;
 use aeon_crypto::CryptoRng;

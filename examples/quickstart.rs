@@ -4,16 +4,32 @@
 //! cargo run --example quickstart
 //! ```
 
-use aeon::core::{Archive, ArchiveConfig, PolicyKind};
+use aeon::core::{Archive, ArchiveConfig, CodecRegistry, PolicyKind};
 use aeon::integrity::timestamp::SigBreakSchedule;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Every at-rest encoding is a codec behind a registry; policies are
+    // just parameter values for one of these families.
+    println!(
+        "codec families: {}",
+        CodecRegistry::global().families().join(", ")
+    );
+
     // A 3-of-5 secret-shared archive: information-theoretic
     // confidentiality at rest, tolerant of 2 lost sites.
-    let mut archive = Archive::in_memory(ArchiveConfig::new(PolicyKind::Shamir {
+    let policy = PolicyKind::Shamir {
         threshold: 3,
         shares: 5,
-    }))?;
+    };
+    let codec = policy.codec();
+    println!(
+        "policy family {:?}: {} shards, read threshold {}, analytic expansion {}x",
+        codec.family(),
+        codec.shard_count(),
+        codec.read_threshold(),
+        codec.expansion()
+    );
+    let mut archive = Archive::in_memory(ArchiveConfig::new(policy))?;
 
     let id = archive.ingest(b"the 1921 land registry, digitized", "registry-1921")?;
     println!("ingested object {id}");

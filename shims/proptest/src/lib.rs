@@ -2,7 +2,7 @@
 //!
 //! The build environment has no network access to crates.io, so this
 //! workspace vendors a minimal API-compatible property-testing harness:
-//! the [`Strategy`] trait, `any::<T>()`, integer/float range strategies,
+//! the [`Strategy`](strategy::Strategy) trait, `any::<T>()`, integer/float range strategies,
 //! tuple and collection combinators, `prop_oneof!`, a tiny
 //! `[class]{m,n}` regex string strategy, and the `proptest!` macro
 //! driving a deterministic per-test RNG.
