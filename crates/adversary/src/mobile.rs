@@ -12,6 +12,7 @@
 use aeon_crypto::{ChaChaDrbg, CryptoRng};
 use aeon_secretshare::proactive::ProactiveSecret;
 use aeon_secretshare::shamir::{self, Share};
+use aeon_store::clock::{EpochSchedule, SimClock, SimTime};
 
 /// Configuration of a mobile-adversary campaign.
 #[derive(Debug, Clone, Copy)]
@@ -37,6 +38,15 @@ pub struct MobileAttackOutcome {
     pub refreshes: u64,
 }
 
+impl MobileAttackOutcome {
+    /// Maps the compromise epoch (if any) onto the virtual timeline via
+    /// the workspace's single [`EpochSchedule`] conversion: the instant
+    /// the compromising epoch began.
+    pub fn compromise_time(&self, schedule: &EpochSchedule) -> Option<SimTime> {
+        self.compromise_epoch.map(|e| schedule.start_of(e))
+    }
+}
+
 /// Runs a mobile-adversary campaign against a proactively shared secret.
 ///
 /// Each epoch the adversary corrupts `corrupt_per_epoch` distinct random
@@ -57,6 +67,41 @@ pub fn run_attack<R: CryptoRng + ?Sized>(
     shares: usize,
     adversary: MobileAdversary,
 ) -> MobileAttackOutcome {
+    run_attack_inner(rng, secret, threshold, shares, adversary, |_| {})
+}
+
+/// [`run_attack`] on the shared virtual clock: each adversary epoch
+/// advances `clock` to that epoch's start instant under `schedule`, so
+/// an attack campaign and a storage campaign sharing the clock agree on
+/// when epochs begin. The RNG draw sequence — and therefore the outcome
+/// — is identical to [`run_attack`] with the same seed; only the clock
+/// moves.
+///
+/// # Panics
+///
+/// Panics if `corrupt_per_epoch` exceeds the number of shares.
+pub fn run_attack_on_clock<R: CryptoRng + ?Sized>(
+    rng: &mut R,
+    secret: &[u8],
+    threshold: usize,
+    shares: usize,
+    adversary: MobileAdversary,
+    clock: &SimClock,
+    schedule: &EpochSchedule,
+) -> MobileAttackOutcome {
+    run_attack_inner(rng, secret, threshold, shares, adversary, |epoch| {
+        clock.advance_to(schedule.start_of(epoch));
+    })
+}
+
+fn run_attack_inner<R: CryptoRng + ?Sized>(
+    rng: &mut R,
+    secret: &[u8],
+    threshold: usize,
+    shares: usize,
+    adversary: MobileAdversary,
+    mut on_epoch: impl FnMut(u64),
+) -> MobileAttackOutcome {
     assert!(
         adversary.corrupt_per_epoch <= shares,
         "cannot corrupt more nodes than exist"
@@ -69,6 +114,7 @@ pub fn run_attack<R: CryptoRng + ?Sized>(
     let mut refreshes = 0u64;
 
     for epoch in 0..adversary.epochs {
+        on_epoch(epoch);
         // Adversary move: corrupt b distinct random nodes.
         let victims = sample_distinct(rng, shares, adversary.corrupt_per_epoch);
         for v in victims {
@@ -218,6 +264,31 @@ mod tests {
         };
         let out = run_attack(&mut rng, SECRET, 4, 6, adv);
         assert_eq!(out.corruptions, 20);
+    }
+
+    #[test]
+    fn clocked_attack_matches_unclocked_and_advances_the_clock() {
+        let adv = MobileAdversary {
+            corrupt_per_epoch: 1,
+            epochs: 200,
+            refresh_every: 0,
+        };
+        let mut rng_a = ChaChaDrbg::from_u64_seed(1);
+        let plain = run_attack(&mut rng_a, SECRET, 3, 5, adv);
+
+        let clock = SimClock::new();
+        let schedule = EpochSchedule::default();
+        let mut rng_b = ChaChaDrbg::from_u64_seed(1);
+        let clocked = run_attack_on_clock(&mut rng_b, SECRET, 3, 5, adv, &clock, &schedule);
+        assert_eq!(plain, clocked, "the clock must not perturb the campaign");
+
+        // The clock stands at the start of the last epoch the campaign
+        // entered, and the compromise instant maps through the same
+        // schedule the clock was driven by.
+        let last_epoch = clocked.compromise_epoch.expect("static shares fall");
+        assert_eq!(clock.now(), schedule.start_of(last_epoch));
+        assert_eq!(clocked.compromise_time(&schedule), Some(clock.now()));
+        assert_eq!(schedule.epoch_of(clock.now()), last_epoch);
     }
 
     #[test]

@@ -7,13 +7,22 @@
 //! analytic model against a scaled-down *live* re-encryption of an
 //! in-memory archive.
 
-use aeon_bench::{f2, Table};
+use aeon_bench::{f2, Json, Table};
 use aeon_core::{Archive, ArchiveConfig, IntegrityMode, PolicyKind};
 use aeon_crypto::SuiteId;
 use aeon_store::campaign::{simulate_campaign, ReencryptionModel};
 use aeon_store::media::{ArchiveSite, DAYS_PER_MONTH};
+use aeon_store::throughput::{throughput_in_memory_cluster, ThroughputProfile};
+
+/// Relative agreement bound between the measured-and-extrapolated and
+/// closed-form campaign figures. The two share only the site's
+/// size/bandwidth numbers — the measured run goes through the real
+/// codec/plan/executor path on a throughput-charged cluster — so
+/// agreement this tight is the cross-check, not a tautology.
+const AGREEMENT_BOUND: f64 = 0.02;
 
 fn main() {
+    let measured_mode = std::env::args().any(|a| a == "--measured");
     let paper_months = [6.75, 10.35, 8.3, 0.76];
     let mut table = Table::new(
         "§3.2 re-encryption durations (months)",
@@ -103,4 +112,124 @@ fn main() {
         archive.retrieve(&id).expect("retrievable after campaign");
     }
     println!("  all {objects} objects verified retrievable after migration");
+
+    if measured_mode {
+        run_measured();
+    }
+}
+
+/// `--measured`: runs a scaled-down §3.2 campaign *live* under the
+/// virtual clock for each paper site, extrapolates to site scale, and
+/// cross-checks the result against the closed-form model. Emits the
+/// four site estimates as `BENCH_reencrypt.json`.
+fn run_measured() {
+    let paper_months = [6.75, 10.35, 8.3, 0.76];
+    let mut table = Table::new(
+        "§3.2 measured campaigns (SimClock, extrapolated months)",
+        &[
+            "archive",
+            "read-only",
+            "closed-form",
+            "paper",
+            "+write-back",
+            "realistic",
+            "agreement",
+        ],
+    );
+    let mut site_entries: Vec<Json> = Vec::new();
+    for (site, paper) in ArchiveSite::paper_examples().into_iter().zip(paper_months) {
+        let closed = ReencryptionModel::paper_assumptions(site.clone()).estimate();
+        let (est, campaign_objects) = measure_site(&site, 1);
+        let agreement =
+            (est.read_only_months - closed.read_only_months).abs() / closed.read_only_months;
+        assert!(
+            agreement < AGREEMENT_BOUND,
+            "{}: measured {:.4} vs closed-form {:.4} months diverge past {:.0}%",
+            site.name,
+            est.read_only_months,
+            closed.read_only_months,
+            AGREEMENT_BOUND * 100.0
+        );
+        table.row(&[
+            site.name.clone(),
+            f2(est.read_only_months),
+            f2(closed.read_only_months),
+            f2(paper),
+            f2(est.with_write_months),
+            f2(est.realistic_months),
+            format!("{:.2}%", agreement * 100.0),
+        ]);
+        site_entries.push(Json::Obj(vec![
+            ("name".into(), Json::Str(site.name.clone())),
+            ("capacity_tb".into(), Json::Num(site.capacity_tb)),
+            (
+                "objects_measured".into(),
+                Json::Num(campaign_objects as f64),
+            ),
+            ("read_only_months".into(), Json::Num(est.read_only_months)),
+            ("with_write_months".into(), Json::Num(est.with_write_months)),
+            ("realistic_months".into(), Json::Num(est.realistic_months)),
+            (
+                "closed_form_read_only_months".into(),
+                Json::Num(closed.read_only_months),
+            ),
+            ("paper_read_only_months".into(), Json::Num(paper)),
+            ("agreement".into(), Json::Num(agreement)),
+        ]));
+    }
+    table.emit("e3_reencrypt_measured");
+    let artifact = Json::Obj(vec![
+        ("experiment".into(), Json::Str("reencrypt_measured".into())),
+        ("seed".into(), Json::Num(1.0)),
+        ("reserved_fraction".into(), Json::Num(0.5)),
+        ("agreement_bound".into(), Json::Num(AGREEMENT_BOUND)),
+        ("sites".into(), Json::Arr(site_entries)),
+    ]);
+    match artifact.write_artifact("BENCH_reencrypt.json") {
+        Some(path) => println!("measured estimates written to {}", path.display()),
+        None => eprintln!("warning: could not write BENCH_reencrypt.json"),
+    }
+    println!(
+        "All four sites: measured campaign agrees with the closed form within {:.0}%",
+        AGREEMENT_BOUND * 100.0
+    );
+}
+
+/// Runs one site's scaled-down live campaign and extrapolates to the
+/// site's full capacity. Returns the estimate and the object count.
+fn measure_site(
+    site: &ArchiveSite,
+    seed: u64,
+) -> (aeon_store::campaign::ReencryptionEstimate, usize) {
+    let profile = ThroughputProfile::from_site_aggregate(site);
+    let (cluster, _clock) =
+        throughput_in_memory_cluster(&["s0", "s1", "s2", "s3", "s4", "s5"], 1, &profile);
+    let config = ArchiveConfig::new(PolicyKind::Encrypted {
+        suite: SuiteId::Aes256CtrHmac,
+        data: 4,
+        parity: 2,
+    })
+    .with_integrity(IntegrityMode::DigestOnly);
+    let mut archive = Archive::with_cluster(config, cluster).expect("archive");
+    let objects = 16;
+    for i in 0..objects {
+        let payload = aeon_bench::reference_payload(64 * 1024, seed.wrapping_add(i as u64));
+        archive
+            .ingest(&payload, &format!("measured-{i}"))
+            .expect("ingest");
+    }
+    let campaign = archive
+        .reencode_all_measured(
+            PolicyKind::Cascade {
+                suites: vec![SuiteId::Aes256CtrHmac, SuiteId::ChaCha20Poly1305],
+                data: 4,
+                parity: 2,
+            },
+            0.5,
+        )
+        .expect("measured campaign");
+    (
+        campaign.extrapolate(site.capacity_tb * 1e12),
+        campaign.objects,
+    )
 }

@@ -88,6 +88,77 @@ impl Table {
     }
 }
 
+/// A minimal JSON value for machine-readable benchmark artifacts. The
+/// workspace carries no serialization dependency, so this is the whole
+/// implementation: numbers, strings, ordered objects, arrays.
+#[derive(Debug, Clone)]
+pub enum Json {
+    /// A number (non-finite values render as `null`).
+    Num(f64),
+    /// A string (escaped on render).
+    Str(String),
+    /// An object whose fields keep insertion order.
+    Obj(Vec<(String, Json)>),
+    /// An array.
+    Arr(Vec<Json>),
+}
+
+impl Json {
+    /// Renders the value as compact JSON text.
+    pub fn render(&self) -> String {
+        fn escape(s: &str) -> String {
+            let mut out = String::with_capacity(s.len() + 2);
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\r' => out.push_str("\\r"),
+                    '\t' => out.push_str("\\t"),
+                    c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                    c => out.push(c),
+                }
+            }
+            out
+        }
+        match self {
+            Json::Num(v) if v.is_finite() => {
+                // Integral values print without a trailing ".0" so the
+                // artifact stays pleasant to read.
+                if *v == v.trunc() && v.abs() < 1e15 {
+                    format!("{}", *v as i64)
+                } else {
+                    format!("{v}")
+                }
+            }
+            Json::Num(_) => "null".to_string(),
+            Json::Str(s) => format!("\"{}\"", escape(s)),
+            Json::Obj(fields) => {
+                let body: Vec<String> = fields
+                    .iter()
+                    .map(|(k, v)| format!("\"{}\":{}", escape(k), v.render()))
+                    .collect();
+                format!("{{{}}}", body.join(","))
+            }
+            Json::Arr(items) => {
+                let body: Vec<String> = items.iter().map(Json::render).collect();
+                format!("[{}]", body.join(","))
+            }
+        }
+    }
+
+    /// Writes the rendered value to `<AEON_RESULTS_DIR>/<name>` (or
+    /// `./<name>` when the variable is unset) and returns the path, or
+    /// `None` if the write failed.
+    pub fn write_artifact(&self, name: &str) -> Option<PathBuf> {
+        let dir = std::env::var("AEON_RESULTS_DIR").unwrap_or_else(|_| ".".to_string());
+        let path = PathBuf::from(dir).join(name);
+        let mut f = std::fs::File::create(&path).ok()?;
+        writeln!(f, "{}", self.render()).ok()?;
+        Some(path)
+    }
+}
+
 /// Formats a float with fixed precision for table cells.
 pub fn f2(v: f64) -> String {
     format!("{v:.2}")
@@ -126,6 +197,19 @@ mod tests {
     fn arity_checked() {
         let mut t = Table::new("demo", &["a", "b"]);
         t.row(&["only one"]);
+    }
+
+    #[test]
+    fn json_renders_and_escapes() {
+        let j = Json::Obj(vec![
+            ("name".into(), Json::Str("a \"b\"\n".into())),
+            ("n".into(), Json::Num(2.0)),
+            (
+                "xs".into(),
+                Json::Arr(vec![Json::Num(1.5), Json::Num(f64::NAN)]),
+            ),
+        ]);
+        assert_eq!(j.render(), r#"{"name":"a \"b\"\n","n":2,"xs":[1.5,null]}"#);
     }
 
     #[test]

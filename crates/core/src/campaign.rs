@@ -1,0 +1,310 @@
+//! Measured maintenance campaigns: §3.2 on the real data path.
+//!
+//! The closed-form [`ReencryptionModel`](aeon_store::campaign::ReencryptionModel)
+//! prices a re-encryption campaign as `capacity / bandwidth`, doubled
+//! for write-back and doubled again for reserved foreground capacity.
+//! This module runs the same campaign **live**: every object moves
+//! through the unchanged Codec→Plan→Executor path against a
+//! throughput-charged cluster
+//! ([`ThroughputNode`](aeon_store::throughput::ThroughputNode)), and the
+//! duration is read off the shared [`SimClock`] instead of computed. The
+//! [`BandwidthScheduler`] implements the paper's reserved-capacity
+//! factor by interleaving foreground time between background objects,
+//! and [`MeasuredCampaign::extrapolate`] scales the measured run to a
+//! real site's capacity — which is what `exp_reencrypt --measured`
+//! cross-checks against the closed form.
+
+use crate::archive::{Archive, ArchiveError, ObjectId};
+use crate::maintenance::ObjectReencode;
+use crate::policy::PolicyKind;
+use crate::repair::FleetRepairOutcome;
+use aeon_store::campaign::ReencryptionEstimate;
+use aeon_store::clock::{SimClock, SimDuration, SimTime};
+
+/// Foreground/background bandwidth arbitration on the virtual clock.
+///
+/// An archive never gives a maintenance campaign the whole machine: a
+/// `reserved_fraction` of capacity stays pledged to foreground work
+/// (ingest and reads). On a time-charged cluster that means every
+/// interval of background time `Δ` implies `Δ · r / (1 − r)` of
+/// foreground time threaded through it; the scheduler charges exactly
+/// that to the clock after each background slice, which stretches the
+/// campaign by `1 / (1 − r)` — the paper's reserved-capacity ×2 at
+/// `r = 0.5`.
+#[derive(Debug)]
+pub struct BandwidthScheduler {
+    clock: SimClock,
+    reserved_fraction: f64,
+    last: SimTime,
+    foreground: SimDuration,
+}
+
+impl BandwidthScheduler {
+    /// A scheduler reserving `reserved_fraction ∈ [0, 1)` of capacity
+    /// for foreground work, measuring background time on `clock` from
+    /// now on.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= reserved_fraction < 1` (at 1 the campaign
+    /// would never run).
+    pub fn new(clock: SimClock, reserved_fraction: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&reserved_fraction),
+            "reserved fraction must be in [0, 1)"
+        );
+        let last = clock.now();
+        BandwidthScheduler {
+            clock,
+            reserved_fraction,
+            last,
+            foreground: SimDuration::ZERO,
+        }
+    }
+
+    /// Charges the foreground time implied by the background time that
+    /// elapsed since the previous call (or construction), and returns
+    /// it. Call after each background unit of work (an object migrated,
+    /// a shard set repaired).
+    pub fn reserve_foreground(&mut self) -> SimDuration {
+        let now = self.clock.now();
+        let background = now - self.last;
+        let fg = background.mul_f64(self.reserved_fraction / (1.0 - self.reserved_fraction));
+        self.clock.charge(fg);
+        self.last = self.clock.now();
+        self.foreground += fg;
+        fg
+    }
+
+    /// Total foreground time charged so far.
+    pub fn foreground_total(&self) -> SimDuration {
+        self.foreground
+    }
+
+    /// The reserved fraction in effect.
+    pub fn reserved_fraction(&self) -> f64 {
+        self.reserved_fraction
+    }
+}
+
+/// What a measured campaign did and how long it took in virtual time.
+/// All times are clock-snapshot differences; bytes are stored bytes on
+/// the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MeasuredCampaign {
+    /// Objects migrated.
+    pub objects: usize,
+    /// Stored bytes read (the old encoding).
+    pub bytes_read: u64,
+    /// Stored bytes written back (the new encoding).
+    pub bytes_written: u64,
+    /// Virtual time spent in read phases.
+    pub read_time: SimDuration,
+    /// Virtual time spent in write-back phases.
+    pub write_time: SimDuration,
+    /// Foreground time the [`BandwidthScheduler`] threaded through.
+    pub foreground_time: SimDuration,
+    /// Wall-to-wall virtual duration of the campaign (read + write +
+    /// foreground, plus any fault stalls and retry backoff).
+    pub elapsed: SimDuration,
+}
+
+impl MeasuredCampaign {
+    /// Scales this measured run to an archive holding `target_bytes` of
+    /// stored data, reproducing the closed-form estimate's three
+    /// figures from measurement: read-phase time scaled is the
+    /// read-only bound, read+write scaled is the with-write figure, and
+    /// the full elapsed time scaled (foreground included) is the
+    /// realistic figure. Throughput charges are linear in bytes, so the
+    /// scale factor is just `target_bytes / bytes_read`.
+    pub fn extrapolate(&self, target_bytes: f64) -> ReencryptionEstimate {
+        let scale = if self.bytes_read == 0 {
+            0.0
+        } else {
+            target_bytes / self.bytes_read as f64
+        };
+        ReencryptionEstimate {
+            read_only_months: self.read_time.as_months_f64() * scale,
+            with_write_months: (self.read_time + self.write_time).as_months_f64() * scale,
+            realistic_months: self.elapsed.as_months_f64() * scale,
+        }
+    }
+}
+
+/// Virtual-time accounting for refresh/repair fleet sweeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CampaignClockStats {
+    /// Objects the sweep touched.
+    pub objects: usize,
+    /// Wall-to-wall virtual duration.
+    pub elapsed: SimDuration,
+    /// Foreground time threaded through by the scheduler.
+    pub foreground_time: SimDuration,
+}
+
+impl Archive {
+    /// Runs a full re-encryption campaign — every object re-encoded
+    /// under `new_policy` through the real plan/executor path — under a
+    /// [`BandwidthScheduler`] reserving `reserved_fraction` of capacity
+    /// for foreground work. On a throughput-charged cluster the
+    /// returned [`MeasuredCampaign`] *is* the §3.2 measurement.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first per-object failure.
+    pub fn reencode_all_measured(
+        &mut self,
+        new_policy: PolicyKind,
+        reserved_fraction: f64,
+    ) -> Result<MeasuredCampaign, ArchiveError> {
+        let clock = self.cluster().clock().clone();
+        let start = clock.now();
+        let mut scheduler = BandwidthScheduler::new(clock.clone(), reserved_fraction);
+        let ids: Vec<ObjectId> = self.manifests().map(|m| m.id.clone()).collect();
+        let mut campaign = MeasuredCampaign {
+            objects: 0,
+            bytes_read: 0,
+            bytes_written: 0,
+            read_time: SimDuration::ZERO,
+            write_time: SimDuration::ZERO,
+            foreground_time: SimDuration::ZERO,
+            elapsed: SimDuration::ZERO,
+        };
+        for id in &ids {
+            let o: ObjectReencode = self.reencode_object_timed(id, new_policy.clone())?;
+            campaign.objects += 1;
+            campaign.bytes_read += o.bytes_read;
+            campaign.bytes_written += o.bytes_written;
+            campaign.read_time += o.read_time;
+            campaign.write_time += o.write_time;
+            scheduler.reserve_foreground();
+        }
+        campaign.foreground_time = scheduler.foreground_total();
+        campaign.elapsed = clock.now() - start;
+        Ok(campaign)
+    }
+
+    /// Runs one proactive-refresh epoch over every Shamir-encoded
+    /// object under a [`BandwidthScheduler`]; non-Shamir objects are
+    /// skipped (refresh is undefined for them).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first per-object failure.
+    pub fn refresh_all_measured(
+        &mut self,
+        reserved_fraction: f64,
+    ) -> Result<CampaignClockStats, ArchiveError> {
+        let clock = self.cluster().clock().clone();
+        let start = clock.now();
+        let mut scheduler = BandwidthScheduler::new(clock.clone(), reserved_fraction);
+        let ids: Vec<ObjectId> = self
+            .manifests()
+            .filter(|m| matches!(m.policy, PolicyKind::Shamir { .. }))
+            .map(|m| m.id.clone())
+            .collect();
+        for id in &ids {
+            self.refresh_object(id)?;
+            scheduler.reserve_foreground();
+        }
+        Ok(CampaignClockStats {
+            objects: ids.len(),
+            elapsed: clock.now() - start,
+            foreground_time: scheduler.foreground_total(),
+        })
+    }
+
+    /// Runs a fleet repair sweep (every object, continuing past
+    /// per-object failures exactly like [`Archive::repair_all`]) under
+    /// a [`BandwidthScheduler`], returning the per-object outcomes plus
+    /// the campaign's virtual-time accounting.
+    pub fn repair_all_measured(
+        &mut self,
+        reserved_fraction: f64,
+    ) -> (FleetRepairOutcome, CampaignClockStats) {
+        let clock = self.cluster().clock().clone();
+        let start = clock.now();
+        let mut scheduler = BandwidthScheduler::new(clock.clone(), reserved_fraction);
+        let ids: Vec<ObjectId> = self.manifests().map(|m| m.id.clone()).collect();
+        let mut outcome = FleetRepairOutcome {
+            repaired: Vec::new(),
+            failed: Vec::new(),
+            healthy: 0,
+        };
+        for id in ids.iter() {
+            match self.repair_object(id) {
+                Ok(report) if report.method == crate::repair::RepairMethod::NotNeeded => {
+                    outcome.healthy += 1
+                }
+                Ok(report) => outcome.repaired.push((id.clone(), report)),
+                Err(e) => outcome.failed.push((id.clone(), e)),
+            }
+            scheduler.reserve_foreground();
+        }
+        let stats = CampaignClockStats {
+            objects: ids.len(),
+            elapsed: clock.now() - start,
+            foreground_time: scheduler.foreground_total(),
+        };
+        (outcome, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scheduler_interleaves_reserved_capacity() {
+        let clock = SimClock::new();
+        let mut s = BandwidthScheduler::new(clock.clone(), 0.5);
+        clock.charge(SimDuration::from_secs(10)); // background work
+        let fg = s.reserve_foreground();
+        // r = 0.5: foreground equals background, elapsed doubles.
+        assert_eq!(fg, SimDuration::from_secs(10));
+        assert_eq!(clock.now(), SimTime::ZERO + SimDuration::from_secs(20));
+        assert_eq!(s.foreground_total(), SimDuration::from_secs(10));
+    }
+
+    #[test]
+    fn zero_reservation_charges_nothing() {
+        let clock = SimClock::new();
+        let mut s = BandwidthScheduler::new(clock.clone(), 0.0);
+        clock.charge(SimDuration::from_secs(7));
+        assert_eq!(s.reserve_foreground(), SimDuration::ZERO);
+        assert_eq!(clock.now().as_secs_f64(), 7.0);
+    }
+
+    #[test]
+    fn quarter_reservation_stretches_by_a_third() {
+        let clock = SimClock::new();
+        let mut s = BandwidthScheduler::new(clock.clone(), 0.25);
+        clock.charge(SimDuration::from_secs(9));
+        // 9 s background ⇒ 3 s foreground: 12 s total = 9 / (1 − 0.25).
+        assert_eq!(s.reserve_foreground(), SimDuration::from_secs(3));
+        assert_eq!(clock.now().as_secs_f64(), 12.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved fraction")]
+    fn full_reservation_is_rejected() {
+        let _ = BandwidthScheduler::new(SimClock::new(), 1.0);
+    }
+
+    #[test]
+    fn extrapolation_scales_linearly() {
+        let m = MeasuredCampaign {
+            objects: 4,
+            bytes_read: 1_000,
+            bytes_written: 1_000,
+            read_time: SimDuration::from_days(1),
+            write_time: SimDuration::from_days(1),
+            foreground_time: SimDuration::from_days(2),
+            elapsed: SimDuration::from_days(4),
+        };
+        let e = m.extrapolate(10_000.0);
+        assert!((e.read_only_months - 10.0 / 30.44).abs() < 1e-9);
+        assert!((e.with_write_months - 2.0 * e.read_only_months).abs() < 1e-9);
+        assert!((e.realistic_months - 4.0 * e.read_only_months).abs() < 1e-9);
+    }
+}

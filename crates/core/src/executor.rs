@@ -159,22 +159,13 @@ impl<'a> PlanExecutor<'a> {
                     "placement references unknown node".into(),
                 )))?;
             let key = ShardKey::new(object, *m as u32);
-            let (res, _stats) = run_with_retry(self.retry, rng, || node.put(&key, data));
+            let (res, _stats) = run_with_retry(self.retry, self.cluster.clock(), rng, || {
+                node.put(&key, data)
+            });
             res.map_err(|e| ArchiveError::Cluster(ClusterError::Node(e)))?;
             digests.push((*m, Sha256::digest(data)));
         }
         Ok(digests)
-    }
-
-    /// Bytes currently stored for an object (non-retrying read; used
-    /// for re-encode campaign accounting).
-    pub fn stored_bytes_of(&self, object: &str, placement: &[NodeId]) -> u64 {
-        self.cluster
-            .get_shards(object, placement)
-            .iter()
-            .flatten()
-            .map(|s| s.len() as u64)
-            .sum()
     }
 
     /// Deletes an object's shards (best-effort).

@@ -48,6 +48,7 @@
 
 pub mod aont;
 mod archive;
+pub mod campaign;
 pub mod codec;
 pub mod evaluate;
 pub mod executor;
@@ -65,17 +66,21 @@ pub use archive::{
     estimate_entropy_bits_per_byte, Archive, ArchiveConfig, ArchiveError, ArchiveStats,
     HealthReport, IntegrityMode, Manifest, ObjectId,
 };
+pub use campaign::{BandwidthScheduler, CampaignClockStats, MeasuredCampaign};
 pub use codec::{Codec, CodecRegistry, CodecRepair};
 pub use evaluate::{
     figure1_points, table1, ChannelKind, CostBucket, Figure1Point, SystemProfile, Table1Row,
 };
 pub use executor::{PlanExecutor, ShardsSnapshot, WriteOutcome};
+pub use maintenance::ObjectReencode;
 pub use pipeline::{ChunkedMeta, PipelineConfig, DEFAULT_CHUNK_SIZE};
 pub use plan::{ReadPlan, RepairPlan, WritePlan};
 pub use policy::{Encoded, EncodingMeta, PolicyError, PolicyKind, Recovery};
 pub use repair::{FleetRepairOutcome, RepairMethod, RepairReport};
 
-// Fault-tolerance knobs live in the store crate; re-exported here so
-// archive users can configure retries without a direct dependency.
+// Fault-tolerance and virtual-time knobs live in the store crate;
+// re-exported here so archive users can configure retries and read the
+// clock without a direct dependency.
+pub use aeon_store::clock::{EpochSchedule, SimClock, SimDuration, SimTime};
 pub use aeon_store::cluster::{ReadReport, ShardAttempt};
 pub use aeon_store::retry::{RetryPolicy, RetryStats};

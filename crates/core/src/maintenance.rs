@@ -8,10 +8,29 @@
 //! [`crate::executor::PlanExecutor`].
 
 use crate::archive::{Archive, ArchiveError, ObjectId};
+use crate::pipeline;
 use crate::plan;
 use crate::policy::PolicyKind;
 use aeon_crypto::{Sha256, SuiteId};
 use aeon_secretshare::proactive::ProtocolCost;
+use aeon_store::clock::SimDuration;
+
+/// Byte and virtual-time accounting from one object's re-encode, read
+/// off the cluster's [`SimClock`](aeon_store::clock::SimClock) at the
+/// phase boundaries (there is no parallel time accounting: the clock is
+/// the only ledger).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObjectReencode {
+    /// Stored bytes fetched under the old encoding.
+    pub bytes_read: u64,
+    /// Stored bytes written under the new encoding.
+    pub bytes_written: u64,
+    /// Virtual time the read phase took (fetch + injected stalls +
+    /// retry backoff; zero on clusters whose nodes charge nothing).
+    pub read_time: SimDuration,
+    /// Virtual time the write phase took (delete + write-back).
+    pub write_time: SimDuration,
+}
 
 impl Archive {
     /// Runs one proactive-refresh epoch on a Shamir-encoded object:
@@ -82,16 +101,60 @@ impl Archive {
         id: &ObjectId,
         new_policy: PolicyKind,
     ) -> Result<(u64, u64), ArchiveError> {
+        self.reencode_object_timed(id, new_policy)
+            .map(|o| (o.bytes_read, o.bytes_written))
+    }
+
+    /// [`Archive::reencode_object`] with per-phase virtual-time
+    /// accounting: the cluster clock is snapshotted at the read/write
+    /// phase boundary, so throughput-charged clusters measure exactly
+    /// the §3.2 read and write-back costs. The object's shards are
+    /// fetched **once** — the same digest-filtered fetch is both the
+    /// decode's data source and the campaign's bytes-read figure, so
+    /// no accounting read double-charges the clock.
+    ///
+    /// # Errors
+    ///
+    /// Propagates retrieval and ingest errors.
+    pub fn reencode_object_timed(
+        &mut self,
+        id: &ObjectId,
+        new_policy: PolicyKind,
+    ) -> Result<ObjectReencode, ArchiveError> {
         new_policy.validate()?;
-        let payload = self.retrieve(id)?;
+        let clock = self.cluster().clock().clone();
+        let read_start = clock.now();
         let manifest = self
             .manifests
             .get(id)
-            .expect("manifest exists after retrieve");
-        let old_stored = self
-            .executor()
-            .stored_bytes_of(id.as_str(), &manifest.placement);
-        let placement_old = manifest.placement.clone();
+            .ok_or_else(|| ArchiveError::UnknownObject(id.clone()))?
+            .clone();
+        let snap = self.fetch_shards(&manifest, "retrieve");
+        let required = manifest.policy.read_threshold();
+        if snap.valid < required {
+            if snap.corrupt > 0 {
+                return Err(ArchiveError::IntegrityViolation(id.clone()));
+            }
+            return Err(ArchiveError::DegradedBeyondBudget {
+                id: id.clone(),
+                available: snap.valid,
+                required,
+                corrupt: snap.corrupt,
+            });
+        }
+        let payload = pipeline::decode_object(
+            &manifest.policy,
+            &self.keys,
+            id.as_str(),
+            &snap.shards,
+            &manifest.meta,
+            self.config.pipeline.workers,
+        )?;
+        if Sha256::digest(&payload) != manifest.digest {
+            return Err(ArchiveError::IntegrityViolation(id.clone()));
+        }
+        let bytes_read: u64 = snap.shards.iter().flatten().map(|s| s.len() as u64).sum();
+        let write_start = clock.now();
         // Encode fresh under the new policy (through the chunked
         // pipeline, so campaigns inherit its parallelism).
         let write = plan::plan_write(
@@ -102,18 +165,18 @@ impl Archive {
             &payload,
             &self.config.pipeline,
         )?;
-        let written: u64 = write.shards.iter().map(|s| s.len() as u64).sum();
+        let bytes_written: u64 = write.shards.iter().map(|s| s.len() as u64).sum();
         let placement = self.executor().place(id.as_str(), write.shards.len())?;
-        self.executor().delete(id.as_str(), &placement_old);
+        self.executor().delete(id.as_str(), &manifest.placement);
         let mut put_rng = self.op_rng("reencode", id.as_str());
         let outcome =
             self.executor()
                 .write_shards(id.as_str(), &placement, &write.shards, &mut put_rng);
-        let manifest = self.manifests.get_mut(id).expect("manifest exists");
-        manifest.policy = write.policy;
-        manifest.meta = write.meta;
-        manifest.placement = placement;
-        manifest.shard_digests = write.shard_digests;
+        let entry = self.manifests.get_mut(id).expect("manifest exists");
+        entry.policy = write.policy;
+        entry.meta = write.meta;
+        entry.placement = placement;
+        entry.shard_digests = write.shard_digests;
         if outcome.written < write.required {
             return Err(ArchiveError::DegradedBeyondBudget {
                 id: id.clone(),
@@ -122,7 +185,12 @@ impl Archive {
                 corrupt: 0,
             });
         }
-        Ok((old_stored, written))
+        Ok(ObjectReencode {
+            bytes_read,
+            bytes_written,
+            read_time: write_start - read_start,
+            write_time: clock.now() - write_start,
+        })
     }
 
     /// Re-encodes every object under `new_policy`, returning total

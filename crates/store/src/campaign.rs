@@ -9,8 +9,9 @@
 //! with ongoing ingest competing for bandwidth, which is where the
 //! closed-form estimate turns out to be optimistic.
 
+use crate::faults::{roll, FaultPlan, OpKind};
 use crate::media::{ArchiveSite, DAYS_PER_MONTH};
-use aeon_crypto::{ChaChaDrbg, CryptoRng};
+use crate::node::ShardKey;
 
 /// Errors from campaign simulation.
 #[derive(Debug, Clone, PartialEq)]
@@ -110,30 +111,6 @@ pub struct CampaignOutcome {
     pub retried_tb: f64,
 }
 
-/// Fault model for a campaign run: the §3.2 numbers assume every read
-/// succeeds first try, which multi-month campaigns over mostly-offline
-/// media do not get to assume. Each day a deterministic, seeded fraction
-/// of that day's migrated volume fails verification and must be re-read
-/// and re-written, stealing bandwidth from forward progress.
-#[derive(Debug, Clone, PartialEq)]
-pub struct CampaignFaults {
-    /// Seed for the per-day fault draws.
-    pub seed: u64,
-    /// Mean fraction of a day's volume lost to retries, in `[0, 1)`.
-    /// Each day draws uniformly from `[0, 2 * rate]`, clamped below 1.
-    pub daily_fault_rate: f64,
-}
-
-impl CampaignFaults {
-    /// A fault model at the given mean daily rate.
-    pub fn new(seed: u64, daily_fault_rate: f64) -> Self {
-        CampaignFaults {
-            seed,
-            daily_fault_rate,
-        }
-    }
-}
-
 /// Simulates a re-encryption campaign day by day.
 ///
 /// Each day the archive has `read_tb_per_day` of read bandwidth and
@@ -193,13 +170,17 @@ pub fn simulate_campaign(
     })
 }
 
-/// [`simulate_campaign`] under injected faults: each day a seeded,
-/// deterministic fraction of the day's volume (drawn uniformly from
-/// `[0, 2 * daily_fault_rate]`, clamped at 0.95) fails verification and
-/// is re-read/re-written, so the campaign's forward progress that day is
-/// only `bandwidth * (1 - loss)`. With `daily_fault_rate == 0` the
-/// outcome matches the fault-free simulation. The same seed reproduces
-/// the identical day-by-day trajectory.
+/// [`simulate_campaign`] under injected faults, driven by the standard
+/// [`FaultPlan`] substrate: the plan's `transient_io_rate` is the mean
+/// fraction of a day's volume that fails verification and is
+/// re-read/re-written (drawn per day from the plan's
+/// [`FaultPlan::decision_rng`] — the same pure
+/// `(seed, op, key, nth)` construction [`crate::faults::FaultyNode`]
+/// uses, keyed here by campaign day — uniformly from
+/// `[0, 2 * rate]`, clamped at 0.95), so forward progress that day is
+/// only `bandwidth * (1 - loss)`. With a zero rate the outcome matches
+/// the fault-free simulation. The same plan seed reproduces the
+/// identical day-by-day trajectory.
 ///
 /// # Errors
 ///
@@ -208,7 +189,7 @@ pub fn simulate_campaign(
 pub fn simulate_campaign_faulty(
     site: &ArchiveSite,
     ingest_tb_per_day: f64,
-    faults: &CampaignFaults,
+    plan: &FaultPlan,
 ) -> Result<CampaignOutcome, CampaignError> {
     let write_available = site.write_tb_per_day - ingest_tb_per_day;
     if write_available <= 0.0 {
@@ -219,7 +200,7 @@ pub fn simulate_campaign_faulty(
     }
     let daily = site.read_tb_per_day.min(write_available);
     let total = site.capacity_tb;
-    let mut rng = ChaChaDrbg::from_u64_seed(faults.seed);
+    let rate = plan.transient_io_rate;
     let mut remaining = total;
     let mut days = 0.0f64;
     let mut ingested = 0.0f64;
@@ -229,9 +210,10 @@ pub fn simulate_campaign_faulty(
     let mut trajectory = Vec::new();
     loop {
         trajectory.push(remaining);
-        let loss = if faults.daily_fault_rate > 0.0 {
-            let u = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
-            (2.0 * faults.daily_fault_rate * u).min(0.95)
+        let loss = if rate > 0.0 {
+            let day = days as u32;
+            let mut rng = plan.decision_rng(OpKind::Get, &ShardKey::new("campaign-day", day), 0);
+            (2.0 * rate * roll(&mut rng)).min(0.95)
         } else {
             0.0
         };
@@ -392,13 +374,12 @@ mod tests {
             media: crate::media::MediaType::Tape,
         };
         let clean = simulate_campaign(&site, 0.0).expect("no ingest");
-        let zero =
-            simulate_campaign_faulty(&site, 0.0, &CampaignFaults::new(1, 0.0)).expect("no ingest");
+        let zero = simulate_campaign_faulty(&site, 0.0, &FaultPlan::new(1)).expect("no ingest");
         assert!((zero.days - clean.days).abs() < 1.0);
         assert_eq!(zero.retried_tb, 0.0);
 
-        let faulty =
-            simulate_campaign_faulty(&site, 0.0, &CampaignFaults::new(1, 0.2)).expect("no ingest");
+        let plan = |seed, rate| FaultPlan::new(seed).with_transient_io_rate(rate);
+        let faulty = simulate_campaign_faulty(&site, 0.0, &plan(1, 0.2)).expect("no ingest");
         assert!(
             faulty.days > clean.days * 1.1,
             "{} vs {}",
@@ -407,14 +388,13 @@ mod tests {
         );
         assert!(faulty.retried_tb > 0.0);
         // Heavier faults: slower still.
-        let heavier =
-            simulate_campaign_faulty(&site, 0.0, &CampaignFaults::new(1, 0.4)).expect("no ingest");
+        let heavier = simulate_campaign_faulty(&site, 0.0, &plan(1, 0.4)).expect("no ingest");
         assert!(heavier.days > faulty.days);
         // Same seed, same trajectory; different seed, different days.
-        let again = simulate_campaign_faulty(&site, 0.0, &CampaignFaults::new(1, 0.2)).unwrap();
+        let again = simulate_campaign_faulty(&site, 0.0, &plan(1, 0.2)).unwrap();
         assert_eq!(again.days, faulty.days);
         assert_eq!(again.retried_tb, faulty.retried_tb);
-        let other = simulate_campaign_faulty(&site, 0.0, &CampaignFaults::new(2, 0.2)).unwrap();
+        let other = simulate_campaign_faulty(&site, 0.0, &plan(2, 0.2)).unwrap();
         assert_ne!(other.days, faulty.days);
     }
 
@@ -428,7 +408,7 @@ mod tests {
             media: crate::media::MediaType::Tape,
         };
         assert!(matches!(
-            simulate_campaign_faulty(&site, 5.0, &CampaignFaults::new(3, 0.1)),
+            simulate_campaign_faulty(&site, 5.0, &FaultPlan::new(3).with_transient_io_rate(0.1)),
             Err(CampaignError::Saturated { .. })
         ));
     }

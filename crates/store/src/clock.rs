@@ -1,0 +1,389 @@
+//! The virtual-time engine: one clock for the whole workspace.
+//!
+//! Everything in `aeon` that used to keep its own notion of time —
+//! epoch counters on fault windows, per-op latency accounting in
+//! [`crate::faults::FaultyNode`], millisecond backoff tallies in retry
+//! reports — now reads and charges a single [`SimClock`]. The clock is
+//! **virtual**: it holds monotonic virtual nanoseconds that advance
+//! only when a charged operation happens (a throughput-priced transfer,
+//! a fault-injected stall, a retry backoff). Wall time never moves it,
+//! so a century-scale maintenance campaign simulates in milliseconds
+//! and a given seed always reproduces the same timeline.
+//!
+//! The contract has three roles:
+//!
+//! * **Chargers** — node decorators ([`crate::throughput::ThroughputNode`],
+//!   [`crate::faults::FaultyNode`]) and [`crate::retry::run_with_retry`]
+//!   call [`SimClock::charge`] with the virtual cost of each operation.
+//! * **Readers** — campaigns and tests snapshot [`SimClock::now`] around
+//!   phases; elapsed virtual time is the difference of two readings.
+//! * **Epoch mapping** — anything epoch-driven (fault offline windows,
+//!   proactive-refresh cadence, adversary rounds) converts through one
+//!   [`EpochSchedule`]; no other epoch arithmetic exists.
+//!
+//! Charges are commutative additions on an atomic counter, so the total
+//! elapsed time of a fixed operation multiset is independent of worker
+//! count and thread interleaving — a property the clock tests pin.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Virtual nanoseconds in one simulated day (24 h).
+pub const NANOS_PER_DAY: u64 = 86_400 * NANOS_PER_SEC;
+/// Virtual nanoseconds in one simulated second.
+pub const NANOS_PER_SEC: u64 = 1_000_000_000;
+/// Mean days per month used throughout §3.2 (365.25 / 12).
+pub const DAYS_PER_MONTH: f64 = 30.44;
+
+/// An instant on the virtual timeline, as nanoseconds since the
+/// simulation origin. Obtained from [`SimClock::now`] or
+/// [`EpochSchedule::start_of`]; never from wall time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The simulation origin.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Constructs an instant from raw virtual nanoseconds.
+    #[must_use]
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimTime(ns)
+    }
+
+    /// Raw virtual nanoseconds since the origin.
+    #[must_use]
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Whole virtual milliseconds since the origin (truncating).
+    #[must_use]
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000_000
+    }
+
+    /// Virtual seconds since the origin.
+    #[must_use]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / NANOS_PER_SEC as f64
+    }
+
+    /// Virtual days since the origin.
+    #[must_use]
+    pub fn as_days_f64(self) -> f64 {
+        self.0 as f64 / NANOS_PER_DAY as f64
+    }
+
+    /// Virtual months since the origin (30.44-day months, as in §3.2).
+    #[must_use]
+    pub fn as_months_f64(self) -> f64 {
+        self.as_days_f64() / DAYS_PER_MONTH
+    }
+
+    /// Elapsed duration since `earlier`, saturating at zero.
+    #[must_use]
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl std::ops::Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl std::ops::Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        self.since(rhs)
+    }
+}
+
+/// A span of virtual time. The unit every charge is denominated in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(u64);
+
+impl SimDuration {
+    /// The zero-cost duration (metadata operations charge this).
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// A duration of raw virtual nanoseconds.
+    #[must_use]
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimDuration(ns)
+    }
+
+    /// A duration of virtual milliseconds.
+    #[must_use]
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms.saturating_mul(1_000_000))
+    }
+
+    /// A duration of virtual seconds.
+    #[must_use]
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s.saturating_mul(NANOS_PER_SEC))
+    }
+
+    /// A duration of virtual days.
+    #[must_use]
+    pub const fn from_days(d: u64) -> Self {
+        SimDuration(d.saturating_mul(NANOS_PER_DAY))
+    }
+
+    /// A duration of fractional virtual seconds, rounded to the nearest
+    /// nanosecond. Negative or non-finite inputs clamp to zero.
+    #[must_use]
+    pub fn from_secs_f64(s: f64) -> Self {
+        if !s.is_finite() || s <= 0.0 {
+            return SimDuration::ZERO;
+        }
+        SimDuration((s * NANOS_PER_SEC as f64).round() as u64)
+    }
+
+    /// Raw virtual nanoseconds.
+    #[must_use]
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Whole virtual milliseconds (truncating).
+    #[must_use]
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000_000
+    }
+
+    /// Fractional virtual seconds.
+    #[must_use]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / NANOS_PER_SEC as f64
+    }
+
+    /// Fractional virtual days.
+    #[must_use]
+    pub fn as_days_f64(self) -> f64 {
+        self.0 as f64 / NANOS_PER_DAY as f64
+    }
+
+    /// Fractional virtual months (30.44-day months, as in §3.2).
+    #[must_use]
+    pub fn as_months_f64(self) -> f64 {
+        self.as_days_f64() / DAYS_PER_MONTH
+    }
+
+    /// Scales the duration by `factor`, rounding to the nearest
+    /// nanosecond. Negative or non-finite factors clamp to zero.
+    #[must_use]
+    pub fn mul_f64(self, factor: f64) -> Self {
+        if !factor.is_finite() || factor <= 0.0 {
+            return SimDuration::ZERO;
+        }
+        SimDuration((self.0 as f64 * factor).round() as u64)
+    }
+}
+
+impl std::ops::Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl std::ops::AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl std::iter::Sum for SimDuration {
+    fn sum<I: Iterator<Item = SimDuration>>(iter: I) -> SimDuration {
+        iter.fold(SimDuration::ZERO, |a, b| a + b)
+    }
+}
+
+/// The shared virtual clock.
+///
+/// A `SimClock` is a cheap-to-clone handle onto one atomic counter of
+/// virtual nanoseconds: cloning shares the timeline, so a cluster, its
+/// node decorators, and the retry layer all observe the same `now()`.
+/// The counter is **monotone by construction** — [`charge`](Self::charge)
+/// adds, [`advance_to`](Self::advance_to) takes a max — and is advanced
+/// only by simulated work, never by wall time.
+#[derive(Debug, Clone, Default)]
+pub struct SimClock {
+    ns: Arc<AtomicU64>,
+}
+
+impl SimClock {
+    /// A fresh clock at the simulation origin.
+    #[must_use]
+    pub fn new() -> Self {
+        SimClock::default()
+    }
+
+    /// The current virtual instant.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        SimTime(self.ns.load(Ordering::SeqCst))
+    }
+
+    /// Charges `cost` of virtual time to the clock and returns the new
+    /// reading. Charges are commutative additions, so the final reading
+    /// of a fixed set of charges is independent of the order (and the
+    /// thread) they arrive in.
+    pub fn charge(&self, cost: SimDuration) -> SimTime {
+        SimTime(
+            self.ns
+                .fetch_add(cost.0, Ordering::SeqCst)
+                .saturating_add(cost.0),
+        )
+    }
+
+    /// Advances the clock to `instant` if it is ahead of the current
+    /// reading; otherwise does nothing (the clock never moves
+    /// backwards). Used by epoch-driven schedules to jump to the start
+    /// of a later epoch.
+    pub fn advance_to(&self, instant: SimTime) {
+        self.ns.fetch_max(instant.0, Ordering::SeqCst);
+    }
+
+    /// Whether two handles share one timeline.
+    #[must_use]
+    pub fn same_clock(&self, other: &SimClock) -> bool {
+        Arc::ptr_eq(&self.ns, &other.ns)
+    }
+}
+
+/// The single `Epoch ↔ SimTime` conversion.
+///
+/// Every epoch-driven mechanism — fault offline windows, proactive
+/// refresh cadence, mobile-adversary rounds — maps its epoch numbers
+/// onto the virtual timeline through one of these. An epoch `e` covers
+/// the half-open interval `[start_of(e), start_of(e + 1))`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EpochSchedule {
+    epoch: SimDuration,
+}
+
+impl EpochSchedule {
+    /// A schedule with the given epoch length (must be non-zero).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epoch` is zero — a zero-length epoch cannot partition
+    /// the timeline.
+    #[must_use]
+    pub fn new(epoch: SimDuration) -> Self {
+        assert!(epoch.0 > 0, "epoch length must be non-zero");
+        EpochSchedule { epoch }
+    }
+
+    /// The epoch length.
+    #[must_use]
+    pub fn epoch_len(&self) -> SimDuration {
+        self.epoch
+    }
+
+    /// The instant epoch `e` begins.
+    #[must_use]
+    pub fn start_of(&self, epoch: u64) -> SimTime {
+        SimTime(epoch.saturating_mul(self.epoch.0))
+    }
+
+    /// The epoch containing `instant`.
+    #[must_use]
+    pub fn epoch_of(&self, instant: SimTime) -> u64 {
+        instant.0 / self.epoch.0
+    }
+}
+
+impl Default for EpochSchedule {
+    /// One virtual day per epoch — long enough that the ms-scale
+    /// latency and backoff charges of a campaign never push an
+    /// operation across an epoch boundary on their own, so epoch-keyed
+    /// fault logs are stable under the clock refactor.
+    fn default() -> Self {
+        EpochSchedule::new(SimDuration::from_days(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charge_accumulates_and_is_monotone() {
+        let clock = SimClock::new();
+        assert_eq!(clock.now(), SimTime::ZERO);
+        let t1 = clock.charge(SimDuration::from_millis(5));
+        let t2 = clock.charge(SimDuration::from_nanos(1));
+        assert_eq!(t1.as_nanos(), 5_000_000);
+        assert_eq!(t2.as_nanos(), 5_000_001);
+        assert_eq!(clock.now(), t2);
+    }
+
+    #[test]
+    fn clones_share_the_timeline() {
+        let clock = SimClock::new();
+        let handle = clock.clone();
+        handle.charge(SimDuration::from_secs(3));
+        assert_eq!(clock.now().as_secs_f64(), 3.0);
+        assert!(clock.same_clock(&handle));
+        assert!(!clock.same_clock(&SimClock::new()));
+    }
+
+    #[test]
+    fn advance_to_never_goes_backwards() {
+        let clock = SimClock::new();
+        clock.advance_to(SimTime::from_nanos(100));
+        assert_eq!(clock.now().as_nanos(), 100);
+        clock.advance_to(SimTime::from_nanos(40));
+        assert_eq!(clock.now().as_nanos(), 100, "rewind must be a no-op");
+        clock.advance_to(SimTime::from_nanos(100));
+        assert_eq!(clock.now().as_nanos(), 100, "advance is idempotent");
+    }
+
+    #[test]
+    fn epoch_schedule_roundtrips() {
+        let sched = EpochSchedule::default();
+        for e in [0u64, 1, 7, 99, 100_000] {
+            assert_eq!(sched.epoch_of(sched.start_of(e)), e);
+            // Any instant strictly inside the epoch maps back to it.
+            let inside = sched.start_of(e) + SimDuration::from_millis(250);
+            assert_eq!(sched.epoch_of(inside), e);
+        }
+    }
+
+    #[test]
+    fn charges_commute() {
+        // The same multiset of charges in two different orders lands on
+        // the same reading — the property that makes elapsed virtual
+        // time independent of worker scheduling.
+        let a = SimClock::new();
+        let b = SimClock::new();
+        let costs = [3u64, 141, 59, 26, 5, 897, 9, 32];
+        for c in costs {
+            a.charge(SimDuration::from_nanos(c));
+        }
+        for c in costs.iter().rev() {
+            b.charge(SimDuration::from_nanos(*c));
+        }
+        assert_eq!(a.now(), b.now());
+    }
+
+    #[test]
+    fn duration_conversions() {
+        assert_eq!(SimDuration::from_days(1).as_nanos(), NANOS_PER_DAY);
+        assert_eq!(SimDuration::from_secs_f64(1.5).as_millis(), 1500);
+        assert_eq!(SimDuration::from_secs_f64(-4.0), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_secs_f64(f64::NAN), SimDuration::ZERO);
+        let d = SimDuration::from_secs(10).mul_f64(0.5);
+        assert_eq!(d.as_secs_f64(), 5.0);
+        assert_eq!(d.mul_f64(-1.0), SimDuration::ZERO);
+        let month = SimDuration::from_days(3044).mul_f64(0.01);
+        assert!((month.as_months_f64() - 1.0).abs() < 1e-9);
+    }
+}

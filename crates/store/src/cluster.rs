@@ -7,6 +7,7 @@
 //! archive has exactly one node-I/O seam; callers embedding this crate
 //! directly get the same primitives without that discipline.
 
+use crate::clock::SimClock;
 use crate::node::{MemoryNode, NodeError, NodeId, ShardKey, StorageNode};
 use crate::retry::{run_with_retry, RetryPolicy};
 use aeon_crypto::CryptoRng;
@@ -58,10 +59,10 @@ pub struct ShardAttempt {
     pub shard: u32,
     /// The node the shard lives on.
     pub node: NodeId,
-    /// Attempts actually made against the node.
+    /// Attempts actually made against the node. Backoff time between
+    /// attempts is charged to the cluster's [`SimClock`], not tallied
+    /// here.
     pub attempts: u32,
-    /// Simulated backoff spent on this shard, in milliseconds.
-    pub backoff_ms: u64,
     /// The final error, if the shard stayed unavailable.
     pub error: Option<NodeError>,
 }
@@ -87,11 +88,6 @@ impl ReadReport {
     /// Total attempts across the fan-out.
     pub fn total_attempts(&self) -> u32 {
         self.attempts.iter().map(|a| a.attempts).sum()
-    }
-
-    /// Total simulated backoff, in milliseconds.
-    pub fn total_backoff_ms(&self) -> u64 {
-        self.attempts.iter().map(|a| a.backoff_ms).sum()
     }
 
     /// Shards that ended in an error.
@@ -121,12 +117,20 @@ impl ReadReport {
 #[derive(Debug, Clone)]
 pub struct Cluster {
     nodes: Vec<Arc<dyn StorageNode>>,
+    clock: SimClock,
 }
 
 impl Cluster {
-    /// Creates a cluster from existing nodes.
+    /// Creates a cluster from existing nodes, with a fresh virtual
+    /// clock. When the nodes are time-charging decorators
+    /// ([`crate::throughput::ThroughputNode`], [`crate::faults::FaultyNode`]),
+    /// install their shared clock with [`Cluster::with_clock`] so retry
+    /// backoff lands on the same timeline.
     pub fn new(nodes: Vec<Arc<dyn StorageNode>>) -> Self {
-        Cluster { nodes }
+        Cluster {
+            nodes,
+            clock: SimClock::new(),
+        }
     }
 
     /// Creates an all-in-memory cluster with `per_site` nodes at each
@@ -140,7 +144,21 @@ impl Cluster {
                 id += 1;
             }
         }
-        Cluster { nodes }
+        Cluster::new(nodes)
+    }
+
+    /// Replaces the cluster's clock with a shared handle (builder
+    /// style). Cloning the cluster keeps sharing this timeline.
+    #[must_use]
+    pub fn with_clock(mut self, clock: SimClock) -> Self {
+        self.clock = clock;
+        self
+    }
+
+    /// The virtual clock that retry backoff (and any time-charging node
+    /// decorators built with the same handle) advance.
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
     }
 
     /// The cluster's nodes.
@@ -260,12 +278,11 @@ impl Cluster {
                     shard: i as u32,
                     node: *node_id,
                     attempts: 0,
-                    backoff_ms: 0,
                     error: Some(NodeError::Io("placement references unknown node".into())),
                 });
                 continue;
             };
-            let (result, stats) = run_with_retry(retry, rng, || node.get(&key));
+            let (result, stats) = run_with_retry(retry, &self.clock, rng, || node.get(&key));
             let (shard, error) = match result {
                 Ok(bytes) => (Some(bytes), None),
                 Err(e) => (None, Some(e)),
@@ -275,7 +292,6 @@ impl Cluster {
                 shard: i as u32,
                 node: *node_id,
                 attempts: stats.attempts,
-                backoff_ms: stats.backoff_ms,
                 error,
             });
         }
@@ -305,12 +321,11 @@ impl Cluster {
                     shard: i as u32,
                     node: *node_id,
                     attempts: 0,
-                    backoff_ms: 0,
                     error: Some(NodeError::Io("placement references unknown node".into())),
                 });
                 continue;
             };
-            let (result, stats) = run_with_retry(retry, rng, || node.put(&key, shard));
+            let (result, stats) = run_with_retry(retry, &self.clock, rng, || node.put(&key, shard));
             let error = match result {
                 Ok(()) => {
                     written += 1;
@@ -322,7 +337,6 @@ impl Cluster {
                 shard: i as u32,
                 node: *node_id,
                 attempts: stats.attempts,
-                backoff_ms: stats.backoff_ms,
                 error,
             });
         }
@@ -483,7 +497,10 @@ mod tests {
             assert_eq!(report.attempts_for(*id), 1, "healthy nodes hit once");
         }
         assert_eq!(report.failed_shards(), vec![2]);
-        assert!(report.total_backoff_ms() > 0);
+        assert!(
+            cluster.clock().now().as_millis() > 0,
+            "retry backoff was charged to the cluster clock"
+        );
     }
 
     #[test]

@@ -18,13 +18,17 @@
 //! change which faults a given operation sequence experiences; two runs
 //! that issue the same per-key operation sequences observe identical
 //! faults and identical [`FaultEvent`] logs. Offline windows are keyed
-//! to an externally-advanced epoch clock and use no randomness at all.
+//! to epochs of the shared virtual clock (via the single
+//! [`EpochSchedule`] conversion) and use no randomness at all.
 //!
-//! Latency is *simulated*: the decorator accumulates the milliseconds a
-//! real device would have stalled (see
-//! [`FaultyNode::simulated_latency_ms`]) without sleeping, so chaos
-//! campaigns over thousands of epochs run in test time.
+//! Latency is *virtual*: the decorator charges the milliseconds a real
+//! device would have stalled to its [`SimClock`] (see
+//! [`FaultyNode::clock`]) without sleeping, so chaos campaigns over
+//! thousands of epochs run in test time. The clock charges time and
+//! never touches shard bytes, so fault decisions — and therefore event
+//! logs and golden vectors — are independent of it.
 
+use crate::clock::{EpochSchedule, SimClock, SimDuration};
 use crate::node::{NodeError, NodeId, ShardKey, StorageNode};
 use aeon_crypto::{ChaChaDrbg, CryptoRng, Sha256};
 use parking_lot::Mutex;
@@ -190,6 +194,23 @@ impl FaultPlan {
         plan.seed = splitmix(self.seed ^ ((node.0 as u64) << 32 | 0xFA_u64));
         plan
     }
+
+    /// The determinism contract's per-decision DRBG: the SHA-256 of
+    /// `(seed, operation kind, shard key, nth access)` seeds a private
+    /// ChaCha stream. [`FaultyNode`] draws every fault decision from
+    /// this, and campaign-level fault models
+    /// ([`crate::campaign::simulate_campaign_faulty`]) reuse it, so the
+    /// workspace has exactly one fault-decision construction.
+    pub fn decision_rng(&self, op: OpKind, key: &ShardKey, access: u64) -> ChaChaDrbg {
+        let mut h = Sha256::new();
+        h.update(&self.seed.to_le_bytes());
+        h.update(&[op.tag()]);
+        h.update(&(key.object.len() as u64).to_le_bytes());
+        h.update(key.object.as_bytes());
+        h.update(&key.shard.to_le_bytes());
+        h.update(&access.to_le_bytes());
+        ChaChaDrbg::from_seed(h.finalize())
+    }
 }
 
 fn splitmix(mut z: u64) -> u64 {
@@ -201,13 +222,11 @@ fn splitmix(mut z: u64) -> u64 {
 
 #[derive(Debug, Default)]
 struct FaultState {
-    epoch: u64,
     seq: u64,
     /// nth-access counters per (operation tag, key) — the determinism
     /// contract's third input.
     access: HashMap<(u8, ShardKey), u64>,
     events: Vec<FaultEvent>,
-    latency_ms: u64,
 }
 
 /// A decorator injecting a [`FaultPlan`]'s faults into any inner
@@ -231,6 +250,8 @@ struct FaultState {
 pub struct FaultyNode {
     inner: Arc<dyn StorageNode>,
     plan: FaultPlan,
+    clock: SimClock,
+    epochs: EpochSchedule,
     state: Mutex<FaultState>,
 }
 
@@ -239,17 +260,33 @@ impl fmt::Debug for FaultyNode {
         f.debug_struct("FaultyNode")
             .field("inner", &self.inner.id())
             .field("plan", &self.plan)
-            .field("epoch", &self.state.lock().epoch)
+            .field("epoch", &self.epoch())
             .finish()
     }
 }
 
 impl FaultyNode {
-    /// Wraps `inner` with `plan`.
+    /// Wraps `inner` with `plan` on a private virtual clock (default
+    /// epoch schedule). Use [`FaultyNode::with_clock`] to share a
+    /// timeline across a cluster.
     pub fn new(inner: Arc<dyn StorageNode>, plan: FaultPlan) -> Self {
+        FaultyNode::with_clock(inner, plan, SimClock::new(), EpochSchedule::default())
+    }
+
+    /// Wraps `inner` with `plan`, charging latency to the shared
+    /// `clock` and deriving offline-window epochs from it through
+    /// `epochs`.
+    pub fn with_clock(
+        inner: Arc<dyn StorageNode>,
+        plan: FaultPlan,
+        clock: SimClock,
+        epochs: EpochSchedule,
+    ) -> Self {
         FaultyNode {
             inner,
             plan,
+            clock,
+            epochs,
             state: Mutex::new(FaultState::default()),
         }
     }
@@ -259,24 +296,37 @@ impl FaultyNode {
         &self.plan
     }
 
-    /// The current epoch clock value.
+    /// The virtual clock this node charges latency to.
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// The `Epoch ↔ SimTime` conversion in effect.
+    pub fn epoch_schedule(&self) -> &EpochSchedule {
+        &self.epochs
+    }
+
+    /// The current epoch, derived from the virtual clock (no separate
+    /// epoch counter exists).
     pub fn epoch(&self) -> u64 {
-        self.state.lock().epoch
+        self.epochs.epoch_of(self.clock.now())
     }
 
-    /// Moves the epoch clock (offline windows are keyed to it).
+    /// Advances the clock to the start of `epoch` (offline windows are
+    /// keyed to clock epochs). The clock is monotone: moving to an
+    /// epoch that already started is a no-op.
     pub fn set_epoch(&self, epoch: u64) {
-        self.state.lock().epoch = epoch;
+        self.clock.advance_to(self.epochs.start_of(epoch));
     }
 
-    /// Advances the epoch clock by one.
+    /// Advances the clock to the start of the next epoch.
     pub fn advance_epoch(&self) {
-        self.state.lock().epoch += 1;
+        self.set_epoch(self.epoch() + 1);
     }
 
     /// Whether the node is inside a scheduled offline window right now.
     pub fn is_offline_now(&self) -> bool {
-        self.plan.offline_at(self.state.lock().epoch)
+        self.plan.offline_at(self.epoch())
     }
 
     /// The injected-fault log, in injection order.
@@ -289,46 +339,27 @@ impl FaultyNode {
         std::mem::take(&mut self.state.lock().events)
     }
 
-    /// Total simulated latency injected so far, in milliseconds.
-    pub fn simulated_latency_ms(&self) -> u64 {
-        self.state.lock().latency_ms
-    }
-
-    /// DRBG for one decision: SHA-256 over the determinism contract's
-    /// inputs seeds a private ChaCha stream.
-    fn op_rng(&self, op: OpKind, key: &ShardKey, access: u64) -> ChaChaDrbg {
-        let mut h = Sha256::new();
-        h.update(&self.plan.seed.to_le_bytes());
-        h.update(&[op.tag()]);
-        h.update(&(key.object.len() as u64).to_le_bytes());
-        h.update(key.object.as_bytes());
-        h.update(&key.shard.to_le_bytes());
-        h.update(&access.to_le_bytes());
-        ChaChaDrbg::from_seed(h.finalize())
-    }
-
     /// Common preamble: bump the access counter, apply offline windows
     /// and latency, and roll for a transient failure. Returns the op's
     /// DRBG for any further decisions on success.
     fn begin(&self, op: OpKind, key: &ShardKey) -> Result<ChaChaDrbg, NodeError> {
-        let (access, epoch) = {
+        let access = {
             let mut st = self.state.lock();
-            let access = st
-                .access
+            *st.access
                 .entry((op.tag(), key.clone()))
                 .and_modify(|c| *c += 1)
-                .or_insert(0);
-            (*access, st.epoch)
+                .or_insert(0)
         };
-        if self.plan.offline_at(epoch) {
+        if self.plan.offline_at(self.epoch()) {
             self.record(op, key, FaultKind::Offline);
             return Err(NodeError::Offline);
         }
-        let mut rng = self.op_rng(op, key, access);
+        let mut rng = self.plan.decision_rng(op, key, access);
         if self.plan.mean_latency_ms > 0 {
             let ms = rng.gen_range(2 * self.plan.mean_latency_ms + 1);
             if ms > 0 {
-                self.state.lock().latency_ms += ms;
+                // The stall is charged as virtual time, never slept.
+                self.clock.charge(SimDuration::from_millis(ms));
                 self.record(op, key, FaultKind::Latency { ms });
             }
         }
@@ -340,10 +371,10 @@ impl FaultyNode {
     }
 
     fn record(&self, op: OpKind, key: &ShardKey, fault: FaultKind) {
+        let epoch = self.epoch();
         let mut st = self.state.lock();
         let seq = st.seq;
         st.seq += 1;
-        let epoch = st.epoch;
         st.events.push(FaultEvent {
             seq,
             epoch,
@@ -355,7 +386,7 @@ impl FaultyNode {
 }
 
 /// Uniform draw in `[0, 1)` with 53 bits of precision.
-fn roll<R: CryptoRng + ?Sized>(rng: &mut R) -> f64 {
+pub(crate) fn roll<R: CryptoRng + ?Sized>(rng: &mut R) -> f64 {
     (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
 }
 
@@ -413,26 +444,38 @@ impl StorageNode for FaultyNode {
 
 /// Builds an in-memory cluster whose nodes are all wrapped in
 /// [`FaultyNode`]s with per-node plans derived from `plan` (see
-/// [`FaultPlan::for_node`]). Returns the cluster plus handles for epoch
-/// control and event-log inspection.
+/// [`FaultPlan::for_node`]), all sharing one virtual clock — which is
+/// also installed as the cluster's clock, so injected latency and retry
+/// backoff land on the same timeline. Returns the cluster plus handles
+/// for epoch control and event-log inspection.
 pub fn faulty_in_memory_cluster(
     sites: &[&str],
     per_site: usize,
     plan: &FaultPlan,
 ) -> (crate::cluster::Cluster, Vec<Arc<FaultyNode>>) {
+    let clock = SimClock::new();
+    let epochs = EpochSchedule::default();
     let mut handles = Vec::new();
     let mut nodes: Vec<Arc<dyn StorageNode>> = Vec::new();
     let mut id = 0u32;
     for &site in sites {
         for _ in 0..per_site {
             let inner = Arc::new(crate::node::MemoryNode::new(id, site));
-            let node = Arc::new(FaultyNode::new(inner, plan.for_node(NodeId(id))));
+            let node = Arc::new(FaultyNode::with_clock(
+                inner,
+                plan.for_node(NodeId(id)),
+                clock.clone(),
+                epochs,
+            ));
             handles.push(node.clone());
             nodes.push(node);
             id += 1;
         }
     }
-    (crate::cluster::Cluster::new(nodes), handles)
+    (
+        crate::cluster::Cluster::new(nodes).with_clock(clock),
+        handles,
+    )
 }
 
 #[cfg(test)]
@@ -454,7 +497,7 @@ mod tests {
         assert_eq!(node.get(&key).unwrap(), b"data");
         node.delete(&key).unwrap();
         assert!(node.events().is_empty());
-        assert_eq!(node.simulated_latency_ms(), 0);
+        assert_eq!(node.clock().now(), crate::clock::SimTime::ZERO);
     }
 
     #[test]
@@ -571,18 +614,46 @@ mod tests {
     }
 
     #[test]
-    fn latency_accumulates_without_sleeping() {
+    fn latency_is_charged_to_the_clock_not_slept() {
         let (_, node) = wrapped(FaultPlan::new(4).with_mean_latency_ms(10));
         let key = ShardKey::new("slow", 0);
         let start = std::time::Instant::now();
         for i in 0..50u8 {
             node.put(&key, &[i]).unwrap();
         }
-        assert!(node.simulated_latency_ms() > 0);
+        let virtual_ms = node.clock().now().as_millis();
+        assert!(virtual_ms > 0, "stalls advanced the virtual clock");
         assert!(
-            start.elapsed().as_millis() < (node.simulated_latency_ms() as u128).max(100),
-            "latency must be simulated, not slept"
+            start.elapsed().as_millis() < (virtual_ms as u128).max(100),
+            "latency must be virtual, not slept"
         );
+        // Every charged stall also shows up in the event log.
+        let logged: u64 = node
+            .events()
+            .iter()
+            .filter_map(|e| match e.fault {
+                FaultKind::Latency { ms } => Some(ms),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(logged, virtual_ms);
+    }
+
+    #[test]
+    fn epoch_is_derived_from_the_clock() {
+        let (_, node) = wrapped(FaultPlan::new(11));
+        assert_eq!(node.epoch(), 0);
+        node.set_epoch(5);
+        assert_eq!(node.epoch(), 5);
+        assert_eq!(
+            node.clock().now(),
+            node.epoch_schedule().start_of(5),
+            "set_epoch jumps the clock to the epoch boundary"
+        );
+        node.advance_epoch();
+        assert_eq!(node.epoch(), 6);
+        node.set_epoch(2);
+        assert_eq!(node.epoch(), 6, "the clock never rewinds");
     }
 
     #[test]

@@ -25,20 +25,32 @@
 //!   latency, scheduled offline windows) to any inner node.
 //! * [`retry`] — bounded retry with exponential backoff and
 //!   deterministic jitter, shared by every consumer of node I/O.
+//! * [`clock`] — the virtual-time engine: a shared [`clock::SimClock`]
+//!   of monotonic virtual nanoseconds that every time-costing layer
+//!   charges, and the single [`clock::EpochSchedule`] mapping epoch
+//!   numbers onto the timeline.
+//! * [`throughput`] — [`throughput::ThroughputNode`], a decorator
+//!   charging `seek + bytes/bandwidth` virtual time per operation from
+//!   the [`media`] models, so campaigns over the real data path
+//!   *measure* the paper's §3.2 costs instead of citing them.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
 pub mod campaign;
+pub mod clock;
 pub mod cluster;
 pub mod durability;
 pub mod faults;
 pub mod media;
 pub mod node;
 pub mod retry;
+pub mod throughput;
 
+pub use clock::{EpochSchedule, SimClock, SimDuration, SimTime};
 pub use cluster::Cluster;
 pub use faults::{FaultEvent, FaultKind, FaultPlan, FaultyNode};
 pub use media::{ArchiveSite, MediaProfile, MediaType};
 pub use node::{MemoryNode, NodeError, NodeId, StorageNode};
 pub use retry::{RetryPolicy, RetryStats};
+pub use throughput::{ThroughputNode, ThroughputProfile};

@@ -7,18 +7,22 @@
 //! exponential backoff, give up on permanent ones immediately. This
 //! module supplies that loop with two properties the simulation needs:
 //!
-//! * **Simulated time.** Backoff is accounted, not slept: the loop
-//!   returns the milliseconds it *would* have waited so campaign math
-//!   can bill them, and a million-object test run finishes in seconds.
+//! * **Virtual time.** Backoff is charged to the shared
+//!   [`SimClock`], not slept: the clock advances
+//!   by exactly the milliseconds the loop *would* have waited, campaign
+//!   math reads the cost off the clock, and a million-object test run
+//!   finishes in seconds.
 //! * **Deterministic jitter.** The jitter added to each backoff step is
 //!   drawn from a caller-supplied [`CryptoRng`], so a seeded run replays
-//!   the exact same retry schedule.
+//!   the exact same retry schedule — and therefore the exact same clock
+//!   readings.
 //!
 //! In `aeon-core` the consumer of this loop is the `PlanExecutor`: each
 //! archive operation derives a fresh labelled DRBG for its retry jitter,
 //! which keeps read paths `&self` and replayable without perturbing the
 //! archive's main encode stream.
 
+use crate::clock::{SimClock, SimDuration};
 use crate::node::NodeError;
 use aeon_crypto::CryptoRng;
 
@@ -37,7 +41,7 @@ use aeon_crypto::CryptoRng;
 pub struct RetryPolicy {
     /// Total attempts per operation, including the first (`>= 1`).
     pub max_attempts: u32,
-    /// Simulated backoff before the first retry, in milliseconds.
+    /// Virtual backoff before the first retry, in milliseconds.
     pub base_backoff_ms: u64,
     /// Multiplier applied to the backoff after each failed attempt.
     pub backoff_multiplier: u32,
@@ -46,9 +50,9 @@ pub struct RetryPolicy {
     /// Upper bound (exclusive) on the uniform jitter added to each
     /// backoff step; `0` disables jitter.
     pub jitter_ms: u64,
-    /// Total simulated backoff budget per operation: once the
-    /// accumulated backoff would exceed this, the loop gives up even if
-    /// attempts remain.
+    /// Total virtual backoff budget per operation: once the accumulated
+    /// backoff would exceed this, the loop gives up even if attempts
+    /// remain.
     pub op_budget_ms: u64,
 }
 
@@ -105,22 +109,25 @@ impl RetryPolicy {
     }
 }
 
-/// Accounting from one retried operation.
+/// Accounting from one retried operation. Backoff *time* is not here —
+/// it is charged to the clock, where phase arithmetic can read it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct RetryStats {
     /// Attempts actually made (`1..=max_attempts`).
     pub attempts: u32,
-    /// Total simulated backoff, in milliseconds.
-    pub backoff_ms: u64,
 }
 
 /// Runs `op` under `policy`, retrying retryable [`NodeError`]s with
 /// exponential backoff and deterministic jitter drawn from `rng`.
 ///
-/// Returns the final result plus [`RetryStats`]. Backoff time is
-/// simulated (accounted, never slept).
+/// Returns the final result plus [`RetryStats`]. Every backoff wait is
+/// charged to `clock` as virtual time (never slept); the per-operation
+/// budget is tracked locally against the waits this call itself issued,
+/// so concurrent operations sharing the clock do not eat each other's
+/// budgets.
 pub fn run_with_retry<T, R, F>(
     policy: &RetryPolicy,
+    clock: &SimClock,
     rng: &mut R,
     mut op: F,
 ) -> (Result<T, NodeError>, RetryStats)
@@ -130,6 +137,7 @@ where
 {
     let mut stats = RetryStats::default();
     let mut step_ms = policy.base_backoff_ms;
+    let mut waited_ms = 0u64;
     loop {
         stats.attempts += 1;
         match op() {
@@ -144,10 +152,13 @@ where
                     0
                 };
                 let wait = step_ms.min(policy.max_backoff_ms) + jitter;
-                if stats.backoff_ms.saturating_add(wait) > policy.op_budget_ms {
+                if waited_ms.saturating_add(wait) > policy.op_budget_ms {
+                    // Giving up costs nothing further: the rejected
+                    // wait never happens, so it is not charged.
                     return (Err(e), stats);
                 }
-                stats.backoff_ms += wait;
+                waited_ms += wait;
+                clock.charge(SimDuration::from_millis(wait));
                 step_ms = step_ms.saturating_mul(policy.backoff_multiplier as u64);
             }
         }
@@ -162,18 +173,21 @@ mod tests {
     #[test]
     fn succeeds_first_try_without_backoff() {
         let mut rng = ChaChaDrbg::from_u64_seed(1);
-        let (out, stats) =
-            run_with_retry(&RetryPolicy::default(), &mut rng, || Ok::<_, NodeError>(7));
+        let clock = SimClock::new();
+        let (out, stats) = run_with_retry(&RetryPolicy::default(), &clock, &mut rng, || {
+            Ok::<_, NodeError>(7)
+        });
         assert_eq!(out.unwrap(), 7);
         assert_eq!(stats.attempts, 1);
-        assert_eq!(stats.backoff_ms, 0);
+        assert_eq!(clock.now().as_millis(), 0);
     }
 
     #[test]
     fn retries_transient_errors_until_success() {
         let mut rng = ChaChaDrbg::from_u64_seed(2);
+        let clock = SimClock::new();
         let mut calls = 0;
-        let (out, stats) = run_with_retry(&RetryPolicy::default(), &mut rng, || {
+        let (out, stats) = run_with_retry(&RetryPolicy::default(), &clock, &mut rng, || {
             calls += 1;
             if calls < 3 {
                 Err(NodeError::Io("flaky".into()))
@@ -183,28 +197,34 @@ mod tests {
         });
         assert_eq!(out.unwrap(), 3);
         assert_eq!(stats.attempts, 3);
-        assert!(stats.backoff_ms >= 10 + 20, "exponential steps accumulate");
+        assert!(
+            clock.now().as_millis() >= 10 + 20,
+            "exponential steps are charged to the clock"
+        );
     }
 
     #[test]
     fn not_found_is_permanent() {
         let mut rng = ChaChaDrbg::from_u64_seed(3);
+        let clock = SimClock::new();
         let mut calls = 0;
-        let (out, stats) = run_with_retry(&RetryPolicy::default(), &mut rng, || {
+        let (out, stats) = run_with_retry(&RetryPolicy::default(), &clock, &mut rng, || {
             calls += 1;
             Err::<(), _>(NodeError::NotFound)
         });
         assert_eq!(out.unwrap_err(), NodeError::NotFound);
         assert_eq!(stats.attempts, 1);
         assert_eq!(calls, 1);
+        assert_eq!(clock.now().as_millis(), 0);
     }
 
     #[test]
     fn attempt_bound_is_respected() {
         let mut rng = ChaChaDrbg::from_u64_seed(4);
+        let clock = SimClock::new();
         let policy = RetryPolicy::default().with_attempts(5);
         let mut calls = 0u32;
-        let (out, stats) = run_with_retry(&policy, &mut rng, || {
+        let (out, stats) = run_with_retry(&policy, &clock, &mut rng, || {
             calls += 1;
             Err::<(), _>(NodeError::Offline)
         });
@@ -216,29 +236,54 @@ mod tests {
     #[test]
     fn budget_stops_retrying_early() {
         let mut rng = ChaChaDrbg::from_u64_seed(5);
+        let clock = SimClock::new();
         let policy = RetryPolicy::default().with_attempts(100).with_budget_ms(25);
-        let (out, stats) = run_with_retry(&policy, &mut rng, || {
+        let (out, stats) = run_with_retry(&policy, &clock, &mut rng, || {
             Err::<(), _>(NodeError::Io("down".into()))
         });
         assert!(out.is_err());
         assert!(stats.attempts < 100, "budget cut the loop short");
-        assert!(stats.backoff_ms <= 25);
+        assert!(
+            clock.now().as_millis() <= 25,
+            "only waits within the budget are charged"
+        );
+    }
+
+    #[test]
+    fn budget_is_per_call_not_per_clock() {
+        // A clock already deep into virtual time must not starve fresh
+        // operations: the budget counts this call's own waits.
+        let mut rng = ChaChaDrbg::from_u64_seed(6);
+        let clock = SimClock::new();
+        clock.charge(SimDuration::from_days(365));
+        let before = clock.now();
+        let mut calls = 0;
+        let (out, _) = run_with_retry(&RetryPolicy::default(), &clock, &mut rng, || {
+            calls += 1;
+            if calls < 2 {
+                Err(NodeError::Io("flaky".into()))
+            } else {
+                Ok(())
+            }
+        });
+        assert!(out.is_ok());
+        assert!(clock.now() > before, "the retry still charged its wait");
     }
 
     #[test]
     fn jitter_is_deterministic_per_seed() {
-        let schedule = |seed: u64| {
+        let elapsed = |seed: u64| {
             let mut rng = ChaChaDrbg::from_u64_seed(seed);
-            let (_, stats) =
-                run_with_retry(&RetryPolicy::default().with_attempts(3), &mut rng, || {
-                    Err::<(), _>(NodeError::Io("x".into()))
-                });
-            stats
+            let clock = SimClock::new();
+            let (_, stats) = run_with_retry(
+                &RetryPolicy::default().with_attempts(3),
+                &clock,
+                &mut rng,
+                || Err::<(), _>(NodeError::Io("x".into())),
+            );
+            (stats, clock.now())
         };
-        assert_eq!(schedule(9), schedule(9));
-        // Different seeds give different jitter with overwhelming
-        // probability under a 5 ms jitter window and two draws; allow
-        // equality but check attempts anyway.
-        assert_eq!(schedule(9).attempts, 3);
+        assert_eq!(elapsed(9), elapsed(9), "same seed, same clock reading");
+        assert_eq!(elapsed(9).0.attempts, 3);
     }
 }

@@ -153,15 +153,15 @@ fn faulty_file_node_replays_identically() {
             outcomes.push(node.put(&key, &[round as u8; 24]).is_ok());
             outcomes.push(node.get(&key).is_ok());
         }
-        (node.events(), node.simulated_latency_ms(), outcomes)
+        (node.events(), node.clock().now(), outcomes)
     };
     let dir_a = scratch("replay-a");
     let dir_b = scratch("replay-b");
-    let (events_a, latency_a, outcomes_a) = run(&dir_a);
-    let (events_b, latency_b, outcomes_b) = run(&dir_b);
+    let (events_a, clock_a, outcomes_a) = run(&dir_a);
+    let (events_b, clock_b, outcomes_b) = run(&dir_b);
     assert!(!events_a.is_empty(), "plan with 30% rates injected nothing");
     assert_eq!(events_a, events_b, "same seed must replay the same faults");
-    assert_eq!(latency_a, latency_b);
+    assert_eq!(clock_a, clock_b, "same seed, same virtual elapsed time");
     assert_eq!(outcomes_a, outcomes_b);
     let _ = std::fs::remove_dir_all(&dir_a);
     let _ = std::fs::remove_dir_all(&dir_b);
