@@ -7,7 +7,7 @@
 //! analytic model against a scaled-down *live* re-encryption of an
 //! in-memory archive.
 
-use aeon_bench::{f2, Json, Table};
+use aeon_bench::{f2, CliArgs, Json, Table};
 use aeon_core::{Archive, ArchiveConfig, IntegrityMode, PolicyKind};
 use aeon_crypto::SuiteId;
 use aeon_store::campaign::{simulate_campaign, ReencryptionModel};
@@ -22,7 +22,7 @@ use aeon_store::throughput::{throughput_in_memory_cluster, ThroughputProfile};
 const AGREEMENT_BOUND: f64 = 0.02;
 
 fn main() {
-    let measured_mode = std::env::args().any(|a| a == "--measured");
+    let measured_mode = CliArgs::parse().flag("--measured");
     let paper_months = [6.75, 10.35, 8.3, 0.76];
     let mut table = Table::new(
         "§3.2 re-encryption durations (months)",

@@ -159,6 +159,70 @@ impl Json {
     }
 }
 
+/// Parsed command-line arguments for the `exp_*` binaries.
+///
+/// The experiment binaries take a handful of boolean switches and
+/// `--key value` pairs; this helper replaces the per-binary
+/// `std::env::args()` loops with one shared lookup surface.
+///
+/// # Examples
+///
+/// ```
+/// use aeon_bench::CliArgs;
+///
+/// let args = CliArgs::from_vec(vec!["--quick".into(), "--rows".into(), "16".into()]);
+/// assert!(args.flag("--quick"));
+/// assert!(!args.flag("--measured"));
+/// assert_eq!(args.usize_value("--rows", 8), 16);
+/// assert_eq!(args.usize_value("--iters", 3), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CliArgs {
+    args: Vec<String>,
+}
+
+impl CliArgs {
+    /// Captures the process arguments (without the binary name).
+    pub fn parse() -> Self {
+        CliArgs {
+            args: std::env::args().skip(1).collect(),
+        }
+    }
+
+    /// Builds from an explicit argument vector (tests, embedding).
+    pub fn from_vec(args: Vec<String>) -> Self {
+        CliArgs { args }
+    }
+
+    /// Whether the boolean switch `name` (e.g. `--quick`) is present.
+    pub fn flag(&self, name: &str) -> bool {
+        self.args.iter().any(|a| a == name)
+    }
+
+    /// The value following `--key` (either `--key value` or
+    /// `--key=value`), if present.
+    pub fn value(&self, name: &str) -> Option<&str> {
+        let prefix = format!("{name}=");
+        for (i, a) in self.args.iter().enumerate() {
+            if a == name {
+                return self.args.get(i + 1).map(String::as_str);
+            }
+            if let Some(v) = a.strip_prefix(&prefix) {
+                return Some(v);
+            }
+        }
+        None
+    }
+
+    /// `--key` parsed as `usize`, falling back to `default` when the
+    /// key is absent or malformed.
+    pub fn usize_value(&self, name: &str, default: usize) -> usize {
+        self.value(name)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+}
+
 /// Formats a float with fixed precision for table cells.
 pub fn f2(v: f64) -> String {
     format!("{v:.2}")

@@ -46,6 +46,7 @@ use crate::keys::KeyStore;
 use crate::policy::{Encoded, EncodingMeta, PolicyError, PolicyKind};
 use aeon_crypto::{ChaChaDrbg, CryptoRng};
 use parking_lot::Mutex;
+use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Default chunk size: 1 MiB.
@@ -111,6 +112,9 @@ impl ChunkedMeta {
         self.chunk_metas.len()
     }
 }
+
+/// One shard's batched blob plus its per-chunk segment byte ranges.
+type ShardRanges<'a> = (&'a [u8], Vec<Range<usize>>);
 
 /// The derived object context for chunk `j` of `object_id` — the string
 /// under which per-chunk keys and nonces are derived.
@@ -241,11 +245,17 @@ pub fn decode_object(
         return policy.decode(keys, object_id, shards, meta);
     };
     let chunk_count = chunked.chunk_count();
-    let columns: Vec<Option<Vec<Vec<u8>>>> = shards
+    // Frame-walk each shard once up front, but keep only segment
+    // *offsets* into the original blob: each worker then materializes
+    // exactly the one segment copy the decode API needs, instead of a
+    // full per-shard split followed by a per-chunk clone.
+    let columns: Vec<Option<ShardRanges>> = shards
         .iter()
         .map(|s| {
             s.as_ref()
-                .map(|bytes| split_shard_segments(bytes, chunk_count))
+                .map(|bytes| {
+                    split_shard_ranges(bytes, chunk_count).map(|ranges| (bytes.as_slice(), ranges))
+                })
                 .transpose()
         })
         .collect::<Result<_, _>>()?;
@@ -256,7 +266,10 @@ pub fn decode_object(
     let results = run_indexed(chunk_count, workers.max(1), |j| {
         let chunk_shards: Vec<Option<Vec<u8>>> = columns
             .iter()
-            .map(|col| col.as_ref().map(|segments| segments[j].clone()))
+            .map(|col| {
+                col.as_ref()
+                    .map(|(bytes, ranges)| bytes[ranges[j].clone()].to_vec())
+            })
             .collect();
         policy.decode(keys, &ids[j], &chunk_shards, &chunked.chunk_metas[j])
     });
@@ -268,14 +281,18 @@ pub fn decode_object(
     Ok(payload)
 }
 
-/// Parses one framed shard into its `chunk_count` per-chunk segments.
+/// Parses one framed shard's layout into `chunk_count` per-chunk byte
+/// ranges without copying segment bodies.
 ///
 /// # Errors
 ///
 /// Returns [`PolicyError::Malformed`] if the framing is truncated or
 /// leaves trailing bytes.
-pub fn split_shard_segments(shard: &[u8], chunk_count: usize) -> Result<Vec<Vec<u8>>, PolicyError> {
-    let mut segments = Vec::with_capacity(chunk_count);
+pub fn split_shard_ranges(
+    shard: &[u8],
+    chunk_count: usize,
+) -> Result<Vec<Range<usize>>, PolicyError> {
+    let mut ranges = Vec::with_capacity(chunk_count);
     let mut pos = 0usize;
     for _ in 0..chunk_count {
         let Some(header) = shard.get(pos..pos + 4) else {
@@ -285,12 +302,12 @@ pub fn split_shard_segments(shard: &[u8], chunk_count: usize) -> Result<Vec<Vec<
         };
         let len = u32::from_be_bytes(header.try_into().expect("4-byte slice")) as usize;
         pos += 4;
-        let Some(segment) = shard.get(pos..pos + len) else {
+        if shard.get(pos..pos + len).is_none() {
             return Err(PolicyError::Malformed(
                 "chunked shard truncated inside a segment body".into(),
             ));
-        };
-        segments.push(segment.to_vec());
+        }
+        ranges.push(pos..pos + len);
         pos += len;
     }
     if pos != shard.len() {
@@ -298,7 +315,19 @@ pub fn split_shard_segments(shard: &[u8], chunk_count: usize) -> Result<Vec<Vec<
             "chunked shard has trailing bytes after the last segment".into(),
         ));
     }
-    Ok(segments)
+    Ok(ranges)
+}
+
+/// Parses one framed shard into its `chunk_count` per-chunk segments
+/// (owned copies; [`split_shard_ranges`] is the zero-copy layout walk).
+///
+/// # Errors
+///
+/// Returns [`PolicyError::Malformed`] if the framing is truncated or
+/// leaves trailing bytes.
+pub fn split_shard_segments(shard: &[u8], chunk_count: usize) -> Result<Vec<Vec<u8>>, PolicyError> {
+    let ranges = split_shard_ranges(shard, chunk_count)?;
+    Ok(ranges.into_iter().map(|r| shard[r].to_vec()).collect())
 }
 
 /// Reassembles per-chunk segments (one per chunk, in order) into a

@@ -33,7 +33,7 @@
 
 pub mod striping;
 
-use aeon_gf::slice::Gf256MulTable;
+use aeon_gf::slice::{self, Gf256MulTable};
 use aeon_gf::{Gf256, Matrix};
 
 /// Errors from erasure coding.
@@ -223,9 +223,14 @@ impl ReedSolomon {
         }
         let mut parity = vec![vec![0u8; len]; self.parity];
         for (tables, out) in self.parity_tables.iter().zip(parity.iter_mut()) {
-            for (table, shard) in tables.iter().zip(data_shards) {
-                table.mul_add_slice(shard, out);
-            }
+            // One fused pass per parity row: all data shards accumulate
+            // into each cache-sized strip of `out` while it is hot.
+            let rows: Vec<(&Gf256MulTable, &[u8])> = tables
+                .iter()
+                .zip(data_shards)
+                .map(|(table, shard)| (table, *shard))
+                .collect();
+            slice::mul_add_rows_tables(out, &rows);
         }
         Ok(parity)
     }
@@ -272,15 +277,20 @@ impl ReedSolomon {
         })?;
 
         // Recover data shards: data[c] = sum_j inv[c][j] * surviving[j].
-        // The inverse depends on the erasure pattern, so its tables are
-        // built here; the cost amortizes over the shard length.
+        // The inverse depends on the erasure pattern, so each output
+        // row's tables are built inside the fused kernel; the cost
+        // amortizes over the shard length.
         let mut data: Vec<Vec<u8>> = vec![vec![0u8; len]; self.data];
         for (c, out) in data.iter_mut().enumerate() {
-            for (j, &row_idx) in rows.iter().enumerate() {
-                let table = Gf256MulTable::new(inv[(c, j)]);
-                let src = shards[row_idx].as_ref().expect("available");
-                table.mul_add_slice(src, out);
-            }
+            let inv_rows: Vec<(Gf256, &[u8])> = rows
+                .iter()
+                .enumerate()
+                .map(|(j, &row_idx)| {
+                    let src: &[u8] = shards[row_idx].as_ref().expect("available");
+                    (inv[(c, j)], src)
+                })
+                .collect();
+            slice::mul_add_rows(out, &inv_rows);
         }
 
         // Regenerate parity from recovered data.

@@ -18,8 +18,13 @@
 //!   constructions, Gaussian elimination, inversion. These drive systematic
 //!   Reed–Solomon encoding and decoding.
 //! * [`slice`](mod@slice) — bulk scalar × vector kernels (`mul_slice`,
-//!   `mul_add_slice`) with per-scalar product tables, the branch-free
-//!   inner loops of erasure encoding and share evaluation.
+//!   `mul_add_slice`) and the fused matrix-row kernel (`mul_add_rows`)
+//!   with per-scalar product tables, the branch-free inner loops of
+//!   erasure encoding and share evaluation.
+//! * [`kernel`] — runtime dispatch for the GF(2^8) slice kernels:
+//!   portable scalar/SWAR tiers plus SSSE3/AVX2 `PSHUFB` tiers selected
+//!   once per process via CPU-feature detection (overridable with
+//!   `AEON_FORCE_KERNEL`).
 //!
 //! # Design notes
 //!
@@ -40,12 +45,16 @@
 //! assert_eq!(a.inverse().unwrap(), b);
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the SSSE3/AVX2 intrinsic tier in
+// `kernel::simd` is the one audited exception (module-level `allow`);
+// everything else in the crate remains safe code.
+#![deny(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
 mod field;
 mod gf16;
 mod gf256;
+pub mod kernel;
 pub mod matrix;
 pub mod poly;
 pub mod slice;
@@ -53,4 +62,5 @@ pub mod slice;
 pub use field::Field;
 pub use gf16::Gf16;
 pub use gf256::{generator as gf256_generator, Gf256};
+pub use kernel::{Kernel, KernelTier};
 pub use matrix::Matrix;

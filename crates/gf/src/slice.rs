@@ -13,10 +13,34 @@
 //! * [`Gf16MulTable`] — two 256-entry byte tables over the low and high
 //!   byte of each 16-bit symbol.
 //!
+//! # Dispatch tiers
+//!
+//! The GF(2^8) table operations do not loop over bytes here; they hand
+//! the nibble tables to the process-wide [`Kernel`](crate::kernel),
+//! which applies them through the fastest implementation tier the host
+//! supports — per-byte scalar lookups, a portable compiler-vectorized
+//! SWAR select, or SSSE3/AVX2 `PSHUFB` shuffles (the nibble tables are
+//! literally the `PSHUFB` operand). The tier is probed once per process
+//! with `is_x86_feature_detected!` and can be pinned with
+//! `AEON_FORCE_KERNEL=scalar|swar|ssse3|avx2`; every tier is
+//! byte-identical to the log/exp reference, so the choice is invisible
+//! to callers. See [`crate::kernel`] for the tier table.
+//!
 //! Free functions [`mul_slice`] / [`mul_add_slice`] (and the `gf16_*`
 //! variants) build the table and apply it in one call; hot paths that
 //! reuse one coefficient across many rows should build the table once.
+//!
+//! # Fused rows
+//!
+//! Erasure parity rows, Shamir share evaluation, and Lagrange recovery
+//! all compute `dst ^= Σ_k c_k · src_k`. Issuing one `mul_add_slice`
+//! per coefficient walks the full destination once per row, falling out
+//! of cache between passes for large buffers. [`mul_add_rows`] (and
+//! [`gf16_mul_add_rows`]) fuse the accumulation: the destination is cut
+//! into cache-sized strips and every row is applied to a strip while it
+//! is hot.
 
+use crate::kernel::Kernel;
 use crate::{Gf16, Gf256};
 
 /// Precomputed multiplication table for one GF(2^8) scalar.
@@ -55,77 +79,48 @@ impl Gf256MulTable {
         self.scalar
     }
 
+    /// The low-nibble product table (`lo[n] = s·n`).
+    #[inline]
+    pub(crate) fn lo(&self) -> &[u8; 16] {
+        &self.lo
+    }
+
+    /// The high-nibble product table (`hi[n] = s·(n«4)`).
+    #[inline]
+    pub(crate) fn hi(&self) -> &[u8; 16] {
+        &self.hi
+    }
+
     /// Multiplies one byte by the scalar.
     #[inline]
     pub fn mul(&self, b: u8) -> u8 {
         self.lo[(b & 0x0F) as usize] ^ self.hi[(b >> 4) as usize]
     }
 
-    /// `dst = scalar · src`, element-wise.
+    /// `dst = scalar · src`, element-wise, through the active
+    /// [`Kernel`](crate::kernel) tier.
     ///
     /// # Panics
     ///
     /// Panics if `src` and `dst` have different lengths.
     pub fn mul_slice(&self, src: &[u8], dst: &mut [u8]) {
-        assert_eq!(src.len(), dst.len(), "mul_slice length mismatch");
-        match self.scalar.value() {
-            0 => dst.fill(0),
-            1 => dst.copy_from_slice(src),
-            _ => {
-                let mut d = dst.chunks_exact_mut(8);
-                let mut s = src.chunks_exact(8);
-                for (dc, sc) in (&mut d).zip(&mut s) {
-                    for i in 0..8 {
-                        dc[i] = self.mul(sc[i]);
-                    }
-                }
-                for (db, sb) in d.into_remainder().iter_mut().zip(s.remainder()) {
-                    *db = self.mul(*sb);
-                }
-            }
-        }
+        Kernel::active().mul_slice(self, src, dst);
     }
 
-    /// `buf = scalar · buf`, element-wise.
+    /// `buf = scalar · buf`, element-wise, through the active
+    /// [`Kernel`](crate::kernel) tier.
     pub fn mul_slice_in_place(&self, buf: &mut [u8]) {
-        match self.scalar.value() {
-            0 => buf.fill(0),
-            1 => {}
-            _ => {
-                for b in buf.iter_mut() {
-                    *b = self.mul(*b);
-                }
-            }
-        }
+        Kernel::active().mul_slice_in_place(self, buf);
     }
 
-    /// `dst ^= scalar · src`, element-wise — the Reed–Solomon inner loop.
+    /// `dst ^= scalar · src`, element-wise — the Reed–Solomon inner loop
+    /// — through the active [`Kernel`](crate::kernel) tier.
     ///
     /// # Panics
     ///
     /// Panics if `src` and `dst` have different lengths.
     pub fn mul_add_slice(&self, src: &[u8], dst: &mut [u8]) {
-        assert_eq!(src.len(), dst.len(), "mul_add_slice length mismatch");
-        match self.scalar.value() {
-            0 => {}
-            1 => {
-                for (d, s) in dst.iter_mut().zip(src) {
-                    *d ^= *s;
-                }
-            }
-            _ => {
-                let mut d = dst.chunks_exact_mut(8);
-                let mut s = src.chunks_exact(8);
-                for (dc, sc) in (&mut d).zip(&mut s) {
-                    for i in 0..8 {
-                        dc[i] ^= self.mul(sc[i]);
-                    }
-                }
-                for (db, sb) in d.into_remainder().iter_mut().zip(s.remainder()) {
-                    *db ^= self.mul(*sb);
-                }
-            }
-        }
+        Kernel::active().mul_add_slice(self, src, dst);
     }
 }
 
@@ -145,6 +140,80 @@ pub fn mul_slice(scalar: Gf256, src: &[u8], dst: &mut [u8]) {
 /// Panics if `src` and `dst` have different lengths.
 pub fn mul_add_slice(scalar: Gf256, src: &[u8], dst: &mut [u8]) {
     Gf256MulTable::new(scalar).mul_add_slice(src, dst);
+}
+
+/// Destination strip size for the fused row kernels: small enough that a
+/// strip plus one source strip stay resident in L1d between rows, large
+/// enough to amortize the per-row dispatch.
+const ROW_STRIP: usize = 16 * 1024;
+
+/// `dst ^= Σ_k c_k · src_k` — the fused matrix-row kernel behind RS
+/// parity rows, Shamir share evaluation, and Lagrange recovery.
+///
+/// The destination is processed in cache-sized strips; within a strip
+/// every row is accumulated while the strip is hot, instead of walking
+/// the whole destination once per coefficient. Builds one product table
+/// per row; callers that reuse coefficient tables across many
+/// destinations (RS encode) should use [`mul_add_rows_tables`].
+///
+/// # Examples
+///
+/// ```
+/// use aeon_gf::slice::{mul_add_rows, mul_add_slice};
+/// use aeon_gf::Gf256;
+///
+/// let a = vec![0x11u8; 100];
+/// let b = vec![0x22u8; 100];
+/// let mut fused = vec![0u8; 100];
+/// mul_add_rows(&mut fused, &[(Gf256::new(3), &a), (Gf256::new(7), &b)]);
+///
+/// let mut serial = vec![0u8; 100];
+/// mul_add_slice(Gf256::new(3), &a, &mut serial);
+/// mul_add_slice(Gf256::new(7), &b, &mut serial);
+/// assert_eq!(fused, serial);
+/// ```
+///
+/// # Panics
+///
+/// Panics if any row's length differs from `dst`'s.
+pub fn mul_add_rows(dst: &mut [u8], rows: &[(Gf256, &[u8])]) {
+    let tables: Vec<Gf256MulTable> = rows.iter().map(|&(c, _)| Gf256MulTable::new(c)).collect();
+    let trows: Vec<(&Gf256MulTable, &[u8])> = tables
+        .iter()
+        .zip(rows)
+        .map(|(t, &(_, src))| (t, src))
+        .collect();
+    mul_add_rows_tables(dst, &trows);
+}
+
+/// [`mul_add_rows`] with caller-prebuilt product tables.
+///
+/// # Panics
+///
+/// Panics if any row's length differs from `dst`'s.
+pub fn mul_add_rows_tables(dst: &mut [u8], rows: &[(&Gf256MulTable, &[u8])]) {
+    mul_add_rows_on(Kernel::active(), dst, rows);
+}
+
+/// [`mul_add_rows_tables`] through an explicit kernel tier (benchmark
+/// sweeps and cross-tier parity tests; everything else wants
+/// [`mul_add_rows_tables`]).
+///
+/// # Panics
+///
+/// Panics if any row's length differs from `dst`'s.
+pub fn mul_add_rows_on(kernel: &Kernel, dst: &mut [u8], rows: &[(&Gf256MulTable, &[u8])]) {
+    for (_, src) in rows {
+        assert_eq!(src.len(), dst.len(), "mul_add_rows length mismatch");
+    }
+    let mut start = 0;
+    while start < dst.len() {
+        let end = (start + ROW_STRIP).min(dst.len());
+        for &(table, src) in rows {
+            kernel.mul_add_slice(table, &src[start..end], &mut dst[start..end]);
+        }
+        start = end;
+    }
 }
 
 /// Precomputed multiplication table for one GF(2^16) scalar.
@@ -259,6 +328,56 @@ pub fn gf16_mul_slice(scalar: Gf16, src: &[u16], dst: &mut [u16]) {
 /// Panics if `src` and `dst` have different lengths.
 pub fn gf16_mul_add_slice(scalar: Gf16, src: &[u16], dst: &mut [u16]) {
     Gf16MulTable::new(scalar).mul_add_slice(src, dst);
+}
+
+/// Below this many symbols the fused GF(2^16) row kernel skips the
+/// 512-multiply table build and accumulates through log/exp directly
+/// (byte-identical — field arithmetic is exact either way).
+const GF16_TABLE_MIN: usize = 64;
+
+/// `dst ^= Σ_k c_k · src_k` over GF(2^16) symbols — the fused row kernel
+/// behind packed-share polynomial evaluation.
+///
+/// Long buffers build one [`Gf16MulTable`] per row and accumulate in
+/// cache-sized strips, like [`mul_add_rows`]; buffers shorter than the
+/// table-build break-even use the direct log/exp multiply.
+///
+/// # Panics
+///
+/// Panics if any row's length differs from `dst`'s.
+pub fn gf16_mul_add_rows(dst: &mut [u16], rows: &[(Gf16, &[u16])]) {
+    for (_, src) in rows {
+        assert_eq!(src.len(), dst.len(), "gf16 mul_add_rows length mismatch");
+    }
+    if dst.len() < GF16_TABLE_MIN {
+        for &(c, src) in rows {
+            match c.value() {
+                0 => {}
+                1 => {
+                    for (d, s) in dst.iter_mut().zip(src) {
+                        *d ^= *s;
+                    }
+                }
+                _ => {
+                    for (d, s) in dst.iter_mut().zip(src) {
+                        *d = (Gf16::new(*d) + c * Gf16::new(*s)).value();
+                    }
+                }
+            }
+        }
+        return;
+    }
+    let tables: Vec<Gf16MulTable> = rows.iter().map(|&(c, _)| Gf16MulTable::new(c)).collect();
+    // Strip length in symbols; same byte footprint as `ROW_STRIP`.
+    let strip = ROW_STRIP / 2;
+    let mut start = 0;
+    while start < dst.len() {
+        let end = (start + strip).min(dst.len());
+        for (table, (_, src)) in tables.iter().zip(rows) {
+            table.mul_add_slice(&src[start..end], &mut dst[start..end]);
+        }
+        start = end;
+    }
 }
 
 #[cfg(test)]

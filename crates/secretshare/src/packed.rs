@@ -15,7 +15,7 @@
 use crate::ShareError;
 use aeon_crypto::CryptoRng;
 use aeon_gf::poly::{interpolate, lagrange_eval};
-use aeon_gf::slice::Gf16MulTable;
+use aeon_gf::slice::gf16_mul_add_rows;
 use aeon_gf::Gf16;
 
 /// A packed share: one evaluation of the packed polynomial per symbol
@@ -158,17 +158,20 @@ pub fn split<R: CryptoRng + ?Sized>(
             coeff_cols[k][row] = c.value();
         }
     }
-    // acc = c_{d}; acc = acc·x + c_{k} down to c_0, vectorized over rows.
-    let mut acc = vec![0u16; rows];
+    // share(x) = Σ_k x^k · c_k, vectorized over rows: one fused pass in
+    // which every coefficient column accumulates into each cache-sized
+    // strip of the share while it is hot (same field values as the old
+    // Horner sweep — GF arithmetic is exact).
     for share in shares.iter_mut() {
-        let table = Gf16MulTable::new(Gf16::new(share.index));
-        acc.copy_from_slice(&coeff_cols[degree_bound - 1]);
-        for col in coeff_cols[..degree_bound - 1].iter().rev() {
-            table.mul_slice_in_place(&mut acc);
-            for (a, &c) in acc.iter_mut().zip(col) {
-                *a ^= c;
-            }
+        let x = Gf16::new(share.index);
+        let mut acc = coeff_cols[0].clone();
+        let mut power_rows: Vec<(Gf16, &[u16])> = Vec::with_capacity(degree_bound - 1);
+        let mut x_pow = x;
+        for col in &coeff_cols[1..] {
+            power_rows.push((x_pow, col.as_slice()));
+            x_pow *= x;
         }
+        gf16_mul_add_rows(&mut acc, &power_rows);
         share.data.extend_from_slice(&acc);
     }
     Ok(shares)

@@ -23,6 +23,7 @@ use crate::shamir::{self, Share};
 use crate::ShareError;
 use aeon_crypto::CryptoRng;
 use aeon_gf::poly::lagrange_coefficients;
+use aeon_gf::slice;
 use aeon_gf::Gf256;
 
 /// Communication cost accounting for a refresh or redistribution round.
@@ -88,11 +89,14 @@ pub fn refresh<R: CryptoRng + ?Sized>(
         }
         for share in shares.iter_mut() {
             let x = Gf256::new(share.index);
+            // δ(x) applied as one fused row pass per share.
+            let mut rows: Vec<(Gf256, &[u8])> = Vec::with_capacity(coeffs.len());
             let mut x_pow = x;
             for c in &coeffs {
-                x_pow.mul_acc_slice(c, &mut share.data);
+                rows.push((x_pow, c.as_slice()));
                 x_pow *= x;
             }
+            slice::mul_add_rows(&mut share.data, &rows);
         }
     }
     Ok(ProtocolCost {
@@ -155,14 +159,23 @@ pub fn redistribute<R: CryptoRng + ?Sized>(
         })
         .collect();
     let mut cost = ProtocolCost::default();
-    for (contrib, &lam) in contributors.iter().zip(&lambda) {
-        let subshares = shamir::split(rng, &contrib.data, new_threshold, new_count)?;
+    // Deal every contributor's sub-shares first (same RNG draw order as
+    // the per-contributor accumulation this replaces), then combine them
+    // per new share in one fused Lagrange pass.
+    let mut all_subshares: Vec<Vec<Share>> = Vec::with_capacity(contributors.len());
+    for contrib in contributors {
+        all_subshares.push(shamir::split(rng, &contrib.data, new_threshold, new_count)?);
         cost.messages += new_count as u64;
         cost.bytes += (new_count * len) as u64;
-        for (new_share, sub) in new_shares.iter_mut().zip(&subshares) {
-            // new_share += λ_i · subshare_i(j)
-            lam.mul_acc_slice(&sub.data, &mut new_share.data);
-        }
+    }
+    for (j, new_share) in new_shares.iter_mut().enumerate() {
+        // new_share = Σ_i λ_i · subshare_i(j)
+        let rows: Vec<(Gf256, &[u8])> = lambda
+            .iter()
+            .zip(&all_subshares)
+            .map(|(&lam, subs)| (lam, subs[j].data.as_slice()))
+            .collect();
+        slice::mul_add_rows(&mut new_share.data, &rows);
     }
     Ok(Redistribution {
         shares: new_shares,

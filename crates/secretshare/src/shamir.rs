@@ -10,7 +10,7 @@
 use crate::ShareError;
 use aeon_crypto::CryptoRng;
 use aeon_gf::poly::lagrange_coefficients;
-use aeon_gf::slice::Gf256MulTable;
+use aeon_gf::slice;
 use aeon_gf::Gf256;
 
 /// One Shamir share: an evaluation point and the per-byte evaluations.
@@ -99,15 +99,17 @@ pub fn split<R: CryptoRng + ?Sized>(
     let mut out = Vec::with_capacity(shares);
     for i in 1..=shares as u8 {
         let x = Gf256::new(i);
-        // share = secret + c_1 x + c_2 x^2 + ... (byte-parallel on
-        // precomputed powers, each power applied via a bulk product
-        // table).
+        // share = secret + c_1 x + c_2 x^2 + ... — one fused row pass:
+        // every coefficient vector accumulates into each cache-sized
+        // strip of the share while the strip is hot.
         let mut data = secret.to_vec();
+        let mut rows: Vec<(Gf256, &[u8])> = Vec::with_capacity(coefficients.len());
         let mut x_pow = x;
         for c in &coefficients {
-            Gf256MulTable::new(x_pow).mul_add_slice(c, &mut data);
+            rows.push((x_pow, c.as_slice()));
             x_pow *= x;
         }
+        slice::mul_add_rows(&mut data, &rows);
         out.push(Share { index: i, data });
     }
     Ok(out)
@@ -160,10 +162,14 @@ pub fn reconstruct_at(
     let xs: Vec<Gf256> = subset.iter().map(|s| Gf256::new(s.index)).collect();
     let lambda = lagrange_coefficients(&xs, x0)
         .map_err(|_| ShareError::InconsistentShares("duplicate share index"))?;
+    // Fused Lagrange combination: out = Σ λ_i · share_i in one pass.
+    let rows: Vec<(Gf256, &[u8])> = lambda
+        .iter()
+        .zip(subset)
+        .map(|(coeff, share)| (*coeff, share.data.as_slice()))
+        .collect();
     let mut out = vec![0u8; len];
-    for (coeff, share) in lambda.iter().zip(subset) {
-        Gf256MulTable::new(*coeff).mul_add_slice(&share.data, &mut out);
-    }
+    slice::mul_add_rows(&mut out, &rows);
     Ok(out)
 }
 
