@@ -66,7 +66,10 @@ pub use archive::{
     estimate_entropy_bits_per_byte, Archive, ArchiveConfig, ArchiveError, ArchiveStats,
     HealthReport, IntegrityMode, Manifest, ObjectId,
 };
-pub use campaign::{BandwidthScheduler, CampaignClockStats, MeasuredCampaign};
+pub use campaign::{
+    BandwidthScheduler, CampaignClockStats, CampaignProgress, MeasuredCampaign,
+    ReencodeCampaignDriver, MAX_RESERVED_FRACTION,
+};
 pub use codec::{Codec, CodecRegistry, CodecRepair};
 pub use evaluate::{
     figure1_points, table1, ChannelKind, CostBucket, Figure1Point, SystemProfile, Table1Row,

@@ -1,0 +1,243 @@
+//! Deterministic log-bucketed latency histograms.
+//!
+//! The serving layer reports latency as distributions, not scalars —
+//! Baker et al.'s point about long-term storage reliability applies
+//! equally to serving: means hide exactly the tail behaviour that
+//! reserved-capacity arithmetic is supposed to protect. The histogram
+//! here is integer-only and fixed-shape, so two runs with the same seed
+//! produce **byte-identical** bucket vectors (the determinism suite
+//! compares them with `==`), while still resolving p50/p99/p999 to
+//! ~6% relative error across the full `u64` nanosecond range.
+//!
+//! Shape: values below 16 ns get exact buckets; above that, each power
+//! of two is split into 16 sub-buckets (an HDR-histogram with 4
+//! significant bits), giving 976 buckets total.
+
+use aeon_store::clock::SimDuration;
+
+/// Exact buckets below this value; log-spaced sub-buckets above.
+const LINEAR_LIMIT: u64 = 16;
+/// Sub-buckets per power of two.
+const SUB_BUCKETS: usize = 16;
+/// Total bucket count: 16 exact + 16 per octave for octaves 4..=63.
+const BUCKETS: usize = LINEAR_LIMIT as usize + (64 - 4) * SUB_BUCKETS;
+
+/// Maps a nanosecond value to its bucket index.
+fn bucket_index(v: u64) -> usize {
+    if v < LINEAR_LIMIT {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros() as usize; // >= 4
+    let sub = ((v >> (msb - 4)) & 0xF) as usize;
+    LINEAR_LIMIT as usize + (msb - 4) * SUB_BUCKETS + sub
+}
+
+/// The largest value a bucket holds (its inclusive upper edge), used as
+/// the reported quantile value.
+fn bucket_upper(index: usize) -> u64 {
+    if index < LINEAR_LIMIT as usize {
+        return index as u64;
+    }
+    let rel = index - LINEAR_LIMIT as usize;
+    let octave = 4 + rel / SUB_BUCKETS;
+    let sub = (rel % SUB_BUCKETS) as u128;
+    let upper = ((LINEAR_LIMIT as u128 + sub + 1) << (octave - 4)) - 1;
+    upper.min(u64::MAX as u128) as u64
+}
+
+/// A fixed-shape latency histogram over virtual nanoseconds.
+///
+/// Equality compares the full bucket vector, so `a == b` means the two
+/// runs produced *identical* latency distributions, not merely close
+/// quantiles — the property the determinism suite pins.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    counts: Vec<u64>,
+    total: u64,
+    sum_ns: u128,
+    max_ns: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        LatencyHistogram {
+            counts: vec![0; BUCKETS],
+            total: 0,
+            sum_ns: 0,
+            max_ns: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, sample: SimDuration) {
+        let ns = sample.as_nanos();
+        self.counts[bucket_index(ns)] += 1;
+        self.total += 1;
+        self.sum_ns += ns as u128;
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Samples recorded.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Whether no samples were recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// The largest recorded sample (exact, not bucketed).
+    #[must_use]
+    pub fn max(&self) -> SimDuration {
+        SimDuration::from_nanos(self.max_ns)
+    }
+
+    /// Mean of the recorded samples (exact sum over exact count).
+    #[must_use]
+    pub fn mean(&self) -> SimDuration {
+        if self.total == 0 {
+            return SimDuration::ZERO;
+        }
+        SimDuration::from_nanos((self.sum_ns / self.total as u128) as u64)
+    }
+
+    /// The `q`-quantile (`0 < q <= 1`) as the upper edge of the bucket
+    /// containing the target rank; `ZERO` on an empty histogram.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> SimDuration {
+        if self.total == 0 {
+            return SimDuration::ZERO;
+        }
+        let target = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return SimDuration::from_nanos(bucket_upper(i));
+            }
+        }
+        SimDuration::from_nanos(self.max_ns)
+    }
+
+    /// p50 / p99 / p999, the serving layer's standard report row.
+    #[must_use]
+    pub fn percentiles(&self) -> (SimDuration, SimDuration, SimDuration) {
+        (
+            self.quantile(0.50),
+            self.quantile(0.99),
+            self.quantile(0.999),
+        )
+    }
+
+    /// The raw bucket counts (for digests and artifact emission).
+    #[must_use]
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Folds another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum_ns += other.sum_ns;
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_partition_the_range() {
+        // Every boundary value maps into a bucket whose upper edge is
+        // >= the value, and indices are monotone in the value.
+        let mut prev = 0usize;
+        for v in [
+            0u64,
+            1,
+            15,
+            16,
+            17,
+            31,
+            32,
+            1_000,
+            1_000_000,
+            u64::MAX / 2,
+            u64::MAX,
+        ] {
+            let i = bucket_index(v);
+            assert!(i >= prev, "monotone indices");
+            assert!(bucket_upper(i) >= v, "upper edge covers the value");
+            prev = i;
+        }
+        assert!(bucket_index(u64::MAX) < BUCKETS);
+    }
+
+    #[test]
+    fn quantiles_are_ordered_and_close() {
+        let mut h = LatencyHistogram::new();
+        for i in 1..=1000u64 {
+            h.record(SimDuration::from_nanos(i * 1000));
+        }
+        let (p50, p99, p999) = h.percentiles();
+        assert!(p50 <= p99 && p99 <= p999);
+        // ~6% bucket resolution around the true p50 of 500_000 ns.
+        let p50 = p50.as_nanos() as f64;
+        assert!((p50 - 500_000.0).abs() / 500_000.0 < 0.07, "p50 = {p50}");
+        assert_eq!(h.total(), 1000);
+        assert_eq!(h.max().as_nanos(), 1_000_000);
+    }
+
+    #[test]
+    fn empty_histogram_is_zeroes() {
+        let h = LatencyHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.quantile(0.99), SimDuration::ZERO);
+        assert_eq!(h.mean(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn identical_sample_streams_compare_equal() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        for i in 0..500u64 {
+            a.record(SimDuration::from_nanos(i * i));
+            b.record(SimDuration::from_nanos(i * i));
+        }
+        assert_eq!(a, b);
+        b.record(SimDuration::ZERO);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn merge_is_additive() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut all = LatencyHistogram::new();
+        for i in 0..100u64 {
+            let d = SimDuration::from_nanos(i * 37);
+            if i % 2 == 0 {
+                a.record(d);
+            } else {
+                b.record(d);
+            }
+            all.record(d);
+        }
+        a.merge(&b);
+        assert_eq!(a, all);
+    }
+}

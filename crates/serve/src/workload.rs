@@ -1,0 +1,306 @@
+//! Workload description and deterministic samplers.
+//!
+//! A workload is a tenant mix plus an arrival process. Everything is
+//! sampled from a seeded DRBG, so a `(spec, seed)` pair names exactly
+//! one request stream: the same tenants issue the same operations
+//! against the same objects at the same virtual instants, every run.
+//!
+//! * **Open loop** — arrivals are a Poisson process (exponential
+//!   inter-arrival times) at a configured aggregate rate, independent
+//!   of completions. This is the mode that exposes queueing collapse:
+//!   offered load keeps arriving whether or not the archive keeps up.
+//! * **Closed loop** — a fixed population of clients per tenant, each
+//!   issuing its next request a think-time after the previous one
+//!   completes (or is rejected). Offered load self-throttles, which is
+//!   how interactive users actually behave.
+//!
+//! Object popularity is Zipfian: rank `i` (0-based) carries weight
+//! `1/(i+1)^s`, the standard model for archive read skew, making a
+//! small hot set cacheable while the long tail still sees traffic.
+
+use aeon_crypto::CryptoRng;
+use aeon_store::clock::SimDuration;
+
+/// One tenant's share of the workload and its admission quota.
+#[derive(Debug, Clone)]
+pub struct TenantSpec {
+    /// Display name (also the report key).
+    pub name: String,
+    /// Relative share of arrivals (open loop) and of the fair-queue
+    /// quantum. Need not be normalized.
+    pub weight: f64,
+    /// Fraction of this tenant's requests that are reads (`0..=1`);
+    /// the rest are writes of [`WorkloadSpec::write_bytes`].
+    pub read_fraction: f64,
+    /// Token-bucket refill rate, requests per virtual second.
+    pub quota_per_sec: f64,
+    /// Token-bucket burst depth, requests.
+    pub quota_burst: f64,
+}
+
+impl TenantSpec {
+    /// A tenant with the given name and weight, reading 90% of the
+    /// time, with an effectively unlimited quota.
+    #[must_use]
+    pub fn new(name: &str, weight: f64) -> Self {
+        TenantSpec {
+            name: name.to_string(),
+            weight,
+            read_fraction: 0.9,
+            quota_per_sec: 1e9,
+            quota_burst: 1e9,
+        }
+    }
+
+    /// Sets the read fraction.
+    #[must_use]
+    pub fn with_read_fraction(mut self, f: f64) -> Self {
+        self.read_fraction = f;
+        self
+    }
+
+    /// Sets the token-bucket quota (rate per virtual second + burst).
+    #[must_use]
+    pub fn with_quota(mut self, per_sec: f64, burst: f64) -> Self {
+        self.quota_per_sec = per_sec;
+        self.quota_burst = burst;
+        self
+    }
+}
+
+/// How requests arrive.
+#[derive(Debug, Clone, Copy)]
+pub enum ArrivalProcess {
+    /// Poisson arrivals at an aggregate rate, independent of
+    /// completions.
+    Open {
+        /// Aggregate arrival rate across all tenants, requests per
+        /// virtual second.
+        requests_per_sec: f64,
+    },
+    /// A fixed client population per tenant; each client issues its
+    /// next request `think` after the previous one finishes.
+    Closed {
+        /// Concurrent clients per tenant.
+        clients_per_tenant: usize,
+        /// Virtual think time between a completion and the client's
+        /// next request.
+        think: SimDuration,
+    },
+}
+
+/// A complete workload description. `(spec, seed)` determines the
+/// entire request stream.
+#[derive(Debug, Clone)]
+pub struct WorkloadSpec {
+    /// The tenant mix.
+    pub tenants: Vec<TenantSpec>,
+    /// The arrival process.
+    pub arrivals: ArrivalProcess,
+    /// Total requests to issue (across all tenants) before the run
+    /// ends.
+    pub total_requests: usize,
+    /// Zipf exponent `s` for object popularity (`0` = uniform).
+    pub zipf_exponent: f64,
+    /// Payload size of write requests, bytes.
+    pub write_bytes: usize,
+    /// DRBG seed for every sampling decision in the run.
+    pub seed: u64,
+}
+
+impl WorkloadSpec {
+    /// A workload over the given tenants and arrival process, with
+    /// 10 000 requests, Zipf `s = 1.1`, and 32 KiB writes at seed 1.
+    #[must_use]
+    pub fn new(tenants: Vec<TenantSpec>, arrivals: ArrivalProcess) -> Self {
+        WorkloadSpec {
+            tenants,
+            arrivals,
+            total_requests: 10_000,
+            zipf_exponent: 1.1,
+            write_bytes: 32 * 1024,
+            seed: 1,
+        }
+    }
+
+    /// Sets the total request count.
+    #[must_use]
+    pub fn with_total_requests(mut self, total: usize) -> Self {
+        self.total_requests = total;
+        self
+    }
+
+    /// Sets the DRBG seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the Zipf exponent.
+    #[must_use]
+    pub fn with_zipf_exponent(mut self, s: f64) -> Self {
+        self.zipf_exponent = s;
+        self
+    }
+
+    /// Sets the write payload size.
+    #[must_use]
+    pub fn with_write_bytes(mut self, bytes: usize) -> Self {
+        self.write_bytes = bytes;
+        self
+    }
+}
+
+/// Draws a uniform f64 in `[0, 1)` from 53 bits of DRBG output.
+pub(crate) fn unit_f64<R: CryptoRng + ?Sized>(rng: &mut R) -> f64 {
+    let mut b = [0u8; 8];
+    rng.fill_bytes(&mut b);
+    (u64::from_le_bytes(b) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Draws an exponential inter-arrival gap for the given rate.
+pub(crate) fn exp_gap<R: CryptoRng + ?Sized>(rng: &mut R, per_sec: f64) -> SimDuration {
+    let u = unit_f64(rng);
+    // 1 - u ∈ (0, 1], so the log is finite and non-positive.
+    SimDuration::from_secs_f64(-(1.0 - u).ln() / per_sec)
+}
+
+/// Inverse-CDF sampler over Zipf-distributed ranks.
+///
+/// Build cost is `O(n)`; each sample is one uniform draw plus a binary
+/// search. Ranks are 0-based: rank 0 is the most popular object.
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    cumulative: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// A sampler over `n` ranks with exponent `s` (`s = 0` is uniform).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `s` is not finite.
+    #[must_use]
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "cannot sample from an empty catalog");
+        assert!(s.is_finite(), "Zipf exponent must be finite");
+        let mut cumulative = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for i in 0..n {
+            acc += 1.0 / ((i + 1) as f64).powf(s);
+            cumulative.push(acc);
+        }
+        let total = acc;
+        for c in &mut cumulative {
+            *c /= total;
+        }
+        ZipfSampler { cumulative }
+    }
+
+    /// Draws a rank in `0..n`.
+    pub fn sample<R: CryptoRng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u = unit_f64(rng);
+        self.cumulative
+            .partition_point(|&c| c <= u)
+            .min(self.cumulative.len() - 1)
+    }
+}
+
+/// Weighted choice over tenant indices: normalized cumulative weights,
+/// one uniform draw per pick.
+#[derive(Debug, Clone)]
+pub(crate) struct WeightedPick {
+    cumulative: Vec<f64>,
+}
+
+impl WeightedPick {
+    pub(crate) fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "at least one tenant is required");
+        let mut cumulative = Vec::with_capacity(weights.len());
+        let mut acc = 0.0;
+        for &w in weights {
+            assert!(w.is_finite() && w > 0.0, "tenant weights must be positive");
+            acc += w;
+            cumulative.push(acc);
+        }
+        for c in &mut cumulative {
+            *c /= acc;
+        }
+        WeightedPick { cumulative }
+    }
+
+    pub(crate) fn sample<R: CryptoRng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u = unit_f64(rng);
+        self.cumulative
+            .partition_point(|&c| c <= u)
+            .min(self.cumulative.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aeon_crypto::ChaChaDrbg;
+
+    #[test]
+    fn zipf_prefers_low_ranks() {
+        let z = ZipfSampler::new(100, 1.1);
+        let mut rng = ChaChaDrbg::from_u64_seed(7);
+        let mut counts = [0usize; 100];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[10] && counts[10] > counts[50]);
+        // Every draw lands in range (partition_point clamp).
+        assert_eq!(counts.iter().sum::<usize>(), 20_000);
+    }
+
+    #[test]
+    fn zipf_zero_exponent_is_roughly_uniform() {
+        let z = ZipfSampler::new(4, 0.0);
+        let mut rng = ChaChaDrbg::from_u64_seed(9);
+        let mut counts = [0usize; 4];
+        for _ in 0..8_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((c as f64 - 2000.0).abs() < 300.0, "counts {counts:?}");
+        }
+    }
+
+    #[test]
+    fn samplers_replay_per_seed() {
+        let z = ZipfSampler::new(64, 1.2);
+        let draw = |seed| {
+            let mut rng = ChaChaDrbg::from_u64_seed(seed);
+            (0..100).map(|_| z.sample(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(3), draw(3));
+        assert_ne!(draw(3), draw(4));
+    }
+
+    #[test]
+    fn exponential_gaps_are_positive_and_seeded() {
+        let mut rng = ChaChaDrbg::from_u64_seed(5);
+        let mut total = SimDuration::ZERO;
+        for _ in 0..1000 {
+            total += exp_gap(&mut rng, 100.0);
+        }
+        // Mean gap 10 ms; 1000 draws ≈ 10 s within loose bounds.
+        let secs = total.as_secs_f64();
+        assert!((5.0..20.0).contains(&secs), "total {secs}");
+    }
+
+    #[test]
+    fn weighted_pick_tracks_weights() {
+        let w = WeightedPick::new(&[3.0, 1.0]);
+        let mut rng = ChaChaDrbg::from_u64_seed(11);
+        let mut counts = [0usize; 2];
+        for _ in 0..10_000 {
+            counts[w.sample(&mut rng)] += 1;
+        }
+        let ratio = counts[0] as f64 / counts[1] as f64;
+        assert!((2.4..3.6).contains(&ratio), "ratio {ratio}");
+    }
+}

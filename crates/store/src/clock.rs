@@ -233,13 +233,22 @@ impl SimClock {
     /// Charges `cost` of virtual time to the clock and returns the new
     /// reading. Charges are commutative additions, so the final reading
     /// of a fixed set of charges is independent of the order (and the
-    /// thread) they arrive in.
+    /// thread) they arrive in. The addition saturates at the top of the
+    /// range: a plain `fetch_add` would wrap the counter and let the
+    /// timeline run backwards when a saturated duration (an offline
+    /// device, a pathological backoff) is charged near `u64::MAX`.
     pub fn charge(&self, cost: SimDuration) -> SimTime {
-        SimTime(
-            self.ns
-                .fetch_add(cost.0, Ordering::SeqCst)
-                .saturating_add(cost.0),
-        )
+        let mut cur = self.ns.load(Ordering::SeqCst);
+        loop {
+            let next = cur.saturating_add(cost.0);
+            match self
+                .ns
+                .compare_exchange_weak(cur, next, Ordering::SeqCst, Ordering::SeqCst)
+            {
+                Ok(_) => return SimTime(next),
+                Err(observed) => cur = observed,
+            }
+        }
     }
 
     /// Advances the clock to `instant` if it is ahead of the current
@@ -344,6 +353,19 @@ mod tests {
         assert_eq!(clock.now().as_nanos(), 100, "rewind must be a no-op");
         clock.advance_to(SimTime::from_nanos(100));
         assert_eq!(clock.now().as_nanos(), 100, "advance is idempotent");
+    }
+
+    #[test]
+    fn charge_saturates_at_the_top_of_the_timeline() {
+        let clock = SimClock::new();
+        clock.charge(SimDuration::from_nanos(u64::MAX));
+        let t = clock.charge(SimDuration::from_nanos(u64::MAX));
+        assert_eq!(t.as_nanos(), u64::MAX, "no wrap-around");
+        assert_eq!(
+            clock.now().as_nanos(),
+            u64::MAX,
+            "monotone under saturation"
+        );
     }
 
     #[test]

@@ -151,13 +151,19 @@ where
                 } else {
                     0
                 };
-                let wait = step_ms.min(policy.max_backoff_ms) + jitter;
+                // Every step of the wait arithmetic saturates: at
+                // pathological policies (`base ≈ u64::MAX / 2`, huge
+                // multipliers, a ceiling near `u64::MAX`) the clamped
+                // step plus jitter would otherwise overflow `u64`
+                // before the budget check ever sees it — a panic in
+                // debug builds, a silently tiny wait in release.
+                let wait = step_ms.min(policy.max_backoff_ms).saturating_add(jitter);
                 if waited_ms.saturating_add(wait) > policy.op_budget_ms {
                     // Giving up costs nothing further: the rejected
                     // wait never happens, so it is not charged.
                     return (Err(e), stats);
                 }
-                waited_ms += wait;
+                waited_ms = waited_ms.saturating_add(wait);
                 clock.charge(SimDuration::from_millis(wait));
                 step_ms = step_ms.saturating_mul(policy.backoff_multiplier as u64);
             }
@@ -268,6 +274,34 @@ mod tests {
         });
         assert!(out.is_ok());
         assert!(clock.now() > before, "the retry still charged its wait");
+    }
+
+    #[test]
+    fn pathological_backoff_saturates_instead_of_overflowing() {
+        // base = u64::MAX / 2 with multiplier = u32::MAX: the second
+        // step saturates to u64::MAX, so `step + jitter` and the
+        // accumulated `waited_ms` both exceed u64 range. Before the
+        // saturating arithmetic this overflowed (a debug panic, a
+        // wrapped-to-tiny wait in release) before the `max_backoff_ms`
+        // clamp or the budget check could intervene.
+        let policy = RetryPolicy {
+            max_attempts: 4,
+            base_backoff_ms: u64::MAX / 2,
+            backoff_multiplier: u32::MAX,
+            max_backoff_ms: u64::MAX,
+            jitter_ms: 5,
+            op_budget_ms: u64::MAX,
+        };
+        let mut rng = ChaChaDrbg::from_u64_seed(11);
+        let clock = SimClock::new();
+        let (out, stats) = run_with_retry(&policy, &clock, &mut rng, || {
+            Err::<(), _>(NodeError::Io("always down".into()))
+        });
+        assert!(out.is_err());
+        assert_eq!(stats.attempts, 4, "attempt bound still governs");
+        // The charges saturate at the top of the virtual timeline
+        // rather than wrapping to a near-zero wait.
+        assert_eq!(clock.now().as_nanos(), u64::MAX);
     }
 
     #[test]

@@ -25,13 +25,33 @@ pub struct ThroughputProfile {
     /// robot load + positioning for tape, head seek for disk, spin-up
     /// for MAID-style archives.
     pub seek: SimDuration,
-    /// Sustained read rate in bytes per virtual second.
+    /// Sustained read rate in bytes per virtual second. `0.0` means the
+    /// device cannot be read (offline); transfers saturate rather than
+    /// complete. Prefer [`ThroughputProfile::new`], which normalizes
+    /// negative and non-finite rates to this sentinel.
     pub read_bytes_per_sec: f64,
-    /// Sustained write rate in bytes per virtual second.
+    /// Sustained write rate in bytes per virtual second, with the same
+    /// `0.0` = offline semantics as `read_bytes_per_sec`.
     pub write_bytes_per_sec: f64,
 }
 
 impl ThroughputProfile {
+    /// Builds a profile, sanitizing the rates: a rate that is zero,
+    /// negative, or non-finite (a fully offline site, a degenerate
+    /// `read_tb_per_day = 0`, a NaN from upstream division) is
+    /// normalized to exactly `0.0`, which [`Self::read_charge`] and
+    /// [`Self::write_charge`] price as an *unreachable* device — the
+    /// transfer saturates at the top of the virtual timeline instead of
+    /// completing instantly. Every constructor routes through here.
+    #[must_use]
+    pub fn new(seek: SimDuration, read_bytes_per_sec: f64, write_bytes_per_sec: f64) -> Self {
+        ThroughputProfile {
+            seek,
+            read_bytes_per_sec: sanitize_rate(read_bytes_per_sec),
+            write_bytes_per_sec: sanitize_rate(write_bytes_per_sec),
+        }
+    }
+
     /// The price list of a single drive of the given media class. Seek
     /// costs are representative per-op positioning figures for the
     /// class (tape robot + wind, disk seek, spin-up for archival HDD).
@@ -45,11 +65,11 @@ impl ThroughputProfile {
             MediaType::Dna => 3_600.0, // retrieval prep dominates
             MediaType::Film => 60.0,
         };
-        ThroughputProfile {
-            seek: SimDuration::from_secs_f64(seek_secs),
-            read_bytes_per_sec: media.read_mbps_per_drive * 1e6,
-            write_bytes_per_sec: media.write_mbps_per_drive * 1e6,
-        }
+        ThroughputProfile::new(
+            SimDuration::from_secs_f64(seek_secs),
+            media.read_mbps_per_drive * 1e6,
+            media.write_mbps_per_drive * 1e6,
+        )
     }
 
     /// The aggregate streaming profile of a whole archive site, for
@@ -64,11 +84,7 @@ impl ThroughputProfile {
     #[must_use]
     pub fn from_site_aggregate(site: &ArchiveSite) -> Self {
         let read = site.read_tb_per_day * 1e12 / 86_400.0;
-        ThroughputProfile {
-            seek: SimDuration::ZERO,
-            read_bytes_per_sec: read,
-            write_bytes_per_sec: read,
-        }
+        ThroughputProfile::new(SimDuration::ZERO, read, read)
     }
 
     /// Virtual cost of reading `bytes` through this profile.
@@ -84,9 +100,31 @@ impl ThroughputProfile {
     }
 }
 
+/// Normalizes a configured rate: only a finite, strictly positive rate
+/// can move bytes; everything else (zero, negative, NaN, ±inf) means
+/// the device is offline and collapses to exactly `0.0`.
+fn sanitize_rate(rate: f64) -> f64 {
+    if rate.is_finite() && rate > 0.0 {
+        rate
+    } else {
+        0.0
+    }
+}
+
 fn transfer(bytes: usize, bytes_per_sec: f64) -> SimDuration {
-    if bytes_per_sec <= 0.0 {
-        return SimDuration::ZERO;
+    // The guard must reject NaN as well as zero/negative rates: NaN
+    // fails `<= 0.0`, so an unsanitized profile would feed
+    // `bytes / NaN = NaN` to `SimDuration::from_secs_f64`, whose
+    // non-finite clamp silently prices the transfer at *zero* — an
+    // offline site whose reads complete instantly. A rate that cannot
+    // move bytes instead saturates at the top of the virtual timeline:
+    // the transfer never finishes, and campaign arithmetic sees that.
+    if !(bytes_per_sec.is_finite() && bytes_per_sec > 0.0) {
+        return if bytes == 0 {
+            SimDuration::ZERO
+        } else {
+            SimDuration::from_nanos(u64::MAX)
+        };
     }
     SimDuration::from_secs_f64(bytes as f64 / bytes_per_sec)
 }
@@ -276,6 +314,52 @@ mod tests {
         let _ = node.keys();
         let _ = node.stored_bytes();
         assert_eq!(clock.now(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn zero_rate_saturates_both_directions() {
+        // A fully offline site (read_tb_per_day = 0) must price
+        // transfers as never-finishing, not free: before the guard, the
+        // zero-rate path returned SimDuration::ZERO and a campaign
+        // against an offline site measured as instantaneous.
+        let mut site = ArchiveSite::hpss();
+        site.read_tb_per_day = 0.0;
+        let p = ThroughputProfile::from_site_aggregate(&site);
+        assert_eq!(p.read_bytes_per_sec, 0.0);
+        assert_eq!(
+            p.read_charge(1).as_nanos(),
+            u64::MAX,
+            "offline read saturates"
+        );
+        assert_eq!(
+            p.write_charge(1).as_nanos(),
+            u64::MAX,
+            "offline write saturates"
+        );
+        // Zero bytes still cost only the (zero) seek.
+        assert_eq!(p.read_charge(0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn nan_and_negative_rates_are_sanitized_at_construction() {
+        // NaN passes a naive `<= 0.0` guard and used to flow through
+        // `bytes / NaN` into `from_secs_f64`'s non-finite clamp,
+        // pricing the transfer at zero. Both constructor sanitization
+        // and the transfer guard must catch it, in both directions.
+        let p = ThroughputProfile::new(SimDuration::ZERO, f64::NAN, -3.0);
+        assert_eq!(p.read_bytes_per_sec, 0.0);
+        assert_eq!(p.write_bytes_per_sec, 0.0);
+        assert_eq!(p.read_charge(1024).as_nanos(), u64::MAX);
+        assert_eq!(p.write_charge(1024).as_nanos(), u64::MAX);
+        // A literal-constructed profile (pub fields) gets the same
+        // protection from the transfer guard itself.
+        let literal = ThroughputProfile {
+            seek: SimDuration::ZERO,
+            read_bytes_per_sec: f64::NAN,
+            write_bytes_per_sec: f64::INFINITY,
+        };
+        assert_eq!(literal.read_charge(1).as_nanos(), u64::MAX);
+        assert_eq!(literal.write_charge(1).as_nanos(), u64::MAX);
     }
 
     #[test]

@@ -25,6 +25,10 @@
 //!   cryptanalytic break schedules, leakage attacks, security evaluation.
 //! * [`core`] — the [`Archive`](aeon_core::Archive) itself: policy-driven
 //!   ingest/retrieve/verify/refresh with pluggable encoding policies.
+//! * [`serve`] — a deterministic multi-tenant request engine on the
+//!   virtual clock: seeded workloads, admission control, fair queueing,
+//!   and per-tenant latency distributions, with §3.2 maintenance
+//!   campaigns interleaved as background work.
 //!
 //! # Quickstart
 //!
@@ -53,4 +57,5 @@ pub use aeon_gf as gf;
 pub use aeon_integrity as integrity;
 pub use aeon_num as num;
 pub use aeon_secretshare as secretshare;
+pub use aeon_serve as serve;
 pub use aeon_store as store;
