@@ -2,11 +2,13 @@
 //! maintenance.
 
 use crate::codec::RepairError;
+use crate::dedup::{BlockRecord, DedupConfig, DedupManifest};
 use crate::executor::{PlanExecutor, ShardsSnapshot};
 use crate::keys::KeyStore;
 use crate::pipeline::{self, PipelineConfig};
 use crate::plan::{self, ReadPlan};
 use crate::policy::{EncodingMeta, PolicyError, PolicyKind};
+use aeon_cas::{BlockHash, BoundedIndex};
 use aeon_crypto::{ChaChaDrbg, Sha256};
 use aeon_integrity::ledger::Ledger;
 use aeon_integrity::timestamp::{AnchorMode, DocumentChain, SigBreakSchedule, TimestampAuthority};
@@ -27,6 +29,12 @@ impl ObjectId {
     /// The identifier as a string (hex digest).
     pub fn as_str(&self) -> &str {
         &self.0
+    }
+
+    /// Wraps a raw identifier string. Block and root contexts in dedup
+    /// mode are ids in their own right (`blk-<hex>`, `root-<hex>`).
+    pub(crate) fn from_raw(raw: String) -> Self {
+        ObjectId(raw)
     }
 }
 
@@ -71,6 +79,11 @@ pub struct ArchiveConfig {
     /// repairs). Backoff is simulated; jitter is drawn from a DRBG
     /// derived from `rng_seed`, so runs replay identically.
     pub retry: RetryPolicy,
+    /// Content-addressed dedup mode: `Some` makes ingest chunk payloads
+    /// with a content-defined chunker, store each distinct block once,
+    /// and record objects as Merkle block trees. `None` (the default)
+    /// keeps the classic one-object-one-shard-set layout.
+    pub dedup: Option<DedupConfig>,
 }
 
 impl ArchiveConfig {
@@ -88,6 +101,7 @@ impl ArchiveConfig {
             integrity: IntegrityMode::HashChain,
             pipeline: PipelineConfig::default(),
             retry: RetryPolicy::default(),
+            dedup: None,
         }
     }
 
@@ -112,6 +126,12 @@ impl ArchiveConfig {
     /// Overrides the simulated year.
     pub fn with_year(mut self, year: u32) -> Self {
         self.year = year;
+        self
+    }
+
+    /// Enables content-addressed dedup mode.
+    pub fn with_dedup(mut self, dedup: DedupConfig) -> Self {
+        self.dedup = Some(dedup);
         self
     }
 }
@@ -238,6 +258,10 @@ pub struct Manifest {
     pub created_year: u32,
     /// Refresh epochs completed (proactive policies).
     pub refresh_epochs: u64,
+    /// Dedup-mode record: the object's Merkle root and leaf blocks.
+    /// `None` for classic (non-dedup) objects, whose shards live under
+    /// `placement` above.
+    pub blocks: Option<DedupManifest>,
 }
 
 /// Health report from [`Archive::verify`].
@@ -287,6 +311,10 @@ pub struct Archive {
     pub(crate) keys: KeyStore,
     pub(crate) rng: ChaChaDrbg,
     pub(crate) manifests: BTreeMap<ObjectId, Manifest>,
+    /// Dedup mode: the authoritative block map (content hash → record).
+    pub(crate) blocks: BTreeMap<BlockHash, BlockRecord>,
+    /// Dedup mode: the bounded recency index consulted before `blocks`.
+    pub(crate) dedup_index: BoundedIndex,
     chains: BTreeMap<ObjectId, DocumentChain>,
     ledger: Ledger,
     tsa: TimestampAuthority,
@@ -317,11 +345,14 @@ impl Archive {
         let cluster = Cluster::in_memory(&sites, config.nodes_per_site);
         let mut rng = ChaChaDrbg::from_u64_seed(config.rng_seed);
         let tsa = TimestampAuthority::new(&mut rng, "wots-v1", config.year, 6);
+        let dedup_index = BoundedIndex::new(config.dedup.as_ref().map_or(0, |d| d.index_capacity));
         Ok(Archive {
             keys: KeyStore::new(config.master_key),
             rng,
             cluster,
             manifests: BTreeMap::new(),
+            blocks: BTreeMap::new(),
+            dedup_index,
             chains: BTreeMap::new(),
             ledger: Ledger::new(1),
             tsa,
@@ -342,11 +373,14 @@ impl Archive {
         config.policy.validate()?;
         let mut rng = ChaChaDrbg::from_u64_seed(config.rng_seed);
         let tsa = TimestampAuthority::new(&mut rng, "wots-v1", config.year, 6);
+        let dedup_index = BoundedIndex::new(config.dedup.as_ref().map_or(0, |d| d.index_capacity));
         Ok(Archive {
             keys: KeyStore::new(config.master_key),
             rng,
             cluster,
             manifests: BTreeMap::new(),
+            blocks: BTreeMap::new(),
+            dedup_index,
             chains: BTreeMap::new(),
             ledger: Ledger::new(1),
             tsa,
@@ -424,6 +458,9 @@ impl Archive {
             }
         }
         let id = self.next_id(name);
+        if self.config.dedup.is_some() {
+            return self.ingest_dedup(payload, name, policy, id);
+        }
         let write = plan::plan_write(
             &policy,
             &self.keys,
@@ -449,7 +486,33 @@ impl Archive {
         }
 
         let digest = Sha256::digest(payload);
-        // Integrity anchoring.
+        self.anchor_integrity(&id, payload)?;
+
+        let manifest = Manifest {
+            id: id.clone(),
+            name: name.to_string(),
+            policy,
+            meta: write.meta,
+            placement,
+            logical_len: payload.len(),
+            digest,
+            shard_digests: write.shard_digests,
+            created_year: self.year,
+            refresh_epochs: 0,
+            blocks: None,
+        };
+        self.manifests.insert(id.clone(), manifest);
+        Ok(id)
+    }
+
+    /// Anchors a payload in the configured integrity machinery: no-op
+    /// for `DigestOnly`, otherwise a timestamped document chain whose
+    /// anchor is appended to the public ledger.
+    pub(crate) fn anchor_integrity(
+        &mut self,
+        id: &ObjectId,
+        payload: &[u8],
+    ) -> Result<(), ArchiveError> {
         match self.config.integrity {
             IntegrityMode::DigestOnly => {}
             IntegrityMode::HashChain | IntegrityMode::PedersenChain => {
@@ -471,21 +534,7 @@ impl Archive {
                 self.chains.insert(id.clone(), chain);
             }
         }
-
-        let manifest = Manifest {
-            id: id.clone(),
-            name: name.to_string(),
-            policy,
-            meta: write.meta,
-            placement,
-            logical_len: payload.len(),
-            digest,
-            shard_digests: write.shard_digests,
-            created_year: self.year,
-            refresh_epochs: 0,
-        };
-        self.manifests.insert(id.clone(), manifest);
-        Ok(id)
+        Ok(())
     }
 
     fn ensure_tsa_capacity(&mut self) {
@@ -497,16 +546,24 @@ impl Archive {
         }
     }
 
-    /// Derives a per-operation DRBG for retry jitter. Keyed by the
-    /// archive seed, an operation label, and the object id, so `&self`
-    /// read paths stay deterministic without perturbing the archive's
-    /// main encode stream.
-    pub(crate) fn op_rng(&self, label: &str, object: &str) -> ChaChaDrbg {
+    /// Derives a per-operation DRBG seed. Keyed by the archive seed, an
+    /// operation label, and the object id, so `&self` read paths stay
+    /// deterministic without perturbing the archive's main encode
+    /// stream. Dedup block encodes are keyed this way too (label
+    /// `"block-encode"`, object `blk-<hash>`), which is what makes
+    /// identical blocks encode identically regardless of which object —
+    /// or which pipeline worker — reaches them first.
+    pub(crate) fn op_seed(&self, label: &str, object: &str) -> [u8; 32] {
         let mut h = Sha256::new();
         h.update(&self.config.rng_seed.to_le_bytes());
         h.update(label.as_bytes());
         h.update(object.as_bytes());
-        ChaChaDrbg::from_seed(h.finalize())
+        h.finalize()
+    }
+
+    /// Derives a per-operation DRBG for retry jitter (see [`Archive::op_seed`]).
+    pub(crate) fn op_rng(&self, label: &str, object: &str) -> ChaChaDrbg {
+        ChaChaDrbg::from_seed(self.op_seed(label, object))
     }
 
     /// The configured node-I/O retry policy.
@@ -577,6 +634,9 @@ impl Archive {
             .manifests
             .get(id)
             .ok_or_else(|| ArchiveError::UnknownObject(id.clone()))?;
+        if manifest.blocks.is_some() {
+            return self.retrieve_dedup(manifest);
+        }
         let snap = self.fetch_shards(manifest, "retrieve");
         let required = manifest.policy.read_threshold();
         if snap.valid < required {
@@ -614,7 +674,11 @@ impl Archive {
             .manifests
             .remove(id)
             .ok_or_else(|| ArchiveError::UnknownObject(id.clone()))?;
-        self.executor().delete(id.as_str(), &manifest.placement);
+        if manifest.blocks.is_some() {
+            self.release_dedup_refs(&manifest);
+        } else {
+            self.executor().delete(id.as_str(), &manifest.placement);
+        }
         self.chains.remove(id);
         Ok(())
     }
@@ -633,6 +697,22 @@ impl Archive {
             .manifests
             .get(id)
             .ok_or_else(|| ArchiveError::UnknownObject(id.clone()))?;
+        let chain_valid = self
+            .chains
+            .get(id)
+            .map(|c| c.verify(sig_schedule, self.year).is_ok());
+        if manifest.blocks.is_some() {
+            // Dedup objects have no shard set of their own: report the
+            // weakest referenced block's health instead.
+            let (available, required) = self.dedup_health(manifest);
+            let intact = self.retrieve_dedup(manifest).is_ok();
+            return Ok(HealthReport {
+                shards_available: available,
+                shards_required: required,
+                intact,
+                chain_valid,
+            });
+        }
         let snap = self.fetch_shards(manifest, "verify");
         let available = snap.valid;
         let intact = pipeline::decode_object(
@@ -645,10 +725,6 @@ impl Archive {
         )
         .map(|p| Sha256::digest(&p) == manifest.digest)
         .unwrap_or(false);
-        let chain_valid = self
-            .chains
-            .get(id)
-            .map(|c| c.verify(sig_schedule, self.year).is_ok());
         Ok(HealthReport {
             shards_available: available,
             shards_required: manifest.policy.read_threshold(),

@@ -1,0 +1,1018 @@
+//! Content-addressed dedup mode: chunk, encode once, reference forever.
+//!
+//! The paper's §3.2 prices every campaign per stored byte; ROADMAP
+//! item 2's lever is to store each distinct byte run **once**. With
+//! [`DedupConfig`] set on the archive, ingest runs above the unchanged
+//! Codec→Plan→Executor seam:
+//!
+//! 1. The payload is cut into content-defined chunks
+//!    ([`aeon_cas::Chunker`]) — reproducible, edit-local boundaries.
+//! 2. Each chunk's SHA-256 is its identity. A bounded recency index
+//!    ([`aeon_cas::BoundedIndex`]) is consulted first (the RAM-bounded
+//!    fast path whose hit rate `exp_dedup` measures); the authoritative
+//!    block map decides. Only *unseen* blocks are encoded — through the
+//!    ordinary policy pipeline — and placed; seen blocks just gain a
+//!    reference.
+//! 3. The chunk hash list becomes a Merkle block tree whose interior
+//!    nodes are themselves encoded blocks, so the object (and, via
+//!    [`Archive::commit_catalog`], the whole catalog) is recoverable
+//!    from one root hash.
+//!
+//! Retrieval walks the tree from the root, re-verifying every interior
+//! node and every data block against its hash on the way down, then
+//! checks the whole-payload digest — corruption anywhere under a shared
+//! block surfaces as a typed failure in *every* referencing object.
+//!
+//! # Convergent per-block encoding
+//!
+//! A block's encode context is derived from its **content hash** —
+//! `blk-<hex>` — never from the owning object or chunk position (a
+//! positional `"{id}#chunk{j}"` derivation would give the same bytes a
+//! different ciphertext per object and silently defeat dedup under
+//! encryption). The encode DRBG is likewise derived from
+//! `(archive seed, "block-encode", context)`, so identical plaintext
+//! blocks produce identical shards: convergent encryption within one
+//! archive. The standard trade-off applies and is deliberate — an
+//! observer of the *stored* shards can tell two objects share content
+//! (that is what dedup means) but learns nothing beyond the at-rest
+//! guarantees of the policy.
+//!
+//! # Refcount lifecycle
+//!
+//! Every leaf occurrence and every interior-node membership of every
+//! live object holds one reference on its block. Ingest commits new
+//! blocks at refcount 0, and only after every fallible step (placement,
+//! node writes, timestamp anchoring) has succeeded does one infallible
+//! pass add the references — a failed ingest rolls back cleanly and
+//! never strands a half-referenced object. Delete releases one
+//! reference per occurrence; a block's shards leave the cluster when
+//! its count reaches zero. Catalog snapshots pin their blocks by the
+//! same rules.
+
+use crate::archive::{Archive, ArchiveError, Manifest, ObjectId};
+use crate::maintenance::ObjectReencode;
+use crate::pipeline::{self, PipelineConfig};
+use crate::plan::{self, ReadPlan, WritePlan};
+use crate::policy::{EncodingMeta, PolicyError, PolicyKind};
+use crate::repair::{RepairMethod, RepairReport};
+use aeon_cas::{build_tree, merkle, BlockHash, Chunker, ChunkerParams, IndexStats};
+use aeon_crypto::{ChaChaDrbg, Sha256};
+use aeon_secretshare::proactive::ProtocolCost;
+use aeon_store::clock::SimDuration;
+use aeon_store::cluster::ReadReport;
+use std::collections::BTreeSet;
+
+/// Configuration of the archive's content-addressed dedup mode.
+#[derive(Debug, Clone)]
+pub struct DedupConfig {
+    /// Content-defined chunking parameters (part of the dedup identity:
+    /// changing them re-cuts future ingests).
+    pub chunker: ChunkerParams,
+    /// Capacity of the bounded in-memory recency index consulted before
+    /// the authoritative block map.
+    pub index_capacity: usize,
+    /// Fanout of the Merkle block tree.
+    pub fanout: usize,
+}
+
+impl Default for DedupConfig {
+    fn default() -> Self {
+        DedupConfig {
+            chunker: ChunkerParams::default(),
+            index_capacity: 1 << 16,
+            fanout: 64,
+        }
+    }
+}
+
+/// What a stored block holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockKind {
+    /// A content-defined chunk of some payload.
+    Data,
+    /// A serialized Merkle tree node.
+    Tree,
+}
+
+/// Per-block bookkeeping: how the block is encoded and placed, and how
+/// many references keep it alive.
+#[derive(Debug, Clone)]
+pub struct BlockRecord {
+    /// Live references (leaf occurrences + tree-node memberships).
+    pub refcount: u64,
+    /// Plaintext length of the block.
+    pub len: usize,
+    /// Data chunk or tree node.
+    pub kind: BlockKind,
+    /// The policy the block's shards are encoded under.
+    pub policy: PolicyKind,
+    /// Encode-time metadata (never chunked: blocks *are* the chunks).
+    pub meta: EncodingMeta,
+    /// Node placement, one entry per shard.
+    pub placement: Vec<aeon_store::node::NodeId>,
+    /// SHA-256 of each stored shard blob.
+    pub shard_digests: Vec<[u8; 32]>,
+}
+
+/// The dedup side of a [`Manifest`]: the object's Merkle root and its
+/// leaf blocks in payload order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DedupManifest {
+    /// Root of the object's Merkle block tree.
+    pub root: BlockHash,
+    /// Leaf (data) block hashes, in payload order, duplicates included.
+    pub blocks: Vec<BlockHash>,
+}
+
+/// Aggregate dedup accounting from [`Archive::dedup_stats`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct DedupStats {
+    /// Payload bytes of live dedup-ingested objects.
+    pub logical_bytes: u64,
+    /// Distinct data blocks resident.
+    pub unique_data_blocks: usize,
+    /// Plaintext bytes of distinct data blocks (the dedup'd size).
+    pub unique_data_bytes: u64,
+    /// Distinct tree-node blocks resident.
+    pub tree_blocks: usize,
+    /// Plaintext bytes of tree-node blocks (the index overhead).
+    pub tree_bytes: u64,
+    /// `unique_data_bytes / logical_bytes` (0 when nothing is stored).
+    pub dedup_ratio: f64,
+    /// Hit/miss/eviction accounting of the bounded recency index.
+    pub index: IndexStats,
+}
+
+/// One catalog row, as recovered from a catalog root hash.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CatalogEntry {
+    /// The object's id (hex string).
+    pub id: String,
+    /// User-supplied name.
+    pub name: String,
+    /// Payload length in bytes.
+    pub logical_len: u64,
+    /// SHA-256 of the payload.
+    pub digest: [u8; 32],
+    /// Root of the object's Merkle block tree.
+    pub root: BlockHash,
+}
+
+/// Magic prefix of a serialized catalog payload.
+pub const CATALOG_MAGIC: [u8; 8] = *b"AEONCAT1";
+
+/// The storage context (object-id string) of a block: derived from the
+/// content hash alone, so identical blocks encode identically no matter
+/// which object or position references them.
+#[must_use]
+pub fn block_object_id(hash: &BlockHash) -> String {
+    format!("blk-{hash}")
+}
+
+/// Pipeline settings for encoding a single block: blocks are already
+/// content-sized, so the policy pipeline must never re-chunk them
+/// (`meta.chunked` stays `None` and segment frames never nest).
+fn block_pipeline() -> PipelineConfig {
+    PipelineConfig {
+        chunk_size: usize::MAX,
+        workers: 1,
+    }
+}
+
+fn serialize_catalog<'a>(manifests: impl Iterator<Item = &'a Manifest>) -> Vec<u8> {
+    let rows: Vec<&Manifest> = manifests.filter(|m| m.blocks.is_some()).collect();
+    let mut out = Vec::new();
+    out.extend_from_slice(&CATALOG_MAGIC);
+    out.extend_from_slice(&(rows.len() as u32).to_be_bytes());
+    for m in rows {
+        let d = m.blocks.as_ref().expect("filtered to dedup manifests");
+        let id = m.id.as_str().as_bytes();
+        out.extend_from_slice(&(id.len() as u16).to_be_bytes());
+        out.extend_from_slice(id);
+        let name = m.name.as_bytes();
+        out.extend_from_slice(&(name.len() as u16).to_be_bytes());
+        out.extend_from_slice(name);
+        out.extend_from_slice(&(m.logical_len as u64).to_be_bytes());
+        out.extend_from_slice(&m.digest);
+        out.extend_from_slice(d.root.as_bytes());
+    }
+    out
+}
+
+fn malformed_catalog() -> ArchiveError {
+    ArchiveError::Policy(PolicyError::Malformed("malformed catalog payload".into()))
+}
+
+fn parse_catalog(bytes: &[u8]) -> Result<Vec<CatalogEntry>, ArchiveError> {
+    let mut pos = 0usize;
+    let mut take = |n: usize| -> Result<&[u8], ArchiveError> {
+        let slice = bytes.get(pos..pos + n).ok_or_else(malformed_catalog)?;
+        pos += n;
+        Ok(slice)
+    };
+    if take(8)? != CATALOG_MAGIC {
+        return Err(malformed_catalog());
+    }
+    let count = u32::from_be_bytes(take(4)?.try_into().expect("4 bytes")) as usize;
+    let mut entries = Vec::with_capacity(count.min(1 << 16));
+    for _ in 0..count {
+        let id_len = u16::from_be_bytes(take(2)?.try_into().expect("2 bytes")) as usize;
+        let id = String::from_utf8(take(id_len)?.to_vec()).map_err(|_| malformed_catalog())?;
+        let name_len = u16::from_be_bytes(take(2)?.try_into().expect("2 bytes")) as usize;
+        let name = String::from_utf8(take(name_len)?.to_vec()).map_err(|_| malformed_catalog())?;
+        let logical_len = u64::from_be_bytes(take(8)?.try_into().expect("8 bytes"));
+        let digest: [u8; 32] = take(32)?.try_into().expect("32 bytes");
+        let root: [u8; 32] = take(32)?.try_into().expect("32 bytes");
+        entries.push(CatalogEntry {
+            id,
+            name,
+            logical_len,
+            digest,
+            root: BlockHash::from_bytes(root),
+        });
+    }
+    if pos != bytes.len() {
+        return Err(malformed_catalog());
+    }
+    Ok(entries)
+}
+
+impl Archive {
+    fn tree_fanout(&self) -> usize {
+        self.config.dedup.as_ref().map_or(64, |d| d.fanout).max(2)
+    }
+
+    /// Every block hash an object references — leaf occurrences plus
+    /// the recomputed interior nodes — deduplicated, in first-seen
+    /// order. The tree build is deterministic in `(leaves, fanout)`, so
+    /// recomputing it is cheaper than persisting the node list.
+    fn unique_refs(&self, d: &DedupManifest) -> Vec<BlockHash> {
+        let tree = build_tree(&d.blocks, self.tree_fanout());
+        let mut seen = BTreeSet::new();
+        d.blocks
+            .iter()
+            .chain(tree.nodes.iter().map(|(h, _)| h))
+            .filter(|h| seen.insert(**h))
+            .copied()
+            .collect()
+    }
+
+    /// Chunks `payload`, encodes every unseen block (data and tree) and
+    /// commits its shards, but adds **no** references. Rolls its own
+    /// commits back on any failure; on success returns the dedup
+    /// manifest plus the blocks this call created (still at refcount 0)
+    /// so the caller can roll back later fallible steps.
+    fn dedup_store_payload(
+        &mut self,
+        payload: &[u8],
+        policy: &PolicyKind,
+    ) -> Result<(DedupManifest, Vec<BlockHash>), ArchiveError> {
+        let dcfg = self.config.dedup.clone().expect("dedup configured");
+        let chunker = Chunker::new(dcfg.chunker);
+        let mut slices: Vec<&[u8]> = Vec::new();
+        let mut prev = 0usize;
+        for end in chunker.boundaries(payload) {
+            slices.push(&payload[prev..end]);
+            prev = end;
+        }
+        let hashes: Vec<BlockHash> = slices.iter().map(|s| BlockHash::of(s)).collect();
+
+        // Recognition: the bounded index answers first (statistics),
+        // the authoritative map decides (correctness).
+        let mut fresh: Vec<usize> = Vec::new();
+        let mut fresh_set: BTreeSet<BlockHash> = BTreeSet::new();
+        for (j, h) in hashes.iter().enumerate() {
+            let _resident = self.dedup_index.lookup(h);
+            if !self.blocks.contains_key(h) && fresh_set.insert(*h) {
+                fresh.push(j);
+            }
+            self.dedup_index.record(h);
+        }
+
+        // Encode unseen data blocks across the worker pool. Seeds are
+        // derived per block hash *before* any worker runs, and contexts
+        // carry no positional information, so the plans are independent
+        // of worker count and scheduling.
+        let block_cfg = block_pipeline();
+        let seeds: Vec<[u8; 32]> = fresh
+            .iter()
+            .map(|&j| self.op_seed("block-encode", &block_object_id(&hashes[j])))
+            .collect();
+        let plans: Vec<Result<WritePlan, PolicyError>> = {
+            let keys = &self.keys;
+            pipeline::run_indexed(fresh.len(), self.config.pipeline.workers.max(1), |k| {
+                let j = fresh[k];
+                let ctx = block_object_id(&hashes[j]);
+                let mut rng = ChaChaDrbg::from_seed(seeds[k]);
+                plan::plan_write(
+                    policy,
+                    keys,
+                    &mut rng,
+                    &ObjectId::from_raw(ctx),
+                    slices[j],
+                    &block_cfg,
+                )
+            })
+        };
+
+        // Commit serially in first-appearance order: node I/O and clock
+        // charges replay identically regardless of worker count.
+        let mut created: Vec<BlockHash> = Vec::new();
+        let mut fail: Option<ArchiveError> = None;
+        for (k, outcome) in plans.into_iter().enumerate() {
+            let j = fresh[k];
+            let committed = outcome.map_err(ArchiveError::from).and_then(|write| {
+                self.commit_block(&hashes[j], write, BlockKind::Data, slices[j].len())
+            });
+            match committed {
+                Ok(()) => created.push(hashes[j]),
+                Err(e) => {
+                    fail = Some(e);
+                    break;
+                }
+            }
+        }
+
+        // Interior nodes are blocks too; most are new, but shared
+        // subtrees (identical objects) are recognized like any block.
+        let tree = build_tree(&hashes, dcfg.fanout.max(2));
+        if fail.is_none() {
+            for (nh, bytes) in &tree.nodes {
+                if self.blocks.contains_key(nh) {
+                    continue;
+                }
+                let ctx = block_object_id(nh);
+                let mut rng = self.op_rng("block-encode", &ctx);
+                let committed = plan::plan_write(
+                    policy,
+                    &self.keys,
+                    &mut rng,
+                    &ObjectId::from_raw(ctx),
+                    bytes,
+                    &block_cfg,
+                )
+                .map_err(ArchiveError::from)
+                .and_then(|write| self.commit_block(nh, write, BlockKind::Tree, bytes.len()));
+                match committed {
+                    Ok(()) => created.push(*nh),
+                    Err(e) => {
+                        fail = Some(e);
+                        break;
+                    }
+                }
+            }
+        }
+
+        if let Some(e) = fail {
+            self.dedup_rollback(&created);
+            return Err(e);
+        }
+        Ok((
+            DedupManifest {
+                root: tree.root,
+                blocks: hashes,
+            },
+            created,
+        ))
+    }
+
+    /// Removes blocks committed at refcount 0 by a failed store.
+    fn dedup_rollback(&mut self, created: &[BlockHash]) {
+        for h in created {
+            if let Some(rec) = self.blocks.remove(h) {
+                self.executor().delete(&block_object_id(h), &rec.placement);
+                self.dedup_index.remove(h);
+            }
+        }
+    }
+
+    /// The infallible reference pass: one reference per leaf occurrence
+    /// and one per interior-node membership.
+    fn dedup_add_refs(&mut self, d: &DedupManifest) {
+        let tree = build_tree(&d.blocks, self.tree_fanout());
+        for h in &d.blocks {
+            self.blocks.get_mut(h).expect("leaf committed").refcount += 1;
+        }
+        for (nh, _) in &tree.nodes {
+            self.blocks.get_mut(nh).expect("node committed").refcount += 1;
+        }
+    }
+
+    /// Dedup-mode ingest: called by [`Archive::ingest_with_policy`]
+    /// when [`DedupConfig`] is set.
+    pub(crate) fn ingest_dedup(
+        &mut self,
+        payload: &[u8],
+        name: &str,
+        policy: PolicyKind,
+        id: ObjectId,
+    ) -> Result<ObjectId, ArchiveError> {
+        let (dedup, created) = self.dedup_store_payload(payload, &policy)?;
+        // Anchoring is the last fallible step; it runs before any
+        // reference moves so rollback stays trivial.
+        if let Err(e) = self.anchor_integrity(&id, payload) {
+            self.dedup_rollback(&created);
+            return Err(e);
+        }
+        self.dedup_add_refs(&dedup);
+        let manifest = Manifest {
+            id: id.clone(),
+            name: name.to_string(),
+            policy,
+            meta: EncodingMeta::plain(self.keys.current_version()),
+            placement: Vec::new(),
+            logical_len: payload.len(),
+            digest: Sha256::digest(payload),
+            shard_digests: Vec::new(),
+            created_year: self.year(),
+            refresh_epochs: 0,
+            blocks: Some(dedup),
+        };
+        self.manifests.insert(id.clone(), manifest);
+        Ok(id)
+    }
+
+    /// Places and writes one planned block, recording it at refcount 0.
+    fn commit_block(
+        &mut self,
+        hash: &BlockHash,
+        write: WritePlan,
+        kind: BlockKind,
+        len: usize,
+    ) -> Result<(), ArchiveError> {
+        let ctx = block_object_id(hash);
+        let placement = self.executor().place(&ctx, write.shards.len())?;
+        let mut put_rng = self.op_rng("block-ingest", &ctx);
+        if let Err(outcome) = self
+            .executor()
+            .commit_write(&write, &placement, &mut put_rng)
+        {
+            return Err(ArchiveError::DegradedBeyondBudget {
+                id: ObjectId::from_raw(ctx),
+                available: outcome.written,
+                required: write.required,
+                corrupt: 0,
+            });
+        }
+        self.blocks.insert(
+            *hash,
+            BlockRecord {
+                refcount: 0,
+                len,
+                kind,
+                policy: write.policy,
+                meta: write.meta,
+                placement,
+                shard_digests: write.shard_digests,
+            },
+        );
+        Ok(())
+    }
+
+    /// Digest-filtered, retrying fetch of one block's shards.
+    fn fetch_block(&self, rec: &BlockRecord, ctx: &str) -> crate::executor::ShardsSnapshot {
+        let plan = ReadPlan {
+            object: ObjectId::from_raw(ctx.to_string()),
+            placement: rec.placement.clone(),
+            shard_digests: rec.shard_digests.clone(),
+        };
+        let mut rng = self.op_rng("block-read", ctx);
+        self.executor().read(&plan, &mut rng)
+    }
+
+    /// Fetches, decodes, and hash-verifies one block. Failures are
+    /// typed against `owner` — the object whose read is in progress —
+    /// so corruption of a shared block surfaces in every referencing
+    /// object.
+    fn read_block(
+        &self,
+        hash: &BlockHash,
+        owner: &ObjectId,
+        report: &mut ReadReport,
+    ) -> Result<Vec<u8>, ArchiveError> {
+        let Some(rec) = self.blocks.get(hash) else {
+            return Err(ArchiveError::Policy(PolicyError::Malformed(format!(
+                "object {owner} references unknown block {hash}"
+            ))));
+        };
+        let ctx = block_object_id(hash);
+        let snap = self.fetch_block(rec, &ctx);
+        report.attempts.extend(snap.report.attempts);
+        let required = rec.policy.read_threshold();
+        if snap.valid < required {
+            if snap.corrupt > 0 {
+                return Err(ArchiveError::IntegrityViolation(owner.clone()));
+            }
+            return Err(ArchiveError::DegradedBeyondBudget {
+                id: owner.clone(),
+                available: snap.valid,
+                required,
+                corrupt: snap.corrupt,
+            });
+        }
+        let bytes = pipeline::decode_object(
+            &rec.policy,
+            &self.keys,
+            &ctx,
+            &snap.shards,
+            &rec.meta,
+            self.config.pipeline.workers,
+        )?;
+        if BlockHash::of(&bytes) != *hash {
+            return Err(ArchiveError::IntegrityViolation(owner.clone()));
+        }
+        Ok(bytes)
+    }
+
+    /// Walks the Merkle tree from `root`, verifying every interior node
+    /// on the way down, and returns the leaf hashes in payload order.
+    fn walk_tree(
+        &self,
+        root: &BlockHash,
+        owner: &ObjectId,
+        report: &mut ReadReport,
+    ) -> Result<Vec<BlockHash>, ArchiveError> {
+        let mut leaves = Vec::new();
+        // (hash, expected level); None = root, any interior level.
+        let mut stack: Vec<(BlockHash, Option<u8>)> = vec![(*root, None)];
+        while let Some((hash, expect)) = stack.pop() {
+            if expect == Some(0) {
+                leaves.push(hash);
+                continue;
+            }
+            let bytes = self.read_block(&hash, owner, report)?;
+            let node = merkle::decode_node(&bytes)
+                .map_err(|_| ArchiveError::IntegrityViolation(owner.clone()))?;
+            if let Some(level) = expect {
+                if node.level != level {
+                    return Err(ArchiveError::IntegrityViolation(owner.clone()));
+                }
+            }
+            for child in node.children.iter().rev() {
+                stack.push((*child, Some(node.level - 1)));
+            }
+        }
+        Ok(leaves)
+    }
+
+    /// Dedup-mode retrieval: tree walk, per-block decode + hash check,
+    /// then the whole-payload digest check.
+    pub(crate) fn retrieve_dedup(
+        &self,
+        manifest: &Manifest,
+    ) -> Result<(Vec<u8>, ReadReport), ArchiveError> {
+        let d = manifest.blocks.as_ref().expect("dedup manifest");
+        let mut report = ReadReport::default();
+        let leaves = self.walk_tree(&d.root, &manifest.id, &mut report)?;
+        if leaves != d.blocks {
+            return Err(ArchiveError::IntegrityViolation(manifest.id.clone()));
+        }
+        let mut payload = Vec::with_capacity(manifest.logical_len);
+        for h in &leaves {
+            payload.extend_from_slice(&self.read_block(h, &manifest.id, &mut report)?);
+        }
+        if Sha256::digest(&payload) != manifest.digest {
+            return Err(ArchiveError::IntegrityViolation(manifest.id.clone()));
+        }
+        Ok((payload, report))
+    }
+
+    /// Reassembles and verifies a payload from a Merkle root alone — no
+    /// manifest required. Every interior node and data block is checked
+    /// against its hash on the way, which is what makes the payload
+    /// trustworthy without a recorded digest.
+    ///
+    /// # Errors
+    ///
+    /// Typed like a retrieval, against a synthetic `root-<hex>` id.
+    pub fn read_object_by_root(&self, root: &BlockHash) -> Result<Vec<u8>, ArchiveError> {
+        let owner = ObjectId::from_raw(format!("root-{root}"));
+        let mut report = ReadReport::default();
+        let leaves = self.walk_tree(root, &owner, &mut report)?;
+        let mut payload = Vec::new();
+        for h in &leaves {
+            payload.extend_from_slice(&self.read_block(h, &owner, &mut report)?);
+        }
+        Ok(payload)
+    }
+
+    /// Serializes the catalog (id, name, length, digest, root of every
+    /// dedup object), stores it through the same chunk/tree machinery,
+    /// and returns its root hash — the single value from which
+    /// [`Archive::catalog_entries`] and then every object can be
+    /// recovered. Each committed catalog pins its blocks like any other
+    /// object, so snapshots stay readable until superseded.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchiveError::UnsupportedOperation`] when dedup mode
+    /// is off, and storage errors otherwise.
+    pub fn commit_catalog(&mut self) -> Result<BlockHash, ArchiveError> {
+        if self.config.dedup.is_none() {
+            return Err(ArchiveError::UnsupportedOperation(
+                "catalog commit requires dedup mode",
+            ));
+        }
+        let bytes = serialize_catalog(self.manifests.values());
+        let policy = self.config.policy.clone();
+        let (dedup, _created) = self.dedup_store_payload(&bytes, &policy)?;
+        self.dedup_add_refs(&dedup);
+        Ok(dedup.root)
+    }
+
+    /// Recovers the catalog rows from a catalog root hash alone.
+    ///
+    /// # Errors
+    ///
+    /// Retrieval errors, plus [`PolicyError::Malformed`] when the
+    /// recovered payload does not parse as a catalog.
+    pub fn catalog_entries(&self, root: &BlockHash) -> Result<Vec<CatalogEntry>, ArchiveError> {
+        parse_catalog(&self.read_object_by_root(root)?)
+    }
+
+    /// Releases every reference a dedup manifest holds; blocks whose
+    /// count reaches zero leave the cluster.
+    pub(crate) fn release_dedup_refs(&mut self, manifest: &Manifest) {
+        let d = manifest.blocks.as_ref().expect("dedup manifest");
+        let tree = build_tree(&d.blocks, self.tree_fanout());
+        for h in d.blocks.clone() {
+            self.release_block(&h);
+        }
+        for (nh, _) in tree.nodes {
+            self.release_block(&nh);
+        }
+    }
+
+    fn release_block(&mut self, hash: &BlockHash) {
+        let Some(rec) = self.blocks.get_mut(hash) else {
+            return;
+        };
+        rec.refcount = rec.refcount.saturating_sub(1);
+        if rec.refcount == 0 {
+            let rec = self.blocks.remove(hash).expect("record present");
+            self.executor()
+                .delete(&block_object_id(hash), &rec.placement);
+            self.dedup_index.remove(hash);
+        }
+    }
+
+    /// Health probe for a dedup object: the minimum valid-shard count
+    /// across every referenced block, against the largest read
+    /// threshold among them.
+    pub(crate) fn dedup_health(&self, manifest: &Manifest) -> (usize, usize) {
+        let d = manifest.blocks.as_ref().expect("dedup manifest");
+        let mut available = usize::MAX;
+        let mut required = 0usize;
+        for h in self.unique_refs(d) {
+            let Some(rec) = self.blocks.get(&h) else {
+                available = 0;
+                continue;
+            };
+            let snap = self.fetch_block(rec, &block_object_id(&h));
+            available = available.min(snap.valid);
+            required = required.max(rec.policy.read_threshold());
+        }
+        if available == usize::MAX {
+            available = 0;
+        }
+        (available, required)
+    }
+
+    /// Repairs every block a dedup object references. Because blocks
+    /// are shared, healing them here heals **every** object that
+    /// references them — one repair, fleet-wide effect.
+    pub(crate) fn repair_dedup(
+        &mut self,
+        manifest: &Manifest,
+    ) -> Result<RepairReport, ArchiveError> {
+        let d = manifest.blocks.as_ref().expect("dedup manifest").clone();
+        let mut total = RepairReport {
+            missing_before: 0,
+            missing_after: 0,
+            method: RepairMethod::NotNeeded,
+        };
+        for h in self.unique_refs(&d) {
+            let report = self.repair_block(&h)?;
+            total.missing_before += report.missing_before;
+            total.missing_after += report.missing_after;
+            if report.method != RepairMethod::NotNeeded {
+                total.method = report.method;
+            }
+        }
+        Ok(total)
+    }
+
+    /// A block is self-verifying — its payload digest *is* its address
+    /// — so the pure repair planner runs against a synthetic manifest.
+    fn synthetic_block_manifest(&self, hash: &BlockHash, rec: &BlockRecord) -> Manifest {
+        let ctx = block_object_id(hash);
+        Manifest {
+            id: ObjectId::from_raw(ctx.clone()),
+            name: ctx,
+            policy: rec.policy.clone(),
+            meta: rec.meta.clone(),
+            placement: rec.placement.clone(),
+            logical_len: rec.len,
+            digest: *hash.as_bytes(),
+            shard_digests: rec.shard_digests.clone(),
+            created_year: self.year(),
+            refresh_epochs: 0,
+            blocks: None,
+        }
+    }
+
+    /// Repairs one block's missing or rotted shards from survivors
+    /// (partial repair where the codec supports it, a full re-encode
+    /// otherwise).
+    fn repair_block(&mut self, hash: &BlockHash) -> Result<RepairReport, ArchiveError> {
+        let Some(rec) = self.blocks.get(hash).cloned() else {
+            return Err(ArchiveError::Policy(PolicyError::Malformed(format!(
+                "repair references unknown block {hash}"
+            ))));
+        };
+        let ctx = block_object_id(hash);
+        let synthetic = self.synthetic_block_manifest(hash, &rec);
+        let mut rng = self.op_rng("block-repair", &ctx);
+        let snap = self
+            .executor()
+            .read(&ReadPlan::for_manifest(&synthetic), &mut rng);
+        let missing: Vec<usize> = (0..snap.shards.len())
+            .filter(|&i| snap.shards[i].is_none())
+            .collect();
+        if missing.is_empty() {
+            return Ok(RepairReport {
+                missing_before: 0,
+                missing_after: 0,
+                method: RepairMethod::NotNeeded,
+            });
+        }
+        let method = match plan::plan_repair(&synthetic, &snap.shards, &missing)? {
+            plan::RepairOutcome::Apply(repair) => {
+                let mut put_rng = self.op_rng("block-repair-put", &ctx);
+                let digests = self.executor().apply_repair(
+                    &ctx,
+                    &rec.placement,
+                    &repair.writes,
+                    &mut put_rng,
+                )?;
+                let entry = self.blocks.get_mut(hash).expect("record present");
+                for (m, digest) in digests {
+                    if m < entry.shard_digests.len() {
+                        entry.shard_digests[m] = digest;
+                    }
+                }
+                repair.method
+            }
+            plan::RepairOutcome::Reencode => {
+                let policy = rec.policy.clone();
+                self.reencode_block(hash, policy)?;
+                RepairMethod::FullReencode
+            }
+        };
+        let rec = self.blocks.get(hash).expect("record present").clone();
+        let synthetic = self.synthetic_block_manifest(hash, &rec);
+        let mut rng = self.op_rng("block-repair-after", &ctx);
+        let snap = self
+            .executor()
+            .read(&ReadPlan::for_manifest(&synthetic), &mut rng);
+        Ok(RepairReport {
+            missing_before: missing.len(),
+            missing_after: snap.shards.len() - snap.valid,
+            method,
+        })
+    }
+
+    /// Re-encodes one block under `new_policy` — the unit of a dedup
+    /// campaign. A block shared by many objects migrates **once**,
+    /// which is exactly the §3.2 saving `exp_dedup` measures.
+    fn reencode_block(
+        &mut self,
+        hash: &BlockHash,
+        new_policy: PolicyKind,
+    ) -> Result<ObjectReencode, ArchiveError> {
+        new_policy.validate()?;
+        let clock = self.cluster().clock().clone();
+        let read_start = clock.now();
+        let Some(rec) = self.blocks.get(hash).cloned() else {
+            return Err(ArchiveError::Policy(PolicyError::Malformed(format!(
+                "re-encode references unknown block {hash}"
+            ))));
+        };
+        let ctx = block_object_id(hash);
+        let owner = ObjectId::from_raw(ctx.clone());
+        let snap = self.fetch_block(&rec, &ctx);
+        let required = rec.policy.read_threshold();
+        if snap.valid < required {
+            if snap.corrupt > 0 {
+                return Err(ArchiveError::IntegrityViolation(owner));
+            }
+            return Err(ArchiveError::DegradedBeyondBudget {
+                id: owner,
+                available: snap.valid,
+                required,
+                corrupt: snap.corrupt,
+            });
+        }
+        let bytes = pipeline::decode_object(
+            &rec.policy,
+            &self.keys,
+            &ctx,
+            &snap.shards,
+            &rec.meta,
+            self.config.pipeline.workers,
+        )?;
+        if BlockHash::of(&bytes) != *hash {
+            return Err(ArchiveError::IntegrityViolation(owner));
+        }
+        let bytes_read: u64 = snap.shards.iter().flatten().map(|s| s.len() as u64).sum();
+        let write_start = clock.now();
+        // Same convergent derivation as ingest: the new shards are a
+        // pure function of (archive key, policy, block hash), so a
+        // block re-encoded via object A matches one re-encoded via B.
+        let mut enc_rng = self.op_rng("block-encode", &ctx);
+        let write = plan::plan_write(
+            &new_policy,
+            &self.keys,
+            &mut enc_rng,
+            &owner,
+            &bytes,
+            &block_pipeline(),
+        )?;
+        let bytes_written: u64 = write.shards.iter().map(|s| s.len() as u64).sum();
+        let placement = self.executor().place(&ctx, write.shards.len())?;
+        self.executor().delete(&ctx, &rec.placement);
+        let mut put_rng = self.op_rng("block-reencode-put", &ctx);
+        let outcome = self
+            .executor()
+            .write_shards(&ctx, &placement, &write.shards, &mut put_rng);
+        let entry = self.blocks.get_mut(hash).expect("record present");
+        entry.policy = write.policy;
+        entry.meta = write.meta;
+        entry.placement = placement;
+        entry.shard_digests = write.shard_digests;
+        if outcome.written < write.required {
+            return Err(ArchiveError::DegradedBeyondBudget {
+                id: owner,
+                available: outcome.written,
+                required: write.required,
+                corrupt: 0,
+            });
+        }
+        Ok(ObjectReencode {
+            bytes_read,
+            bytes_written,
+            read_time: write_start - read_start,
+            write_time: clock.now() - write_start,
+        })
+    }
+
+    /// Dedup branch of [`Archive::reencode_object_timed`]: migrates
+    /// every referenced block not already on `new_policy`. Blocks an
+    /// earlier object's campaign step already moved are skipped — the
+    /// measured dedup saving.
+    pub(crate) fn reencode_dedup_object(
+        &mut self,
+        id: &ObjectId,
+        new_policy: PolicyKind,
+    ) -> Result<ObjectReencode, ArchiveError> {
+        new_policy.validate()?;
+        let manifest = self
+            .manifests
+            .get(id)
+            .ok_or_else(|| ArchiveError::UnknownObject(id.clone()))?
+            .clone();
+        let d = manifest.blocks.as_ref().expect("dedup manifest").clone();
+        let mut total = ObjectReencode {
+            bytes_read: 0,
+            bytes_written: 0,
+            read_time: SimDuration::ZERO,
+            write_time: SimDuration::ZERO,
+        };
+        for h in self.unique_refs(&d) {
+            let Some(rec) = self.blocks.get(&h) else {
+                continue;
+            };
+            if rec.policy == new_policy {
+                continue;
+            }
+            let o = self.reencode_block(&h, new_policy.clone())?;
+            total.bytes_read += o.bytes_read;
+            total.bytes_written += o.bytes_written;
+            total.read_time += o.read_time;
+            total.write_time += o.write_time;
+        }
+        let entry = self.manifests.get_mut(id).expect("manifest exists");
+        entry.policy = new_policy;
+        Ok(total)
+    }
+
+    /// Dedup branch of [`Archive::refresh_object`]: runs one Herzberg
+    /// epoch on every referenced Shamir-encoded block. A block shared
+    /// by several objects is re-randomized once per referencing
+    /// object's refresh call; extra epochs are harmless (each is an
+    /// independent zero-sharing).
+    pub(crate) fn refresh_dedup_object(
+        &mut self,
+        id: &ObjectId,
+        manifest: &Manifest,
+    ) -> Result<ProtocolCost, ArchiveError> {
+        let d = manifest.blocks.as_ref().expect("dedup manifest").clone();
+        let mut total = ProtocolCost {
+            messages: 0,
+            bytes: 0,
+        };
+        for h in self.unique_refs(&d) {
+            let Some(rec) = self.blocks.get(&h).cloned() else {
+                continue;
+            };
+            let PolicyKind::Shamir { threshold, .. } = rec.policy else {
+                continue;
+            };
+            let ctx = block_object_id(&h);
+            let synthetic = self.synthetic_block_manifest(&h, &rec);
+            let mut rng = self.op_rng("block-refresh", &ctx);
+            let snap = self
+                .executor()
+                .read(&ReadPlan::for_manifest(&synthetic), &mut rng);
+            let mut stored: Vec<Vec<u8>> = Vec::with_capacity(snap.shards.len());
+            for s in &snap.shards {
+                let Some(bytes) = s else {
+                    return Err(ArchiveError::UnsupportedOperation(
+                        "refresh requires all shareholders online",
+                    ));
+                };
+                stored.push(bytes.clone());
+            }
+            let (blobs, cost) = plan::plan_refresh(threshold, &rec.meta, &mut self.rng, stored)?;
+            let digests: Vec<[u8; 32]> =
+                blobs.iter().map(|b| Sha256::digest(b.as_slice())).collect();
+            let mut put_rng = self.op_rng("block-refresh-put", &ctx);
+            let outcome = self
+                .executor()
+                .write_shards(&ctx, &rec.placement, &blobs, &mut put_rng);
+            let entry = self.blocks.get_mut(&h).expect("record present");
+            entry.shard_digests = digests;
+            total.messages += cost.messages;
+            total.bytes += cost.bytes;
+            if outcome.written < threshold {
+                return Err(ArchiveError::DegradedBeyondBudget {
+                    id: id.clone(),
+                    available: outcome.written,
+                    required: threshold,
+                    corrupt: 0,
+                });
+            }
+        }
+        let entry = self.manifests.get_mut(id).expect("manifest exists");
+        entry.refresh_epochs += 1;
+        Ok(total)
+    }
+
+    /// A block's record, for inspection and fault injection in tests.
+    #[must_use]
+    pub fn block_record(&self, hash: &BlockHash) -> Option<&BlockRecord> {
+        self.blocks.get(hash)
+    }
+
+    /// Iterates over every resident block.
+    pub fn blocks(&self) -> impl Iterator<Item = (&BlockHash, &BlockRecord)> {
+        self.blocks.iter()
+    }
+
+    /// Aggregate dedup accounting; `None` when dedup mode is off.
+    #[must_use]
+    pub fn dedup_stats(&self) -> Option<DedupStats> {
+        self.config.dedup.as_ref()?;
+        let logical: u64 = self
+            .manifests
+            .values()
+            .filter(|m| m.blocks.is_some())
+            .map(|m| m.logical_len as u64)
+            .sum();
+        let mut stats = DedupStats {
+            logical_bytes: logical,
+            unique_data_blocks: 0,
+            unique_data_bytes: 0,
+            tree_blocks: 0,
+            tree_bytes: 0,
+            dedup_ratio: 0.0,
+            index: self.dedup_index.stats(),
+        };
+        for rec in self.blocks.values() {
+            match rec.kind {
+                BlockKind::Data => {
+                    stats.unique_data_blocks += 1;
+                    stats.unique_data_bytes += rec.len as u64;
+                }
+                BlockKind::Tree => {
+                    stats.tree_blocks += 1;
+                    stats.tree_bytes += rec.len as u64;
+                }
+            }
+        }
+        if logical > 0 {
+            stats.dedup_ratio = stats.unique_data_bytes as f64 / logical as f64;
+        }
+        Some(stats)
+    }
+}

@@ -50,6 +50,7 @@ pub mod aont;
 mod archive;
 pub mod campaign;
 pub mod codec;
+pub mod dedup;
 pub mod evaluate;
 pub mod executor;
 pub mod keys;
@@ -71,6 +72,9 @@ pub use campaign::{
     ReencodeCampaignDriver, MAX_RESERVED_FRACTION,
 };
 pub use codec::{Codec, CodecRegistry, CodecRepair};
+pub use dedup::{
+    block_object_id, BlockKind, BlockRecord, CatalogEntry, DedupConfig, DedupManifest, DedupStats,
+};
 pub use evaluate::{
     figure1_points, table1, ChannelKind, CostBucket, Figure1Point, SystemProfile, Table1Row,
 };

@@ -48,6 +48,9 @@ impl Archive {
             .get(id)
             .ok_or_else(|| ArchiveError::UnknownObject(id.clone()))?
             .clone();
+        if manifest.blocks.is_some() {
+            return self.refresh_dedup_object(id, &manifest);
+        }
         let PolicyKind::Shamir { threshold, .. } = manifest.policy else {
             return Err(ArchiveError::UnsupportedOperation(
                 "proactive refresh requires the Shamir policy",
@@ -122,6 +125,9 @@ impl Archive {
         new_policy: PolicyKind,
     ) -> Result<ObjectReencode, ArchiveError> {
         new_policy.validate()?;
+        if self.manifests.get(id).is_some_and(|m| m.blocks.is_some()) {
+            return self.reencode_dedup_object(id, new_policy);
+        }
         let clock = self.cluster().clock().clone();
         let read_start = clock.now();
         let manifest = self
@@ -235,6 +241,14 @@ impl Archive {
             .manifests
             .get(id)
             .ok_or_else(|| ArchiveError::UnknownObject(id.clone()))?;
+        // A dedup object's layers live per-block and blocks are shared:
+        // wrapping one object's blocks would silently re-wrap every
+        // object referencing them. Campaigns handle this case.
+        if manifest.blocks.is_some() {
+            return Err(ArchiveError::UnsupportedOperation(
+                "re-wrap of dedup objects is not supported; run a re-encode campaign instead",
+            ));
+        }
         // Reject non-layered policies before touching any node.
         if manifest
             .policy

@@ -125,7 +125,7 @@ pub fn chunk_object_id(object_id: &str, chunk: usize) -> String {
 /// Runs `job(0..count)` across `workers` scoped threads, preserving
 /// index order in the output. `workers <= 1` (or a single item) runs
 /// inline on the calling thread.
-fn run_indexed<T, F>(count: usize, workers: usize, job: F) -> Vec<T>
+pub(crate) fn run_indexed<T, F>(count: usize, workers: usize, job: F) -> Vec<T>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,

@@ -39,6 +39,9 @@ impl Archive {
             .manifest(id)
             .ok_or_else(|| ArchiveError::UnknownObject(id.clone()))?
             .clone();
+        if manifest.blocks.is_some() {
+            return self.repair_dedup(&manifest);
+        }
         // Digest-filtered fetch: a bit-rotted shard is as lost as a
         // deleted one, and must be rebuilt rather than trusted.
         let shards = self

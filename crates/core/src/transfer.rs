@@ -37,6 +37,17 @@ pub struct TransferReport {
     pub pad_bytes: u64,
 }
 
+/// Dedup objects have no shard set of their own — shipping one means
+/// shipping its blocks, which shard transfer cannot express yet.
+fn dedup_ship_guard(archive: &Archive, id: &ObjectId) -> Result<(), ArchiveError> {
+    if archive.manifest(id).is_some_and(|m| m.blocks.is_some()) {
+        return Err(ArchiveError::UnsupportedOperation(
+            "shard transfer of dedup objects is not supported; retrieve and re-ingest instead",
+        ));
+    }
+    Ok(())
+}
+
 /// Ships all shards of `id` over a computational (DH + AEAD) channel,
 /// returning the shards as received on the far end plus transfer stats.
 /// Attach a [`Tap`] to `link` beforehand to model an eavesdropper.
@@ -50,6 +61,7 @@ pub fn ship_computational(
     link: &mut Link,
     rng_seed: u64,
 ) -> Result<(Vec<Vec<u8>>, TransferReport), ArchiveError> {
+    dedup_ship_guard(archive, id)?;
     // Retrying, digest-filtered fetch: never ship a bit-rotted shard.
     let shards: Vec<Vec<u8>> = archive
         .fetch_shards_for(id, "ship-dh")
@@ -99,6 +111,7 @@ pub fn ship_its(
     link: &mut Link,
     rng_seed: u64,
 ) -> Result<(Vec<Vec<u8>>, TransferReport), ArchiveError> {
+    dedup_ship_guard(archive, id)?;
     // Retrying, digest-filtered fetch: never ship a bit-rotted shard.
     let shards: Vec<Vec<u8>> = archive
         .fetch_shards_for(id, "ship-its")

@@ -1,0 +1,200 @@
+//! The archive catalog as a block: `commit_catalog` serializes every
+//! manifest row into a payload that is itself dedup'd into the block
+//! store, so ONE root hash recovers the entire archive — names, logical
+//! lengths, payload digests, and per-object Merkle roots — and every
+//! object below it. Plus the maintenance dispatches dedup mode reroutes:
+//! re-encode campaigns that skip already-migrated shared blocks,
+//! proactive refresh over block shares, and the guards on paths that
+//! cannot express shared blocks (re-wrap, shard transfer).
+
+use aeon_cas::ChunkerParams;
+use aeon_core::dedup::DedupConfig;
+use aeon_core::{Archive, ArchiveConfig, ArchiveError, IntegrityMode, PolicyKind};
+use aeon_crypto::{ChaChaDrbg, CryptoRng, SuiteId};
+
+fn small_dedup() -> DedupConfig {
+    DedupConfig {
+        chunker: ChunkerParams {
+            min_size: 512,
+            target_size: 2048,
+            max_size: 8192,
+            seed: 42,
+        },
+        index_capacity: 1 << 10,
+        fanout: 4,
+    }
+}
+
+fn dedup_archive(policy: PolicyKind) -> Archive {
+    let config = ArchiveConfig::new(policy)
+        .with_integrity(IntegrityMode::DigestOnly)
+        .with_dedup(small_dedup());
+    Archive::in_memory(config).unwrap()
+}
+
+fn payload(seed: u64, len: usize) -> Vec<u8> {
+    let mut rng = ChaChaDrbg::from_u64_seed(seed);
+    let mut v = vec![0u8; len];
+    rng.fill_bytes(&mut v);
+    v
+}
+
+#[test]
+fn catalog_recovers_the_whole_archive_from_one_root() {
+    let mut archive = dedup_archive(PolicyKind::ErasureCoded { data: 3, parity: 2 });
+    let docs: Vec<(String, Vec<u8>)> = (0..4)
+        .map(|i| (format!("doc-{i}"), payload(100 + i, (6 + i as usize) << 10)))
+        .collect();
+    for (name, data) in &docs {
+        archive.ingest(data, name).unwrap();
+    }
+    let catalog_root = archive.commit_catalog().unwrap();
+
+    // From the catalog root alone: every object's name, length, digest,
+    // and root — and from each root, the payload itself.
+    let entries = archive.catalog_entries(&catalog_root).unwrap();
+    assert_eq!(entries.len(), docs.len());
+    for (name, data) in &docs {
+        let entry = entries
+            .iter()
+            .find(|e| &e.name == name)
+            .unwrap_or_else(|| panic!("catalog lost object {name}"));
+        assert_eq!(entry.logical_len, data.len() as u64);
+        let recovered = archive.read_object_by_root(&entry.root).unwrap();
+        assert_eq!(&recovered, data, "object {name} lost through the catalog");
+    }
+}
+
+#[test]
+fn catalog_requires_dedup_mode() {
+    let mut classic = Archive::in_memory(
+        ArchiveConfig::new(PolicyKind::Replication { copies: 3 })
+            .with_integrity(IntegrityMode::DigestOnly),
+    )
+    .unwrap();
+    classic.ingest(b"plain object", "doc").unwrap();
+    assert!(matches!(
+        classic.commit_catalog(),
+        Err(ArchiveError::UnsupportedOperation(_))
+    ));
+}
+
+#[test]
+fn reencode_campaign_skips_already_migrated_shared_blocks() {
+    let mut archive = dedup_archive(PolicyKind::ErasureCoded { data: 3, parity: 2 });
+    let base = payload(7, 12 << 10);
+    let mut v2 = base.clone();
+    v2.extend_from_slice(&payload(8, 2 << 10));
+    let id1 = archive.ingest(&base, "v1").unwrap();
+    let id2 = archive.ingest(&v2, "v2").unwrap();
+
+    let new_policy = PolicyKind::Encrypted {
+        suite: SuiteId::Aes256CtrHmac,
+        data: 3,
+        parity: 2,
+    };
+    let first = archive.reencode_object(&id1, new_policy.clone()).unwrap();
+    assert!(first.0 > 0, "first migration reads its blocks");
+    // Every block of v1 is now under the new policy; migrating v2 only
+    // touches its unshared tail blocks — the dedup campaign saving.
+    let second = archive.reencode_object(&id2, new_policy.clone()).unwrap();
+    assert!(
+        second.0 < first.0,
+        "shared blocks re-read during second migration: {} vs {}",
+        second.0,
+        first.0
+    );
+    assert_eq!(archive.retrieve(&id1).unwrap(), base);
+    assert_eq!(archive.retrieve(&id2).unwrap(), v2);
+    for (hash, rec) in archive.blocks() {
+        assert_eq!(
+            rec.policy, new_policy,
+            "block {hash} left behind by the campaign"
+        );
+    }
+    // Third pass: nothing left to migrate at all.
+    let third = archive.reencode_object(&id2, new_policy).unwrap();
+    assert_eq!(third.0, 0, "fully migrated object still read blocks");
+}
+
+#[test]
+fn refresh_rerandomizes_dedup_shamir_blocks_in_place() {
+    let mut archive = dedup_archive(PolicyKind::Shamir {
+        threshold: 3,
+        shares: 5,
+    });
+    let data = payload(21, 10 << 10);
+    let id = archive.ingest(&data, "doc").unwrap();
+    let before: Vec<Vec<[u8; 32]>> = archive
+        .manifest(&id)
+        .unwrap()
+        .blocks
+        .as_ref()
+        .unwrap()
+        .blocks
+        .iter()
+        .map(|h| archive.block_record(h).unwrap().shard_digests.clone())
+        .collect();
+    let cost = archive.refresh_object(&id).unwrap();
+    assert!(cost.messages > 0, "refresh reported no protocol traffic");
+    assert_eq!(archive.manifest(&id).unwrap().refresh_epochs, 1);
+    let after: Vec<Vec<[u8; 32]>> = archive
+        .manifest(&id)
+        .unwrap()
+        .blocks
+        .as_ref()
+        .unwrap()
+        .blocks
+        .iter()
+        .map(|h| archive.block_record(h).unwrap().shard_digests.clone())
+        .collect();
+    assert_ne!(before, after, "refresh left block shares unchanged");
+    assert_eq!(archive.retrieve(&id).unwrap(), data);
+}
+
+#[test]
+fn unsupported_paths_are_guarded_not_wrong() {
+    let mut archive = dedup_archive(PolicyKind::Cascade {
+        suites: vec![SuiteId::Aes256CtrHmac],
+        data: 2,
+        parity: 2,
+    });
+    let id = archive.ingest(&payload(31, 6 << 10), "doc").unwrap();
+    // Re-wrap would silently re-layer shared blocks for other objects.
+    assert!(matches!(
+        archive.add_cascade_layer(&id, SuiteId::ChaCha20Poly1305),
+        Err(ArchiveError::UnsupportedOperation(_))
+    ));
+    // Shard transfer has no representation for block references.
+    let mut link = aeon_channel::transport::Link::new(1.0, 1_000_000.0);
+    assert!(matches!(
+        aeon_core::transfer::ship_computational(&archive, &id, &mut link, 9),
+        Err(ArchiveError::UnsupportedOperation(_))
+    ));
+}
+
+#[test]
+fn verify_reports_dedup_block_health() {
+    let mut archive = dedup_archive(PolicyKind::ErasureCoded { data: 3, parity: 2 });
+    let id = archive.ingest(&payload(41, 8 << 10), "doc").unwrap();
+    let schedule = aeon_integrity::timestamp::SigBreakSchedule::default();
+    let health = archive.verify(&id, &schedule).unwrap();
+    assert!(health.intact);
+    assert_eq!(health.shards_required, 3);
+    assert!(health.shards_available >= 3);
+}
+
+/// Non-dedup archives are bit-for-bit unaffected by this PR: the same
+/// seed and payload produce the same manifests whether or not the dedup
+/// module is compiled in — `blocks` is simply `None`.
+#[test]
+fn classic_mode_manifests_carry_no_block_refs() {
+    let mut classic = Archive::in_memory(
+        ArchiveConfig::new(PolicyKind::ErasureCoded { data: 3, parity: 2 })
+            .with_integrity(IntegrityMode::DigestOnly),
+    )
+    .unwrap();
+    let id = classic.ingest(&payload(51, 4 << 10), "doc").unwrap();
+    assert!(classic.manifest(&id).unwrap().blocks.is_none());
+    assert!(classic.dedup_stats().is_none());
+}

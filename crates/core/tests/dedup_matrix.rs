@@ -1,0 +1,333 @@
+//! The corruption matrix, extended to dedup mode. A dedup'd object has
+//! no shard set of its own — it references shared, convergently
+//! encoded blocks — so the matrix changes shape: a corrupted *shared*
+//! block must surface as a typed integrity failure in **every** object
+//! referencing it, a within-budget repair of one object must heal the
+//! shared block for all of them, and the convergent encoding must make
+//! two objects sharing a block share its stored shards byte-for-byte.
+
+use aeon_cas::ChunkerParams;
+use aeon_core::dedup::DedupConfig;
+use aeon_core::{
+    block_object_id, Archive, ArchiveConfig, ArchiveError, IntegrityMode, PipelineConfig,
+    PolicyKind,
+};
+use aeon_crypto::{ChaChaDrbg, CryptoRng, SuiteId};
+use aeon_store::node::{MemoryNode, NodeId, ShardKey, StorageNode};
+use aeon_store::Cluster;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// One representative of each of the nine policy families.
+fn policies() -> Vec<PolicyKind> {
+    vec![
+        PolicyKind::Replication { copies: 4 },
+        PolicyKind::ErasureCoded { data: 3, parity: 2 },
+        PolicyKind::Encrypted {
+            suite: SuiteId::Aes256CtrHmac,
+            data: 3,
+            parity: 2,
+        },
+        PolicyKind::Cascade {
+            suites: vec![SuiteId::Aes256CtrHmac, SuiteId::ChaCha20Poly1305],
+            data: 2,
+            parity: 2,
+        },
+        PolicyKind::AontRs { data: 3, parity: 2 },
+        PolicyKind::Shamir {
+            threshold: 3,
+            shares: 5,
+        },
+        PolicyKind::PackedShamir {
+            privacy: 2,
+            pack: 2,
+            shares: 6,
+        },
+        PolicyKind::LeakageResilientShamir {
+            threshold: 2,
+            shares: 4,
+            source_len: 32,
+        },
+        PolicyKind::Entropic { data: 2, parity: 2 },
+    ]
+}
+
+/// Small chunks so a few KiB of payload spans several blocks.
+fn small_dedup() -> DedupConfig {
+    DedupConfig {
+        chunker: ChunkerParams {
+            min_size: 512,
+            target_size: 2048,
+            max_size: 8192,
+            seed: 42,
+        },
+        index_capacity: 1 << 10,
+        fanout: 4,
+    }
+}
+
+fn dedup_archive(policy: &PolicyKind, workers: usize) -> (Archive, Vec<MemoryNode>) {
+    let n = policy.shard_count().max(1);
+    let handles: Vec<MemoryNode> = (0..n as u32)
+        .map(|i| MemoryNode::new(i, format!("site-{i}")))
+        .collect();
+    let cluster = Cluster::new(
+        handles
+            .iter()
+            .map(|h| Arc::new(h.clone()) as Arc<dyn StorageNode>)
+            .collect(),
+    );
+    let config = ArchiveConfig::new(policy.clone())
+        .with_integrity(IntegrityMode::DigestOnly)
+        .with_pipeline(PipelineConfig::serial().with_workers(workers))
+        .with_dedup(small_dedup());
+    (Archive::with_cluster(config, cluster).unwrap(), handles)
+}
+
+fn node_of(handles: &[MemoryNode], id: NodeId) -> &MemoryNode {
+    handles.iter().find(|h| h.id() == id).expect("node exists")
+}
+
+/// Incompressible payload (every policy accepts it, including Entropic).
+fn payload(seed: u64, len: usize) -> Vec<u8> {
+    let mut rng = ChaChaDrbg::from_u64_seed(seed);
+    let mut v = vec![0u8; len];
+    rng.fill_bytes(&mut v);
+    v
+}
+
+/// A data block referenced by both objects (panics if none is shared).
+fn shared_data_block(
+    archive: &Archive,
+    a: &aeon_core::ObjectId,
+    b: &aeon_core::ObjectId,
+) -> aeon_cas::BlockHash {
+    let ba = &archive.manifest(a).unwrap().blocks.as_ref().unwrap().blocks;
+    let bb = &archive.manifest(b).unwrap().blocks.as_ref().unwrap().blocks;
+    *ba.iter()
+        .find(|h| bb.contains(h))
+        .expect("objects share a block")
+}
+
+/// Deletes shard `idx` of block `hash`.
+fn lose_block_shard(
+    archive: &Archive,
+    handles: &[MemoryNode],
+    hash: &aeon_cas::BlockHash,
+    idx: usize,
+) {
+    let rec = archive.block_record(hash).expect("block exists");
+    let ctx = block_object_id(hash);
+    node_of(handles, rec.placement[idx])
+        .delete(&ShardKey::new(&ctx, idx as u32))
+        .unwrap();
+}
+
+/// Flips one bit of shard `idx` of block `hash` (silent bit-rot).
+fn flip_block_shard(
+    archive: &Archive,
+    handles: &[MemoryNode],
+    hash: &aeon_cas::BlockHash,
+    idx: usize,
+    bit: u64,
+) {
+    let rec = archive.block_record(hash).expect("block exists");
+    let ctx = block_object_id(hash);
+    let node = node_of(handles, rec.placement[idx]);
+    let key = ShardKey::new(&ctx, idx as u32);
+    let mut bytes = node.get(&key).unwrap();
+    let target = (bit % (bytes.len() as u64 * 8)) as usize;
+    bytes[target / 8] ^= 1 << (target % 8);
+    node.corrupt(&key, bytes);
+}
+
+/// Two versions of one document: v2 is v1 with a tail appended, so the
+/// two objects share their prefix blocks.
+fn ingest_versions(
+    archive: &mut Archive,
+    seed: u64,
+) -> (aeon_core::ObjectId, aeon_core::ObjectId, Vec<u8>, Vec<u8>) {
+    let v1 = payload(seed, 12 << 10);
+    let mut v2 = v1.clone();
+    v2.extend_from_slice(&payload(seed ^ 0xffff, 2 << 10));
+    let id1 = archive.ingest(&v1, "v1").unwrap();
+    let id2 = archive.ingest(&v2, "v2").unwrap();
+    (id1, id2, v1, v2)
+}
+
+proptest! {
+    // 2 cases x 9 policies keeps the matrix affordable; the seeds vary
+    // payload content, loss rotation, and flip position.
+    #![proptest_config(ProptestConfig::with_cases(2))]
+
+    /// Losses within the per-block budget: both objects still read back
+    /// bit-identically, for every policy.
+    #[test]
+    fn dedup_losses_within_budget_roundtrip(seed in any::<u64>(), rot in any::<u64>()) {
+        for policy in policies() {
+            let n = policy.shard_count();
+            let k = policy.read_threshold();
+            let (mut archive, handles) = dedup_archive(&policy, 1);
+            let (id1, id2, v1, v2) = ingest_versions(&mut archive, seed);
+            let shared = shared_data_block(&archive, &id1, &id2);
+            for j in 0..(n - k) {
+                lose_block_shard(&archive, &handles, &shared, (rot as usize + j) % n);
+            }
+            prop_assert_eq!(&archive.retrieve(&id1).unwrap(), &v1, "policy {:?}", &policy);
+            prop_assert_eq!(&archive.retrieve(&id2).unwrap(), &v2, "policy {:?}", &policy);
+        }
+    }
+
+    /// A shared block corrupted beyond budget fails typed in EVERY
+    /// referencing object — each error names the object being read, so
+    /// callers can tell which of their reads is poisoned.
+    #[test]
+    fn corrupt_shared_block_fails_every_referencing_object(seed in any::<u64>(), bit in any::<u64>()) {
+        for policy in policies() {
+            let n = policy.shard_count();
+            let k = policy.read_threshold();
+            let (mut archive, handles) = dedup_archive(&policy, 1);
+            let (id1, id2, _, _) = ingest_versions(&mut archive, seed);
+            let shared = shared_data_block(&archive, &id1, &id2);
+            for j in 0..(n - k + 1) {
+                flip_block_shard(&archive, &handles, &shared, j, bit.wrapping_add(j as u64));
+            }
+            for id in [&id1, &id2] {
+                match archive.retrieve(id) {
+                    Err(ArchiveError::IntegrityViolation(bad)) => prop_assert_eq!(&bad, id),
+                    other => prop_assert!(false, "policy {:?}: expected typed integrity failure for {:?}, got {:?}", &policy, id, other),
+                }
+            }
+        }
+    }
+
+    /// Losses beyond budget (no corruption in evidence) fail as a typed
+    /// degradation naming the referencing object.
+    #[test]
+    fn dedup_losses_beyond_budget_fail_typed(seed in any::<u64>()) {
+        for policy in policies() {
+            let n = policy.shard_count();
+            let k = policy.read_threshold();
+            let (mut archive, handles) = dedup_archive(&policy, 1);
+            let (id1, id2, _, _) = ingest_versions(&mut archive, seed);
+            let shared = shared_data_block(&archive, &id1, &id2);
+            for j in 0..(n - k + 1) {
+                lose_block_shard(&archive, &handles, &shared, j);
+            }
+            for id in [&id1, &id2] {
+                match archive.retrieve(id) {
+                    Err(ArchiveError::DegradedBeyondBudget { id: bad, .. }) => prop_assert_eq!(&bad, id),
+                    other => prop_assert!(false, "policy {:?}: expected degradation for {:?}, got {:?}", &policy, id, other),
+                }
+            }
+        }
+    }
+
+    /// Within-budget damage to a shared block: repairing ONE object
+    /// heals the block once, and every referencing object reads clean
+    /// afterwards.
+    #[test]
+    fn one_repair_heals_all_referencing_objects(seed in any::<u64>()) {
+        for policy in policies() {
+            let n = policy.shard_count();
+            let k = policy.read_threshold();
+            let (mut archive, handles) = dedup_archive(&policy, 1);
+            let (id1, id2, v1, v2) = ingest_versions(&mut archive, seed);
+            let shared = shared_data_block(&archive, &id1, &id2);
+            for j in 0..(n - k) {
+                lose_block_shard(&archive, &handles, &shared, j);
+            }
+            let report = archive.repair_object(&id1).unwrap();
+            prop_assert!(report.missing_before >= n - k, "policy {:?}", &policy);
+            prop_assert_eq!(report.missing_after, 0, "policy {:?}", &policy);
+            prop_assert_eq!(&archive.retrieve(&id1).unwrap(), &v1);
+            prop_assert_eq!(&archive.retrieve(&id2).unwrap(), &v2);
+            // The heal was shared: repairing the second object now
+            // finds nothing to do.
+            let again = archive.repair_object(&id2).unwrap();
+            prop_assert_eq!(again.missing_before, 0, "policy {:?}", &policy);
+        }
+    }
+}
+
+/// Convergent-encoding regression: block encode contexts derive from
+/// the block's content hash, not from `"{id}#chunk{j}"` positions, so
+/// two objects sharing a block share its stored shards. The second
+/// ingest of identical content must add zero stored bytes and zero new
+/// blocks.
+#[test]
+fn identical_blocks_share_stored_shards() {
+    for policy in policies() {
+        let (mut archive, _) = dedup_archive(&policy, 1);
+        let data = payload(7, 12 << 10);
+        let id1 = archive.ingest(&data, "first").unwrap();
+        let blocks_before = archive.blocks().count();
+        let stored_before = archive.cluster().total_stored_bytes();
+        let id2 = archive.ingest(&data, "second").unwrap();
+        assert_eq!(
+            archive.blocks().count(),
+            blocks_before,
+            "policy {policy:?}: identical payload minted new blocks"
+        );
+        assert_eq!(
+            archive.cluster().total_stored_bytes(),
+            stored_before,
+            "policy {policy:?}: identical payload stored new shard bytes"
+        );
+        assert_ne!(id1, id2, "objects stay distinct even when content dedups");
+        assert_eq!(archive.retrieve(&id1).unwrap(), data);
+        assert_eq!(archive.retrieve(&id2).unwrap(), data);
+    }
+}
+
+/// Worker-count independence: per-block encode seeds are derived from
+/// block hashes before the pool fans out, so 1 worker and 4 workers
+/// produce byte-identical block shards, placements, and Merkle roots.
+#[test]
+fn dedup_encoding_is_worker_count_independent() {
+    for policy in policies() {
+        let (mut serial, _) = dedup_archive(&policy, 1);
+        let (mut pooled, _) = dedup_archive(&policy, 4);
+        let data = payload(11, 20 << 10);
+        let id_s = serial.ingest(&data, "doc").unwrap();
+        let id_p = pooled.ingest(&data, "doc").unwrap();
+        assert_eq!(id_s, id_p);
+        let ms = serial.manifest(&id_s).unwrap().blocks.clone().unwrap();
+        let mp = pooled.manifest(&id_p).unwrap().blocks.clone().unwrap();
+        assert_eq!(
+            ms.root, mp.root,
+            "policy {policy:?}: roots diverged across worker counts"
+        );
+        assert_eq!(ms.blocks, mp.blocks);
+        for hash in &ms.blocks {
+            let rs = serial.block_record(hash).unwrap();
+            let rp = pooled.block_record(hash).unwrap();
+            assert_eq!(
+                rs.shard_digests, rp.shard_digests,
+                "policy {policy:?}: block {hash} shards differ across worker counts"
+            );
+            assert_eq!(rs.placement, rp.placement);
+        }
+        assert_eq!(serial.retrieve(&id_s).unwrap(), data);
+        assert_eq!(pooled.retrieve(&id_p).unwrap(), data);
+    }
+}
+
+/// Refcount hygiene under the matrix: deleting one version releases
+/// only its references; the surviving version still reads, and deleting
+/// it drains the block map to empty.
+#[test]
+fn delete_releases_shared_blocks_exactly_once() {
+    for policy in policies() {
+        let (mut archive, _) = dedup_archive(&policy, 1);
+        let (id1, id2, v1, _) = ingest_versions(&mut archive, 23);
+        archive.delete(&id2).unwrap();
+        assert_eq!(archive.retrieve(&id1).unwrap(), v1, "policy {policy:?}");
+        archive.delete(&id1).unwrap();
+        assert_eq!(
+            archive.blocks().count(),
+            0,
+            "policy {policy:?}: orphan blocks after deleting every object"
+        );
+    }
+}

@@ -23,6 +23,9 @@
 //!   maintenance-campaign I/O simulation.
 //! * [`adversary`] — mobile adversaries, harvest-now-decrypt-later,
 //!   cryptanalytic break schedules, leakage attacks, security evaluation.
+//! * [`cas`] — content-addressed storage: a deterministic content-defined
+//!   chunker, refcounted SHA-256 block store, bounded dedup index, and
+//!   Merkle block trees whose interior nodes are themselves blocks.
 //! * [`core`] — the [`Archive`](aeon_core::Archive) itself: policy-driven
 //!   ingest/retrieve/verify/refresh with pluggable encoding policies.
 //! * [`serve`] — a deterministic multi-tenant request engine on the
@@ -49,6 +52,7 @@
 #![warn(missing_docs)]
 
 pub use aeon_adversary as adversary;
+pub use aeon_cas as cas;
 pub use aeon_channel as channel;
 pub use aeon_core as core;
 pub use aeon_crypto as crypto;
