@@ -1,6 +1,7 @@
 //! The archive: policy-driven ingest, retrieval, verification,
 //! maintenance.
 
+use crate::catalog::{FleetCatalog, DEFAULT_CATALOG_SHARDS};
 use crate::codec::RepairError;
 use crate::dedup::{BlockRecord, DedupConfig, DedupManifest};
 use crate::executor::{PlanExecutor, ShardsSnapshot};
@@ -84,6 +85,10 @@ pub struct ArchiveConfig {
     /// and record objects as Merkle block trees. `None` (the default)
     /// keeps the classic one-object-one-shard-set layout.
     pub dedup: Option<DedupConfig>,
+    /// Shard count for the manifest catalog ([`FleetCatalog`]). Purely
+    /// a concurrency knob: iteration order and every campaign result
+    /// are independent of it (clamped to at least 1).
+    pub catalog_shards: usize,
 }
 
 impl ArchiveConfig {
@@ -102,6 +107,7 @@ impl ArchiveConfig {
             pipeline: PipelineConfig::default(),
             retry: RetryPolicy::default(),
             dedup: None,
+            catalog_shards: DEFAULT_CATALOG_SHARDS,
         }
     }
 
@@ -132,6 +138,12 @@ impl ArchiveConfig {
     /// Enables content-addressed dedup mode.
     pub fn with_dedup(mut self, dedup: DedupConfig) -> Self {
         self.dedup = Some(dedup);
+        self
+    }
+
+    /// Overrides the manifest-catalog shard count.
+    pub fn with_catalog_shards(mut self, shards: usize) -> Self {
+        self.catalog_shards = shards;
         self
     }
 }
@@ -310,7 +322,7 @@ pub struct Archive {
     cluster: Cluster,
     pub(crate) keys: KeyStore,
     pub(crate) rng: ChaChaDrbg,
-    pub(crate) manifests: BTreeMap<ObjectId, Manifest>,
+    pub(crate) manifests: FleetCatalog,
     /// Dedup mode: the authoritative block map (content hash → record).
     pub(crate) blocks: BTreeMap<BlockHash, BlockRecord>,
     /// Dedup mode: the bounded recency index consulted before `blocks`.
@@ -350,7 +362,7 @@ impl Archive {
             keys: KeyStore::new(config.master_key),
             rng,
             cluster,
-            manifests: BTreeMap::new(),
+            manifests: FleetCatalog::new(config.catalog_shards),
             blocks: BTreeMap::new(),
             dedup_index,
             chains: BTreeMap::new(),
@@ -378,7 +390,7 @@ impl Archive {
             keys: KeyStore::new(config.master_key),
             rng,
             cluster,
-            manifests: BTreeMap::new(),
+            manifests: FleetCatalog::new(config.catalog_shards),
             blocks: BTreeMap::new(),
             dedup_index,
             chains: BTreeMap::new(),
@@ -505,6 +517,108 @@ impl Archive {
         Ok(id)
     }
 
+    /// Ingests a batch of payloads under the default policy with
+    /// **batched plan execution**: every object is planned and anchored
+    /// in submission order (drawing the archive's encode stream exactly
+    /// as sequential [`Archive::ingest`] calls would), then all shard
+    /// writes flush in one cross-object pass that groups first attempts
+    /// by target node — one framed transfer per node per batch on
+    /// media-priced clusters. Fault-free, the stored bytes, manifests,
+    /// and object ids are byte-identical to ingesting one by one; under
+    /// deterministic fault injection the per-key attempt schedules (and
+    /// so outcomes) match too.
+    ///
+    /// Dedup-configured archives fall back to sequential ingest: block
+    /// writes are already coalesced per object by the dedup pipeline.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first per-object error in submission order. Objects
+    /// earlier in the batch remain ingested; the failing object's
+    /// shards are rolled back (its integrity anchor, written before the
+    /// flush, may already be on the append-only ledger).
+    pub fn ingest_many(&mut self, items: &[(&[u8], &str)]) -> Result<Vec<ObjectId>, ArchiveError> {
+        if self.config.dedup.is_some() {
+            return items
+                .iter()
+                .map(|(payload, name)| self.ingest(payload, name))
+                .collect();
+        }
+        let policy = self.config.policy.clone();
+        policy.validate()?;
+        // Phase 1: plan and anchor per object, in submission order —
+        // the same `self.rng` draw order as sequential ingest.
+        let mut ids = Vec::with_capacity(items.len());
+        let mut names = Vec::with_capacity(items.len());
+        let mut digests = Vec::with_capacity(items.len());
+        let mut lens = Vec::with_capacity(items.len());
+        let mut plans = Vec::with_capacity(items.len());
+        let mut placements = Vec::with_capacity(items.len());
+        for (payload, name) in items {
+            if matches!(policy, PolicyKind::Entropic { .. }) && payload.len() >= 64 {
+                let bits = estimate_entropy_bits_per_byte(payload);
+                if bits < 6.0 {
+                    return Err(ArchiveError::LowEntropy {
+                        bits_per_byte: bits,
+                    });
+                }
+            }
+            let id = self.next_id(name);
+            let write = plan::plan_write(
+                &policy,
+                &self.keys,
+                &mut self.rng,
+                &id,
+                payload,
+                &self.config.pipeline,
+            )?;
+            let placement = self.executor().place(id.as_str(), write.shards.len())?;
+            digests.push(Sha256::digest(payload));
+            self.anchor_integrity(&id, payload)?;
+            lens.push(payload.len());
+            names.push(name.to_string());
+            plans.push(write);
+            placements.push(placement);
+            ids.push(id);
+        }
+        // Phase 2: one node-grouped flush for the whole batch.
+        let mut rngs: Vec<ChaChaDrbg> = ids
+            .iter()
+            .map(|id| self.op_rng("ingest", id.as_str()))
+            .collect();
+        let results = self.executor().commit_many(&plans, &placements, &mut rngs);
+        // Phase 3: manifests, aborting at the first rolled-back object.
+        let mut plan_iter = plans.into_iter();
+        let mut placement_iter = placements.into_iter();
+        for (i, result) in results.into_iter().enumerate() {
+            let write = plan_iter.next().expect("one plan per result");
+            let placement = placement_iter.next().expect("one placement per result");
+            if let Err(outcome) = result {
+                return Err(ArchiveError::DegradedBeyondBudget {
+                    id: ids[i].clone(),
+                    available: outcome.written,
+                    required: write.required,
+                    corrupt: 0,
+                });
+            }
+            let manifest = Manifest {
+                id: ids[i].clone(),
+                name: names[i].clone(),
+                policy: policy.clone(),
+                meta: write.meta,
+                placement,
+                logical_len: lens[i],
+                digest: digests[i],
+                shard_digests: write.shard_digests,
+                created_year: self.year,
+                refresh_epochs: 0,
+                blocks: None,
+            };
+            self.manifests.insert(ids[i].clone(), manifest);
+        }
+        Ok(ids)
+    }
+
     /// Anchors a payload in the configured integrity machinery: no-op
     /// for `DigestOnly`, otherwise a timestamped document chain whose
     /// anchor is appended to the public ledger.
@@ -590,16 +704,16 @@ impl Archive {
     pub(crate) fn fetch_shards_for(&self, id: &ObjectId, label: &str) -> Option<ShardsSnapshot> {
         self.manifests
             .get(id)
-            .map(|manifest| self.fetch_shards(manifest, label))
+            .map(|manifest| self.fetch_shards(&manifest, label))
     }
 
     /// Records the digest of a freshly rewritten shard (repair paths).
     pub(crate) fn set_shard_digest(&mut self, id: &ObjectId, shard: usize, digest: [u8; 32]) {
-        if let Some(manifest) = self.manifests.get_mut(id) {
+        self.manifests.update(id, |manifest| {
             if shard < manifest.shard_digests.len() {
                 manifest.shard_digests[shard] = digest;
             }
-        }
+        });
     }
 
     /// Retrieves and verifies an object.
@@ -635,9 +749,9 @@ impl Archive {
             .get(id)
             .ok_or_else(|| ArchiveError::UnknownObject(id.clone()))?;
         if manifest.blocks.is_some() {
-            return self.retrieve_dedup(manifest);
+            return self.retrieve_dedup(&manifest);
         }
-        let snap = self.fetch_shards(manifest, "retrieve");
+        let snap = self.fetch_shards(&manifest, "retrieve");
         let required = manifest.policy.read_threshold();
         if snap.valid < required {
             if snap.corrupt > 0 {
@@ -704,8 +818,8 @@ impl Archive {
         if manifest.blocks.is_some() {
             // Dedup objects have no shard set of their own: report the
             // weakest referenced block's health instead.
-            let (available, required) = self.dedup_health(manifest);
-            let intact = self.retrieve_dedup(manifest).is_ok();
+            let (available, required) = self.dedup_health(&manifest);
+            let intact = self.retrieve_dedup(&manifest).is_ok();
             return Ok(HealthReport {
                 shards_available: available,
                 shards_required: required,
@@ -713,7 +827,7 @@ impl Archive {
                 chain_valid,
             });
         }
-        let snap = self.fetch_shards(manifest, "verify");
+        let snap = self.fetch_shards(&manifest, "verify");
         let available = snap.valid;
         let intact = pipeline::decode_object(
             &manifest.policy,
@@ -764,19 +878,31 @@ impl Archive {
         self.keys.rotate(master)
     }
 
-    /// Looks up a manifest.
-    pub fn manifest(&self, id: &ObjectId) -> Option<&Manifest> {
+    /// Looks up a manifest (cloned out of the sharded catalog).
+    pub fn manifest(&self, id: &ObjectId) -> Option<Manifest> {
         self.manifests.get(id)
     }
 
-    /// Iterates over all manifests.
-    pub fn manifests(&self) -> impl Iterator<Item = &Manifest> {
-        self.manifests.values()
+    /// Iterates over a snapshot of all manifests, sorted by id (the
+    /// catalog's canonical order, independent of shard count and
+    /// insertion order).
+    pub fn manifests(&self) -> impl Iterator<Item = Manifest> {
+        self.manifests.snapshot().into_iter()
+    }
+
+    /// The sharded manifest catalog.
+    pub fn catalog(&self) -> &FleetCatalog {
+        &self.manifests
     }
 
     /// Aggregate statistics.
     pub fn stats(&self) -> ArchiveStats {
-        let logical: u64 = self.manifests.values().map(|m| m.logical_len as u64).sum();
+        let logical: u64 = self
+            .manifests
+            .snapshot()
+            .iter()
+            .map(|m| m.logical_len as u64)
+            .sum();
         let stored = self.cluster.total_stored_bytes();
         ArchiveStats {
             objects: self.manifests.len(),

@@ -40,7 +40,7 @@ pub const MAX_RESERVED_FRACTION: f64 = 0.99;
 /// # Panics
 ///
 /// Panics unless `0 <= r <= MAX_RESERVED_FRACTION`.
-fn check_reserved_fraction(r: f64) {
+pub(crate) fn check_reserved_fraction(r: f64) {
     assert!(
         (0.0..=MAX_RESERVED_FRACTION).contains(&r),
         "reserved fraction must be in [0, {MAX_RESERVED_FRACTION}]: \
@@ -174,7 +174,7 @@ impl ReencodeCampaignDriver {
     /// (same contract as [`BandwidthScheduler::new`]).
     pub fn new(archive: &Archive, new_policy: PolicyKind, reserved_fraction: f64) -> Self {
         check_reserved_fraction(reserved_fraction);
-        let ids: VecDeque<ObjectId> = archive.manifests().map(|m| m.id.clone()).collect();
+        let ids: VecDeque<ObjectId> = archive.catalog().ids().into();
         ReencodeCampaignDriver {
             objects_total: ids.len(),
             ids,
@@ -322,7 +322,7 @@ impl Archive {
         let clock = self.cluster().clock().clone();
         let start = clock.now();
         let mut scheduler = BandwidthScheduler::new(clock.clone(), reserved_fraction);
-        let ids: Vec<ObjectId> = self.manifests().map(|m| m.id.clone()).collect();
+        let ids: Vec<ObjectId> = self.manifests.ids();
         let mut campaign = MeasuredCampaign {
             objects: 0,
             bytes_read: 0,
@@ -361,9 +361,11 @@ impl Archive {
         let start = clock.now();
         let mut scheduler = BandwidthScheduler::new(clock.clone(), reserved_fraction);
         let ids: Vec<ObjectId> = self
-            .manifests()
+            .manifests
+            .snapshot()
+            .into_iter()
             .filter(|m| matches!(m.policy, PolicyKind::Shamir { .. }))
-            .map(|m| m.id.clone())
+            .map(|m| m.id)
             .collect();
         for id in &ids {
             self.refresh_object(id)?;
@@ -387,7 +389,7 @@ impl Archive {
         let clock = self.cluster().clock().clone();
         let start = clock.now();
         let mut scheduler = BandwidthScheduler::new(clock.clone(), reserved_fraction);
-        let ids: Vec<ObjectId> = self.manifests().map(|m| m.id.clone()).collect();
+        let ids: Vec<ObjectId> = self.manifests.ids();
         let mut outcome = FleetRepairOutcome {
             repaired: Vec::new(),
             failed: Vec::new(),

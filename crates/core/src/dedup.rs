@@ -613,7 +613,8 @@ impl Archive {
                 "catalog commit requires dedup mode",
             ));
         }
-        let bytes = serialize_catalog(self.manifests.values());
+        let rows = self.manifests.snapshot();
+        let bytes = serialize_catalog(rows.iter());
         let policy = self.config.policy.clone();
         let (dedup, _created) = self.dedup_store_payload(&bytes, &policy)?;
         self.dedup_add_refs(&dedup);
@@ -690,11 +691,17 @@ impl Archive {
             missing_before: 0,
             missing_after: 0,
             method: RepairMethod::NotNeeded,
+            bytes_read: 0,
+            bytes_written: 0,
+            elapsed: SimDuration::ZERO,
         };
         for h in self.unique_refs(&d) {
             let report = self.repair_block(&h)?;
             total.missing_before += report.missing_before;
             total.missing_after += report.missing_after;
+            total.bytes_read += report.bytes_read;
+            total.bytes_written += report.bytes_written;
+            total.elapsed += report.elapsed;
             if report.method != RepairMethod::NotNeeded {
                 total.method = report.method;
             }
@@ -731,11 +738,15 @@ impl Archive {
             ))));
         };
         let ctx = block_object_id(hash);
+        let clock = self.cluster().clock().clone();
+        let start = clock.now();
         let synthetic = self.synthetic_block_manifest(hash, &rec);
         let mut rng = self.op_rng("block-repair", &ctx);
         let snap = self
             .executor()
             .read(&ReadPlan::for_manifest(&synthetic), &mut rng);
+        let mut bytes_read: u64 = snap.shards.iter().flatten().map(|s| s.len() as u64).sum();
+        let mut bytes_written = 0u64;
         let missing: Vec<usize> = (0..snap.shards.len())
             .filter(|&i| snap.shards[i].is_none())
             .collect();
@@ -744,10 +755,18 @@ impl Archive {
                 missing_before: 0,
                 missing_after: 0,
                 method: RepairMethod::NotNeeded,
+                bytes_read,
+                bytes_written: 0,
+                elapsed: clock.now() - start,
             });
         }
         let method = match plan::plan_repair(&synthetic, &snap.shards, &missing)? {
             plan::RepairOutcome::Apply(repair) => {
+                bytes_written += repair
+                    .writes
+                    .iter()
+                    .map(|(_, data)| data.len() as u64)
+                    .sum::<u64>();
                 let mut put_rng = self.op_rng("block-repair-put", &ctx);
                 let digests = self.executor().apply_repair(
                     &ctx,
@@ -765,7 +784,9 @@ impl Archive {
             }
             plan::RepairOutcome::Reencode => {
                 let policy = rec.policy.clone();
-                self.reencode_block(hash, policy)?;
+                let o = self.reencode_block(hash, policy)?;
+                bytes_read += o.bytes_read;
+                bytes_written += o.bytes_written;
                 RepairMethod::FullReencode
             }
         };
@@ -775,10 +796,19 @@ impl Archive {
         let snap = self
             .executor()
             .read(&ReadPlan::for_manifest(&synthetic), &mut rng);
+        bytes_read += snap
+            .shards
+            .iter()
+            .flatten()
+            .map(|s| s.len() as u64)
+            .sum::<u64>();
         Ok(RepairReport {
             missing_before: missing.len(),
             missing_after: snap.shards.len() - snap.valid,
             method,
+            bytes_read,
+            bytes_written,
+            elapsed: clock.now() - start,
         })
     }
 
@@ -879,8 +909,7 @@ impl Archive {
         let manifest = self
             .manifests
             .get(id)
-            .ok_or_else(|| ArchiveError::UnknownObject(id.clone()))?
-            .clone();
+            .ok_or_else(|| ArchiveError::UnknownObject(id.clone()))?;
         let d = manifest.blocks.as_ref().expect("dedup manifest").clone();
         let mut total = ObjectReencode {
             bytes_read: 0,
@@ -901,8 +930,9 @@ impl Archive {
             total.read_time += o.read_time;
             total.write_time += o.write_time;
         }
-        let entry = self.manifests.get_mut(id).expect("manifest exists");
-        entry.policy = new_policy;
+        self.manifests
+            .update(id, |entry| entry.policy = new_policy)
+            .expect("manifest exists");
         Ok(total)
     }
 
@@ -963,8 +993,9 @@ impl Archive {
                 });
             }
         }
-        let entry = self.manifests.get_mut(id).expect("manifest exists");
-        entry.refresh_epochs += 1;
+        self.manifests
+            .update(id, |entry| entry.refresh_epochs += 1)
+            .expect("manifest exists");
         Ok(total)
     }
 
@@ -985,7 +1016,8 @@ impl Archive {
         self.config.dedup.as_ref()?;
         let logical: u64 = self
             .manifests
-            .values()
+            .snapshot()
+            .iter()
             .filter(|m| m.blocks.is_some())
             .map(|m| m.logical_len as u64)
             .sum();

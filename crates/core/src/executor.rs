@@ -133,6 +133,38 @@ impl<'a> PlanExecutor<'a> {
         Ok(outcome)
     }
 
+    /// [`Self::commit_write`] with the first attempt coalesced: shards
+    /// are grouped by target node and each group ships as one framed
+    /// batch (one seek on media-priced nodes); failed entries spend the
+    /// remaining retry budget individually. Per-key attempt schedules —
+    /// and therefore stored bytes and typed failures under
+    /// deterministic fault injection — match the sequential path
+    /// exactly; only backoff timing differs.
+    ///
+    /// # Errors
+    ///
+    /// Returns the outcome as `Err` when the write was rolled back.
+    pub fn commit_write_batched<R: CryptoRng + ?Sized>(
+        &self,
+        plan: &WritePlan,
+        placement: &[NodeId],
+        rng: &mut R,
+    ) -> Result<WriteOutcome, WriteOutcome> {
+        let (written, report) = self.cluster.put_shards_batched_retrying(
+            plan.object.as_str(),
+            placement,
+            &plan.shards,
+            self.retry,
+            rng,
+        );
+        let outcome = WriteOutcome { written, report };
+        if outcome.written < plan.required {
+            self.cluster.delete_shards(plan.object.as_str(), placement);
+            return Err(outcome);
+        }
+        Ok(outcome)
+    }
+
     /// Executes a repair plan's writes: puts each rebuilt shard back at
     /// its slot, in order, under one retry rng. Returns the digest of
     /// each rewritten shard for the caller's manifest.
@@ -164,6 +196,234 @@ impl<'a> PlanExecutor<'a> {
             });
             res.map_err(|e| ArchiveError::Cluster(ClusterError::Node(e)))?;
             digests.push((*m, Sha256::digest(data)));
+        }
+        Ok(digests)
+    }
+
+    /// Commits many write plans in one cross-object flush: every
+    /// shard's first attempt is grouped by target node and shipped as
+    /// one framed batch per node (one seek per node per flush on
+    /// media-priced clusters, however many objects the flush spans);
+    /// entries that fail retryably then spend the remaining retry
+    /// budget individually, drawing jitter from that object's own rng.
+    /// Rollback stays per object: a plan that lands fewer than its
+    /// required shards is deleted and reported as `Err`, exactly like
+    /// [`Self::commit_write`]. Per-key attempt schedules match the
+    /// sequential path, so stored bytes and typed failures are
+    /// identical under deterministic fault injection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `plans`, `placements`, and `rngs` disagree in length
+    /// or a placement disagrees with its plan's shard count.
+    pub fn commit_many<R: CryptoRng>(
+        &self,
+        plans: &[WritePlan],
+        placements: &[Vec<NodeId>],
+        rngs: &mut [R],
+    ) -> Vec<Result<WriteOutcome, WriteOutcome>> {
+        assert_eq!(plans.len(), placements.len(), "plan/placement mismatch");
+        assert_eq!(plans.len(), rngs.len(), "plan/rng mismatch");
+        // Global entry list: (plan index, shard index) in submission
+        // order, grouped by target node in first-occurrence order.
+        let mut groups: Vec<(NodeId, Vec<(usize, usize)>)> = Vec::new();
+        for (p, (plan, placement)) in plans.iter().zip(placements).enumerate() {
+            assert_eq!(
+                placement.len(),
+                plan.shards.len(),
+                "placement/shard mismatch"
+            );
+            for (s, node_id) in placement.iter().enumerate() {
+                match groups.iter_mut().find(|(id, _)| id == node_id) {
+                    Some((_, v)) => v.push((p, s)),
+                    None => groups.push((*node_id, vec![(p, s)])),
+                }
+            }
+        }
+        // First attempt: one coalesced frame per node across objects.
+        let mut first: Vec<Vec<Option<Result<(), aeon_store::node::NodeError>>>> = plans
+            .iter()
+            .map(|plan| (0..plan.shards.len()).map(|_| None).collect())
+            .collect();
+        for (node_id, slots) in &groups {
+            match self.cluster.node(*node_id) {
+                Some(node) => {
+                    let entries: Vec<(ShardKey, &[u8])> = slots
+                        .iter()
+                        .map(|&(p, s)| {
+                            (
+                                ShardKey::new(plans[p].object.as_str(), s as u32),
+                                plans[p].shards[s].as_slice(),
+                            )
+                        })
+                        .collect();
+                    for (&(p, s), result) in slots.iter().zip(node.put_batch(&entries)) {
+                        first[p][s] = Some(result);
+                    }
+                }
+                None => {
+                    for &(p, s) in slots {
+                        first[p][s] = Some(Err(aeon_store::node::NodeError::Io(
+                            "placement references unknown node".into(),
+                        )));
+                    }
+                }
+            }
+        }
+        // Resolve per object: individual retries, then the per-object
+        // rollback decision.
+        plans
+            .iter()
+            .zip(placements)
+            .zip(rngs)
+            .enumerate()
+            .map(|(p, ((plan, placement), rng))| {
+                let mut written = 0usize;
+                let mut attempts = Vec::with_capacity(placement.len());
+                for (s, node_id) in placement.iter().enumerate() {
+                    let outcome = first[p][s].take().expect("first attempt recorded");
+                    let known = self.cluster.node(*node_id).is_some();
+                    let (tries, error) = match outcome {
+                        Ok(()) => (1, None),
+                        Err(e) if !known => (0, Some(e)),
+                        Err(e) if RetryPolicy::is_retryable(&e) && self.retry.max_attempts > 1 => {
+                            let rest = self
+                                .retry
+                                .clone()
+                                .with_attempts(self.retry.max_attempts - 1);
+                            let node = self.cluster.node(*node_id).expect("node exists").clone();
+                            let key = ShardKey::new(plan.object.as_str(), s as u32);
+                            let (res, stats) =
+                                run_with_retry(&rest, self.cluster.clock(), rng, || {
+                                    node.put(&key, &plan.shards[s])
+                                });
+                            (1 + stats.attempts, res.err())
+                        }
+                        Err(e) => (1, Some(e)),
+                    };
+                    if error.is_none() {
+                        written += 1;
+                    }
+                    attempts.push(aeon_store::cluster::ShardAttempt {
+                        shard: s as u32,
+                        node: *node_id,
+                        attempts: tries,
+                        error,
+                    });
+                }
+                let outcome = WriteOutcome {
+                    written,
+                    report: ReadReport { attempts },
+                };
+                if outcome.written < plan.required {
+                    self.cluster.delete_shards(plan.object.as_str(), placement);
+                    Err(outcome)
+                } else {
+                    Ok(outcome)
+                }
+            })
+            .collect()
+    }
+
+    /// [`Self::apply_repair`] with the first attempt coalesced per
+    /// node: every rebuilt shard's first attempt ships in one framed
+    /// batch to its node, then entries are resolved **in write order**
+    /// — a first-attempt failure spends the remaining retry budget
+    /// individually, and the first entry that stays failed aborts the
+    /// repair exactly as the sequential loop would. Writes the frame
+    /// landed *beyond* the aborting entry are rolled back (deleted), so
+    /// under transient fault injection the surviving stored bytes are
+    /// identical to sequential execution. (Under *corrupting* faults a
+    /// rolled-back slot ends empty where sequential would have left the
+    /// old corrupt bytes; transient-fault equivalence is what the
+    /// property suite pins.)
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchiveError::Cluster`] when a put misses the retry
+    /// budget, like the sequential path.
+    pub fn apply_repair_batched<R: CryptoRng + ?Sized>(
+        &self,
+        object: &str,
+        placement: &[NodeId],
+        writes: &[(usize, Vec<u8>)],
+        rng: &mut R,
+    ) -> Result<Vec<(usize, [u8; 32])>, ArchiveError> {
+        // Group write positions by target node, first-occurrence order.
+        let mut groups: Vec<(NodeId, Vec<usize>)> = Vec::new();
+        for (pos, (m, _)) in writes.iter().enumerate() {
+            let node_id =
+                *placement
+                    .get(*m)
+                    .ok_or(ArchiveError::Policy(PolicyError::Malformed(
+                        "repair write beyond placement".into(),
+                    )))?;
+            match groups.iter_mut().find(|(id, _)| *id == node_id) {
+                Some((_, v)) => v.push(pos),
+                None => groups.push((node_id, vec![pos])),
+            }
+        }
+        // First attempt: one coalesced frame per node.
+        let mut first: Vec<Option<Result<(), aeon_store::node::NodeError>>> =
+            (0..writes.len()).map(|_| None).collect();
+        for (node_id, positions) in &groups {
+            let node =
+                self.cluster
+                    .node(*node_id)
+                    .ok_or(ArchiveError::Policy(PolicyError::Malformed(
+                        "placement references unknown node".into(),
+                    )))?;
+            let entries: Vec<(ShardKey, &[u8])> = positions
+                .iter()
+                .map(|&p| {
+                    let (m, data) = &writes[p];
+                    (ShardKey::new(object, *m as u32), data.as_slice())
+                })
+                .collect();
+            for (&p, result) in positions.iter().zip(node.put_batch(&entries)) {
+                first[p] = Some(result);
+            }
+        }
+        // Resolve in write order; abort (with rollback of later frame
+        // writes) at the first entry that exhausts its budget.
+        let mut digests = Vec::with_capacity(writes.len());
+        for (p, (m, data)) in writes.iter().enumerate() {
+            let outcome = first[p].take().expect("first attempt recorded");
+            let resolved = match outcome {
+                Ok(()) => Ok(()),
+                Err(e) if RetryPolicy::is_retryable(&e) && self.retry.max_attempts > 1 => {
+                    let rest = self
+                        .retry
+                        .clone()
+                        .with_attempts(self.retry.max_attempts - 1);
+                    let node = self.cluster.node(placement[*m]).expect("node exists");
+                    let key = ShardKey::new(object, *m as u32);
+                    run_with_retry(&rest, self.cluster.clock(), rng, || node.put(&key, data)).0
+                }
+                Err(e) => Err(e),
+            };
+            if let Err(e) = resolved {
+                // Sequential execution never touched entries after this
+                // one: undo what the coalesced frame already landed.
+                // Deletes retry far past the normal budget — a rollback
+                // that sticks is what keeps the batched failure state
+                // byte-identical to the sequential one.
+                let rollback = RetryPolicy::default()
+                    .with_attempts(16)
+                    .with_budget_ms(u64::MAX);
+                for (q, (mq, _)) in writes.iter().enumerate().skip(p + 1) {
+                    if matches!(first[q], Some(Ok(()))) {
+                        if let Some(node) = self.cluster.node(placement[*mq]) {
+                            let key = ShardKey::new(object, *mq as u32);
+                            let _ = run_with_retry(&rollback, self.cluster.clock(), rng, || {
+                                node.delete(&key)
+                            });
+                        }
+                    }
+                }
+                return Err(ArchiveError::Cluster(ClusterError::Node(e)));
+            }
+            digests.push((*m, Sha256::digest(data.as_slice())));
         }
         Ok(digests)
     }

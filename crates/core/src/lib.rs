@@ -49,10 +49,12 @@
 pub mod aont;
 mod archive;
 pub mod campaign;
+pub mod catalog;
 pub mod codec;
 pub mod dedup;
 pub mod evaluate;
 pub mod executor;
+pub mod fleet;
 pub mod keys;
 mod maintenance;
 pub mod pipeline;
@@ -71,6 +73,7 @@ pub use campaign::{
     BandwidthScheduler, CampaignClockStats, CampaignProgress, MeasuredCampaign,
     ReencodeCampaignDriver, MAX_RESERVED_FRACTION,
 };
+pub use catalog::{FleetCatalog, DEFAULT_CATALOG_SHARDS};
 pub use codec::{Codec, CodecRegistry, CodecRepair};
 pub use dedup::{
     block_object_id, BlockKind, BlockRecord, CatalogEntry, DedupConfig, DedupManifest, DedupStats,
@@ -79,6 +82,10 @@ pub use evaluate::{
     figure1_points, table1, ChannelKind, CostBucket, Figure1Point, SystemProfile, Table1Row,
 };
 pub use executor::{PlanExecutor, ShardsSnapshot, WriteOutcome};
+pub use fleet::{
+    FleetScan, FleetSimConfig, FleetSimReport, RepairBudget, RepairCampaignDriver, RepairQueue,
+    RepairQueueOrder, RepairTicket,
+};
 pub use maintenance::ObjectReencode;
 pub use pipeline::{ChunkedMeta, PipelineConfig, DEFAULT_CHUNK_SIZE};
 pub use plan::{ReadPlan, RepairPlan, WritePlan};

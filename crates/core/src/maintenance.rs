@@ -46,8 +46,7 @@ impl Archive {
         let manifest = self
             .manifests
             .get(id)
-            .ok_or_else(|| ArchiveError::UnknownObject(id.clone()))?
-            .clone();
+            .ok_or_else(|| ArchiveError::UnknownObject(id.clone()))?;
         if manifest.blocks.is_some() {
             return self.refresh_dedup_object(id, &manifest);
         }
@@ -79,9 +78,12 @@ impl Archive {
         // that failed to land is stale (previous epoch) and must be
         // filtered on read — `threshold` fresh shares still
         // reconstruct, so the object survives a degraded write.
-        let entry = self.manifests.get_mut(id).expect("manifest exists");
-        entry.shard_digests = digests;
-        entry.refresh_epochs += 1;
+        self.manifests
+            .update(id, |entry| {
+                entry.shard_digests = digests;
+                entry.refresh_epochs += 1;
+            })
+            .expect("manifest exists");
         if outcome.written < threshold {
             return Err(ArchiveError::DegradedBeyondBudget {
                 id: id.clone(),
@@ -125,7 +127,11 @@ impl Archive {
         new_policy: PolicyKind,
     ) -> Result<ObjectReencode, ArchiveError> {
         new_policy.validate()?;
-        if self.manifests.get(id).is_some_and(|m| m.blocks.is_some()) {
+        if self
+            .manifests
+            .with(id, |m| m.blocks.is_some())
+            .unwrap_or(false)
+        {
             return self.reencode_dedup_object(id, new_policy);
         }
         let clock = self.cluster().clock().clone();
@@ -133,8 +139,7 @@ impl Archive {
         let manifest = self
             .manifests
             .get(id)
-            .ok_or_else(|| ArchiveError::UnknownObject(id.clone()))?
-            .clone();
+            .ok_or_else(|| ArchiveError::UnknownObject(id.clone()))?;
         let snap = self.fetch_shards(&manifest, "retrieve");
         let required = manifest.policy.read_threshold();
         if snap.valid < required {
@@ -178,11 +183,14 @@ impl Archive {
         let outcome =
             self.executor()
                 .write_shards(id.as_str(), &placement, &write.shards, &mut put_rng);
-        let entry = self.manifests.get_mut(id).expect("manifest exists");
-        entry.policy = write.policy;
-        entry.meta = write.meta;
-        entry.placement = placement;
-        entry.shard_digests = write.shard_digests;
+        self.manifests
+            .update(id, |entry| {
+                entry.policy = write.policy.clone();
+                entry.meta = write.meta.clone();
+                entry.placement = placement.clone();
+                entry.shard_digests = write.shard_digests.clone();
+            })
+            .expect("manifest exists");
         if outcome.written < write.required {
             return Err(ArchiveError::DegradedBeyondBudget {
                 id: id.clone(),
@@ -210,7 +218,7 @@ impl Archive {
         &mut self,
         new_policy: PolicyKind,
     ) -> Result<(usize, u64, u64), ArchiveError> {
-        let ids: Vec<ObjectId> = self.manifests.keys().cloned().collect();
+        let ids: Vec<ObjectId> = self.manifests.ids();
         let mut read = 0u64;
         let mut written = 0u64;
         for id in &ids {
@@ -260,7 +268,6 @@ impl Archive {
                 "re-wrap requires the Cascade policy",
             ));
         }
-        let manifest = manifest.clone();
         let snap = self.fetch_shards(&manifest, "rewrap");
         let (new_shards, new_policy) =
             plan::plan_rewrap(&manifest, &self.keys, &snap.shards, new_suite)?;
@@ -276,11 +283,15 @@ impl Archive {
             &new_shards,
             &mut put_rng,
         );
-        let entry = self.manifests.get_mut(id).expect("manifest exists");
-        entry.policy = new_policy;
-        // Shards that missed the rewrap hold the old layering; the new
-        // digests make reads treat them as stale until repaired.
-        entry.shard_digests = shard_digests;
+        self.manifests
+            .update(id, |entry| {
+                entry.policy = new_policy;
+                // Shards that missed the rewrap hold the old layering;
+                // the new digests make reads treat them as stale until
+                // repaired.
+                entry.shard_digests = shard_digests;
+            })
+            .expect("manifest exists");
         if outcome.written < required {
             return Err(ArchiveError::DegradedBeyondBudget {
                 id: id.clone(),

@@ -1,0 +1,239 @@
+//! Batched-vs-sequential equivalence: for every one of the nine
+//! policies, batched plan execution (shard writes grouped by target
+//! node and coalesced into one framed attempt per node) must leave the
+//! cluster **byte-identical** to per-object sequential execution, and
+//! must surface the identical typed failures under deterministic
+//! transient fault injection. Batching is allowed to change *when* the
+//! virtual clock is charged — never *what* any node stores.
+//!
+//! Fault decisions in `FaultyNode` are pure in `(seed, op kind, shard
+//! key, nth access)`, so per-key attempt schedules — one coalesced
+//! first attempt plus individual retries with the remaining budget —
+//! see exactly the fault stream the sequential loop sees. The suites
+//! here avoid offline windows and throughput decorators, whose
+//! epoch/clock coupling is inherently order-sensitive.
+
+use aeon_core::{Archive, ArchiveConfig, IntegrityMode, ObjectId, PolicyKind, RetryPolicy};
+use aeon_crypto::SuiteId;
+use aeon_store::faults::{FaultPlan, FaultyNode};
+use aeon_store::node::{MemoryNode, ShardKey, StorageNode};
+use aeon_store::Cluster;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// One representative of each of the nine policy families.
+fn policies() -> Vec<PolicyKind> {
+    vec![
+        PolicyKind::Replication { copies: 4 },
+        PolicyKind::ErasureCoded { data: 3, parity: 2 },
+        PolicyKind::Encrypted {
+            suite: SuiteId::Aes256CtrHmac,
+            data: 3,
+            parity: 2,
+        },
+        PolicyKind::Cascade {
+            suites: vec![SuiteId::Aes256CtrHmac, SuiteId::ChaCha20Poly1305],
+            data: 2,
+            parity: 2,
+        },
+        PolicyKind::AontRs { data: 3, parity: 2 },
+        PolicyKind::Shamir {
+            threshold: 3,
+            shares: 5,
+        },
+        PolicyKind::PackedShamir {
+            privacy: 2,
+            pack: 2,
+            shares: 6,
+        },
+        PolicyKind::LeakageResilientShamir {
+            threshold: 2,
+            shares: 4,
+            source_len: 32,
+        },
+        PolicyKind::Entropic { data: 2, parity: 2 },
+    ]
+}
+
+fn plain_archive(policy: &PolicyKind, workers: usize) -> (Archive, Vec<MemoryNode>) {
+    let n = policy.shard_count().max(1);
+    let handles: Vec<MemoryNode> = (0..n as u32)
+        .map(|i| MemoryNode::new(i, format!("site-{i}")))
+        .collect();
+    let cluster = Cluster::new(
+        handles
+            .iter()
+            .map(|h| Arc::new(h.clone()) as Arc<dyn StorageNode>)
+            .collect(),
+    );
+    let mut config = ArchiveConfig::new(policy.clone()).with_integrity(IntegrityMode::DigestOnly);
+    config.pipeline.workers = workers;
+    (Archive::with_cluster(config, cluster).unwrap(), handles)
+}
+
+fn faulty_archive(policy: &PolicyKind, fault_seed: u64) -> (Archive, Vec<MemoryNode>) {
+    let n = policy.shard_count().max(1);
+    let handles: Vec<MemoryNode> = (0..n as u32)
+        .map(|i| MemoryNode::new(i, format!("site-{i}")))
+        .collect();
+    let plan = FaultPlan::new(fault_seed).with_transient_io_rate(0.3);
+    let nodes: Vec<Arc<dyn StorageNode>> = handles
+        .iter()
+        .map(|h| {
+            Arc::new(FaultyNode::new(
+                Arc::new(h.clone()) as Arc<dyn StorageNode>,
+                plan.for_node(h.id()),
+            )) as Arc<dyn StorageNode>
+        })
+        .collect();
+    let config = ArchiveConfig::new(policy.clone())
+        .with_integrity(IntegrityMode::DigestOnly)
+        .with_retry(RetryPolicy::default().with_attempts(3));
+    (
+        Archive::with_cluster(config, Cluster::new(nodes)).unwrap(),
+        handles,
+    )
+}
+
+/// Every stored `(node, key, bytes)` triple, in a canonical order.
+fn cluster_contents(
+    handles: &[MemoryNode],
+) -> Vec<(aeon_store::node::NodeId, String, u32, Vec<u8>)> {
+    let mut contents = Vec::new();
+    for h in handles {
+        for key in h.keys() {
+            let bytes = h.get(&key).expect("listed key reads");
+            contents.push((h.id(), key.object.clone(), key.shard, bytes));
+        }
+    }
+    contents.sort();
+    contents
+}
+
+fn payloads(seed: u8, count: usize) -> Vec<Vec<u8>> {
+    (0..count)
+        .map(|i| {
+            (0..64 + i * 17)
+                .map(|j| seed.wrapping_mul(31).wrapping_add((i * 251 + j) as u8))
+                .collect()
+        })
+        .collect()
+}
+
+fn delete_shard(archive: &Archive, handles: &[MemoryNode], id: &ObjectId, idx: usize) {
+    let placement = &archive.manifest(id).unwrap().placement;
+    handles
+        .iter()
+        .find(|h| h.id() == placement[idx])
+        .unwrap()
+        .delete(&ShardKey::new(id.as_str(), idx as u32))
+        .unwrap();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// Fault-free ingest: `ingest_many` (one cross-object node-grouped
+    /// flush) produces the same ids, manifests, and stored bytes as
+    /// sequential `ingest` calls, for every policy and across worker
+    /// counts.
+    #[test]
+    fn batched_ingest_is_byte_identical(
+        seed in any::<u8>(),
+        count in 1usize..4,
+        worker_pick in 0usize..2,
+    ) {
+        let workers = [1usize, 3][worker_pick];
+        for policy in policies() {
+            let items = payloads(seed, count);
+            let named: Vec<(&[u8], &str)> = items
+                .iter()
+                .enumerate()
+                .map(|(i, p)| (p.as_slice(), ["a", "b", "c", "d"][i]))
+                .collect();
+
+            let (mut seq, seq_handles) = plain_archive(&policy, workers);
+            let seq_ids: Vec<ObjectId> = named
+                .iter()
+                .map(|(p, n)| seq.ingest(p, n).unwrap())
+                .collect();
+
+            let (mut bat, bat_handles) = plain_archive(&policy, workers);
+            let bat_ids = bat.ingest_many(&named).unwrap();
+
+            prop_assert_eq!(&seq_ids, &bat_ids, "policy {:?}", policy);
+            for id in &seq_ids {
+                let a = seq.manifest(id).unwrap();
+                let b = bat.manifest(id).unwrap();
+                prop_assert_eq!(a.digest, b.digest);
+                prop_assert_eq!(a.shard_digests, b.shard_digests);
+                prop_assert_eq!(a.placement, b.placement);
+            }
+            prop_assert_eq!(
+                cluster_contents(&seq_handles),
+                cluster_contents(&bat_handles),
+                "policy {:?}: stored bytes must be identical", policy
+            );
+            for (id, (payload, _)) in bat_ids.iter().zip(&named) {
+                prop_assert_eq!(&bat.retrieve(id).unwrap(), payload);
+            }
+        }
+    }
+
+    /// Repair under deterministic transient faults: the batched repair
+    /// path (coalesced first attempt per node, individual retries with
+    /// the remaining budget) leaves stored bytes identical to the
+    /// sequential path and reports the identical typed outcome.
+    #[test]
+    fn batched_repair_matches_sequential_under_transient_faults(
+        fault_seed in any::<u64>(),
+        lose_rot in any::<u64>(),
+    ) {
+        for policy in policies() {
+            let n = policy.shard_count();
+            let k = policy.read_threshold();
+            let payload = b"equivalence under fire".to_vec();
+
+            let build = || {
+                let (mut archive, handles) = faulty_archive(&policy, fault_seed);
+                let id = archive.ingest(&payload, "eq").unwrap();
+                for j in 0..(n - k) {
+                    delete_shard(&archive, &handles, &id, (lose_rot as usize + j) % n);
+                }
+                (archive, handles, id)
+            };
+
+            let (mut seq, seq_handles, seq_id) = build();
+            let seq_result = seq.repair_object(&seq_id);
+
+            let (mut bat, bat_handles, bat_id) = build();
+            let bat_result = bat.repair_object_batched(&bat_id);
+
+            match (&seq_result, &bat_result) {
+                (Ok(a), Ok(b)) => {
+                    prop_assert_eq!(a.missing_before, b.missing_before, "policy {:?}", policy);
+                    prop_assert_eq!(a.missing_after, b.missing_after, "policy {:?}", policy);
+                    prop_assert_eq!(&a.method, &b.method, "policy {:?}", policy);
+                    prop_assert_eq!(a.bytes_read, b.bytes_read, "policy {:?}", policy);
+                    prop_assert_eq!(a.bytes_written, b.bytes_written, "policy {:?}", policy);
+                }
+                (Err(a), Err(b)) => {
+                    prop_assert_eq!(
+                        format!("{a:?}"), format!("{b:?}"),
+                        "policy {:?}: typed failures must match", policy
+                    );
+                }
+                _ => prop_assert!(
+                    false,
+                    "policy {:?}: outcomes diverged (seq {:?}, batched {:?})",
+                    policy, seq_result.is_ok(), bat_result.is_ok()
+                ),
+            }
+            prop_assert_eq!(
+                cluster_contents(&seq_handles),
+                cluster_contents(&bat_handles),
+                "policy {:?}: stored bytes must be identical after repair", policy
+            );
+        }
+    }
+}

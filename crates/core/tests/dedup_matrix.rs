@@ -102,8 +102,8 @@ fn shared_data_block(
     a: &aeon_core::ObjectId,
     b: &aeon_core::ObjectId,
 ) -> aeon_cas::BlockHash {
-    let ba = &archive.manifest(a).unwrap().blocks.as_ref().unwrap().blocks;
-    let bb = &archive.manifest(b).unwrap().blocks.as_ref().unwrap().blocks;
+    let ba = archive.manifest(a).unwrap().blocks.unwrap().blocks;
+    let bb = archive.manifest(b).unwrap().blocks.unwrap().blocks;
     *ba.iter()
         .find(|h| bb.contains(h))
         .expect("objects share a block")

@@ -1,0 +1,89 @@
+//! Cross-check: the fleet simulator's measured loss fraction must agree
+//! with `aeon_store::durability::analytic_unavailability` at a pinned
+//! parameter point.
+//!
+//! The mapping: with node wipes off and an unlimited repair budget,
+//! every repairable object is restored to full health before the next
+//! epoch's loss injection, so each epoch is an independent Bernoulli
+//! trial in which each of the `n` shards goes down with probability
+//! `shard_loss_prob` and the object is lost when more than `n - k` go
+//! down together. That is exactly the analytic model's per-day binomial
+//! tail with per-shard downtime fraction `q = daily_failure_prob ×
+//! repair_days`, unioned over `horizon_days` trials — so we pin
+//! `daily_failure_prob = shard_loss_prob`, `repair_days = 1`, and
+//! `horizon_days = epochs`.
+//!
+//! Tolerance follows the precedent in `aeon-store`'s own
+//! `analytic_tracks_simulation_order_of_magnitude`: the analytic /
+//! measured ratio must land in (0.2, 5.0). The fleet sim is seeded, so
+//! the measured fraction is a fixed number — the band documents how
+//! much model error we accept, not run-to-run noise.
+
+use aeon_core::{
+    Archive, ArchiveConfig, FleetSimConfig, IntegrityMode, PolicyKind, RepairQueueOrder,
+};
+use aeon_store::clock::SimDuration;
+use aeon_store::durability::{analytic_unavailability, DurabilityParams};
+use aeon_store::node::{MemoryNode, StorageNode};
+use aeon_store::Cluster;
+use std::sync::Arc;
+
+#[test]
+fn fleet_sim_loss_fraction_tracks_analytic_model() {
+    // [4, 2] erasure layout on four nodes: one shard per node per
+    // object, loss = three or more of four shards down in one epoch.
+    let handles: Vec<MemoryNode> = (0..4u32)
+        .map(|i| MemoryNode::new(i, format!("site-{i}")))
+        .collect();
+    let cluster = Cluster::new(
+        handles
+            .iter()
+            .map(|h| Arc::new(h.clone()) as Arc<dyn StorageNode>)
+            .collect(),
+    );
+    let config = ArchiveConfig::new(PolicyKind::ErasureCoded { data: 2, parity: 2 })
+        .with_integrity(IntegrityMode::DigestOnly);
+    let mut archive = Archive::with_cluster(config, cluster).unwrap();
+
+    let objects = 48;
+    for i in 0..objects {
+        archive
+            .ingest(&vec![(i % 251) as u8 + 1; 80 + i * 3], &format!("o-{i}"))
+            .unwrap();
+    }
+
+    let epochs = 8;
+    let shard_loss_prob = 0.25;
+    let cfg = FleetSimConfig {
+        seed: 20_240_731,
+        epochs,
+        epoch: SimDuration::from_days(30),
+        node_wipe_prob: 0.0,
+        shard_loss_prob,
+        repair_bytes_per_epoch: u64::MAX,
+        reserved_foreground: 0.0,
+        order: RepairQueueOrder::Priority,
+    };
+    let report = archive.run_fleet_sim(&cfg);
+    assert_eq!(report.objects, objects);
+    assert!(
+        report.objects_lost > 0,
+        "at q = 0.25 over 8 epochs some of {objects} objects must be lost"
+    );
+    let measured = report.objects_lost as f64 / report.objects as f64;
+
+    let analytic = analytic_unavailability(DurabilityParams {
+        shards: 4,
+        read_threshold: 2,
+        daily_failure_prob: shard_loss_prob,
+        repair_days: 1,
+        horizon_days: epochs as u32,
+    });
+
+    let ratio = analytic / measured;
+    assert!(
+        (0.2..5.0).contains(&ratio),
+        "analytic {analytic:.4} vs measured {measured:.4} (ratio {ratio:.2}) \
+         outside the documented order-of-magnitude band"
+    );
+}

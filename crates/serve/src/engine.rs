@@ -27,6 +27,7 @@ use std::collections::BinaryHeap;
 
 use aeon_core::{
     Archive, ArchiveError, CampaignProgress, ObjectId, PolicyKind, ReencodeCampaignDriver,
+    RepairCampaignDriver, RepairQueueOrder,
 };
 use aeon_crypto::{ChaChaDrbg, CryptoRng, Sha256};
 use aeon_store::clock::{SimDuration, SimTime};
@@ -46,6 +47,20 @@ pub struct BackgroundCampaign {
     pub reserved_fraction: f64,
 }
 
+/// A fleet repair sweep to run behind the workload: the engine scans
+/// the archive once at startup, queues every degraded object under the
+/// chosen discipline, and heals them in the gaps the foreground load
+/// leaves open — the same `Δ·r/(1−r)` window mechanics as the
+/// re-encryption campaign.
+#[derive(Debug, Clone)]
+pub struct BackgroundRepair {
+    /// Queue discipline (most-degraded-first or catalog order).
+    pub order: RepairQueueOrder,
+    /// Fraction of bandwidth reserved for foreground traffic
+    /// (`0..=`[`aeon_core::MAX_RESERVED_FRACTION`]).
+    pub reserved_fraction: f64,
+}
+
 /// Engine configuration: cache sizing, fair-queue quantum, and the
 /// optional background campaign.
 #[derive(Debug, Clone)]
@@ -56,6 +71,9 @@ pub struct EngineConfig {
     pub quantum_bytes: u64,
     /// Background re-encryption campaign, if any.
     pub background: Option<BackgroundCampaign>,
+    /// Background fleet repair sweep, if any. At most one background
+    /// activity may be configured per run.
+    pub repair: Option<BackgroundRepair>,
 }
 
 impl Default for EngineConfig {
@@ -64,6 +82,48 @@ impl Default for EngineConfig {
             cache: CacheConfig::default(),
             quantum_bytes: 256 * 1024,
             background: None,
+            repair: None,
+        }
+    }
+}
+
+/// Either background driver, stepped uniformly by the event loop.
+#[derive(Debug)]
+enum Driver {
+    Reencode(ReencodeCampaignDriver),
+    Repair(RepairCampaignDriver),
+}
+
+impl Driver {
+    fn is_done(&self) -> bool {
+        match self {
+            Driver::Reencode(d) => d.is_done(),
+            Driver::Repair(d) => d.is_done(),
+        }
+    }
+
+    fn next_eligible(&self) -> SimTime {
+        match self {
+            Driver::Reencode(d) => d.next_eligible(),
+            Driver::Repair(d) => d.next_eligible(),
+        }
+    }
+
+    /// Runs one background step; returns the stored bytes it moved
+    /// (read + written) for the event digest, or `None` when done.
+    fn step(&mut self, archive: &mut Archive) -> Result<Option<u64>, ArchiveError> {
+        match self {
+            Driver::Reencode(d) => Ok(d.step(archive)?.map(|re| re.bytes_read + re.bytes_written)),
+            Driver::Repair(d) => Ok(d
+                .step(archive)?
+                .map(|report| report.bytes_read + report.bytes_written)),
+        }
+    }
+
+    fn progress(&self) -> CampaignProgress {
+        match self {
+            Driver::Reencode(d) => d.progress(),
+            Driver::Repair(d) => d.progress(),
         }
     }
 }
@@ -301,9 +361,30 @@ pub fn serve(
         .collect();
     let mut cache = HotCache::new(config.cache.clone());
     let mut digest = EventDigest::new();
-    let mut driver = config.background.as_ref().map(|bg| {
-        ReencodeCampaignDriver::new(archive, bg.new_policy.clone(), bg.reserved_fraction)
-    });
+    if config.background.is_some() && config.repair.is_some() {
+        return Err(ServeError::InvalidSpec(
+            "configure at most one background activity (re-encode or repair)",
+        ));
+    }
+    let mut driver = config
+        .background
+        .as_ref()
+        .map(|bg| {
+            Driver::Reencode(ReencodeCampaignDriver::new(
+                archive,
+                bg.new_policy.clone(),
+                bg.reserved_fraction,
+            ))
+        })
+        .or_else(|| {
+            config.repair.as_ref().map(|r| {
+                Driver::Repair(RepairCampaignDriver::new(
+                    archive,
+                    r.order,
+                    r.reserved_fraction,
+                ))
+            })
+        });
 
     // Arrival generation. Open loop pre-draws nothing: both modes pull
     // the next arrival lazily so the DRBG consumption order is a pure
@@ -503,13 +584,13 @@ pub fn serve(
         if campaign_pending {
             let d = driver.as_mut().expect("pending checked above");
             if now >= d.next_eligible() {
-                if let Some(re) = d.step(archive)? {
+                if let Some(moved) = d.step(archive)? {
                     digest.fold(
                         EV_CAMPAIGN,
                         d.progress().objects_done as u64,
                         usize::MAX,
                         clock.now().since(start),
-                        re.bytes_read + re.bytes_written,
+                        moved,
                     );
                 }
                 continue;

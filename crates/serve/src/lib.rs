@@ -70,10 +70,16 @@ pub mod workload;
 
 pub use admission::{DeficitQueue, TokenBucket};
 pub use cache::{CacheConfig, CacheStats, HotCache};
-pub use engine::{serve, BackgroundCampaign, EngineConfig, ServeError, ServeReport, TenantReport};
+pub use engine::{
+    serve, BackgroundCampaign, BackgroundRepair, EngineConfig, ServeError, ServeReport,
+    TenantReport,
+};
 pub use histogram::LatencyHistogram;
 pub use workload::{ArrivalProcess, TenantSpec, WorkloadSpec, ZipfSampler};
 
-// The campaign driver pairs with [`BackgroundCampaign`]; re-exported so
-// engine callers need not import aeon-core for the progress type.
-pub use aeon_core::{CampaignProgress, ReencodeCampaignDriver};
+// The campaign drivers pair with [`BackgroundCampaign`] /
+// [`BackgroundRepair`]; re-exported so engine callers need not import
+// aeon-core for the progress or ordering types.
+pub use aeon_core::{
+    CampaignProgress, ReencodeCampaignDriver, RepairCampaignDriver, RepairQueueOrder,
+};

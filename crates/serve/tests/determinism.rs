@@ -13,7 +13,8 @@
 use aeon_core::{Archive, ArchiveConfig, ObjectId, PipelineConfig, PolicyKind};
 use aeon_crypto::{ChaChaDrbg, CryptoRng};
 use aeon_serve::{
-    serve, ArrivalProcess, BackgroundCampaign, EngineConfig, ServeReport, TenantSpec, WorkloadSpec,
+    serve, ArrivalProcess, BackgroundCampaign, BackgroundRepair, EngineConfig, RepairQueueOrder,
+    ServeReport, TenantSpec, WorkloadSpec,
 };
 use aeon_store::clock::SimDuration;
 use aeon_store::throughput::{throughput_in_memory_cluster, ThroughputProfile};
@@ -143,6 +144,71 @@ fn campaign_interference_shows_up_in_the_tail() {
     );
     let progress = contended.campaign.expect("campaign configured");
     assert_eq!(progress.objects_done, progress.objects_total);
+}
+
+/// A background repair sweep heals every degraded object in the gaps
+/// the foreground load leaves open, replays byte-identically across
+/// worker counts, and reports its progress through the same campaign
+/// channel as re-encoding.
+#[test]
+fn background_repair_heals_fleet_behind_live_traffic() {
+    let damaged = 4;
+    let build = |workers: usize| {
+        let (archive, catalog) = build_archive(workers, 12);
+        // Knock one shard off every third object: margin-0 tickets.
+        for id in catalog.iter().step_by(3) {
+            let placement = archive.manifest(id).unwrap().placement;
+            let node = archive.cluster().node(placement[1]).unwrap();
+            node.delete(&aeon_store::node::ShardKey::new(id.as_str(), 1))
+                .unwrap();
+        }
+        (archive, catalog)
+    };
+    let config = EngineConfig {
+        repair: Some(BackgroundRepair {
+            order: RepairQueueOrder::Priority,
+            reserved_fraction: 0.4,
+        }),
+        ..EngineConfig::default()
+    };
+    let run_one = |workers: usize| {
+        let (mut archive, catalog) = build(workers);
+        assert_eq!(archive.scan_fleet().tickets.len(), damaged);
+        let report = serve(&mut archive, &catalog, &spec(21, 80), &config).expect("serve");
+        let scan = archive.scan_fleet();
+        (report, scan.tickets.len(), scan.lost.len())
+    };
+    let (serial, tickets, lost) = run_one(1);
+    let (threaded, ..) = run_one(3);
+    assert_eq!(serial, threaded, "repair interleaving must replay");
+    assert_eq!((tickets, lost), (0, 0), "every degraded object healed");
+    let progress = serial.campaign.expect("repair configured");
+    assert_eq!(progress.objects_done, damaged);
+    assert_eq!(progress.objects_total, damaged);
+    assert!(progress.bytes_written > 0);
+    assert!(
+        serial.tenants.iter().any(|t| t.completed > 0),
+        "foreground traffic ran alongside the sweep"
+    );
+}
+
+/// Configuring both background activities is rejected up front.
+#[test]
+fn two_background_activities_are_rejected() {
+    let (mut archive, catalog) = build_archive(1, 4);
+    let config = EngineConfig {
+        background: Some(BackgroundCampaign {
+            new_policy: PolicyKind::ErasureCoded { data: 2, parity: 2 },
+            reserved_fraction: 0.25,
+        }),
+        repair: Some(BackgroundRepair {
+            order: RepairQueueOrder::Fifo,
+            reserved_fraction: 0.25,
+        }),
+        ..EngineConfig::default()
+    };
+    let err = serve(&mut archive, &catalog, &spec(1, 10), &config).unwrap_err();
+    assert!(err.to_string().contains("at most one background activity"));
 }
 
 /// Closed-loop mode replays too, and issues exactly the requested

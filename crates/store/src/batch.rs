@@ -1,0 +1,194 @@
+//! Wire framing for coalesced shard-write batches.
+//!
+//! Batched plan execution groups per-object shard writes by target node
+//! and ships each group as **one** framed transfer, so seek-dominated
+//! media (tape, optical, spun-down disk) charge a single positioning
+//! delay for the whole batch instead of one per shard. The frame format
+//! here is the accounting unit for that transfer: media decorators
+//! charge [`framed_len`] bytes for a batch, and the roundtrip encoders
+//! exist so the frame is a real, testable wire artifact rather than a
+//! number pulled from the air.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! "AEONBAT1"                                  8-byte magic
+//! u32 entry count
+//! per entry:
+//!   u32 object-name length | object-name bytes (UTF-8)
+//!   u32 shard index
+//!   u32 data length        | data bytes
+//! ```
+//!
+//! Framing is *transport* accounting only — it never changes what each
+//! node stores. A decoded frame applies entry by entry with exactly the
+//! per-key semantics of individual puts, which is what makes batched
+//! execution byte-identical to sequential execution.
+
+use crate::node::ShardKey;
+
+/// Magic prefix identifying a v1 batch frame.
+pub const BATCH_MAGIC: &[u8; 8] = b"AEONBAT1";
+
+/// Bytes of frame overhead per batch (magic + entry count).
+const HEADER_LEN: usize = 8 + 4;
+
+/// Bytes of frame overhead per entry (name length + shard + data length).
+const ENTRY_OVERHEAD: usize = 4 + 4 + 4;
+
+/// The exact encoded size of a batch frame for `entries`, computed
+/// without materializing the frame. Media decorators use this as the
+/// transfer size of a coalesced write.
+///
+/// # Examples
+///
+/// ```
+/// use aeon_store::batch::{encode_batch_frame, framed_len};
+/// use aeon_store::node::ShardKey;
+///
+/// let key = ShardKey::new("obj", 0);
+/// let entries = vec![(key, &[1u8, 2, 3][..])];
+/// assert_eq!(framed_len(&entries), encode_batch_frame(&entries).len());
+/// ```
+pub fn framed_len(entries: &[(ShardKey, &[u8])]) -> usize {
+    HEADER_LEN
+        + entries
+            .iter()
+            .map(|(key, data)| ENTRY_OVERHEAD + key.object.len() + data.len())
+            .sum::<usize>()
+}
+
+/// Encodes `entries` into a v1 batch frame.
+pub fn encode_batch_frame(entries: &[(ShardKey, &[u8])]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(framed_len(entries));
+    out.extend_from_slice(BATCH_MAGIC);
+    out.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+    for (key, data) in entries {
+        out.extend_from_slice(&(key.object.len() as u32).to_le_bytes());
+        out.extend_from_slice(key.object.as_bytes());
+        out.extend_from_slice(&key.shard.to_le_bytes());
+        out.extend_from_slice(&(data.len() as u32).to_le_bytes());
+        out.extend_from_slice(data);
+    }
+    out
+}
+
+/// Decodes a v1 batch frame back into owned `(key, data)` entries.
+///
+/// # Errors
+///
+/// Returns a description of the first structural violation: bad magic,
+/// truncated field, non-UTF-8 object name, or trailing garbage.
+pub fn decode_batch_frame(frame: &[u8]) -> Result<Vec<(ShardKey, Vec<u8>)>, String> {
+    let mut rest = frame;
+    let magic = take(&mut rest, 8).ok_or("frame shorter than magic")?;
+    if magic != BATCH_MAGIC {
+        return Err("bad batch magic".into());
+    }
+    let count = take_u32(&mut rest).ok_or("truncated entry count")? as usize;
+    let mut entries = Vec::with_capacity(count.min(1 << 16));
+    for i in 0..count {
+        let name_len = take_u32(&mut rest)
+            .ok_or_else(|| format!("entry {i}: truncated name length"))?
+            as usize;
+        let name = take(&mut rest, name_len).ok_or_else(|| format!("entry {i}: truncated name"))?;
+        let object = core::str::from_utf8(name)
+            .map_err(|_| format!("entry {i}: object name is not UTF-8"))?
+            .to_string();
+        let shard =
+            take_u32(&mut rest).ok_or_else(|| format!("entry {i}: truncated shard index"))?;
+        let data_len = take_u32(&mut rest)
+            .ok_or_else(|| format!("entry {i}: truncated data length"))?
+            as usize;
+        let data = take(&mut rest, data_len)
+            .ok_or_else(|| format!("entry {i}: truncated data"))?
+            .to_vec();
+        entries.push((ShardKey { object, shard }, data));
+    }
+    if !rest.is_empty() {
+        return Err(format!("{} trailing bytes after last entry", rest.len()));
+    }
+    Ok(entries)
+}
+
+fn take<'a>(rest: &mut &'a [u8], n: usize) -> Option<&'a [u8]> {
+    if rest.len() < n {
+        return None;
+    }
+    let (head, tail) = rest.split_at(n);
+    *rest = tail;
+    Some(head)
+}
+
+fn take_u32(rest: &mut &[u8]) -> Option<u32> {
+    take(rest, 4).map(|b| u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_entries() -> Vec<(ShardKey, Vec<u8>)> {
+        vec![
+            (ShardKey::new("obj-000001", 0), vec![1, 2, 3, 4]),
+            (ShardKey::new("obj-000001", 3), vec![]),
+            (ShardKey::new("blk-deadbeef", 7), vec![0xff; 257]),
+        ]
+    }
+
+    fn borrow(entries: &[(ShardKey, Vec<u8>)]) -> Vec<(ShardKey, &[u8])> {
+        entries
+            .iter()
+            .map(|(k, d)| (k.clone(), d.as_slice()))
+            .collect()
+    }
+
+    #[test]
+    fn roundtrip_preserves_entries_and_order() {
+        let entries = sample_entries();
+        let frame = encode_batch_frame(&borrow(&entries));
+        let decoded = decode_batch_frame(&frame).unwrap();
+        assert_eq!(decoded, entries);
+    }
+
+    #[test]
+    fn framed_len_matches_encoded_length() {
+        let entries = sample_entries();
+        let borrowed = borrow(&entries);
+        assert_eq!(framed_len(&borrowed), encode_batch_frame(&borrowed).len());
+        assert_eq!(framed_len(&[]), encode_batch_frame(&[]).len());
+    }
+
+    #[test]
+    fn empty_frame_roundtrips() {
+        let frame = encode_batch_frame(&[]);
+        assert_eq!(decode_batch_frame(&frame).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut frame = encode_batch_frame(&[]);
+        frame[0] ^= 0xff;
+        assert!(decode_batch_frame(&frame).unwrap_err().contains("magic"));
+    }
+
+    #[test]
+    fn rejects_truncation_at_every_length() {
+        let entries = sample_entries();
+        let frame = encode_batch_frame(&borrow(&entries));
+        for cut in 0..frame.len() {
+            assert!(
+                decode_batch_frame(&frame[..cut]).is_err(),
+                "truncation at {cut} must not decode"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let entries = sample_entries();
+        let mut frame = encode_batch_frame(&borrow(&entries));
+        frame.push(0);
+        assert!(decode_batch_frame(&frame).unwrap_err().contains("trailing"));
+    }
+}

@@ -343,6 +343,95 @@ impl Cluster {
         (written, ReadReport { attempts })
     }
 
+    /// Stores shards with the same tolerance and per-shard accounting
+    /// as [`Cluster::put_shards_retrying`], but coalesces the first
+    /// attempt: shards are grouped by target node and each group ships
+    /// as **one** [`StorageNode::put_batch`] call (one framed transfer,
+    /// one seek on media-priced nodes). Entries that fail retryably are
+    /// then retried *individually* with the remaining attempt budget,
+    /// so every key sees exactly `retry.max_attempts` total attempts —
+    /// the same per-key attempt schedule as the sequential path, which
+    /// is what keeps stored bytes and typed failures byte-identical
+    /// under deterministic fault injection. Only backoff *timing* and
+    /// jitter draw order differ (clock-only effects).
+    pub fn put_shards_batched_retrying<R: CryptoRng + ?Sized>(
+        &self,
+        object: &str,
+        placement: &[NodeId],
+        shards: &[Vec<u8>],
+        retry: &RetryPolicy,
+        rng: &mut R,
+    ) -> (usize, ReadReport) {
+        assert_eq!(placement.len(), shards.len(), "placement/shard mismatch");
+        let mut written = 0usize;
+        let mut slots: Vec<Option<ShardAttempt>> = vec![None; placement.len()];
+        // Group shard indices by target node, groups ordered by first
+        // occurrence in the placement (deterministic).
+        let mut groups: Vec<(NodeId, Vec<usize>)> = Vec::new();
+        for (i, node_id) in placement.iter().enumerate() {
+            match groups.iter_mut().find(|(id, _)| id == node_id) {
+                Some((_, idxs)) => idxs.push(i),
+                None => groups.push((*node_id, vec![i])),
+            }
+        }
+        for (node_id, idxs) in groups {
+            let Some(node) = self.node(node_id) else {
+                for i in idxs {
+                    slots[i] = Some(ShardAttempt {
+                        shard: i as u32,
+                        node: node_id,
+                        attempts: 0,
+                        error: Some(NodeError::Io("placement references unknown node".into())),
+                    });
+                }
+                continue;
+            };
+            let entries: Vec<(ShardKey, &[u8])> = idxs
+                .iter()
+                .map(|&i| (ShardKey::new(object, i as u32), shards[i].as_slice()))
+                .collect();
+            // First attempt for every entry: one coalesced frame.
+            let first = node.put_batch(&entries);
+            for (&i, result) in idxs.iter().zip(first) {
+                let (mut attempts, mut error) = match result {
+                    Ok(()) => {
+                        written += 1;
+                        (1, None)
+                    }
+                    Err(e) => (1, Some(e)),
+                };
+                // Spend the remaining attempt budget individually, so
+                // the per-key attempt count matches the sequential path.
+                if let Some(e) = error.take() {
+                    if RetryPolicy::is_retryable(&e) && retry.max_attempts > 1 {
+                        let rest = retry.clone().with_attempts(retry.max_attempts - 1);
+                        let key = ShardKey::new(object, i as u32);
+                        let (result, stats) =
+                            run_with_retry(&rest, &self.clock, rng, || node.put(&key, &shards[i]));
+                        attempts += stats.attempts;
+                        error = match result {
+                            Ok(()) => {
+                                written += 1;
+                                None
+                            }
+                            Err(e) => Some(e),
+                        };
+                    } else {
+                        error = Some(e);
+                    }
+                }
+                slots[i] = Some(ShardAttempt {
+                    shard: i as u32,
+                    node: node_id,
+                    attempts,
+                    error,
+                });
+            }
+        }
+        let attempts = slots.into_iter().map(|s| s.expect("slot filled")).collect();
+        (written, ReadReport { attempts })
+    }
+
     /// Deletes an object's shards (best effort).
     pub fn delete_shards(&self, object: &str, placement: &[NodeId]) {
         for (i, node_id) in placement.iter().enumerate() {
@@ -521,6 +610,72 @@ mod tests {
         assert_eq!(written, 2, "fan-out continued past the dead node");
         assert_eq!(report.failed_shards(), vec![0]);
         assert_eq!(report.attempts_for(placement[0]), 2);
+    }
+
+    #[test]
+    fn batched_put_matches_sequential_outcome() {
+        use aeon_crypto::ChaChaDrbg;
+        let (cluster_a, handles_a) = cluster_with_handles();
+        let (cluster_b, handles_b) = cluster_with_handles();
+        let placement = cluster_a.place("obj", 4).unwrap();
+        assert_eq!(placement, cluster_b.place("obj", 4).unwrap());
+        // Same node offline in both worlds.
+        for handles in [&handles_a, &handles_b] {
+            handles
+                .iter()
+                .find(|h| h.id() == placement[1])
+                .unwrap()
+                .set_offline(true);
+        }
+        let shards: Vec<Vec<u8>> = (0..4u8).map(|i| vec![i; 16]).collect();
+        let retry = crate::retry::RetryPolicy::default().with_attempts(3);
+        let mut rng_a = ChaChaDrbg::from_u64_seed(7);
+        let mut rng_b = ChaChaDrbg::from_u64_seed(7);
+        let (w_seq, r_seq) =
+            cluster_a.put_shards_retrying("obj", &placement, &shards, &retry, &mut rng_a);
+        let (w_bat, r_bat) =
+            cluster_b.put_shards_batched_retrying("obj", &placement, &shards, &retry, &mut rng_b);
+        assert_eq!(w_seq, w_bat);
+        assert_eq!(r_seq.failed_shards(), r_bat.failed_shards());
+        for (a, b) in r_seq.attempts.iter().zip(&r_bat.attempts) {
+            assert_eq!(a.shard, b.shard);
+            assert_eq!(a.node, b.node);
+            assert_eq!(a.attempts, b.attempts, "per-key attempt schedule matches");
+            assert_eq!(a.error, b.error, "typed failures match");
+        }
+        // Stored bytes identical node by node.
+        assert_eq!(
+            cluster_a.get_shards("obj", &placement),
+            cluster_b.get_shards("obj", &placement)
+        );
+    }
+
+    #[test]
+    fn batched_put_groups_by_node() {
+        use aeon_crypto::ChaChaDrbg;
+        // Place 4 shards on 2 nodes (repeat nodes in the placement):
+        // each node must receive one batch covering its shards.
+        let cluster = Cluster::in_memory(&["x"], 2);
+        let ids: Vec<NodeId> = cluster.nodes().iter().map(|n| n.id()).collect();
+        let placement = vec![ids[0], ids[1], ids[0], ids[1]];
+        let shards: Vec<Vec<u8>> = (0..4u8).map(|i| vec![i; 8]).collect();
+        let mut rng = ChaChaDrbg::from_u64_seed(3);
+        let (written, report) = cluster.put_shards_batched_retrying(
+            "obj",
+            &placement,
+            &shards,
+            &crate::retry::RetryPolicy::none(),
+            &mut rng,
+        );
+        assert_eq!(written, 4);
+        assert!(report.failed_shards().is_empty());
+        // Report stays in shard order even though execution grouped.
+        let order: Vec<u32> = report.attempts.iter().map(|a| a.shard).collect();
+        assert_eq!(order, vec![0, 1, 2, 3]);
+        assert!(cluster
+            .get_shards("obj", &placement)
+            .iter()
+            .all(|s| s.is_some()));
     }
 
     #[test]

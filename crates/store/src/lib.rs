@@ -33,10 +33,14 @@
 //!   charging `seek + bytes/bandwidth` virtual time per operation from
 //!   the [`media`] models, so campaigns over the real data path
 //!   *measure* the paper's §3.2 costs instead of citing them.
+//! * [`batch`] — wire framing for coalesced shard-write batches: one
+//!   framed transfer (one seek) per node per batch instead of one seek
+//!   per shard, without changing what any node stores.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+pub mod batch;
 pub mod campaign;
 pub mod clock;
 pub mod cluster;

@@ -77,6 +77,19 @@ pub trait StorageNode: Send + Sync + fmt::Debug {
     /// [`NodeError::Io`] from the backing store.
     fn put(&self, key: &ShardKey, data: &[u8]) -> Result<(), NodeError>;
 
+    /// Stores a batch of shards destined for this node in one call —
+    /// the coalescing hook for fleet-scale batched plan execution. One
+    /// `Result` per entry, in order.
+    ///
+    /// The default delegates to [`StorageNode::put`] per entry, so
+    /// fault-injecting decorators keep their exact per-key semantics
+    /// (each entry is that key's next `put` access). Media decorators
+    /// override this to charge one seek for the whole frame instead of
+    /// one per shard.
+    fn put_batch(&self, entries: &[(ShardKey, &[u8])]) -> Vec<Result<(), NodeError>> {
+        entries.iter().map(|(k, d)| self.put(k, d)).collect()
+    }
+
     /// Retrieves a shard.
     ///
     /// # Errors
