@@ -699,12 +699,34 @@ impl Archive {
             .read(&ReadPlan::for_manifest(manifest), &mut rng)
     }
 
+    /// [`Archive::fetch_shards`] with the first attempt coalesced: one
+    /// framed batch request per node, then individual retries with the
+    /// remaining budget. Same rng derivation, so under deterministic
+    /// fault injection the snapshot is identical to the sequential one.
+    pub(crate) fn fetch_shards_batched(&self, manifest: &Manifest, label: &str) -> ShardsSnapshot {
+        let mut rng = self.op_rng(label, manifest.id.as_str());
+        self.executor()
+            .read_batched(&ReadPlan::for_manifest(manifest), &mut rng)
+    }
+
     /// Retrying, digest-filtered fetch by object id, for maintenance
     /// paths in sibling modules (repair, transfer). `None` if unknown.
     pub(crate) fn fetch_shards_for(&self, id: &ObjectId, label: &str) -> Option<ShardsSnapshot> {
         self.manifests
             .get(id)
             .map(|manifest| self.fetch_shards(&manifest, label))
+    }
+
+    /// Batched twin of [`Archive::fetch_shards_for`]: the fetch groups
+    /// shard keys by node and ships one framed request per node.
+    pub(crate) fn fetch_shards_for_batched(
+        &self,
+        id: &ObjectId,
+        label: &str,
+    ) -> Option<ShardsSnapshot> {
+        self.manifests
+            .get(id)
+            .map(|manifest| self.fetch_shards_batched(&manifest, label))
     }
 
     /// Records the digest of a freshly rewritten shard (repair paths).
@@ -752,6 +774,93 @@ impl Archive {
             return self.retrieve_dedup(&manifest);
         }
         let snap = self.fetch_shards(&manifest, "retrieve");
+        self.finish_retrieve(&manifest, snap)
+    }
+
+    /// [`Archive::retrieve`] with the shard fetch coalesced: one framed
+    /// batch request per node holding shards of the object, then
+    /// individual retries with the remaining budget. Identical payloads
+    /// and typed failures to the sequential path under deterministic
+    /// fault injection; on seek-priced media the fetch charges one
+    /// positioning delay per node instead of one per shard. Dedup
+    /// objects take the batched level-by-level tree walk.
+    ///
+    /// # Errors
+    ///
+    /// See [`Archive::retrieve`].
+    pub fn retrieve_batched(&self, id: &ObjectId) -> Result<Vec<u8>, ArchiveError> {
+        self.retrieve_with_report_batched(id)
+            .map(|(payload, _)| payload)
+    }
+
+    /// [`Archive::retrieve_with_report`] over the batched read seam.
+    ///
+    /// # Errors
+    ///
+    /// See [`Archive::retrieve`].
+    pub fn retrieve_with_report_batched(
+        &self,
+        id: &ObjectId,
+    ) -> Result<(Vec<u8>, ReadReport), ArchiveError> {
+        let manifest = self
+            .manifests
+            .get(id)
+            .ok_or_else(|| ArchiveError::UnknownObject(id.clone()))?;
+        if manifest.blocks.is_some() {
+            return self.retrieve_dedup_batched(&manifest);
+        }
+        let snap = self.fetch_shards_batched(&manifest, "retrieve");
+        self.finish_retrieve(&manifest, snap)
+    }
+
+    /// Retrieves many objects in one cross-object fan-in: every
+    /// object's shard fetches are grouped by source node and each node
+    /// serves **one** framed batch request for the whole flush (then
+    /// per-key retries with the remaining budget, drawing jitter from
+    /// each object's own rng). Per-object outcomes — payload bytes and
+    /// typed failures — are exactly what [`Archive::retrieve`] would
+    /// return for each id; one unreadable object does not fail its
+    /// neighbors. Dedup objects fetch through the batched tree walk,
+    /// coalescing within the object rather than across the flush.
+    pub fn retrieve_many(&self, ids: &[ObjectId]) -> Vec<Result<Vec<u8>, ArchiveError>> {
+        let mut results: Vec<Option<Result<Vec<u8>, ArchiveError>>> =
+            ids.iter().map(|_| None).collect();
+        let mut pending: Vec<(usize, Manifest)> = Vec::new();
+        for (i, id) in ids.iter().enumerate() {
+            match self.manifests.get(id) {
+                None => results[i] = Some(Err(ArchiveError::UnknownObject(id.clone()))),
+                Some(m) if m.blocks.is_some() => {
+                    results[i] = Some(self.retrieve_dedup_batched(&m).map(|(p, _)| p));
+                }
+                Some(m) => pending.push((i, m)),
+            }
+        }
+        let plans: Vec<ReadPlan> = pending
+            .iter()
+            .map(|(_, m)| ReadPlan::for_manifest(m))
+            .collect();
+        let mut rngs: Vec<ChaChaDrbg> = pending
+            .iter()
+            .map(|(_, m)| self.op_rng("retrieve", m.id.as_str()))
+            .collect();
+        let snaps = self.executor().read_many(&plans, &mut rngs);
+        for ((i, manifest), snap) in pending.iter().zip(snaps) {
+            results[*i] = Some(self.finish_retrieve(manifest, snap).map(|(p, _)| p));
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("slot filled"))
+            .collect()
+    }
+
+    /// Shared decode tail of every retrieval flavor: threshold check,
+    /// policy decode, whole-payload digest check.
+    fn finish_retrieve(
+        &self,
+        manifest: &Manifest,
+        snap: ShardsSnapshot,
+    ) -> Result<(Vec<u8>, ReadReport), ArchiveError> {
+        let id = &manifest.id;
         let required = manifest.policy.read_threshold();
         if snap.valid < required {
             if snap.corrupt > 0 {

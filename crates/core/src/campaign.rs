@@ -225,7 +225,10 @@ impl ReencodeCampaignDriver {
         };
         let clock = archive.cluster().clock().clone();
         let start = clock.now();
-        let outcome = archive.reencode_object_timed(&id, self.new_policy.clone())?;
+        // The driver's per-object fetch rides the batched read seam:
+        // one framed request per source node, so a bandwidth-metered
+        // campaign pays one positioning delay per node per object.
+        let outcome = archive.reencode_object_timed_batched(&id, self.new_policy.clone())?;
         let end = clock.now();
         let background = end - start;
         self.next_eligible = end + background.mul_f64(self.fg_factor);

@@ -524,6 +524,129 @@ impl Archive {
         Ok(bytes)
     }
 
+    /// Fetches, decodes, and hash-verifies many blocks in one
+    /// cross-block fan-in: distinct hashes (first-occurrence order)
+    /// each become a read plan, and the executor groups every plan's
+    /// shard keys by source node into one framed batch request per
+    /// node. A hash that repeats in `hashes` is fetched **once** and
+    /// its bytes cloned per occurrence — the dedup-aware divergence
+    /// from per-occurrence sequential reads (and attempt accounting
+    /// covers each distinct block once). Per-block rng derivation
+    /// matches [`Self::read_block`], so fault-free results are
+    /// identical to the sequential walk.
+    fn read_block_many(
+        &self,
+        hashes: &[BlockHash],
+        owner: &ObjectId,
+        report: &mut ReadReport,
+    ) -> Result<Vec<Vec<u8>>, ArchiveError> {
+        let mut distinct: Vec<BlockHash> = Vec::new();
+        for h in hashes {
+            if !distinct.contains(h) {
+                distinct.push(*h);
+            }
+        }
+        let mut plans = Vec::with_capacity(distinct.len());
+        let mut rngs = Vec::with_capacity(distinct.len());
+        let mut recs = Vec::with_capacity(distinct.len());
+        for hash in &distinct {
+            let Some(rec) = self.blocks.get(hash) else {
+                return Err(ArchiveError::Policy(PolicyError::Malformed(format!(
+                    "object {owner} references unknown block {hash}"
+                ))));
+            };
+            let ctx = block_object_id(hash);
+            plans.push(ReadPlan {
+                object: ObjectId::from_raw(ctx.clone()),
+                placement: rec.placement.clone(),
+                shard_digests: rec.shard_digests.clone(),
+            });
+            rngs.push(self.op_rng("block-read", &ctx));
+            recs.push((rec, ctx));
+        }
+        let snaps = self.executor().read_many(&plans, &mut rngs);
+        let mut decoded: Vec<Vec<u8>> = Vec::with_capacity(distinct.len());
+        for ((hash, (rec, ctx)), snap) in distinct.iter().zip(&recs).zip(snaps) {
+            report.attempts.extend(snap.report.attempts);
+            let required = rec.policy.read_threshold();
+            if snap.valid < required {
+                if snap.corrupt > 0 {
+                    return Err(ArchiveError::IntegrityViolation(owner.clone()));
+                }
+                return Err(ArchiveError::DegradedBeyondBudget {
+                    id: owner.clone(),
+                    available: snap.valid,
+                    required,
+                    corrupt: snap.corrupt,
+                });
+            }
+            let bytes = pipeline::decode_object(
+                &rec.policy,
+                &self.keys,
+                ctx,
+                &snap.shards,
+                &rec.meta,
+                self.config.pipeline.workers,
+            )?;
+            if BlockHash::of(&bytes) != *hash {
+                return Err(ArchiveError::IntegrityViolation(owner.clone()));
+            }
+            decoded.push(bytes);
+        }
+        Ok(hashes
+            .iter()
+            .map(|h| {
+                let at = distinct.iter().position(|d| d == h).expect("hash listed");
+                decoded[at].clone()
+            })
+            .collect())
+    }
+
+    /// [`Self::walk_tree`] level by level: every interior node of one
+    /// tree level is fetched in a single cross-block batch before
+    /// descending. Trees are uniform (all leaves at level 0), so the
+    /// breadth-first frontier keeps leaf hashes in payload order
+    /// exactly like the depth-first walk.
+    fn walk_tree_batched(
+        &self,
+        root: &BlockHash,
+        owner: &ObjectId,
+        report: &mut ReadReport,
+    ) -> Result<Vec<BlockHash>, ArchiveError> {
+        let mut leaves = Vec::new();
+        // (hash, expected level); None = root, any interior level.
+        let mut frontier: Vec<(BlockHash, Option<u8>)> = vec![(*root, None)];
+        while !frontier.is_empty() {
+            let interior: Vec<BlockHash> = frontier
+                .iter()
+                .filter(|(_, expect)| *expect != Some(0))
+                .map(|(h, _)| *h)
+                .collect();
+            let fetched = self.read_block_many(&interior, owner, report)?;
+            let mut blocks = fetched.into_iter();
+            let mut next = Vec::new();
+            for (hash, expect) in frontier {
+                if expect == Some(0) {
+                    leaves.push(hash);
+                    continue;
+                }
+                let bytes = blocks.next().expect("one fetch per interior node");
+                let node = merkle::decode_node(&bytes)
+                    .map_err(|_| ArchiveError::IntegrityViolation(owner.clone()))?;
+                if let Some(level) = expect {
+                    if node.level != level {
+                        return Err(ArchiveError::IntegrityViolation(owner.clone()));
+                    }
+                }
+                for child in &node.children {
+                    next.push((*child, Some(node.level - 1)));
+                }
+            }
+            frontier = next;
+        }
+        Ok(leaves)
+    }
+
     /// Walks the Merkle tree from `root`, verifying every interior node
     /// on the way down, and returns the leaf hashes in payload order.
     fn walk_tree(
@@ -570,6 +693,34 @@ impl Archive {
         let mut payload = Vec::with_capacity(manifest.logical_len);
         for h in &leaves {
             payload.extend_from_slice(&self.read_block(h, &manifest.id, &mut report)?);
+        }
+        if Sha256::digest(&payload) != manifest.digest {
+            return Err(ArchiveError::IntegrityViolation(manifest.id.clone()));
+        }
+        Ok((payload, report))
+    }
+
+    /// Dedup-mode retrieval over the batched read seam: the tree walk
+    /// fetches each level in one cross-block batch, and the leaf pass
+    /// fetches every **distinct** leaf block once (one framed request
+    /// per node) before reassembling the payload per occurrence.
+    /// Fault-free results are identical to [`Self::retrieve_dedup`];
+    /// attempt accounting covers each distinct block once instead of
+    /// once per occurrence.
+    pub(crate) fn retrieve_dedup_batched(
+        &self,
+        manifest: &Manifest,
+    ) -> Result<(Vec<u8>, ReadReport), ArchiveError> {
+        let d = manifest.blocks.as_ref().expect("dedup manifest");
+        let mut report = ReadReport::default();
+        let leaves = self.walk_tree_batched(&d.root, &manifest.id, &mut report)?;
+        if leaves != d.blocks {
+            return Err(ArchiveError::IntegrityViolation(manifest.id.clone()));
+        }
+        let blocks = self.read_block_many(&leaves, &manifest.id, &mut report)?;
+        let mut payload = Vec::with_capacity(manifest.logical_len);
+        for bytes in &blocks {
+            payload.extend_from_slice(bytes);
         }
         if Sha256::digest(&payload) != manifest.digest {
             return Err(ArchiveError::IntegrityViolation(manifest.id.clone()));

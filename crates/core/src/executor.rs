@@ -12,7 +12,7 @@ use crate::archive::ArchiveError;
 use crate::plan::{ReadPlan, WritePlan};
 use crate::policy::PolicyError;
 use aeon_crypto::{CryptoRng, Sha256};
-use aeon_store::cluster::{ClusterError, ReadReport};
+use aeon_store::cluster::{ClusterError, TransferReport};
 use aeon_store::node::{NodeId, ShardKey};
 use aeon_store::retry::{run_with_retry, RetryPolicy};
 use aeon_store::Cluster;
@@ -30,8 +30,8 @@ pub struct ShardsSnapshot {
     pub valid: usize,
     /// Shards discarded because their bytes failed the digest check.
     pub corrupt: usize,
-    /// Per-shard retry accounting from the cluster.
-    pub report: ReadReport,
+    /// Per-shard read-attempt accounting from the cluster.
+    pub report: TransferReport,
 }
 
 /// What a shard-set write achieved.
@@ -39,8 +39,10 @@ pub struct ShardsSnapshot {
 pub struct WriteOutcome {
     /// Shards that landed durably within the retry budget.
     pub written: usize,
-    /// Per-shard retry accounting from the cluster.
-    pub report: ReadReport,
+    /// Per-shard write-attempt accounting from the cluster (the same
+    /// [`TransferReport`] shape reads use — both directions are
+    /// per-shard fan-outs with bounded retry).
+    pub report: TransferReport,
 }
 
 /// Applies plans against a cluster under a bounded retry policy.
@@ -72,28 +74,134 @@ impl<'a> PlanExecutor<'a> {
     /// Executes a read plan: fetches every shard with bounded retry,
     /// then discards any whose bytes fail the plan's digest check.
     pub fn read<R: CryptoRng + ?Sized>(&self, plan: &ReadPlan, rng: &mut R) -> ShardsSnapshot {
-        let (mut shards, report) = self.cluster.get_shards_retrying(
+        let (shards, report) = self.cluster.get_shards_retrying(
             plan.object.as_str(),
             &plan.placement,
             self.retry,
             rng,
         );
-        let mut corrupt = 0usize;
-        for (slot, expected) in shards.iter_mut().zip(&plan.shard_digests) {
-            if let Some(bytes) = slot {
-                if Sha256::digest(bytes.as_slice()) != *expected {
-                    corrupt += 1;
-                    *slot = None;
+        digest_filter(plan, shards, report)
+    }
+
+    /// [`Self::read`] with the first attempt coalesced: shard fetches
+    /// are grouped by source node and each group ships as one framed
+    /// batch request (one seek on media-priced nodes); keys that fail
+    /// retryably spend the remaining retry budget individually. Per-key
+    /// attempt schedules — and therefore returned bytes,
+    /// digest-filtered slots, and typed failures under deterministic
+    /// fault injection — match the sequential path exactly; only
+    /// backoff timing differs.
+    pub fn read_batched<R: CryptoRng + ?Sized>(
+        &self,
+        plan: &ReadPlan,
+        rng: &mut R,
+    ) -> ShardsSnapshot {
+        let (shards, report) = self.cluster.get_shards_batched_retrying(
+            plan.object.as_str(),
+            &plan.placement,
+            self.retry,
+            rng,
+        );
+        digest_filter(plan, shards, report)
+    }
+
+    /// Executes many read plans in one cross-object fan-in: every
+    /// shard's first attempt is grouped by source node and shipped as
+    /// one framed batch request per node (one seek per node per flush
+    /// on media-priced clusters, however many objects the flush spans);
+    /// keys that fail retryably then spend the remaining retry budget
+    /// individually, drawing jitter from that object's own rng. Digest
+    /// filtering stays per plan, so each returned [`ShardsSnapshot`] is
+    /// exactly what [`Self::read`] would have produced for that plan
+    /// under deterministic fault injection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `plans` and `rngs` disagree in length.
+    pub fn read_many<R: CryptoRng>(
+        &self,
+        plans: &[ReadPlan],
+        rngs: &mut [R],
+    ) -> Vec<ShardsSnapshot> {
+        assert_eq!(plans.len(), rngs.len(), "plan/rng mismatch");
+        // Global key list: (plan index, shard index) in submission
+        // order, grouped by source node in first-occurrence order.
+        let mut groups: Vec<(NodeId, Vec<(usize, usize)>)> = Vec::new();
+        for (p, plan) in plans.iter().enumerate() {
+            for (s, node_id) in plan.placement.iter().enumerate() {
+                match groups.iter_mut().find(|(id, _)| id == node_id) {
+                    Some((_, v)) => v.push((p, s)),
+                    None => groups.push((*node_id, vec![(p, s)])),
                 }
             }
         }
-        let valid = shards.iter().flatten().count();
-        ShardsSnapshot {
-            shards,
-            valid,
-            corrupt,
-            report,
+        // First attempt: one coalesced frame per node across objects.
+        type SlotResult = Option<Result<Vec<u8>, aeon_store::node::NodeError>>;
+        let mut first: Vec<Vec<SlotResult>> = plans
+            .iter()
+            .map(|plan| (0..plan.placement.len()).map(|_| None).collect())
+            .collect();
+        for (node_id, slots) in &groups {
+            match self.cluster.node(*node_id) {
+                Some(node) => {
+                    let keys: Vec<ShardKey> = slots
+                        .iter()
+                        .map(|&(p, s)| ShardKey::new(plans[p].object.as_str(), s as u32))
+                        .collect();
+                    for (&(p, s), result) in slots.iter().zip(node.get_batch(&keys)) {
+                        first[p][s] = Some(result);
+                    }
+                }
+                None => {
+                    for &(p, s) in slots {
+                        first[p][s] = Some(Err(aeon_store::node::NodeError::Io(
+                            "placement references unknown node".into(),
+                        )));
+                    }
+                }
+            }
         }
+        // Resolve per plan: individual retries, then digest filtering.
+        plans
+            .iter()
+            .zip(rngs)
+            .enumerate()
+            .map(|(p, (plan, rng))| {
+                let mut shards: Vec<Option<Vec<u8>>> = Vec::with_capacity(plan.placement.len());
+                let mut attempts = Vec::with_capacity(plan.placement.len());
+                for (s, node_id) in plan.placement.iter().enumerate() {
+                    let outcome = first[p][s].take().expect("first attempt recorded");
+                    let known = self.cluster.node(*node_id).is_some();
+                    let (slot, tries, error) = match outcome {
+                        Ok(bytes) => (Some(bytes), 1, None),
+                        Err(e) if !known => (None, 0, Some(e)),
+                        Err(e) if RetryPolicy::is_retryable(&e) && self.retry.max_attempts > 1 => {
+                            let rest = self
+                                .retry
+                                .clone()
+                                .with_attempts(self.retry.max_attempts - 1);
+                            let node = self.cluster.node(*node_id).expect("node exists").clone();
+                            let key = ShardKey::new(plan.object.as_str(), s as u32);
+                            let (res, stats) =
+                                run_with_retry(&rest, self.cluster.clock(), rng, || node.get(&key));
+                            match res {
+                                Ok(bytes) => (Some(bytes), 1 + stats.attempts, None),
+                                Err(e) => (None, 1 + stats.attempts, Some(e)),
+                            }
+                        }
+                        Err(e) => (None, 1, Some(e)),
+                    };
+                    shards.push(slot);
+                    attempts.push(aeon_store::cluster::ShardAttempt {
+                        shard: s as u32,
+                        node: *node_id,
+                        attempts: tries,
+                        error,
+                    });
+                }
+                digest_filter(plan, shards, TransferReport { attempts })
+            })
+            .collect()
     }
 
     /// Writes a shard set in place (refresh, re-encode, re-wrap):
@@ -313,7 +421,7 @@ impl<'a> PlanExecutor<'a> {
                 }
                 let outcome = WriteOutcome {
                     written,
-                    report: ReadReport { attempts },
+                    report: TransferReport { attempts },
                 };
                 if outcome.written < plan.required {
                     self.cluster.delete_shards(plan.object.as_str(), placement);
@@ -436,5 +544,31 @@ impl<'a> PlanExecutor<'a> {
     /// Total bytes stored across the cluster.
     pub fn total_stored_bytes(&self) -> u64 {
         self.cluster.total_stored_bytes()
+    }
+}
+
+/// Discards fetched shards whose bytes fail the plan's digest check
+/// and folds the result into a [`ShardsSnapshot`]. Shared by every
+/// read flavor so sequential and batched fetches filter identically.
+fn digest_filter(
+    plan: &ReadPlan,
+    mut shards: Vec<Option<Vec<u8>>>,
+    report: TransferReport,
+) -> ShardsSnapshot {
+    let mut corrupt = 0usize;
+    for (slot, expected) in shards.iter_mut().zip(&plan.shard_digests) {
+        if let Some(bytes) = slot {
+            if Sha256::digest(bytes.as_slice()) != *expected {
+                corrupt += 1;
+                *slot = None;
+            }
+        }
+    }
+    let valid = shards.iter().flatten().count();
+    ShardsSnapshot {
+        shards,
+        valid,
+        corrupt,
+        report,
     }
 }

@@ -110,6 +110,22 @@ impl Archive {
             .map(|o| (o.bytes_read, o.bytes_written))
     }
 
+    /// [`Archive::reencode_object`] with the source fetch coalesced
+    /// (one framed batch request per node). Returns bytes read +
+    /// written.
+    ///
+    /// # Errors
+    ///
+    /// Propagates retrieval and ingest errors.
+    pub fn reencode_object_batched(
+        &mut self,
+        id: &ObjectId,
+        new_policy: PolicyKind,
+    ) -> Result<(u64, u64), ArchiveError> {
+        self.reencode_object_timed_batched(id, new_policy)
+            .map(|o| (o.bytes_read, o.bytes_written))
+    }
+
     /// [`Archive::reencode_object`] with per-phase virtual-time
     /// accounting: the cluster clock is snapshotted at the read/write
     /// phase boundary, so throughput-charged clusters measure exactly
@@ -126,6 +142,35 @@ impl Archive {
         id: &ObjectId,
         new_policy: PolicyKind,
     ) -> Result<ObjectReencode, ArchiveError> {
+        self.reencode_object_timed_with(id, new_policy, false)
+    }
+
+    /// [`Archive::reencode_object_timed`] with the source fetch
+    /// coalesced: the campaign drivers' single-object step uses this so
+    /// a bandwidth-metered re-encode pays one positioning delay per
+    /// node instead of one per shard. Same rng derivation as the
+    /// sequential fetch, so decoded bytes and typed failures are
+    /// identical under deterministic fault injection; only the
+    /// measured `read_time` differs. (Dedup objects re-encode through
+    /// their own block-level path either way.)
+    ///
+    /// # Errors
+    ///
+    /// Propagates retrieval and ingest errors.
+    pub fn reencode_object_timed_batched(
+        &mut self,
+        id: &ObjectId,
+        new_policy: PolicyKind,
+    ) -> Result<ObjectReencode, ArchiveError> {
+        self.reencode_object_timed_with(id, new_policy, true)
+    }
+
+    fn reencode_object_timed_with(
+        &mut self,
+        id: &ObjectId,
+        new_policy: PolicyKind,
+        batched: bool,
+    ) -> Result<ObjectReencode, ArchiveError> {
         new_policy.validate()?;
         if self
             .manifests
@@ -140,7 +185,11 @@ impl Archive {
             .manifests
             .get(id)
             .ok_or_else(|| ArchiveError::UnknownObject(id.clone()))?;
-        let snap = self.fetch_shards(&manifest, "retrieve");
+        let snap = if batched {
+            self.fetch_shards_batched(&manifest, "retrieve")
+        } else {
+            self.fetch_shards(&manifest, "retrieve")
+        };
         let required = manifest.policy.read_threshold();
         if snap.valid < required {
             if snap.corrupt > 0 {

@@ -87,11 +87,17 @@ impl Archive {
         let clock = self.cluster().clock().clone();
         let start = clock.now();
         // Digest-filtered fetch: a bit-rotted shard is as lost as a
-        // deleted one, and must be rebuilt rather than trusted.
-        let shards = self
-            .fetch_shards_for(id, "repair")
-            .expect("manifest exists")
-            .shards;
+        // deleted one, and must be rebuilt rather than trusted. The
+        // batched variant coalesces the survivor reads into one framed
+        // request per node — repair is read-dominated, so this is where
+        // the seek amortization pays.
+        let shards = if batched {
+            self.fetch_shards_for_batched(id, "repair")
+        } else {
+            self.fetch_shards_for(id, "repair")
+        }
+        .expect("manifest exists")
+        .shards;
         let mut bytes_read = snapshot_bytes(&shards);
         let mut bytes_written = 0u64;
         let missing: Vec<usize> = (0..shards.len()).filter(|&i| shards[i].is_none()).collect();
@@ -142,16 +148,23 @@ impl Archive {
             RepairOutcome::Reencode => {
                 // No per-shard repair structure: decode and re-encode.
                 let policy = manifest.policy.clone();
-                let (r, w) = self.reencode_object(id, policy)?;
+                let (r, w) = if batched {
+                    self.reencode_object_batched(id, policy)?
+                } else {
+                    self.reencode_object(id, policy)?
+                };
                 bytes_read += r;
                 bytes_written += w;
                 RepairMethod::FullReencode
             }
         };
 
-        let snap = self
-            .fetch_shards_for(id, "repair-after")
-            .expect("manifest survives repair");
+        let snap = if batched {
+            self.fetch_shards_for_batched(id, "repair-after")
+        } else {
+            self.fetch_shards_for(id, "repair-after")
+        }
+        .expect("manifest survives repair");
         bytes_read += snapshot_bytes(&snap.shards);
         let after = snap.shards.len() - snap.valid;
         Ok(RepairReport {

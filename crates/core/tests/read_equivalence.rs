@@ -1,0 +1,360 @@
+//! Batched-vs-sequential READ equivalence: the read-side twin of
+//! `batch_equivalence.rs`. For every one of the nine policies, batched
+//! retrieval (shard fetches grouped by source node and coalesced into
+//! one framed request per node) must return **byte-identical**
+//! payloads, surface the identical typed failures, and record the
+//! identical per-key attempt schedules as the sequential per-shard
+//! loop, under deterministic transient fault injection. Batching is
+//! allowed to change *when* the virtual clock is charged — never what
+//! any read returns.
+//!
+//! Fault decisions in `FaultyNode` are pure in `(seed, op kind, shard
+//! key, nth access)`, and `get_batch` defaults to a per-key loop, so a
+//! coalesced first attempt consumes exactly the access the sequential
+//! loop would have; individual retries then spend the remaining budget
+//! against the same fault stream. The suites here avoid offline
+//! windows and throughput decorators, whose epoch/clock coupling is
+//! inherently order-sensitive.
+
+use aeon_cas::ChunkerParams;
+use aeon_core::dedup::DedupConfig;
+use aeon_core::{
+    Archive, ArchiveConfig, IntegrityMode, ObjectId, PipelineConfig, PolicyKind, RetryPolicy,
+};
+use aeon_crypto::SuiteId;
+use aeon_store::faults::{FaultPlan, FaultyNode};
+use aeon_store::node::{MemoryNode, ShardKey, StorageNode};
+use aeon_store::Cluster;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// One representative of each of the nine policy families.
+fn policies() -> Vec<PolicyKind> {
+    vec![
+        PolicyKind::Replication { copies: 4 },
+        PolicyKind::ErasureCoded { data: 3, parity: 2 },
+        PolicyKind::Encrypted {
+            suite: SuiteId::Aes256CtrHmac,
+            data: 3,
+            parity: 2,
+        },
+        PolicyKind::Cascade {
+            suites: vec![SuiteId::Aes256CtrHmac, SuiteId::ChaCha20Poly1305],
+            data: 2,
+            parity: 2,
+        },
+        PolicyKind::AontRs { data: 3, parity: 2 },
+        PolicyKind::Shamir {
+            threshold: 3,
+            shares: 5,
+        },
+        PolicyKind::PackedShamir {
+            privacy: 2,
+            pack: 2,
+            shares: 6,
+        },
+        PolicyKind::LeakageResilientShamir {
+            threshold: 2,
+            shares: 4,
+            source_len: 32,
+        },
+        PolicyKind::Entropic { data: 2, parity: 2 },
+    ]
+}
+
+fn plain_archive(policy: &PolicyKind, workers: usize) -> (Archive, Vec<MemoryNode>) {
+    let n = policy.shard_count().max(1);
+    let handles: Vec<MemoryNode> = (0..n as u32)
+        .map(|i| MemoryNode::new(i, format!("site-{i}")))
+        .collect();
+    let cluster = Cluster::new(
+        handles
+            .iter()
+            .map(|h| Arc::new(h.clone()) as Arc<dyn StorageNode>)
+            .collect(),
+    );
+    let mut config = ArchiveConfig::new(policy.clone()).with_integrity(IntegrityMode::DigestOnly);
+    config.pipeline.workers = workers;
+    (Archive::with_cluster(config, cluster).unwrap(), handles)
+}
+
+fn faulty_archive(policy: &PolicyKind, fault_seed: u64) -> (Archive, Vec<MemoryNode>) {
+    let n = policy.shard_count().max(1);
+    let handles: Vec<MemoryNode> = (0..n as u32)
+        .map(|i| MemoryNode::new(i, format!("site-{i}")))
+        .collect();
+    let plan = FaultPlan::new(fault_seed).with_transient_io_rate(0.3);
+    let nodes: Vec<Arc<dyn StorageNode>> = handles
+        .iter()
+        .map(|h| {
+            Arc::new(FaultyNode::new(
+                Arc::new(h.clone()) as Arc<dyn StorageNode>,
+                plan.for_node(h.id()),
+            )) as Arc<dyn StorageNode>
+        })
+        .collect();
+    let config = ArchiveConfig::new(policy.clone())
+        .with_integrity(IntegrityMode::DigestOnly)
+        .with_retry(RetryPolicy::default().with_attempts(3));
+    (
+        Archive::with_cluster(config, Cluster::new(nodes)).unwrap(),
+        handles,
+    )
+}
+
+/// Small chunks so a few KiB of payload spans several blocks.
+fn small_dedup() -> DedupConfig {
+    DedupConfig {
+        chunker: ChunkerParams {
+            min_size: 512,
+            target_size: 2048,
+            max_size: 8192,
+            seed: 42,
+        },
+        index_capacity: 1 << 10,
+        fanout: 4,
+    }
+}
+
+fn dedup_archive(policy: &PolicyKind, workers: usize) -> Archive {
+    let n = policy.shard_count().max(1);
+    let cluster = Cluster::new(
+        (0..n as u32)
+            .map(|i| Arc::new(MemoryNode::new(i, format!("site-{i}"))) as Arc<dyn StorageNode>)
+            .collect(),
+    );
+    let config = ArchiveConfig::new(policy.clone())
+        .with_integrity(IntegrityMode::DigestOnly)
+        .with_pipeline(PipelineConfig::serial().with_workers(workers))
+        .with_dedup(small_dedup());
+    Archive::with_cluster(config, cluster).unwrap()
+}
+
+fn payloads(seed: u8, count: usize) -> Vec<Vec<u8>> {
+    (0..count)
+        .map(|i| {
+            (0..64 + i * 17)
+                .map(|j| seed.wrapping_mul(31).wrapping_add((i * 251 + j) as u8))
+                .collect()
+        })
+        .collect()
+}
+
+fn delete_shard(archive: &Archive, handles: &[MemoryNode], id: &ObjectId, idx: usize) {
+    let placement = &archive.manifest(id).unwrap().placement;
+    handles
+        .iter()
+        .find(|h| h.id() == placement[idx])
+        .unwrap()
+        .delete(&ShardKey::new(id.as_str(), idx as u32))
+        .unwrap();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// Fault-free retrieval: `retrieve_batched` and `retrieve_many`
+    /// (one cross-object node-grouped fan-in) return the same bytes as
+    /// sequential `retrieve` calls, for every policy and across worker
+    /// counts, with identical per-shard attempt accounting.
+    #[test]
+    fn batched_retrieve_is_byte_identical(
+        seed in any::<u8>(),
+        count in 1usize..4,
+        worker_pick in 0usize..2,
+    ) {
+        let workers = [1usize, 3][worker_pick];
+        for policy in policies() {
+            let items = payloads(seed, count);
+            let named: Vec<(&[u8], &str)> = items
+                .iter()
+                .enumerate()
+                .map(|(i, p)| (p.as_slice(), ["a", "b", "c", "d"][i]))
+                .collect();
+            let (mut archive, _handles) = plain_archive(&policy, workers);
+            let ids: Vec<ObjectId> = named
+                .iter()
+                .map(|(p, n)| archive.ingest(p, n).unwrap())
+                .collect();
+
+            for (id, (payload, _)) in ids.iter().zip(&named) {
+                let (seq, seq_report) = archive.retrieve_with_report(id).unwrap();
+                let (bat, bat_report) = archive.retrieve_with_report_batched(id).unwrap();
+                prop_assert_eq!(&seq, payload, "policy {:?}", policy);
+                prop_assert_eq!(&seq, &bat, "policy {:?}: bytes identical", policy);
+                prop_assert_eq!(
+                    &seq_report.attempts, &bat_report.attempts,
+                    "policy {:?}: per-key attempt schedules match", policy
+                );
+            }
+            let many = archive.retrieve_many(&ids);
+            prop_assert_eq!(many.len(), ids.len());
+            for (got, (payload, _)) in many.iter().zip(&named) {
+                prop_assert_eq!(
+                    got.as_ref().unwrap(), payload,
+                    "policy {:?}: retrieve_many matches", policy
+                );
+            }
+        }
+    }
+
+    /// Degraded retrieval under deterministic transient faults: the
+    /// batched fan-in (coalesced first attempt per node, individual
+    /// retries with the remaining budget) returns byte-identical
+    /// payloads, identical typed failures, and identical per-key
+    /// attempt schedules, with shards deleted down to the read
+    /// threshold.
+    #[test]
+    fn batched_retrieve_matches_sequential_under_transient_faults(
+        fault_seed in any::<u64>(),
+        lose_rot in any::<u64>(),
+    ) {
+        for policy in policies() {
+            let n = policy.shard_count();
+            let k = policy.read_threshold();
+            let payload = b"read equivalence under fire".to_vec();
+
+            let build = || {
+                let (mut archive, handles) = faulty_archive(&policy, fault_seed);
+                let id = archive.ingest(&payload, "eq").unwrap();
+                for j in 0..(n - k) {
+                    delete_shard(&archive, &handles, &id, (lose_rot as usize + j) % n);
+                }
+                (archive, id)
+            };
+
+            let (seq, seq_id) = build();
+            let seq_result = seq.retrieve_with_report(&seq_id);
+
+            let (bat, bat_id) = build();
+            let bat_result = bat.retrieve_with_report_batched(&bat_id);
+
+            match (&seq_result, &bat_result) {
+                (Ok((a, ra)), Ok((b, rb))) => {
+                    prop_assert_eq!(a, b, "policy {:?}: payload bytes", policy);
+                    prop_assert_eq!(
+                        &ra.attempts, &rb.attempts,
+                        "policy {:?}: per-key attempt schedules", policy
+                    );
+                }
+                (Err(a), Err(b)) => {
+                    prop_assert_eq!(
+                        format!("{a:?}"), format!("{b:?}"),
+                        "policy {:?}: typed failures must match", policy
+                    );
+                }
+                _ => prop_assert!(
+                    false,
+                    "policy {:?}: outcomes diverged (seq {:?}, batched {:?})",
+                    policy, seq_result.is_ok(), bat_result.is_ok()
+                ),
+            }
+        }
+    }
+
+    /// `retrieve_many` under deterministic transient faults: each
+    /// object's outcome in the cross-object fan-in (payload bytes,
+    /// typed failure, per-key attempt schedule) equals what a
+    /// standalone sequential `retrieve_with_report` produces, because
+    /// per-object rng derivation and per-key fault-stream consumption
+    /// are unchanged by grouping.
+    #[test]
+    fn read_many_matches_per_object_sequential_under_faults(
+        fault_seed in any::<u64>(),
+        count in 2usize..4,
+    ) {
+        for policy in policies() {
+            let items = payloads(fault_seed as u8, count);
+            let named: Vec<(&[u8], &str)> = items
+                .iter()
+                .enumerate()
+                .map(|(i, p)| (p.as_slice(), ["a", "b", "c", "d"][i]))
+                .collect();
+
+            let build = || {
+                let (mut archive, _handles) = faulty_archive(&policy, fault_seed);
+                let ids: Vec<ObjectId> = named
+                    .iter()
+                    .map(|(p, n)| archive.ingest(p, n).unwrap())
+                    .collect();
+                (archive, ids)
+            };
+
+            let (seq, seq_ids) = build();
+            let seq_results: Vec<_> = seq_ids
+                .iter()
+                .map(|id| seq.retrieve(id))
+                .collect();
+
+            let (bat, bat_ids) = build();
+            let bat_results = bat.retrieve_many(&bat_ids);
+
+            for ((a, b), id) in seq_results.iter().zip(&bat_results).zip(&seq_ids) {
+                match (a, b) {
+                    (Ok(x), Ok(y)) => prop_assert_eq!(
+                        x, y, "policy {:?} object {}: bytes", policy, id
+                    ),
+                    (Err(x), Err(y)) => prop_assert_eq!(
+                        format!("{x:?}"), format!("{y:?}"),
+                        "policy {:?} object {}: typed failures", policy, id
+                    ),
+                    _ => prop_assert!(
+                        false,
+                        "policy {:?} object {}: outcomes diverged (seq {:?}, batched {:?})",
+                        policy, id, a.is_ok(), b.is_ok()
+                    ),
+                }
+            }
+        }
+    }
+
+    /// Dedup retrieval (fault-free): the batched level-by-level tree
+    /// walk plus distinct-leaf batch fetch reassembles byte-identical
+    /// payloads, including payloads with repeated content whose leaf
+    /// lists carry duplicate block hashes.
+    #[test]
+    fn batched_dedup_retrieve_is_byte_identical(
+        seed in any::<u8>(),
+        worker_pick in 0usize..2,
+    ) {
+        let workers = [1usize, 3][worker_pick];
+        for policy in policies() {
+            let mut archive = dedup_archive(&policy, workers);
+            // ~20 KiB with a repeating period well under the chunker
+            // max: several blocks, some duplicated.
+            let repeated: Vec<u8> = (0..20_000u32)
+                .map(|i| seed.wrapping_add((i % 1024) as u8))
+                .collect();
+            let varied: Vec<u8> = (0..9_000u32)
+                .map(|i| seed.wrapping_mul(17).wrapping_add((i % 4093) as u8))
+                .collect();
+            let id_a = archive.ingest(&repeated, "rep").unwrap();
+            let id_b = archive.ingest(&varied, "var").unwrap();
+            for (id, payload) in [(&id_a, &repeated), (&id_b, &varied)] {
+                let seq = archive.retrieve(id).unwrap();
+                let bat = archive.retrieve_batched(id).unwrap();
+                prop_assert_eq!(&seq, payload, "policy {:?}", policy);
+                prop_assert_eq!(&seq, &bat, "policy {:?}: dedup bytes identical", policy);
+            }
+            let many = archive.retrieve_many(&[id_a, id_b]);
+            prop_assert_eq!(many[0].as_ref().unwrap(), &repeated);
+            prop_assert_eq!(many[1].as_ref().unwrap(), &varied);
+        }
+    }
+}
+
+#[test]
+fn retrieve_many_isolates_unknown_objects() {
+    let policy = PolicyKind::ErasureCoded { data: 2, parity: 2 };
+    let (mut archive, _handles) = plain_archive(&policy, 1);
+    let id = archive.ingest(b"present", "p").unwrap();
+    // An id minted by a different archive is unknown to this one.
+    let (mut other, _other_handles) = plain_archive(&policy, 1);
+    let ghost = other.ingest(b"elsewhere", "ghost").unwrap();
+    let results = archive.retrieve_many(&[ghost.clone(), id.clone()]);
+    assert!(matches!(
+        results[0],
+        Err(aeon_core::ArchiveError::UnknownObject(_))
+    ));
+    assert_eq!(results[1].as_ref().unwrap(), b"present");
+}

@@ -1,0 +1,90 @@
+//! Source-scan guard for the storage seam: every shard read and write
+//! in aeon-core must flow through `PlanExecutor` in `executor.rs`, so
+//! retry budgets, rng derivation, batching, and attempt accounting
+//! stay in one place. This test parses the crate's own sources and
+//! fails if any other module calls `Cluster` shard transfer methods or
+//! `StorageNode::{get,put}`/`{get,put}_batch` directly. Test modules
+//! (everything at and after the first `#[cfg(test)]`) are exempt —
+//! they may poke nodes to stage losses and inspect raw shards.
+
+use std::fs;
+use std::path::Path;
+
+/// Substrings that mark a direct shard transfer on the cluster or a
+/// node handle. `delete`/`keys`/`len` are deliberately absent: fleet
+/// loss injection and scans may enumerate and drop shards without
+/// going through the executor, because those are not transfers.
+const FORBIDDEN: &[&str] = &[
+    ".get_shards(",
+    ".put_shards(",
+    ".get_shards_retrying(",
+    ".put_shards_retrying(",
+    ".get_shards_batched_retrying(",
+    ".put_shards_batched_retrying(",
+    ".get_batch(",
+    ".put_batch(",
+    ".get(&ShardKey",
+    ".put(&ShardKey",
+];
+
+/// Strip line comments, then truncate at the first `#[cfg(test)]`:
+/// everything after it is test scaffolding, which is allowed to
+/// bypass the seam.
+fn non_test_source(raw: &str) -> String {
+    let mut out = String::new();
+    for line in raw.lines() {
+        if line.trim_start().starts_with("#[cfg(test)]") {
+            break;
+        }
+        let code = line.split("//").next().unwrap_or("");
+        out.push_str(code);
+        out.push('\n');
+    }
+    out
+}
+
+#[test]
+fn only_executor_touches_the_storage_seam() {
+    let src = Path::new(env!("CARGO_MANIFEST_DIR")).join("src");
+    let mut files: Vec<_> = fs::read_dir(&src)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|e| e == "rs"))
+        .collect();
+    files.sort();
+    assert!(
+        files.iter().any(|p| p.ends_with("executor.rs")),
+        "seam scan must see executor.rs; crate layout changed?"
+    );
+
+    let mut violations = Vec::new();
+    let mut scanned = 0usize;
+    for path in &files {
+        if path.ends_with("executor.rs") {
+            continue; // the seam itself
+        }
+        scanned += 1;
+        let body = non_test_source(&fs::read_to_string(path).unwrap());
+        for (lineno, line) in body.lines().enumerate() {
+            for pat in FORBIDDEN {
+                if line.contains(pat) {
+                    violations.push(format!(
+                        "{}:{}: `{}` — route this through PlanExecutor",
+                        path.file_name().unwrap().to_string_lossy(),
+                        lineno + 1,
+                        pat,
+                    ));
+                }
+            }
+        }
+    }
+    assert!(
+        scanned >= 5,
+        "expected to scan the core modules, saw {scanned}"
+    );
+    assert!(
+        violations.is_empty(),
+        "direct shard transfers outside executor.rs:\n{}",
+        violations.join("\n")
+    );
+}

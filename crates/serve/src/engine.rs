@@ -522,7 +522,12 @@ pub fn serve(
                         tenants[t].bytes_read += len;
                         Ok(())
                     } else {
-                        match archive.retrieve(id) {
+                        // A miss pays the full storage path; the
+                        // batched fetch coalesces the object's shard
+                        // reads into one framed request per node, so
+                        // miss latency charges one seek per node
+                        // instead of one per shard.
+                        match archive.retrieve_batched(id) {
                             Ok(data) => {
                                 tenants[t].bytes_read += data.len() as u64;
                                 cache.admit_payload(id, data.len() as u64);

@@ -67,15 +67,23 @@ pub struct ShardAttempt {
     pub error: Option<NodeError>,
 }
 
-/// Per-shard accounting from [`Cluster::get_shards_retrying`] /
-/// [`Cluster::put_shards_retrying`].
+/// Per-shard transfer accounting — one record per placement entry, in
+/// either direction: reads ([`Cluster::get_shards_retrying`],
+/// [`Cluster::get_shards_batched_retrying`]) and writes
+/// ([`Cluster::put_shards_retrying`],
+/// [`Cluster::put_shards_batched_retrying`]) share the shape, because
+/// both are per-shard fan-outs with bounded retry.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
-pub struct ReadReport {
+pub struct TransferReport {
     /// One record per placement entry, in shard order.
     pub attempts: Vec<ShardAttempt>,
 }
 
-impl ReadReport {
+/// Historical name for [`TransferReport`], kept for callers that only
+/// ever see it on the read path.
+pub type ReadReport = TransferReport;
+
+impl TransferReport {
     /// Attempts made against `node` across all shards.
     pub fn attempts_for(&self, node: NodeId) -> u32 {
         self.attempts
@@ -310,7 +318,7 @@ impl Cluster {
         shards: &[Vec<u8>],
         retry: &RetryPolicy,
         rng: &mut R,
-    ) -> (usize, ReadReport) {
+    ) -> (usize, TransferReport) {
         assert_eq!(placement.len(), shards.len(), "placement/shard mismatch");
         let mut written = 0usize;
         let mut attempts = Vec::with_capacity(placement.len());
@@ -340,7 +348,7 @@ impl Cluster {
                 error,
             });
         }
-        (written, ReadReport { attempts })
+        (written, TransferReport { attempts })
     }
 
     /// Stores shards with the same tolerance and per-shard accounting
@@ -361,7 +369,7 @@ impl Cluster {
         shards: &[Vec<u8>],
         retry: &RetryPolicy,
         rng: &mut R,
-    ) -> (usize, ReadReport) {
+    ) -> (usize, TransferReport) {
         assert_eq!(placement.len(), shards.len(), "placement/shard mismatch");
         let mut written = 0usize;
         let mut slots: Vec<Option<ShardAttempt>> = vec![None; placement.len()];
@@ -429,7 +437,95 @@ impl Cluster {
             }
         }
         let attempts = slots.into_iter().map(|s| s.expect("slot filled")).collect();
-        (written, ReadReport { attempts })
+        (written, TransferReport { attempts })
+    }
+
+    /// Fetches shards with the same tolerance and per-shard accounting
+    /// as [`Cluster::get_shards_retrying`], but coalesces the first
+    /// attempt: keys are grouped by source node and each group ships as
+    /// **one** [`StorageNode::get_batch`] call (one framed response,
+    /// one seek on media-priced nodes). Keys that fail retryably are
+    /// then retried *individually* with the remaining attempt budget,
+    /// so every key sees exactly `retry.max_attempts` total attempts —
+    /// the same per-key attempt schedule as the sequential path, which
+    /// is what keeps returned bytes and typed failures byte-identical
+    /// under deterministic fault injection. Only backoff *timing* and
+    /// jitter draw order differ (clock-only effects).
+    #[allow(clippy::type_complexity)]
+    pub fn get_shards_batched_retrying<R: CryptoRng + ?Sized>(
+        &self,
+        object: &str,
+        placement: &[NodeId],
+        retry: &RetryPolicy,
+        rng: &mut R,
+    ) -> (Vec<Option<Vec<u8>>>, TransferReport) {
+        let mut shards: Vec<Option<Vec<u8>>> = vec![None; placement.len()];
+        let mut slots: Vec<Option<ShardAttempt>> = vec![None; placement.len()];
+        // Group shard indices by source node, groups ordered by first
+        // occurrence in the placement (deterministic).
+        let mut groups: Vec<(NodeId, Vec<usize>)> = Vec::new();
+        for (i, node_id) in placement.iter().enumerate() {
+            match groups.iter_mut().find(|(id, _)| id == node_id) {
+                Some((_, idxs)) => idxs.push(i),
+                None => groups.push((*node_id, vec![i])),
+            }
+        }
+        for (node_id, idxs) in groups {
+            let Some(node) = self.node(node_id) else {
+                for i in idxs {
+                    slots[i] = Some(ShardAttempt {
+                        shard: i as u32,
+                        node: node_id,
+                        attempts: 0,
+                        error: Some(NodeError::Io("placement references unknown node".into())),
+                    });
+                }
+                continue;
+            };
+            let keys: Vec<ShardKey> = idxs
+                .iter()
+                .map(|&i| ShardKey::new(object, i as u32))
+                .collect();
+            // First attempt for every key: one coalesced frame.
+            let first = node.get_batch(&keys);
+            for (&i, result) in idxs.iter().zip(first) {
+                let (mut attempts, mut error) = match result {
+                    Ok(bytes) => {
+                        shards[i] = Some(bytes);
+                        (1, None)
+                    }
+                    Err(e) => (1, Some(e)),
+                };
+                // Spend the remaining attempt budget individually, so
+                // the per-key attempt count matches the sequential path.
+                if let Some(e) = error.take() {
+                    if RetryPolicy::is_retryable(&e) && retry.max_attempts > 1 {
+                        let rest = retry.clone().with_attempts(retry.max_attempts - 1);
+                        let key = ShardKey::new(object, i as u32);
+                        let (result, stats) =
+                            run_with_retry(&rest, &self.clock, rng, || node.get(&key));
+                        attempts += stats.attempts;
+                        error = match result {
+                            Ok(bytes) => {
+                                shards[i] = Some(bytes);
+                                None
+                            }
+                            Err(e) => Some(e),
+                        };
+                    } else {
+                        error = Some(e);
+                    }
+                }
+                slots[i] = Some(ShardAttempt {
+                    shard: i as u32,
+                    node: node_id,
+                    attempts,
+                    error,
+                });
+            }
+        }
+        let attempts = slots.into_iter().map(|s| s.expect("slot filled")).collect();
+        (shards, TransferReport { attempts })
     }
 
     /// Deletes an object's shards (best effort).
@@ -676,6 +772,90 @@ mod tests {
             .get_shards("obj", &placement)
             .iter()
             .all(|s| s.is_some()));
+    }
+
+    #[test]
+    fn batched_get_matches_sequential_outcome() {
+        use aeon_crypto::ChaChaDrbg;
+        let (cluster_a, handles_a) = cluster_with_handles();
+        let (cluster_b, handles_b) = cluster_with_handles();
+        let placement = cluster_a.place("obj", 4).unwrap();
+        assert_eq!(placement, cluster_b.place("obj", 4).unwrap());
+        let shards: Vec<Vec<u8>> = (0..4u8).map(|i| vec![i; 16]).collect();
+        for cluster in [&cluster_a, &cluster_b] {
+            cluster.put_shards("obj", &placement, &shards).unwrap();
+        }
+        // Same node offline in both worlds.
+        for handles in [&handles_a, &handles_b] {
+            handles
+                .iter()
+                .find(|h| h.id() == placement[1])
+                .unwrap()
+                .set_offline(true);
+        }
+        let retry = crate::retry::RetryPolicy::default().with_attempts(3);
+        let mut rng_a = ChaChaDrbg::from_u64_seed(7);
+        let mut rng_b = ChaChaDrbg::from_u64_seed(7);
+        let (s_seq, r_seq) = cluster_a.get_shards_retrying("obj", &placement, &retry, &mut rng_a);
+        let (s_bat, r_bat) =
+            cluster_b.get_shards_batched_retrying("obj", &placement, &retry, &mut rng_b);
+        assert_eq!(s_seq, s_bat, "returned bytes identical slot by slot");
+        assert_eq!(r_seq.failed_shards(), r_bat.failed_shards());
+        for (a, b) in r_seq.attempts.iter().zip(&r_bat.attempts) {
+            assert_eq!(a.shard, b.shard);
+            assert_eq!(a.node, b.node);
+            assert_eq!(a.attempts, b.attempts, "per-key attempt schedule matches");
+            assert_eq!(a.error, b.error, "typed failures match");
+        }
+    }
+
+    #[test]
+    fn batched_get_groups_by_node() {
+        use aeon_crypto::ChaChaDrbg;
+        // Place 4 shards on 2 nodes (repeat nodes in the placement):
+        // each node must serve one batch covering its shards.
+        let cluster = Cluster::in_memory(&["x"], 2);
+        let ids: Vec<NodeId> = cluster.nodes().iter().map(|n| n.id()).collect();
+        let placement = vec![ids[0], ids[1], ids[0], ids[1]];
+        let shards: Vec<Vec<u8>> = (0..4u8).map(|i| vec![i; 8]).collect();
+        cluster.put_shards("obj", &placement, &shards).unwrap();
+        let mut rng = ChaChaDrbg::from_u64_seed(3);
+        let (got, report) = cluster.get_shards_batched_retrying(
+            "obj",
+            &placement,
+            &crate::retry::RetryPolicy::none(),
+            &mut rng,
+        );
+        assert_eq!(
+            got,
+            shards.iter().cloned().map(Some).collect::<Vec<_>>(),
+            "payloads come back in shard order despite grouped execution"
+        );
+        assert!(report.failed_shards().is_empty());
+        // Report stays in shard order even though execution grouped.
+        let order: Vec<u32> = report.attempts.iter().map(|a| a.shard).collect();
+        assert_eq!(order, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn batched_get_missing_shard_is_not_retried() {
+        use aeon_crypto::ChaChaDrbg;
+        let (cluster, _handles) = cluster_with_handles();
+        let placement = cluster.place("obj", 3).unwrap();
+        let shards: Vec<Vec<u8>> = (0..3u8).map(|i| vec![i; 4]).collect();
+        cluster.put_shards("obj", &placement, &shards).unwrap();
+        cluster
+            .node(placement[2])
+            .unwrap()
+            .delete(&ShardKey::new("obj", 2))
+            .unwrap();
+        let retry = crate::retry::RetryPolicy::default().with_attempts(5);
+        let mut rng = ChaChaDrbg::from_u64_seed(9);
+        let (got, report) =
+            cluster.get_shards_batched_retrying("obj", &placement, &retry, &mut rng);
+        assert!(got[2].is_none());
+        assert_eq!(report.attempts[2].attempts, 1, "NotFound is permanent");
+        assert_eq!(report.attempts[2].error, Some(NodeError::NotFound));
     }
 
     #[test]

@@ -98,6 +98,19 @@ pub trait StorageNode: Send + Sync + fmt::Debug {
     /// [`NodeError::Io`].
     fn get(&self, key: &ShardKey) -> Result<Vec<u8>, NodeError>;
 
+    /// Retrieves a batch of shards from this node in one call — the
+    /// read-side coalescing hook mirroring [`StorageNode::put_batch`].
+    /// One `Result` per key, in order.
+    ///
+    /// The default delegates to [`StorageNode::get`] per key, so
+    /// fault-injecting decorators keep their exact per-key semantics
+    /// (each key is that key's next `get` access). Media decorators
+    /// override this to charge one seek for the whole response frame
+    /// instead of one per shard.
+    fn get_batch(&self, keys: &[ShardKey]) -> Vec<Result<Vec<u8>, NodeError>> {
+        keys.iter().map(|k| self.get(k)).collect()
+    }
+
     /// Deletes a shard (idempotent).
     ///
     /// # Errors

@@ -230,6 +230,26 @@ impl StorageNode for ThroughputNode {
         self.inner.put_batch(entries)
     }
 
+    fn get_batch(&self, keys: &[ShardKey]) -> Vec<Result<Vec<u8>, NodeError>> {
+        // One positioning operation plus one framed response transfer,
+        // priced from the response frame the inner node actually
+        // produced (hits carry their payload, misses a status byte).
+        // Delegate to the inner node's batch (NOT to `self.get`, which
+        // would re-charge a seek per key), so per-key outcomes are
+        // exactly the inner node's.
+        let results = self.inner.get_batch(keys);
+        let response: Vec<(ShardKey, Option<&[u8]>)> = keys
+            .iter()
+            .zip(&results)
+            .map(|(k, r)| (k.clone(), r.as_ref().ok().map(|d| d.as_slice())))
+            .collect();
+        self.clock.charge(
+            self.profile
+                .read_charge(crate::batch::read_framed_len(&response)),
+        );
+        results
+    }
+
     fn delete(&self, key: &ShardKey) -> Result<(), NodeError> {
         // Deletion is a catalog update plus positioning; no transfer.
         self.clock.charge(self.profile.seek);
@@ -363,6 +383,104 @@ mod tests {
         for k in &keys {
             assert_eq!(node.get(k).unwrap(), seq.get(k).unwrap());
         }
+    }
+
+    #[test]
+    fn get_charges_are_pinned_seek_plus_bytes() {
+        // Pin the read price list exactly: a hit costs one seek plus
+        // the payload over the read rate; a miss costs the bare seek.
+        let profile = flat_profile(1e6);
+        let clock = SimClock::new();
+        let node = ThroughputNode::new(Arc::new(MemoryNode::new(0, "a")), profile, clock.clone());
+        let key = ShardKey::new("o", 0);
+        node.put(&key, &[5u8; 250_000]).unwrap();
+        let after_put = clock.now();
+        node.get(&key).unwrap();
+        // 10 ms seek + 250 KB at 1 MB/s = 260 ms.
+        assert_eq!(clock.now(), after_put + SimDuration::from_millis(260));
+        assert!(node.get(&ShardKey::new("missing", 0)).is_err());
+        assert_eq!(
+            clock.now(),
+            after_put + SimDuration::from_millis(270),
+            "a miss pays exactly the 10 ms positioning cost"
+        );
+    }
+
+    #[test]
+    fn batched_get_charges_one_seek_for_the_frame() {
+        let clock = SimClock::new();
+        let node = ThroughputNode::new(
+            Arc::new(MemoryNode::new(0, "a")),
+            flat_profile(1e6),
+            clock.clone(),
+        );
+        let keys: Vec<ShardKey> = (0..8u32).map(|i| ShardKey::new("o", i)).collect();
+        let data = [9u8; 1_000];
+        for k in &keys {
+            node.put(k, &data).unwrap();
+        }
+        let after_writes = clock.now();
+        let results = node.get_batch(&keys);
+        assert!(results.iter().all(|r| r.is_ok()));
+        let batched = clock.now().since(after_writes);
+        // One seek for the whole response frame, versus eight for
+        // sequential gets.
+        let response: Vec<(ShardKey, Option<&[u8]>)> =
+            keys.iter().map(|k| (k.clone(), Some(&data[..]))).collect();
+        let frame = crate::batch::read_framed_len(&response);
+        assert_eq!(batched, flat_profile(1e6).read_charge(frame));
+        let seq_clock = SimClock::new();
+        let seq = ThroughputNode::new(
+            Arc::new(MemoryNode::new(1, "a")),
+            flat_profile(1e6),
+            seq_clock.clone(),
+        );
+        for k in &keys {
+            seq.put(k, &data).unwrap();
+        }
+        let seq_start = seq_clock.now();
+        for k in &keys {
+            seq.get(k).unwrap();
+        }
+        let sequential = seq_clock.now().since(seq_start);
+        assert!(
+            batched < sequential,
+            "coalesced response amortizes seeks: {batched:?} vs {sequential:?}"
+        );
+        // N sequential gets pay exactly N seeks plus N transfers.
+        let mut expected_seq = SimDuration::ZERO;
+        for _ in 0..keys.len() {
+            expected_seq += flat_profile(1e6).read_charge(data.len());
+        }
+        assert_eq!(sequential, expected_seq);
+    }
+
+    #[test]
+    fn batched_get_prices_misses_as_status_bytes() {
+        // A miss in the batch contributes only its entry header to the
+        // frame — no payload bytes — and per-key errors pass through.
+        let clock = SimClock::new();
+        let node = ThroughputNode::new(
+            Arc::new(MemoryNode::new(0, "a")),
+            flat_profile(1e6),
+            clock.clone(),
+        );
+        let present = ShardKey::new("o", 0);
+        node.put(&present, &[1u8; 100]).unwrap();
+        let start = clock.now();
+        let keys = vec![present.clone(), ShardKey::new("o", 1)];
+        let results = node.get_batch(&keys);
+        assert!(results[0].is_ok());
+        assert_eq!(results[1], Err(NodeError::NotFound));
+        let response: Vec<(ShardKey, Option<&[u8]>)> = vec![
+            (present, Some(&[1u8; 100][..])),
+            (ShardKey::new("o", 1), None),
+        ];
+        let frame = crate::batch::read_framed_len(&response);
+        assert_eq!(
+            clock.now().since(start),
+            flat_profile(1e6).read_charge(frame)
+        );
     }
 
     #[test]
