@@ -15,10 +15,10 @@ use aeon_integrity::ledger::Ledger;
 use aeon_integrity::timestamp::{AnchorMode, DocumentChain, SigBreakSchedule, TimestampAuthority};
 use aeon_num::pedersen::Committer;
 use aeon_num::ModpGroup;
-use aeon_store::cluster::{ClusterError, ReadReport};
+use aeon_store::cluster::{ClusterError, TransferReport};
 use aeon_store::node::NodeId;
 use aeon_store::retry::RetryPolicy;
-use aeon_store::Cluster;
+use aeon_store::{Cluster, DispatchPolicy};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -89,6 +89,13 @@ pub struct ArchiveConfig {
     /// a concurrency knob: iteration order and every campaign result
     /// are independent of it (clamped to at least 1).
     pub catalog_shards: usize,
+    /// How the cluster executes the per-node legs of batched
+    /// operations. `None` (the default) keeps whatever the cluster was
+    /// built with — sequential dispatch unless the
+    /// `AEON_FORCE_DISPATCH` environment override is set. `Some`
+    /// overrides the cluster, including one supplied to
+    /// [`Archive::with_cluster`].
+    pub dispatch: Option<DispatchPolicy>,
 }
 
 impl ArchiveConfig {
@@ -108,6 +115,7 @@ impl ArchiveConfig {
             retry: RetryPolicy::default(),
             dedup: None,
             catalog_shards: DEFAULT_CATALOG_SHARDS,
+            dispatch: None,
         }
     }
 
@@ -144,6 +152,15 @@ impl ArchiveConfig {
     /// Overrides the manifest-catalog shard count.
     pub fn with_catalog_shards(mut self, shards: usize) -> Self {
         self.catalog_shards = shards;
+        self
+    }
+
+    /// Overrides the cluster's dispatch policy for batched operations
+    /// ([`DispatchPolicy::Parallel`] overlaps per-node transfers on
+    /// virtual lanes; payloads and failures stay byte-identical, only
+    /// virtual timing changes).
+    pub fn with_dispatch(mut self, dispatch: DispatchPolicy) -> Self {
+        self.dispatch = Some(dispatch);
         self
     }
 }
@@ -354,7 +371,10 @@ impl Archive {
     pub fn in_memory(config: ArchiveConfig) -> Result<Self, ArchiveError> {
         config.policy.validate()?;
         let sites: Vec<&str> = config.sites.iter().map(|s| s.as_str()).collect();
-        let cluster = Cluster::in_memory(&sites, config.nodes_per_site);
+        let mut cluster = Cluster::in_memory(&sites, config.nodes_per_site);
+        if let Some(dispatch) = config.dispatch {
+            cluster = cluster.with_dispatch(dispatch);
+        }
         let mut rng = ChaChaDrbg::from_u64_seed(config.rng_seed);
         let tsa = TimestampAuthority::new(&mut rng, "wots-v1", config.year, 6);
         let dedup_index = BoundedIndex::new(config.dedup.as_ref().map_or(0, |d| d.index_capacity));
@@ -383,6 +403,10 @@ impl Archive {
     /// Returns [`ArchiveError::Policy`] for invalid default policies.
     pub fn with_cluster(config: ArchiveConfig, cluster: Cluster) -> Result<Self, ArchiveError> {
         config.policy.validate()?;
+        let cluster = match config.dispatch {
+            Some(dispatch) => cluster.with_dispatch(dispatch),
+            None => cluster,
+        };
         let mut rng = ChaChaDrbg::from_u64_seed(config.rng_seed);
         let tsa = TimestampAuthority::new(&mut rng, "wots-v1", config.year, 6);
         let dedup_index = BoundedIndex::new(config.dedup.as_ref().map_or(0, |d| d.index_capacity));
@@ -765,7 +789,7 @@ impl Archive {
     pub fn retrieve_with_report(
         &self,
         id: &ObjectId,
-    ) -> Result<(Vec<u8>, ReadReport), ArchiveError> {
+    ) -> Result<(Vec<u8>, TransferReport), ArchiveError> {
         let manifest = self
             .manifests
             .get(id)
@@ -801,7 +825,7 @@ impl Archive {
     pub fn retrieve_with_report_batched(
         &self,
         id: &ObjectId,
-    ) -> Result<(Vec<u8>, ReadReport), ArchiveError> {
+    ) -> Result<(Vec<u8>, TransferReport), ArchiveError> {
         let manifest = self
             .manifests
             .get(id)
@@ -859,7 +883,7 @@ impl Archive {
         &self,
         manifest: &Manifest,
         snap: ShardsSnapshot,
-    ) -> Result<(Vec<u8>, ReadReport), ArchiveError> {
+    ) -> Result<(Vec<u8>, TransferReport), ArchiveError> {
         let id = &manifest.id;
         let required = manifest.policy.read_threshold();
         if snap.valid < required {

@@ -59,7 +59,7 @@ use aeon_cas::{build_tree, merkle, BlockHash, Chunker, ChunkerParams, IndexStats
 use aeon_crypto::{ChaChaDrbg, Sha256};
 use aeon_secretshare::proactive::ProtocolCost;
 use aeon_store::clock::SimDuration;
-use aeon_store::cluster::ReadReport;
+use aeon_store::cluster::TransferReport;
 use std::collections::BTreeSet;
 
 /// Configuration of the archive's content-addressed dedup mode.
@@ -488,7 +488,7 @@ impl Archive {
         &self,
         hash: &BlockHash,
         owner: &ObjectId,
-        report: &mut ReadReport,
+        report: &mut TransferReport,
     ) -> Result<Vec<u8>, ArchiveError> {
         let Some(rec) = self.blocks.get(hash) else {
             return Err(ArchiveError::Policy(PolicyError::Malformed(format!(
@@ -538,7 +538,7 @@ impl Archive {
         &self,
         hashes: &[BlockHash],
         owner: &ObjectId,
-        report: &mut ReadReport,
+        report: &mut TransferReport,
     ) -> Result<Vec<Vec<u8>>, ArchiveError> {
         let mut distinct: Vec<BlockHash> = Vec::new();
         for h in hashes {
@@ -611,7 +611,7 @@ impl Archive {
         &self,
         root: &BlockHash,
         owner: &ObjectId,
-        report: &mut ReadReport,
+        report: &mut TransferReport,
     ) -> Result<Vec<BlockHash>, ArchiveError> {
         let mut leaves = Vec::new();
         // (hash, expected level); None = root, any interior level.
@@ -653,7 +653,7 @@ impl Archive {
         &self,
         root: &BlockHash,
         owner: &ObjectId,
-        report: &mut ReadReport,
+        report: &mut TransferReport,
     ) -> Result<Vec<BlockHash>, ArchiveError> {
         let mut leaves = Vec::new();
         // (hash, expected level); None = root, any interior level.
@@ -683,9 +683,9 @@ impl Archive {
     pub(crate) fn retrieve_dedup(
         &self,
         manifest: &Manifest,
-    ) -> Result<(Vec<u8>, ReadReport), ArchiveError> {
+    ) -> Result<(Vec<u8>, TransferReport), ArchiveError> {
         let d = manifest.blocks.as_ref().expect("dedup manifest");
-        let mut report = ReadReport::default();
+        let mut report = TransferReport::default();
         let leaves = self.walk_tree(&d.root, &manifest.id, &mut report)?;
         if leaves != d.blocks {
             return Err(ArchiveError::IntegrityViolation(manifest.id.clone()));
@@ -710,9 +710,9 @@ impl Archive {
     pub(crate) fn retrieve_dedup_batched(
         &self,
         manifest: &Manifest,
-    ) -> Result<(Vec<u8>, ReadReport), ArchiveError> {
+    ) -> Result<(Vec<u8>, TransferReport), ArchiveError> {
         let d = manifest.blocks.as_ref().expect("dedup manifest");
-        let mut report = ReadReport::default();
+        let mut report = TransferReport::default();
         let leaves = self.walk_tree_batched(&d.root, &manifest.id, &mut report)?;
         if leaves != d.blocks {
             return Err(ArchiveError::IntegrityViolation(manifest.id.clone()));
@@ -738,7 +738,7 @@ impl Archive {
     /// Typed like a retrieval, against a synthetic `root-<hex>` id.
     pub fn read_object_by_root(&self, root: &BlockHash) -> Result<Vec<u8>, ArchiveError> {
         let owner = ObjectId::from_raw(format!("root-{root}"));
-        let mut report = ReadReport::default();
+        let mut report = TransferReport::default();
         let leaves = self.walk_tree(root, &owner, &mut report)?;
         let mut payload = Vec::new();
         for h in &leaves {

@@ -135,20 +135,29 @@ impl<'a> PlanExecutor<'a> {
                 }
             }
         }
-        // First attempt: one coalesced frame per node across objects.
+        // First attempt: one coalesced frame per node across objects,
+        // all frames dispatched at once (overlapped on per-node lanes
+        // under parallel dispatch, in first-occurrence order under
+        // sequential).
         type SlotResult = Option<Result<Vec<u8>, aeon_store::node::NodeError>>;
         let mut first: Vec<Vec<SlotResult>> = plans
             .iter()
             .map(|plan| (0..plan.placement.len()).map(|_| None).collect())
             .collect();
-        for (node_id, slots) in &groups {
-            match self.cluster.node(*node_id) {
-                Some(node) => {
-                    let keys: Vec<ShardKey> = slots
-                        .iter()
-                        .map(|&(p, s)| ShardKey::new(plans[p].object.as_str(), s as u32))
-                        .collect();
-                    for (&(p, s), result) in slots.iter().zip(node.get_batch(&keys)) {
+        let lane_nodes: Vec<NodeId> = groups.iter().map(|(id, _)| *id).collect();
+        let frames = self.cluster.dispatch_lanes(&lane_nodes, |g| {
+            let (node_id, slots) = &groups[g];
+            let node = self.cluster.node(*node_id)?;
+            let keys: Vec<ShardKey> = slots
+                .iter()
+                .map(|&(p, s)| ShardKey::new(plans[p].object.as_str(), s as u32))
+                .collect();
+            Some(node.get_batch(&keys))
+        });
+        for ((_, slots), frame) in groups.iter().zip(frames) {
+            match frame {
+                Some(results) => {
+                    for (&(p, s), result) in slots.iter().zip(results) {
                         first[p][s] = Some(result);
                     }
                 }
@@ -348,24 +357,33 @@ impl<'a> PlanExecutor<'a> {
                 }
             }
         }
-        // First attempt: one coalesced frame per node across objects.
+        // First attempt: one coalesced frame per node across objects,
+        // all frames dispatched at once (overlapped on per-node lanes
+        // under parallel dispatch, in first-occurrence order under
+        // sequential).
         let mut first: Vec<Vec<Option<Result<(), aeon_store::node::NodeError>>>> = plans
             .iter()
             .map(|plan| (0..plan.shards.len()).map(|_| None).collect())
             .collect();
-        for (node_id, slots) in &groups {
-            match self.cluster.node(*node_id) {
-                Some(node) => {
-                    let entries: Vec<(ShardKey, &[u8])> = slots
-                        .iter()
-                        .map(|&(p, s)| {
-                            (
-                                ShardKey::new(plans[p].object.as_str(), s as u32),
-                                plans[p].shards[s].as_slice(),
-                            )
-                        })
-                        .collect();
-                    for (&(p, s), result) in slots.iter().zip(node.put_batch(&entries)) {
+        let lane_nodes: Vec<NodeId> = groups.iter().map(|(id, _)| *id).collect();
+        let frames = self.cluster.dispatch_lanes(&lane_nodes, |g| {
+            let (node_id, slots) = &groups[g];
+            let node = self.cluster.node(*node_id)?;
+            let entries: Vec<(ShardKey, &[u8])> = slots
+                .iter()
+                .map(|&(p, s)| {
+                    (
+                        ShardKey::new(plans[p].object.as_str(), s as u32),
+                        plans[p].shards[s].as_slice(),
+                    )
+                })
+                .collect();
+            Some(node.put_batch(&entries))
+        });
+        for ((_, slots), frame) in groups.iter().zip(frames) {
+            match frame {
+                Some(results) => {
+                    for (&(p, s), result) in slots.iter().zip(results) {
                         first[p][s] = Some(result);
                     }
                 }
@@ -471,16 +489,27 @@ impl<'a> PlanExecutor<'a> {
                 None => groups.push((node_id, vec![pos])),
             }
         }
-        // First attempt: one coalesced frame per node.
+        // Every target node must exist before any frame ships: the
+        // fan-out may overlap frames under parallel dispatch, so an
+        // unknown node is detected up front (side-effect free) rather
+        // than mid-flush.
+        for (node_id, _) in &groups {
+            self.cluster
+                .node(*node_id)
+                .ok_or(ArchiveError::Policy(PolicyError::Malformed(
+                    "placement references unknown node".into(),
+                )))?;
+        }
+        // First attempt: one coalesced frame per node, all frames
+        // dispatched at once (overlapped on per-node lanes under
+        // parallel dispatch, in first-occurrence order under
+        // sequential).
         let mut first: Vec<Option<Result<(), aeon_store::node::NodeError>>> =
             (0..writes.len()).map(|_| None).collect();
-        for (node_id, positions) in &groups {
-            let node =
-                self.cluster
-                    .node(*node_id)
-                    .ok_or(ArchiveError::Policy(PolicyError::Malformed(
-                        "placement references unknown node".into(),
-                    )))?;
+        let lane_nodes: Vec<NodeId> = groups.iter().map(|(id, _)| *id).collect();
+        let frames = self.cluster.dispatch_lanes(&lane_nodes, |g| {
+            let (node_id, positions) = &groups[g];
+            let node = self.cluster.node(*node_id).expect("pre-checked above");
             let entries: Vec<(ShardKey, &[u8])> = positions
                 .iter()
                 .map(|&p| {
@@ -488,7 +517,10 @@ impl<'a> PlanExecutor<'a> {
                     (ShardKey::new(object, *m as u32), data.as_slice())
                 })
                 .collect();
-            for (&p, result) in positions.iter().zip(node.put_batch(&entries)) {
+            node.put_batch(&entries)
+        });
+        for ((_, positions), results) in groups.iter().zip(frames) {
+            for (&p, result) in positions.iter().zip(results) {
                 first[p] = Some(result);
             }
         }

@@ -17,7 +17,7 @@ use aeon_core::{Archive, ArchiveConfig, IntegrityMode, ObjectId, PolicyKind, Ret
 use aeon_crypto::SuiteId;
 use aeon_store::faults::{FaultPlan, FaultyNode};
 use aeon_store::node::{MemoryNode, ShardKey, StorageNode};
-use aeon_store::Cluster;
+use aeon_store::{Cluster, DispatchPolicy};
 use proptest::prelude::*;
 use std::sync::Arc;
 
@@ -56,6 +56,14 @@ fn policies() -> Vec<PolicyKind> {
 }
 
 fn plain_archive(policy: &PolicyKind, workers: usize) -> (Archive, Vec<MemoryNode>) {
+    plain_archive_dispatch(policy, workers, DispatchPolicy::Sequential)
+}
+
+fn plain_archive_dispatch(
+    policy: &PolicyKind,
+    workers: usize,
+    dispatch: DispatchPolicy,
+) -> (Archive, Vec<MemoryNode>) {
     let n = policy.shard_count().max(1);
     let handles: Vec<MemoryNode> = (0..n as u32)
         .map(|i| MemoryNode::new(i, format!("site-{i}")))
@@ -66,12 +74,22 @@ fn plain_archive(policy: &PolicyKind, workers: usize) -> (Archive, Vec<MemoryNod
             .map(|h| Arc::new(h.clone()) as Arc<dyn StorageNode>)
             .collect(),
     );
-    let mut config = ArchiveConfig::new(policy.clone()).with_integrity(IntegrityMode::DigestOnly);
+    let mut config = ArchiveConfig::new(policy.clone())
+        .with_integrity(IntegrityMode::DigestOnly)
+        .with_dispatch(dispatch);
     config.pipeline.workers = workers;
     (Archive::with_cluster(config, cluster).unwrap(), handles)
 }
 
 fn faulty_archive(policy: &PolicyKind, fault_seed: u64) -> (Archive, Vec<MemoryNode>) {
+    faulty_archive_dispatch(policy, fault_seed, DispatchPolicy::Sequential)
+}
+
+fn faulty_archive_dispatch(
+    policy: &PolicyKind,
+    fault_seed: u64,
+    dispatch: DispatchPolicy,
+) -> (Archive, Vec<MemoryNode>) {
     let n = policy.shard_count().max(1);
     let handles: Vec<MemoryNode> = (0..n as u32)
         .map(|i| MemoryNode::new(i, format!("site-{i}")))
@@ -88,7 +106,8 @@ fn faulty_archive(policy: &PolicyKind, fault_seed: u64) -> (Archive, Vec<MemoryN
         .collect();
     let config = ArchiveConfig::new(policy.clone())
         .with_integrity(IntegrityMode::DigestOnly)
-        .with_retry(RetryPolicy::default().with_attempts(3));
+        .with_retry(RetryPolicy::default().with_attempts(3))
+        .with_dispatch(dispatch);
     (
         Archive::with_cluster(config, Cluster::new(nodes)).unwrap(),
         handles,
@@ -233,6 +252,109 @@ proptest! {
                 cluster_contents(&seq_handles),
                 cluster_contents(&bat_handles),
                 "policy {:?}: stored bytes must be identical after repair", policy
+            );
+        }
+    }
+
+    /// Parallel lane dispatch on the write side: `ingest_many` under
+    /// `DispatchPolicy::Parallel` mints the same ids and manifests and
+    /// leaves the cluster byte-identical to sequential dispatch, for
+    /// every policy and across worker counts.
+    #[test]
+    fn parallel_dispatch_ingest_is_byte_identical(
+        seed in any::<u8>(),
+        count in 1usize..4,
+        worker_pick in 0usize..3,
+    ) {
+        let workers = [1usize, 2, 8][worker_pick];
+        for policy in policies() {
+            let items = payloads(seed, count);
+            let named: Vec<(&[u8], &str)> = items
+                .iter()
+                .enumerate()
+                .map(|(i, p)| (p.as_slice(), ["a", "b", "c", "d"][i]))
+                .collect();
+
+            let (mut seq, seq_handles) = plain_archive(&policy, 1);
+            let seq_ids = seq.ingest_many(&named).unwrap();
+
+            let (mut par, par_handles) =
+                plain_archive_dispatch(&policy, 1, DispatchPolicy::Parallel { workers });
+            let par_ids = par.ingest_many(&named).unwrap();
+
+            prop_assert_eq!(&seq_ids, &par_ids, "policy {:?} workers {}", policy, workers);
+            for id in &seq_ids {
+                let a = seq.manifest(id).unwrap();
+                let b = par.manifest(id).unwrap();
+                prop_assert_eq!(a.digest, b.digest);
+                prop_assert_eq!(&a.shard_digests, &b.shard_digests);
+                prop_assert_eq!(&a.placement, &b.placement);
+            }
+            prop_assert_eq!(
+                cluster_contents(&seq_handles),
+                cluster_contents(&par_handles),
+                "policy {:?} workers {}: stored bytes must be identical", policy, workers
+            );
+        }
+    }
+
+    /// Parallel lane dispatch through batched repair under
+    /// deterministic transient faults: typed outcomes and stored bytes
+    /// equal the sequential-dispatch batched repair, for every policy
+    /// and across worker counts.
+    #[test]
+    fn parallel_dispatch_repair_matches_sequential_under_faults(
+        fault_seed in any::<u64>(),
+        lose_rot in any::<u64>(),
+        worker_pick in 0usize..3,
+    ) {
+        let workers = [1usize, 2, 8][worker_pick];
+        for policy in policies() {
+            let n = policy.shard_count();
+            let k = policy.read_threshold();
+            let payload = b"equivalence under fire, in lanes".to_vec();
+
+            let build = |dispatch| {
+                let (mut archive, handles) =
+                    faulty_archive_dispatch(&policy, fault_seed, dispatch);
+                let id = archive.ingest(&payload, "eq").unwrap();
+                for j in 0..(n - k) {
+                    delete_shard(&archive, &handles, &id, (lose_rot as usize + j) % n);
+                }
+                (archive, handles, id)
+            };
+
+            let (mut seq, seq_handles, seq_id) = build(DispatchPolicy::Sequential);
+            let seq_result = seq.repair_object_batched(&seq_id);
+
+            let (mut par, par_handles, par_id) =
+                build(DispatchPolicy::Parallel { workers });
+            let par_result = par.repair_object_batched(&par_id);
+
+            match (&seq_result, &par_result) {
+                (Ok(a), Ok(b)) => {
+                    prop_assert_eq!(a.missing_before, b.missing_before, "policy {:?}", policy);
+                    prop_assert_eq!(a.missing_after, b.missing_after, "policy {:?}", policy);
+                    prop_assert_eq!(&a.method, &b.method, "policy {:?}", policy);
+                    prop_assert_eq!(a.bytes_read, b.bytes_read, "policy {:?}", policy);
+                    prop_assert_eq!(a.bytes_written, b.bytes_written, "policy {:?}", policy);
+                }
+                (Err(a), Err(b)) => {
+                    prop_assert_eq!(
+                        format!("{a:?}"), format!("{b:?}"),
+                        "policy {:?} workers {}: typed failures must match", policy, workers
+                    );
+                }
+                _ => prop_assert!(
+                    false,
+                    "policy {:?} workers {}: outcomes diverged (seq {:?}, parallel {:?})",
+                    policy, workers, seq_result.is_ok(), par_result.is_ok()
+                ),
+            }
+            prop_assert_eq!(
+                cluster_contents(&seq_handles),
+                cluster_contents(&par_handles),
+                "policy {:?} workers {}: stored bytes identical after repair", policy, workers
             );
         }
     }

@@ -24,7 +24,7 @@ use aeon_core::{
 use aeon_crypto::SuiteId;
 use aeon_store::faults::{FaultPlan, FaultyNode};
 use aeon_store::node::{MemoryNode, ShardKey, StorageNode};
-use aeon_store::Cluster;
+use aeon_store::{Cluster, DispatchPolicy};
 use proptest::prelude::*;
 use std::sync::Arc;
 
@@ -79,6 +79,14 @@ fn plain_archive(policy: &PolicyKind, workers: usize) -> (Archive, Vec<MemoryNod
 }
 
 fn faulty_archive(policy: &PolicyKind, fault_seed: u64) -> (Archive, Vec<MemoryNode>) {
+    faulty_archive_dispatch(policy, fault_seed, DispatchPolicy::Sequential)
+}
+
+fn faulty_archive_dispatch(
+    policy: &PolicyKind,
+    fault_seed: u64,
+    dispatch: DispatchPolicy,
+) -> (Archive, Vec<MemoryNode>) {
     let n = policy.shard_count().max(1);
     let handles: Vec<MemoryNode> = (0..n as u32)
         .map(|i| MemoryNode::new(i, format!("site-{i}")))
@@ -95,7 +103,8 @@ fn faulty_archive(policy: &PolicyKind, fault_seed: u64) -> (Archive, Vec<MemoryN
         .collect();
     let config = ArchiveConfig::new(policy.clone())
         .with_integrity(IntegrityMode::DigestOnly)
-        .with_retry(RetryPolicy::default().with_attempts(3));
+        .with_retry(RetryPolicy::default().with_attempts(3))
+        .with_dispatch(dispatch);
     (
         Archive::with_cluster(config, Cluster::new(nodes)).unwrap(),
         handles,
@@ -117,6 +126,14 @@ fn small_dedup() -> DedupConfig {
 }
 
 fn dedup_archive(policy: &PolicyKind, workers: usize) -> Archive {
+    dedup_archive_dispatch(policy, workers, DispatchPolicy::Sequential)
+}
+
+fn dedup_archive_dispatch(
+    policy: &PolicyKind,
+    workers: usize,
+    dispatch: DispatchPolicy,
+) -> Archive {
     let n = policy.shard_count().max(1);
     let cluster = Cluster::new(
         (0..n as u32)
@@ -126,7 +143,8 @@ fn dedup_archive(policy: &PolicyKind, workers: usize) -> Archive {
     let config = ArchiveConfig::new(policy.clone())
         .with_integrity(IntegrityMode::DigestOnly)
         .with_pipeline(PipelineConfig::serial().with_workers(workers))
-        .with_dedup(small_dedup());
+        .with_dedup(small_dedup())
+        .with_dispatch(dispatch);
     Archive::with_cluster(config, cluster).unwrap()
 }
 
@@ -305,6 +323,146 @@ proptest! {
                     ),
                 }
             }
+        }
+    }
+
+    /// Parallel lane dispatch is invisible to everything but the
+    /// clock: batched retrieval under `DispatchPolicy::Parallel`
+    /// returns byte-identical payloads, identical typed failures, and
+    /// identical per-key attempt schedules to sequential dispatch, for
+    /// every policy and across worker counts, under deterministic
+    /// transient faults with shards deleted down to the read
+    /// threshold. (The companion pinned charge test — n-node balanced
+    /// batch costs ~1/n of sequential — lives with the lane model in
+    /// `aeon-store`.)
+    #[test]
+    fn parallel_dispatch_retrieve_matches_sequential_under_faults(
+        fault_seed in any::<u64>(),
+        lose_rot in any::<u64>(),
+        worker_pick in 0usize..3,
+    ) {
+        let workers = [1usize, 2, 8][worker_pick];
+        for policy in policies() {
+            let n = policy.shard_count();
+            let k = policy.read_threshold();
+            let payload = b"read equivalence across lanes".to_vec();
+
+            let build = |dispatch| {
+                let (mut archive, handles) =
+                    faulty_archive_dispatch(&policy, fault_seed, dispatch);
+                let id = archive.ingest(&payload, "eq").unwrap();
+                for j in 0..(n - k) {
+                    delete_shard(&archive, &handles, &id, (lose_rot as usize + j) % n);
+                }
+                (archive, id)
+            };
+
+            let (seq, seq_id) = build(DispatchPolicy::Sequential);
+            let seq_result = seq.retrieve_with_report_batched(&seq_id);
+
+            let (par, par_id) = build(DispatchPolicy::Parallel { workers });
+            let par_result = par.retrieve_with_report_batched(&par_id);
+
+            match (&seq_result, &par_result) {
+                (Ok((a, ra)), Ok((b, rb))) => {
+                    prop_assert_eq!(a, b, "policy {:?} workers {}: payload bytes", policy, workers);
+                    prop_assert_eq!(
+                        &ra.attempts, &rb.attempts,
+                        "policy {:?} workers {}: per-key attempt schedules", policy, workers
+                    );
+                }
+                (Err(a), Err(b)) => {
+                    prop_assert_eq!(
+                        format!("{a:?}"), format!("{b:?}"),
+                        "policy {:?} workers {}: typed failures must match", policy, workers
+                    );
+                }
+                _ => prop_assert!(
+                    false,
+                    "policy {:?} workers {}: outcomes diverged (seq {:?}, parallel {:?})",
+                    policy, workers, seq_result.is_ok(), par_result.is_ok()
+                ),
+            }
+        }
+    }
+
+    /// `retrieve_many`'s cross-object fan-in under parallel dispatch:
+    /// each object's outcome equals the sequential-dispatch fan-in's,
+    /// under deterministic transient faults.
+    #[test]
+    fn parallel_dispatch_retrieve_many_matches_sequential(
+        fault_seed in any::<u64>(),
+        count in 2usize..4,
+        worker_pick in 0usize..3,
+    ) {
+        let workers = [1usize, 2, 8][worker_pick];
+        for policy in policies() {
+            let items = payloads(fault_seed as u8, count);
+            let named: Vec<(&[u8], &str)> = items
+                .iter()
+                .enumerate()
+                .map(|(i, p)| (p.as_slice(), ["a", "b", "c", "d"][i]))
+                .collect();
+
+            let build = |dispatch| {
+                let (mut archive, _handles) =
+                    faulty_archive_dispatch(&policy, fault_seed, dispatch);
+                let ids: Vec<ObjectId> = named
+                    .iter()
+                    .map(|(p, n)| archive.ingest(p, n).unwrap())
+                    .collect();
+                (archive, ids)
+            };
+
+            let (seq, seq_ids) = build(DispatchPolicy::Sequential);
+            let seq_results = seq.retrieve_many(&seq_ids);
+
+            let (par, par_ids) = build(DispatchPolicy::Parallel { workers });
+            let par_results = par.retrieve_many(&par_ids);
+
+            for ((a, b), id) in seq_results.iter().zip(&par_results).zip(&seq_ids) {
+                match (a, b) {
+                    (Ok(x), Ok(y)) => prop_assert_eq!(
+                        x, y, "policy {:?} object {}: bytes", policy, id
+                    ),
+                    (Err(x), Err(y)) => prop_assert_eq!(
+                        format!("{x:?}"), format!("{y:?}"),
+                        "policy {:?} object {}: typed failures", policy, id
+                    ),
+                    _ => prop_assert!(
+                        false,
+                        "policy {:?} object {}: outcomes diverged (seq {:?}, parallel {:?})",
+                        policy, id, a.is_ok(), b.is_ok()
+                    ),
+                }
+            }
+        }
+    }
+
+    /// The dedup Merkle level walk under parallel dispatch: the
+    /// level-by-level `read_many` fan-in reassembles byte-identical
+    /// payloads, including duplicate-block payloads.
+    #[test]
+    fn parallel_dispatch_dedup_retrieve_is_byte_identical(
+        seed in any::<u8>(),
+        worker_pick in 0usize..3,
+    ) {
+        let workers = [1usize, 2, 8][worker_pick];
+        for policy in policies() {
+            let mut seq = dedup_archive(&policy, 1);
+            let mut par =
+                dedup_archive_dispatch(&policy, 1, DispatchPolicy::Parallel { workers });
+            let repeated: Vec<u8> = (0..20_000u32)
+                .map(|i| seed.wrapping_add((i % 1024) as u8))
+                .collect();
+            let seq_id = seq.ingest(&repeated, "rep").unwrap();
+            let par_id = par.ingest(&repeated, "rep").unwrap();
+            prop_assert_eq!(&seq_id, &par_id, "policy {:?}: ids identical", policy);
+            prop_assert_eq!(
+                seq.retrieve_batched(&seq_id).unwrap(),
+                par.retrieve_batched(&par_id).unwrap(),
+                "policy {:?}: dedup bytes identical across dispatch", policy
+            );
         }
     }
 

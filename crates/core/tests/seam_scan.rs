@@ -25,6 +25,13 @@ const FORBIDDEN: &[&str] = &[
     ".put_batch(",
     ".get(&ShardKey",
     ".put(&ShardKey",
+    // Parallel-lane dispatch primitives: lane bookkeeping and charge
+    // diversion must stay behind the executor/cluster seam, or virtual
+    // elapsed time stops being a function of the plan alone.
+    ".dispatch_lanes(",
+    ".divert(",
+    ".lane_clock(",
+    "LaneDispatch",
 ];
 
 /// Strip line comments, then truncate at the first `#[cfg(test)]`:

@@ -25,8 +25,11 @@
 //! elapsed time of a fixed operation multiset is independent of worker
 //! count and thread interleaving — a property the clock tests pin.
 
+use parking_lot::Mutex;
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::thread::ThreadId;
 
 /// Virtual nanoseconds in one simulated day (24 h).
 pub const NANOS_PER_DAY: u64 = 86_400 * NANOS_PER_SEC;
@@ -204,6 +207,34 @@ impl std::iter::Sum for SimDuration {
     }
 }
 
+/// Shared state behind every handle onto one timeline.
+///
+/// `ns` is the global frontier. `diversions`/`lanes` implement
+/// [`SimClock::divert`]: threads listed in `lanes` have their charges
+/// captured into a per-thread accumulator instead of the global
+/// counter, so a parallel lane dispatcher can replay them onto
+/// per-node lanes and advance the frontier by the critical path rather
+/// than the sum. `diversions` is a fast-path gate — when zero (the
+/// overwhelmingly common case) `charge`/`now`/`advance_to` never touch
+/// the mutex.
+#[derive(Debug, Default)]
+struct ClockInner {
+    ns: AtomicU64,
+    diversions: AtomicU64,
+    lanes: Mutex<HashMap<ThreadId, DivertFrame>>,
+}
+
+/// One thread's active charge diversion. `base` is the global reading
+/// when the diversion began; `accum` the virtual cost captured since.
+/// `outer` stacks nested diversions (inner captures win; the outer
+/// frame resumes untouched when the inner one ends).
+#[derive(Debug)]
+struct DivertFrame {
+    base: u64,
+    accum: u64,
+    outer: Option<Box<DivertFrame>>,
+}
+
 /// The shared virtual clock.
 ///
 /// A `SimClock` is a cheap-to-clone handle onto one atomic counter of
@@ -212,9 +243,15 @@ impl std::iter::Sum for SimDuration {
 /// The counter is **monotone by construction** — [`charge`](Self::charge)
 /// adds, [`advance_to`](Self::advance_to) takes a max — and is advanced
 /// only by simulated work, never by wall time.
+///
+/// [`divert`](Self::divert) layers a per-thread capture mode on top:
+/// inside a diversion, charges accumulate locally (the thread sees its
+/// own lane-local `now()`) and the global frontier is untouched until
+/// the dispatcher decides how to merge the captured costs. This is the
+/// primitive the parallel lane model is built on.
 #[derive(Debug, Clone, Default)]
 pub struct SimClock {
-    ns: Arc<AtomicU64>,
+    inner: Arc<ClockInner>,
 }
 
 impl SimClock {
@@ -224,10 +261,26 @@ impl SimClock {
         SimClock::default()
     }
 
-    /// The current virtual instant.
+    /// Runs `f` on the current thread's diversion frame, if one is
+    /// active. The atomic gate keeps the non-diverted path lock-free.
+    fn with_frame<R>(&self, f: impl FnOnce(&mut DivertFrame) -> R) -> Option<R> {
+        if self.inner.diversions.load(Ordering::SeqCst) == 0 {
+            return None;
+        }
+        let tid = std::thread::current().id();
+        let mut lanes = self.inner.lanes.lock();
+        lanes.get_mut(&tid).map(f)
+    }
+
+    /// The current virtual instant. Inside a [`divert`](Self::divert)
+    /// this is lane-local: the instant the diversion began plus the
+    /// cost captured so far on this thread.
     #[must_use]
     pub fn now(&self) -> SimTime {
-        SimTime(self.ns.load(Ordering::SeqCst))
+        if let Some(local) = self.with_frame(|fr| fr.base.saturating_add(fr.accum)) {
+            return SimTime(local);
+        }
+        SimTime(self.inner.ns.load(Ordering::SeqCst))
     }
 
     /// Charges `cost` of virtual time to the clock and returns the new
@@ -237,11 +290,22 @@ impl SimClock {
     /// range: a plain `fetch_add` would wrap the counter and let the
     /// timeline run backwards when a saturated duration (an offline
     /// device, a pathological backoff) is charged near `u64::MAX`.
+    ///
+    /// Inside a [`divert`](Self::divert), the cost is captured into the
+    /// thread's accumulator instead and the reading returned is
+    /// lane-local.
     pub fn charge(&self, cost: SimDuration) -> SimTime {
-        let mut cur = self.ns.load(Ordering::SeqCst);
+        if let Some(local) = self.with_frame(|fr| {
+            fr.accum = fr.accum.saturating_add(cost.0);
+            fr.base.saturating_add(fr.accum)
+        }) {
+            return SimTime(local);
+        }
+        let mut cur = self.inner.ns.load(Ordering::SeqCst);
         loop {
             let next = cur.saturating_add(cost.0);
             match self
+                .inner
                 .ns
                 .compare_exchange_weak(cur, next, Ordering::SeqCst, Ordering::SeqCst)
             {
@@ -255,14 +319,104 @@ impl SimClock {
     /// reading; otherwise does nothing (the clock never moves
     /// backwards). Used by epoch-driven schedules to jump to the start
     /// of a later epoch.
+    ///
+    /// Inside a [`divert`](Self::divert) the jump is captured into the
+    /// thread's accumulator (as a charge up to `instant`), never
+    /// written to the global frontier — a diverted worker cannot leak
+    /// time onto other lanes. That confinement is what makes a fixed
+    /// set of lane completions merge to one frontier regardless of
+    /// thread interleaving; `fetch_max` and `charge`'s add do not
+    /// commute with each other, so letting workers mix them on the
+    /// global counter would make elapsed time schedule-dependent.
     pub fn advance_to(&self, instant: SimTime) {
-        self.ns.fetch_max(instant.0, Ordering::SeqCst);
+        if self
+            .with_frame(|fr| {
+                let target = instant.0.saturating_sub(fr.base);
+                fr.accum = fr.accum.max(target);
+            })
+            .is_some()
+        {
+            return;
+        }
+        self.inner.ns.fetch_max(instant.0, Ordering::SeqCst);
+    }
+
+    /// Runs `f` with this thread's charges diverted into a local
+    /// accumulator, returning `f`'s result and the total virtual cost
+    /// it charged. The global frontier does not move; the caller
+    /// decides how the captured cost lands (e.g. on a per-node lane,
+    /// with the frontier advanced once to the critical path).
+    ///
+    /// Diversion is keyed by thread: other threads charging the same
+    /// clock are unaffected. Nested diversions stack — the inner frame
+    /// captures, the outer resumes unchanged when it ends. If `f`
+    /// panics, the frame is unwound (the captured cost is dropped with
+    /// the panic).
+    pub fn divert<T>(&self, f: impl FnOnce() -> T) -> (T, SimDuration) {
+        let tid = std::thread::current().id();
+        let base = self.inner.ns.load(Ordering::SeqCst);
+        {
+            let mut lanes = self.inner.lanes.lock();
+            let outer = lanes.remove(&tid).map(Box::new);
+            lanes.insert(
+                tid,
+                DivertFrame {
+                    base,
+                    accum: 0,
+                    outer,
+                },
+            );
+        }
+        self.inner.diversions.fetch_add(1, Ordering::SeqCst);
+        let guard = DivertGuard {
+            inner: &self.inner,
+            tid,
+            armed: true,
+        };
+        let out = f();
+        let captured = guard.finish();
+        (out, SimDuration(captured))
     }
 
     /// Whether two handles share one timeline.
     #[must_use]
     pub fn same_clock(&self, other: &SimClock) -> bool {
-        Arc::ptr_eq(&self.ns, &other.ns)
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+}
+
+/// Unwinds a diversion frame even if the diverted closure panics, so a
+/// panicking worker cannot leave its thread permanently diverted (the
+/// OS may reuse thread ids).
+struct DivertGuard<'a> {
+    inner: &'a ClockInner,
+    tid: ThreadId,
+    armed: bool,
+}
+
+impl DivertGuard<'_> {
+    fn pop(&self) -> u64 {
+        let mut lanes = self.inner.lanes.lock();
+        let frame = lanes.remove(&self.tid).expect("diversion frame present");
+        if let Some(outer) = frame.outer {
+            lanes.insert(self.tid, *outer);
+        }
+        drop(lanes);
+        self.inner.diversions.fetch_sub(1, Ordering::SeqCst);
+        frame.accum
+    }
+
+    fn finish(mut self) -> u64 {
+        self.armed = false;
+        self.pop()
+    }
+}
+
+impl Drop for DivertGuard<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            self.pop();
+        }
     }
 }
 
@@ -394,6 +548,86 @@ mod tests {
             b.charge(SimDuration::from_nanos(*c));
         }
         assert_eq!(a.now(), b.now());
+    }
+
+    #[test]
+    fn divert_captures_charges_without_moving_the_frontier() {
+        let clock = SimClock::new();
+        clock.charge(SimDuration::from_millis(10));
+        let ((), cost) = clock.divert(|| {
+            clock.charge(SimDuration::from_millis(3));
+            clock.charge(SimDuration::from_millis(4));
+            // Lane-local reading: diversion base plus captured cost.
+            assert_eq!(clock.now().as_millis(), 17);
+        });
+        assert_eq!(cost.as_millis(), 7);
+        assert_eq!(clock.now().as_millis(), 10, "frontier untouched");
+    }
+
+    #[test]
+    fn divert_is_keyed_by_thread() {
+        let clock = SimClock::new();
+        let ((), cost) = clock.divert(|| {
+            // A charge from another thread goes to the global counter,
+            // not this thread's accumulator.
+            let other = clock.clone();
+            std::thread::spawn(move || {
+                other.charge(SimDuration::from_millis(100));
+            })
+            .join()
+            .unwrap();
+            clock.charge(SimDuration::from_millis(1));
+        });
+        assert_eq!(cost.as_millis(), 1);
+        assert_eq!(clock.now().as_millis(), 100);
+    }
+
+    #[test]
+    fn diverted_advance_to_stays_on_the_lane() {
+        let clock = SimClock::new();
+        clock.charge(SimDuration::from_millis(5));
+        let ((), cost) = clock.divert(|| {
+            // An epoch jump inside a diversion (e.g. a FaultyNode
+            // moving to an offline window's end) is captured as lane
+            // cost, never written through to the global frontier.
+            clock.advance_to(SimTime::from_nanos(9_000_000));
+            assert_eq!(clock.now().as_millis(), 9);
+            // Jumping backwards is still a no-op.
+            clock.advance_to(SimTime::from_nanos(1));
+            assert_eq!(clock.now().as_millis(), 9);
+        });
+        assert_eq!(cost.as_millis(), 4, "cost is the jump past base");
+        assert_eq!(clock.now().as_millis(), 5, "frontier untouched");
+    }
+
+    #[test]
+    fn nested_diversions_stack() {
+        let clock = SimClock::new();
+        let ((), outer) = clock.divert(|| {
+            clock.charge(SimDuration::from_millis(2));
+            let ((), inner) = clock.divert(|| {
+                clock.charge(SimDuration::from_millis(50));
+            });
+            assert_eq!(inner.as_millis(), 50);
+            clock.charge(SimDuration::from_millis(3));
+        });
+        assert_eq!(outer.as_millis(), 5, "inner capture not double-counted");
+        assert_eq!(clock.now(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn divert_unwinds_on_panic() {
+        let clock = SimClock::new();
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            clock.divert(|| {
+                clock.charge(SimDuration::from_millis(9));
+                panic!("boom");
+            })
+        }));
+        assert!(caught.is_err());
+        // The frame was popped: charges land globally again.
+        clock.charge(SimDuration::from_millis(1));
+        assert_eq!(clock.now().as_millis(), 1);
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! directly get the same primitives without that discipline.
 
 use crate::clock::SimClock;
+use crate::lane::{scatter, DispatchPolicy, LaneClock};
 use crate::node::{MemoryNode, NodeError, NodeId, ShardKey, StorageNode};
 use crate::retry::{run_with_retry, RetryPolicy};
 use aeon_crypto::CryptoRng;
@@ -79,10 +80,6 @@ pub struct TransferReport {
     pub attempts: Vec<ShardAttempt>,
 }
 
-/// Historical name for [`TransferReport`], kept for callers that only
-/// ever see it on the read path.
-pub type ReadReport = TransferReport;
-
 impl TransferReport {
     /// Attempts made against `node` across all shards.
     pub fn attempts_for(&self, node: NodeId) -> u32 {
@@ -126,6 +123,8 @@ impl TransferReport {
 pub struct Cluster {
     nodes: Vec<Arc<dyn StorageNode>>,
     clock: SimClock,
+    lanes: LaneClock,
+    dispatch: DispatchPolicy,
 }
 
 impl Cluster {
@@ -134,10 +133,17 @@ impl Cluster {
     /// ([`crate::throughput::ThroughputNode`], [`crate::faults::FaultyNode`]),
     /// install their shared clock with [`Cluster::with_clock`] so retry
     /// backoff lands on the same timeline.
+    ///
+    /// Dispatch defaults to [`DispatchPolicy::Sequential`] unless the
+    /// `AEON_FORCE_DISPATCH` environment override is set (the CI hook
+    /// that reruns the equivalence suites under parallel lanes).
     pub fn new(nodes: Vec<Arc<dyn StorageNode>>) -> Self {
+        let clock = SimClock::new();
         Cluster {
             nodes,
-            clock: SimClock::new(),
+            lanes: LaneClock::new(clock.clone()),
+            clock,
+            dispatch: DispatchPolicy::from_env().unwrap_or_default(),
         }
     }
 
@@ -156,17 +162,70 @@ impl Cluster {
     }
 
     /// Replaces the cluster's clock with a shared handle (builder
-    /// style). Cloning the cluster keeps sharing this timeline.
+    /// style). Cloning the cluster keeps sharing this timeline. Lane
+    /// frontiers are rebuilt over the new timeline.
     #[must_use]
     pub fn with_clock(mut self, clock: SimClock) -> Self {
+        self.lanes = LaneClock::new(clock.clone());
         self.clock = clock;
         self
+    }
+
+    /// Selects how batched operations execute their per-node legs
+    /// (builder style). Sequential is the default; see
+    /// [`DispatchPolicy`] for the trade.
+    #[must_use]
+    pub fn with_dispatch(mut self, dispatch: DispatchPolicy) -> Self {
+        self.dispatch = dispatch;
+        self
+    }
+
+    /// The dispatch policy in effect for batched operations.
+    pub fn dispatch_policy(&self) -> DispatchPolicy {
+        self.dispatch
+    }
+
+    /// The per-node lane frontiers (parallel dispatch accounting).
+    pub fn lane_clock(&self) -> &LaneClock {
+        &self.lanes
     }
 
     /// The virtual clock that retry backoff (and any time-charging node
     /// decorators built with the same handle) advance.
     pub fn clock(&self) -> &SimClock {
         &self.clock
+    }
+
+    /// Runs one closure per entry of `lane_nodes` and returns results
+    /// in index order. This is the **only** lane-dispatch seam: under
+    /// [`DispatchPolicy::Sequential`] the closures run in order on the
+    /// caller's thread, charging the global clock exactly as the
+    /// pre-lane code did; under [`DispatchPolicy::Parallel`] they fan
+    /// out on a scoped thread pool with charges diverted per thread
+    /// ([`SimClock::divert`]) and replayed onto each node's lane, and
+    /// the global clock advances once to the critical path.
+    ///
+    /// `op` must be pure modulo node I/O — results are merged by index,
+    /// so outputs are independent of thread interleaving as long as
+    /// each closure touches only its own node (the grouping invariant
+    /// of the batched ops).
+    pub fn dispatch_lanes<T: Send, F>(&self, lane_nodes: &[NodeId], op: F) -> Vec<T>
+    where
+        F: Fn(usize) -> T + Sync,
+    {
+        match self.dispatch {
+            DispatchPolicy::Sequential => (0..lane_nodes.len()).map(op).collect(),
+            DispatchPolicy::Parallel { workers } => {
+                let dispatch = self.lanes.begin();
+                let out = scatter(lane_nodes.len(), workers, &|i| {
+                    let (out, cost) = self.clock.divert(|| op(i));
+                    dispatch.charge(lane_nodes[i], cost);
+                    out
+                });
+                dispatch.finish();
+                out
+            }
+        }
     }
 
     /// The cluster's nodes.
@@ -275,7 +334,7 @@ impl Cluster {
         placement: &[NodeId],
         retry: &RetryPolicy,
         rng: &mut R,
-    ) -> (Vec<Option<Vec<u8>>>, ReadReport) {
+    ) -> (Vec<Option<Vec<u8>>>, TransferReport) {
         let mut shards = Vec::with_capacity(placement.len());
         let mut attempts = Vec::with_capacity(placement.len());
         for (i, node_id) in placement.iter().enumerate() {
@@ -303,7 +362,7 @@ impl Cluster {
                 error,
             });
         }
-        (shards, ReadReport { attempts })
+        (shards, TransferReport { attempts })
     }
 
     /// Stores an object's shards with bounded retry per node, tolerating
@@ -362,6 +421,12 @@ impl Cluster {
     /// is what keeps stored bytes and typed failures byte-identical
     /// under deterministic fault injection. Only backoff *timing* and
     /// jitter draw order differ (clock-only effects).
+    ///
+    /// Under [`DispatchPolicy::Parallel`] the per-node first-attempt
+    /// frames overlap on virtual lanes (and real threads) and the
+    /// batch costs the critical path instead of the sum; retries stay
+    /// sequential in placement order so attempt schedules and rng draw
+    /// order match the sequential path exactly.
     pub fn put_shards_batched_retrying<R: CryptoRng + ?Sized>(
         &self,
         object: &str,
@@ -373,34 +438,38 @@ impl Cluster {
         assert_eq!(placement.len(), shards.len(), "placement/shard mismatch");
         let mut written = 0usize;
         let mut slots: Vec<Option<ShardAttempt>> = vec![None; placement.len()];
-        // Group shard indices by target node, groups ordered by first
-        // occurrence in the placement (deterministic).
-        let mut groups: Vec<(NodeId, Vec<usize>)> = Vec::new();
-        for (i, node_id) in placement.iter().enumerate() {
-            match groups.iter_mut().find(|(id, _)| id == node_id) {
-                Some((_, idxs)) => idxs.push(i),
-                None => groups.push((*node_id, vec![i])),
-            }
-        }
-        for (node_id, idxs) in groups {
-            let Some(node) = self.node(node_id) else {
-                for i in idxs {
+        let groups = group_by_node(placement);
+        let lane_nodes: Vec<NodeId> = groups.iter().map(|(id, _)| *id).collect();
+        // First attempt for every entry: one coalesced frame per node,
+        // all frames dispatched at once (overlapped under parallel
+        // lanes, in placement order under sequential dispatch).
+        let first: Vec<Option<Vec<Result<(), NodeError>>>> =
+            self.dispatch_lanes(&lane_nodes, |g| {
+                let (node_id, idxs) = &groups[g];
+                let node = self.node(*node_id)?;
+                let entries: Vec<(ShardKey, &[u8])> = idxs
+                    .iter()
+                    .map(|&i| (ShardKey::new(object, i as u32), shards[i].as_slice()))
+                    .collect();
+                Some(node.put_batch(&entries))
+            });
+        // Resolve in group order: record outcomes and spend the
+        // remaining attempt budget individually, so the per-key attempt
+        // count matches the sequential path.
+        for ((node_id, idxs), outcome) in groups.iter().zip(first) {
+            let Some(results) = outcome else {
+                for &i in idxs {
                     slots[i] = Some(ShardAttempt {
                         shard: i as u32,
-                        node: node_id,
+                        node: *node_id,
                         attempts: 0,
                         error: Some(NodeError::Io("placement references unknown node".into())),
                     });
                 }
                 continue;
             };
-            let entries: Vec<(ShardKey, &[u8])> = idxs
-                .iter()
-                .map(|&i| (ShardKey::new(object, i as u32), shards[i].as_slice()))
-                .collect();
-            // First attempt for every entry: one coalesced frame.
-            let first = node.put_batch(&entries);
-            for (&i, result) in idxs.iter().zip(first) {
+            let node = self.node(*node_id).expect("checked in dispatch");
+            for (&i, result) in idxs.iter().zip(results) {
                 let (mut attempts, mut error) = match result {
                     Ok(()) => {
                         written += 1;
@@ -408,8 +477,6 @@ impl Cluster {
                     }
                     Err(e) => (1, Some(e)),
                 };
-                // Spend the remaining attempt budget individually, so
-                // the per-key attempt count matches the sequential path.
                 if let Some(e) = error.take() {
                     if RetryPolicy::is_retryable(&e) && retry.max_attempts > 1 {
                         let rest = retry.clone().with_attempts(retry.max_attempts - 1);
@@ -430,7 +497,7 @@ impl Cluster {
                 }
                 slots[i] = Some(ShardAttempt {
                     shard: i as u32,
-                    node: node_id,
+                    node: *node_id,
                     attempts,
                     error,
                 });
@@ -451,6 +518,12 @@ impl Cluster {
     /// is what keeps returned bytes and typed failures byte-identical
     /// under deterministic fault injection. Only backoff *timing* and
     /// jitter draw order differ (clock-only effects).
+    ///
+    /// Under [`DispatchPolicy::Parallel`] the per-node first-attempt
+    /// frames overlap on virtual lanes (and real threads) and the
+    /// batch costs the critical path instead of the sum; retries stay
+    /// sequential in placement order so attempt schedules and rng draw
+    /// order match the sequential path exactly.
     #[allow(clippy::type_complexity)]
     pub fn get_shards_batched_retrying<R: CryptoRng + ?Sized>(
         &self,
@@ -461,34 +534,38 @@ impl Cluster {
     ) -> (Vec<Option<Vec<u8>>>, TransferReport) {
         let mut shards: Vec<Option<Vec<u8>>> = vec![None; placement.len()];
         let mut slots: Vec<Option<ShardAttempt>> = vec![None; placement.len()];
-        // Group shard indices by source node, groups ordered by first
-        // occurrence in the placement (deterministic).
-        let mut groups: Vec<(NodeId, Vec<usize>)> = Vec::new();
-        for (i, node_id) in placement.iter().enumerate() {
-            match groups.iter_mut().find(|(id, _)| id == node_id) {
-                Some((_, idxs)) => idxs.push(i),
-                None => groups.push((*node_id, vec![i])),
-            }
-        }
-        for (node_id, idxs) in groups {
-            let Some(node) = self.node(node_id) else {
-                for i in idxs {
+        let groups = group_by_node(placement);
+        let lane_nodes: Vec<NodeId> = groups.iter().map(|(id, _)| *id).collect();
+        // First attempt for every key: one coalesced frame per node,
+        // all frames dispatched at once (overlapped under parallel
+        // lanes, in placement order under sequential dispatch).
+        let first: Vec<Option<Vec<Result<Vec<u8>, NodeError>>>> =
+            self.dispatch_lanes(&lane_nodes, |g| {
+                let (node_id, idxs) = &groups[g];
+                let node = self.node(*node_id)?;
+                let keys: Vec<ShardKey> = idxs
+                    .iter()
+                    .map(|&i| ShardKey::new(object, i as u32))
+                    .collect();
+                Some(node.get_batch(&keys))
+            });
+        // Resolve in group order: record outcomes and spend the
+        // remaining attempt budget individually, so the per-key attempt
+        // count matches the sequential path.
+        for ((node_id, idxs), outcome) in groups.iter().zip(first) {
+            let Some(results) = outcome else {
+                for &i in idxs {
                     slots[i] = Some(ShardAttempt {
                         shard: i as u32,
-                        node: node_id,
+                        node: *node_id,
                         attempts: 0,
                         error: Some(NodeError::Io("placement references unknown node".into())),
                     });
                 }
                 continue;
             };
-            let keys: Vec<ShardKey> = idxs
-                .iter()
-                .map(|&i| ShardKey::new(object, i as u32))
-                .collect();
-            // First attempt for every key: one coalesced frame.
-            let first = node.get_batch(&keys);
-            for (&i, result) in idxs.iter().zip(first) {
+            let node = self.node(*node_id).expect("checked in dispatch");
+            for (&i, result) in idxs.iter().zip(results) {
                 let (mut attempts, mut error) = match result {
                     Ok(bytes) => {
                         shards[i] = Some(bytes);
@@ -518,7 +595,7 @@ impl Cluster {
                 }
                 slots[i] = Some(ShardAttempt {
                     shard: i as u32,
-                    node: node_id,
+                    node: *node_id,
                     attempts,
                     error,
                 });
@@ -554,6 +631,21 @@ impl Cluster {
     }
 }
 
+/// Groups shard indices by node, groups ordered by first occurrence in
+/// the placement (deterministic, and the invariant the parallel
+/// dispatch relies on: each node appears in exactly one group, so
+/// concurrent first-attempt frames never touch the same node).
+fn group_by_node(placement: &[NodeId]) -> Vec<(NodeId, Vec<usize>)> {
+    let mut groups: Vec<(NodeId, Vec<usize>)> = Vec::new();
+    for (i, node_id) in placement.iter().enumerate() {
+        match groups.iter_mut().find(|(id, _)| id == node_id) {
+            Some((_, idxs)) => idxs.push(i),
+            None => groups.push((*node_id, vec![i])),
+        }
+    }
+    groups
+}
+
 fn stable_hash(s: &str) -> u64 {
     // FNV-1a.
     let mut h: u64 = 0xcbf29ce484222325;
@@ -567,6 +659,8 @@ fn stable_hash(s: &str) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::clock::SimDuration;
+    use crate::throughput::{throughput_in_memory_cluster, ThroughputProfile};
 
     fn cluster_with_handles() -> (Cluster, Vec<MemoryNode>) {
         let handles: Vec<MemoryNode> = (0..6)
@@ -867,5 +961,95 @@ mod tests {
             .unwrap();
         assert_eq!(cluster.total_stored_bytes(), 150);
         assert_eq!(cluster.sites(), vec!["x".to_string(), "y".to_string()]);
+    }
+
+    /// One seek-dominated throughput cluster per dispatch mode, with a
+    /// balanced placement of one shard per node.
+    fn seek_heavy_pair(n: usize) -> (Cluster, Cluster, Vec<NodeId>, Vec<Vec<u8>>) {
+        let profile = ThroughputProfile::new(SimDuration::from_secs(30), 1e9, 1e9);
+        let sites: Vec<String> = (0..n).map(|i| format!("s{i}")).collect();
+        let site_refs: Vec<&str> = sites.iter().map(|s| s.as_str()).collect();
+        let (seq, _) = throughput_in_memory_cluster(&site_refs, 1, &profile);
+        let (par, _) = throughput_in_memory_cluster(&site_refs, 1, &profile);
+        let par = par.with_dispatch(DispatchPolicy::Parallel { workers: 4 });
+        let placement = seq.place("obj", n).unwrap();
+        assert_eq!(par.place("obj", n).unwrap(), placement);
+        let shards: Vec<Vec<u8>> = (0..n).map(|i| vec![i as u8; 512]).collect();
+        (seq, par, placement, shards)
+    }
+
+    /// The pinned lane-charge contract: an n-node balanced batch under
+    /// parallel dispatch costs the critical path (~1/n of the
+    /// sequential sum), while bytes and reports stay identical.
+    #[test]
+    fn parallel_balanced_batch_costs_one_nth_of_sequential() {
+        use aeon_crypto::ChaChaDrbg;
+        let n = 6;
+        let (seq, par, placement, shards) = seek_heavy_pair(n);
+        let retry = crate::retry::RetryPolicy::default();
+
+        let t0 = seq.clock().now();
+        let mut rng = ChaChaDrbg::from_u64_seed(1);
+        let (w_seq, rep_seq) =
+            seq.put_shards_batched_retrying("obj", &placement, &shards, &retry, &mut rng);
+        let seq_put = seq.clock().now() - t0;
+
+        let t0 = par.clock().now();
+        let mut rng = ChaChaDrbg::from_u64_seed(1);
+        let (w_par, rep_par) =
+            par.put_shards_batched_retrying("obj", &placement, &shards, &retry, &mut rng);
+        let par_put = par.clock().now() - t0;
+
+        assert_eq!(w_seq, w_par);
+        assert_eq!(rep_seq, rep_par, "accounting identical across dispatch");
+        // Sequential charges n seeks back to back; parallel overlaps
+        // them, so the batch costs one seek (plus the tiny transfer).
+        let ratio = seq_put.as_secs_f64() / par_put.as_secs_f64();
+        assert!(
+            (ratio - n as f64).abs() < 0.01,
+            "put speedup {ratio:.3}, want ~{n}"
+        );
+
+        let t0 = seq.clock().now();
+        let mut rng = ChaChaDrbg::from_u64_seed(2);
+        let (got_seq, grep_seq) =
+            seq.get_shards_batched_retrying("obj", &placement, &retry, &mut rng);
+        let seq_get = seq.clock().now() - t0;
+
+        let t0 = par.clock().now();
+        let mut rng = ChaChaDrbg::from_u64_seed(2);
+        let (got_par, grep_par) =
+            par.get_shards_batched_retrying("obj", &placement, &retry, &mut rng);
+        let par_get = par.clock().now() - t0;
+
+        assert_eq!(got_seq, got_par, "payloads byte-identical");
+        assert_eq!(grep_seq, grep_par);
+        let ratio = seq_get.as_secs_f64() / par_get.as_secs_f64();
+        assert!(
+            (ratio - n as f64).abs() < 0.01,
+            "get speedup {ratio:.3}, want ~{n}"
+        );
+    }
+
+    /// Worker count changes wall-clock execution only: virtual elapsed
+    /// time, payloads, and reports are worker-count independent.
+    #[test]
+    fn parallel_virtual_time_is_worker_count_independent() {
+        use aeon_crypto::ChaChaDrbg;
+        let n = 5;
+        let mut elapsed = Vec::new();
+        for workers in [1usize, 2, 8] {
+            let (_, par, placement, shards) = seek_heavy_pair(n);
+            let par = par.with_dispatch(DispatchPolicy::Parallel { workers });
+            let retry = crate::retry::RetryPolicy::default();
+            let mut rng = ChaChaDrbg::from_u64_seed(3);
+            par.put_shards_batched_retrying("obj", &placement, &shards, &retry, &mut rng);
+            let (got, rep) = par.get_shards_batched_retrying("obj", &placement, &retry, &mut rng);
+            assert!(got.iter().all(Option::is_some));
+            assert_eq!(rep.total_attempts(), n as u32);
+            elapsed.push(par.clock().now());
+        }
+        assert_eq!(elapsed[0], elapsed[1]);
+        assert_eq!(elapsed[1], elapsed[2]);
     }
 }

@@ -46,6 +46,7 @@ pub mod clock;
 pub mod cluster;
 pub mod durability;
 pub mod faults;
+pub mod lane;
 pub mod media;
 pub mod node;
 pub mod retry;
@@ -54,6 +55,7 @@ pub mod throughput;
 pub use clock::{EpochSchedule, SimClock, SimDuration, SimTime};
 pub use cluster::Cluster;
 pub use faults::{FaultEvent, FaultKind, FaultPlan, FaultyNode};
+pub use lane::{DispatchPolicy, LaneClock, LaneDispatch};
 pub use media::{ArchiveSite, MediaProfile, MediaType};
 pub use node::{MemoryNode, NodeError, NodeId, StorageNode};
 pub use retry::{RetryPolicy, RetryStats};
